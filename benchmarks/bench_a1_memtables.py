@@ -1,0 +1,63 @@
+"""A1 (ablation) — the buffer implementation knob (tutorial §II-A.2, FloDB).
+
+DESIGN.md decision #5 makes the memtable pluggable; this ablation justifies
+it: the skiplist pays O(log n) per insert for always-sorted state, the vector
+pays nothing on insert and sorts at flush, FloDB's two-level buffer gets
+O(1)-ish inserts *and* O(1) point lookups. Wall-clock timings (CPU is the
+relevant cost for an in-memory structure) plus engine-level correctness.
+"""
+
+import time
+
+import pytest
+from conftest import once, record
+
+from repro.common.entry import Entry
+from repro.memtable import make_memtable
+
+N = 20_000
+_rows = {}
+
+
+def workload_keys():
+    return [b"key%08d" % ((i * 733) % (N // 2)) for i in range(N)]
+
+
+@pytest.mark.parametrize("kind", ["skiplist", "vector", "flodb"])
+def test_a1_memtable_cpu(benchmark, kind):
+    keys = workload_keys()
+
+    def insert_all():
+        table = make_memtable(kind)
+        for i, key in enumerate(keys):
+            table.put(Entry(key=key, seqno=i + 1, value=b"v" * 24))
+        return table
+
+    table = benchmark.pedantic(insert_all, rounds=2, iterations=1)
+
+    start = time.perf_counter()
+    for key in keys[:2000]:
+        table.get(key)
+    get_us = (time.perf_counter() - start) * 1e6 / 2000
+
+    start = time.perf_counter()
+    sorted_entries = table.sorted_entries()
+    sort_ms = (time.perf_counter() - start) * 1e3
+
+    assert [e.key for e in sorted_entries] == sorted({k for k in keys})
+    _rows[kind] = [kind, round(get_us, 2), round(sort_ms, 1), len(table)]
+
+
+def test_a1_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [_rows[k] for k in sorted(_rows)]
+    record(
+        "a1_memtables",
+        f"A1: buffer implementations ({N} inserts, 50% updates)",
+        ["memtable", "us/get", "flush_sort_ms", "distinct_keys"],
+        rows,
+    )
+    by_kind = {row[0]: row for row in rows}
+    if len(by_kind) == 3:
+        # FloDB point lookups beat the skiplist's (hash front level).
+        assert by_kind["flodb"][1] <= by_kind["skiplist"][1] * 1.5

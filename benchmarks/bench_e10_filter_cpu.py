@@ -1,0 +1,82 @@
+"""E10 — CPU-side filter costs (tutorial §II-B.2): blocked Bloom touches one
+cache line vs k; xor/cuckoo trade space against Bloom at equal FPR; shared
+hashing removes L-1 of L digests per lookup.
+
+Each filter kind is timed by pytest-benchmark on the same probe mix, and the
+summary table reports modeled cache-line touches per probe, hash digests per
+probe, space, and observed FPR.
+"""
+
+import pytest
+from conftest import once, record
+
+from repro.filters.blocked_bloom import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.quotient import QuotientFilter
+from repro.filters.shared_hash import SharedHashProber
+from repro.filters.xor import XorFilter
+
+N_KEYS = 20_000
+KEYS = [b"key%010d" % i for i in range(N_KEYS)]
+PROBES = KEYS[:500] + [b"absent%08d" % i for i in range(500)]
+
+FILTER_BUILDERS = {
+    "bloom": lambda: BloomFilter(KEYS, bits_per_key=10),
+    "blocked_bloom": lambda: BlockedBloomFilter(KEYS, bits_per_key=10),
+    "cuckoo": lambda: CuckooFilter(KEYS, fingerprint_bits=12),
+    "xor": lambda: XorFilter(KEYS, fingerprint_bits=10),
+    "quotient": lambda: QuotientFilter(KEYS, remainder_bits=10),
+}
+
+_rows = {}
+
+
+@pytest.mark.parametrize("kind", sorted(FILTER_BUILDERS))
+def test_e10_probe_throughput(benchmark, kind):
+    filt = FILTER_BUILDERS[kind]()
+
+    def probe_all():
+        for key in PROBES:
+            filt.may_contain(key)
+
+    benchmark.pedantic(probe_all, rounds=3, iterations=1)
+    absent = [k for k in PROBES if k.startswith(b"absent")]
+    fp = sum(filt.may_contain(k) for k in absent) / len(absent)
+    stats = filt.stats
+    _rows[kind] = [
+        kind,
+        round(8.0 * filt.size_bytes / N_KEYS, 2),
+        round(stats.cache_line_touches / max(1, stats.probes), 2),
+        round(stats.hash_evaluations / max(1, stats.probes), 2),
+        round(fp, 4),
+    ]
+
+
+def test_e10_summary(benchmark):
+    def shared_hash_rows():
+        filters = [BloomFilter(KEYS, bits_per_key=10, seed=i) for i in range(7)]
+        shared = SharedHashProber()
+        for key in PROBES:
+            shared.probe_all(key, filters)
+        per_filter_evals = len(PROBES) * len(filters)
+        return [
+            ["per-filter hashing (7 runs)", "-", "-", round(per_filter_evals / len(PROBES), 2), "-"],
+            ["shared hashing (7 runs)", "-", "-",
+             round(shared.hash_evaluations / len(PROBES), 2), "-"],
+        ]
+
+    extra = once(benchmark, shared_hash_rows)
+    rows = [_rows[kind] for kind in sorted(_rows)] + extra
+    record(
+        "e10_filter_cpu",
+        "E10: filter CPU/space tradeoffs (20k keys)",
+        ["filter", "bits/key", "lines/probe", "digests/probe", "observed_fpr"],
+        rows,
+    )
+    if "bloom" in _rows and "blocked_bloom" in _rows:
+        assert _rows["blocked_bloom"][2] <= 1.0 < _rows["bloom"][2] + 1.0
+        assert _rows["blocked_bloom"][2] < _rows["bloom"][2] + 0.01
+    if "xor" in _rows:
+        assert _rows["xor"][1] < 13  # ~1.23 * 10 bits
+    assert extra[1][3] == 1.0  # shared hashing: exactly one digest per lookup

@@ -1,0 +1,84 @@
+"""E11 — Buffer vs filter memory split has an interior optimum (tutorial
+§II-B.5; Monkey's second knob and Luo & Carey's memory walls).
+
+A fixed memory budget is swept between the write buffer and the Bloom
+filters on the real engine under a mixed workload; the model's predicted
+optimum is printed beside the measured curve.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import run_operations
+from repro.tuning.cost_model import DesignPoint, Workload
+from repro.tuning.memory import optimize_memory_split
+from repro.workloads.spec import Operation
+
+TOTAL_MEMORY = 48 << 10  # bytes, split between buffer and filters
+KEYSPACE = 6000
+VALUE = 40
+BUFFER_FRACTIONS = [0.05, 0.15, 0.3, 0.5, 0.8, 0.95]
+
+
+def run_split(buffer_fraction):
+    buffer_bytes = max(1 << 10, int(TOTAL_MEMORY * buffer_fraction))
+    filter_bits_total = (TOTAL_MEMORY - buffer_bytes) * 8
+    bits_per_key = max(0.0, filter_bits_total / KEYSPACE)
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=buffer_bytes,
+            block_size=512,
+            size_ratio=4,
+            layout="leveling",
+            filter_kind="bloom" if bits_per_key > 0.5 else "none",
+            bits_per_key=bits_per_key,
+            seed=37,
+        )
+    )
+    # Mixed phase: ingestion plus point lookups (half hits, half misses).
+    ops = []
+    for i in range(10_000):
+        key = (i * 733) % KEYSPACE
+        if i % 2 == 0:
+            ops.append(Operation(kind="put", key=encode_uint_key(key), value=b"x" * VALUE))
+        elif i % 4 == 1:
+            ops.append(Operation(kind="get", key=encode_uint_key(key)))
+        else:
+            ops.append(Operation(kind="get", key=encode_uint_key(key) + b"\x00"))
+    metrics = run_operations(tree, ops)
+    return [
+        round(buffer_fraction, 2),
+        buffer_bytes,
+        round(bits_per_key, 1),
+        round(metrics.ios_per_op, 3),
+        round(metrics.simulated_time / metrics.operations, 3),
+    ]
+
+
+def experiment():
+    rows = [run_split(fraction) for fraction in BUFFER_FRACTIONS]
+    predicted = optimize_memory_split(
+        TOTAL_MEMORY,
+        KEYSPACE,
+        Workload(zero_lookups=0.25, lookups=0.25, writes=0.5),
+        design=DesignPoint.leveling(4),
+        entry_bytes=VALUE + 8,
+        block_bytes=512,
+    )
+    return rows, predicted
+
+
+def test_e11_memory_split(benchmark):
+    rows, predicted = once(benchmark, experiment)
+    record(
+        "e11_memory_split",
+        f"E11: buffer/filter split of {TOTAL_MEMORY}B "
+        f"(model optimum: buffer={predicted.buffer_bytes}B)",
+        ["buf_frac", "buffer_B", "bits/key", "io/op", "time/op"],
+        rows,
+    )
+    costs = [row[3] for row in rows]
+    best = min(range(len(costs)), key=costs.__getitem__)
+    # Expected shape: the optimum is interior — neither extreme wins.
+    assert 0 < best < len(costs) - 1, f"optimum at extreme: {costs}"
+    assert costs[best] < costs[0] and costs[best] < costs[-1]

@@ -1,0 +1,81 @@
+"""E12 — Key-value separation (WiscKey; tutorial §II-A.2): storing large
+values in a log slashes compaction write amplification but adds a random
+value-log fetch per scanned entry.
+
+Rows report ingestion write amplification, I/O per point lookup, and I/O per
+50-entry scan, with and without separation, at two value sizes.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import run_operations
+from repro.workloads.spec import Operation
+
+KEYSPACE = 1500
+N_PUTS = 5000
+
+
+def run_config(kv_sep, value_size):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=4 << 10,
+            block_size=512,
+            size_ratio=4,
+            layout="leveling",
+            kv_separation=kv_sep,
+            value_threshold=64,
+            seed=41,
+        )
+    )
+    for i in range(N_PUTS):
+        tree.put(encode_uint_key((i * 733) % KEYSPACE), b"v" * value_size)
+    tree.flush()
+    write_amp = tree.write_amplification
+
+    gets = [
+        Operation(kind="get", key=encode_uint_key((i * 613) % KEYSPACE))
+        for i in range(400)
+    ]
+    get_metrics = run_operations(tree, gets)
+    scans = [
+        Operation(
+            kind="scan",
+            key=encode_uint_key((i * 997) % (KEYSPACE - 60)),
+            end_key=encode_uint_key((i * 997) % (KEYSPACE - 60) + 49),
+        )
+        for i in range(60)
+    ]
+    scan_metrics = run_operations(tree, scans)
+    return [
+        "kv-sep" if kv_sep else "inline",
+        value_size,
+        round(write_amp, 2),
+        round(get_metrics.reads_per_get, 3),
+        round(scan_metrics.blocks_read / len(scans), 2),
+    ]
+
+
+def experiment():
+    rows = []
+    for value_size in (32, 256):
+        rows.append(run_config(False, value_size))
+        rows.append(run_config(True, value_size))
+    return rows
+
+
+def test_e12_kv_separation(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e12_kv_sep",
+        "E12: WiscKey-style key-value separation (threshold 64B)",
+        ["placement", "value_B", "write_amp", "io/get", "io/scan(50)"],
+        rows,
+    )
+    small_inline, small_sep, big_inline, big_sep = rows
+    # Small values stay inline: separation changes little.
+    assert abs(small_sep[2] - small_inline[2]) < small_inline[2] * 0.5
+    # Large values: separation slashes write amplification...
+    assert big_sep[2] < big_inline[2] * 0.6
+    # ...but scans pay extra random value fetches.
+    assert big_sep[4] > big_inline[4] * 0.9

@@ -1,0 +1,100 @@
+"""E13 — Does the analytic cost model track the simulator? (DESIGN.md's
+design decision #1: I/O is the metric, and the model prices it.)
+
+A grid over (layout, T, bits/key) is run on the real engine; measured
+zero-result lookup I/O and write amplification are compared to the model.
+The claim is *shape*, not absolute equality: rank correlation across the
+grid must be strongly positive for both metrics.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.tuning.cost_model import CostModel, DesignPoint
+from repro.workloads.spec import Operation
+
+KEYSPACE = 5000
+VALUE = 40
+GRID = [
+    ("leveling", 3, 0.0),
+    ("leveling", 3, 8.0),
+    ("leveling", 6, 8.0),
+    ("tiering", 3, 0.0),
+    ("tiering", 3, 8.0),
+    ("tiering", 6, 8.0),
+    ("lazy_leveling", 4, 8.0),
+]
+
+
+def run_cell(layout, ratio, bits):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=4 << 10,
+            block_size=512,
+            size_ratio=ratio,
+            layout=layout,
+            filter_kind="bloom" if bits else "none",
+            bits_per_key=bits,
+            seed=43,
+        )
+    )
+    preload_tree(tree, KEYSPACE, value_size=VALUE)
+    misses = [
+        Operation(kind="get", key=encode_uint_key((i * 613) % (KEYSPACE - 1)) + b"\x00")
+        for i in range(1200)
+    ]
+    miss_metrics = run_operations(tree, misses)
+
+    model = CostModel(
+        num_entries=KEYSPACE, entry_bytes=VALUE + 8, buffer_bytes=4 << 10, block_bytes=512
+    )
+    if layout == "leveling":
+        point = DesignPoint.leveling(ratio, bits)
+    elif layout == "tiering":
+        point = DesignPoint.tiering(ratio, bits)
+    else:
+        point = DesignPoint.lazy_leveling(ratio, bits)
+    return [
+        f"{layout}/T={ratio}/b={bits:g}",
+        round(miss_metrics.reads_per_get, 4),
+        round(model.zero_result_lookup_cost(point), 4),
+        round(tree.write_amplification, 2),
+        round(model.write_amplification(point), 2),
+    ]
+
+
+def _rank_correlation(xs, ys):
+    def ranks(vals):
+        order = sorted(range(len(vals)), key=vals.__getitem__)
+        result = [0] * len(vals)
+        for rank, idx in enumerate(order):
+            result[idx] = rank
+        return result
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+def experiment():
+    return [run_cell(*cell) for cell in GRID]
+
+
+def test_e13_model_validation(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e13_model_validation",
+        "E13: analytic model vs simulator across the design grid",
+        ["config", "io/zero-get", "model", "write_amp", "model_wa"],
+        rows,
+    )
+    zero_corr = _rank_correlation([r[1] for r in rows], [r[2] for r in rows])
+    wa_corr = _rank_correlation([r[3] for r in rows], [r[4] for r in rows])
+    assert zero_corr > 0.7, f"zero-lookup rank correlation too weak: {zero_corr}"
+    assert wa_corr > 0.6, f"write-amp rank correlation too weak: {wa_corr}"
+    # Absolute agreement within a small constant factor where costs are large.
+    for row in rows:
+        if row[2] > 0.2:
+            assert 0.2 < row[1] / row[2] < 5.0, row

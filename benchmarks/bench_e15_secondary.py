@@ -1,0 +1,86 @@
+"""E15 — Secondary-index maintenance tradeoffs (tutorial §II-B.4:
+Diff-Index / DELI / Luo & Carey).
+
+Eager maintenance pays a read-before-write per update for an always-exact
+index; lazy maintenance writes blind postings and validates at query time;
+deferred adds batch cleaning. Rows report I/O per update, I/O per attribute
+query, index size, and stale postings — the classic three-way tradeoff.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, encode_uint_key
+from repro.secondary import IndexMaintenance, SecondaryIndexedStore
+
+KEYSPACE = 800
+N_UPDATES = 4000
+N_QUERIES = 150
+# 19 colors (coprime with the 800-key cycle): every overwrite of a key picks
+# a DIFFERENT color, so each update really does move the record's posting.
+COLORS = [b"c%02d" % i for i in range(19)]
+
+
+def extractor(value: bytes) -> bytes:
+    return value.split(b":", 1)[0]
+
+
+def run_mode(maintenance):
+    store = SecondaryIndexedStore(
+        LSMConfig(buffer_bytes=4 << 10, block_size=512, size_ratio=4, seed=53),
+        extractor=extractor,
+        attr_width=4,
+        maintenance=maintenance,
+    )
+    device = store.primary.device
+
+    before = device.stats.snapshot()
+    for i in range(N_UPDATES):
+        key = encode_uint_key((i * 733) % KEYSPACE)
+        store.put(key, COLORS[i % len(COLORS)] + b":payload%06d" % i)
+    write_delta = device.stats.delta(before)
+
+    cleaned = 0
+    if maintenance is IndexMaintenance.DEFERRED:
+        cleaned = store.clean()
+
+    before = device.stats.snapshot()
+    matched = 0
+    for i in range(N_QUERIES):
+        matched += len(store.query(COLORS[i % len(COLORS)]))
+    query_delta = device.stats.delta(before)
+
+    index_entries = sum(
+        level["entries"] for level in store.index.level_summary()
+    ) + store.index.memtable_entries
+    return [
+        maintenance.value,
+        round(write_delta.total_ios / N_UPDATES, 3),
+        round(query_delta.blocks_read / N_QUERIES, 2),
+        index_entries,
+        cleaned,
+        round(matched / N_QUERIES, 1),
+    ]
+
+
+def experiment():
+    return [run_mode(mode) for mode in IndexMaintenance]
+
+
+def test_e15_secondary_index(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e15_secondary",
+        "E15: secondary-index maintenance — eager vs lazy vs deferred",
+        ["maintenance", "io/update", "io/query", "index_entries", "cleaned", "hits/query"],
+        rows,
+    )
+    eager, lazy, deferred = rows
+    # All modes return the same (correct) query answers.
+    assert eager[5] == lazy[5] == deferred[5]
+    # Lazy writes are cheaper than eager (no read-before-write).
+    assert lazy[1] < eager[1]
+    # Lazy queries cost at least as much as eager's (stale candidates).
+    assert lazy[2] >= eager[2] * 0.9
+    # Deferred cleaning actually removed stale postings.
+    assert deferred[4] > 0
+    assert deferred[3] <= lazy[3]

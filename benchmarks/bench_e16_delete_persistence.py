@@ -1,0 +1,92 @@
+"""E16 — Delete persistence latency (tutorial §II-A.2 and open challenges;
+Lethe SIGMOD'20, GDPR erasure [Sarkar et al. 2018]).
+
+A tombstone only *physically* erases its key when a compaction rewrites it at
+the bottom of the tree. Under partial compaction with delete-oblivious file
+picking, a tombstone-dense file can be stranded indefinitely (new data routes
+around it via trivial moves). Two design-space countermeasures are measured:
+
+* Lethe-style tombstone-density picking, and
+* a staleness (timer) compaction trigger bounding any file's age,
+
+against the delete-oblivious baseline. Metric: flush ticks until a marked
+cohort of deletes fully persists, plus the write-amplification price.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+
+KEYSPACE = 600
+COHORT = 150
+FILLER_ROUNDS = 100
+
+CONFIGS = {
+    "oblivious (least_overlap)": dict(picker="least_overlap"),
+    "lethe (most_tombstones)": dict(picker="most_tombstones"),
+    "staleness timer (6 flushes)": dict(picker="least_overlap", staleness_flushes=6),
+}
+
+
+def run_config(name):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=2 << 10,
+            block_size=512,
+            size_ratio=3,
+            layout="leveling",
+            partial_compaction=True,
+            file_bytes=1 << 10,
+            seed=59,
+            **CONFIGS[name],
+        )
+    )
+    for i in range(1000):
+        tree.put(encode_uint_key((i * 733) % KEYSPACE), b"x" * 40)
+    tree.compact_all()
+
+    purged_before = tree.stats.tombstones_purged
+    for i in range(COHORT):
+        tree.delete(encode_uint_key(i))
+    tree.flush()
+    start_tick = tree.stats.flushes
+
+    persisted_at = None
+    for round_no in range(FILLER_ROUNDS):
+        # Filler in a disjoint key range: routes around the tombstones.
+        for i in range(30):
+            tree.put(encode_uint_key(KEYSPACE + 50_000 + round_no * 30 + i), b"f" * 40)
+        tree.flush()
+        if tree.stats.tombstones_purged - purged_before >= COHORT:
+            persisted_at = tree.stats.flushes - start_tick
+            break
+    return [
+        name,
+        persisted_at if persisted_at is not None else FILLER_ROUNDS * 10,
+        tree.stats.tombstones_purged - purged_before,
+        round(tree.write_amplification, 2),
+    ]
+
+
+def experiment():
+    return [run_config(name) for name in CONFIGS]
+
+
+def test_e16_delete_persistence(benchmark):
+    rows = once(benchmark, experiment)
+    display = [
+        [name, ticks if purged >= COHORT else "never (stranded)", purged, wa]
+        for name, ticks, purged, wa in rows
+    ]
+    record(
+        "e16_delete_persistence",
+        f"E16: flush ticks until a {COHORT}-delete cohort physically persists",
+        ["config", "ticks_to_persist", "purged", "write_amp"],
+        display,
+    )
+    oblivious, lethe, staleness = rows
+    # The stranding effect: the oblivious picker never persists the cohort.
+    assert oblivious[2] < COHORT
+    # Lethe-style picking persists fastest; the timer bounds it too.
+    assert lethe[2] >= COHORT and staleness[2] >= COHORT
+    assert lethe[1] <= staleness[1] < oblivious[1]

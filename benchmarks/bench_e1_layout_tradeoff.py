@@ -1,0 +1,90 @@
+"""E1 — The read vs. write tradeoff of leveling / tiering / lazy leveling.
+
+Reproduces tutorial §II-A.2: tiering wins ingestion, leveling wins reads,
+lazy leveling sits between with point lookups close to leveling. Rows report
+write amplification, I/Os per existing and zero-result lookup, and I/Os per
+short scan for each layout at the same size ratio.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.compaction.layout import LayoutPolicy
+from repro.workloads.spec import Operation
+
+# The three corner designs plus two interior points of the Dostoevsky (K, Z)
+# continuum, exercising arbitrary-hybrid support end to end.
+LAYOUTS = {
+    "leveling": "leveling",
+    "tiering": "tiering",
+    "lazy_leveling": "lazy_leveling",
+    "hybrid(K=2,Z=1)": LayoutPolicy.hybrid(inner_runs=2, last_runs=1),
+    "hybrid(K=1,Z=3)": LayoutPolicy.hybrid(inner_runs=1, last_runs=3),
+}
+KEYSPACE = 4000
+N_OPS = 800
+
+
+def build_tree(layout_name: str) -> LSMTree:
+    return LSMTree(
+        LSMConfig(
+            buffer_bytes=4 << 10,
+            block_size=512,
+            size_ratio=4,
+            layout=LAYOUTS[layout_name],
+            bits_per_key=10.0,
+            seed=7,
+        )
+    )
+
+
+def run_layout(layout: str):
+    tree = build_tree(layout)
+    preload_tree(tree, KEYSPACE, value_size=40)
+    write_amp = tree.write_amplification
+
+    gets = [Operation(kind="get", key=encode_uint_key((i * 611) % KEYSPACE)) for i in range(N_OPS)]
+    zero_gets = [
+        Operation(kind="get", key=encode_uint_key(KEYSPACE + 1 + 2 * i)) for i in range(N_OPS)
+    ]
+    scans = [
+        Operation(
+            kind="scan",
+            key=encode_uint_key((i * 997) % (KEYSPACE - 60)),
+            end_key=encode_uint_key((i * 997) % (KEYSPACE - 60) + 50),
+        )
+        for i in range(100)
+    ]
+    get_metrics = run_operations(tree, gets)
+    zero_metrics = run_operations(tree, zero_gets)
+    scan_metrics = run_operations(tree, scans)
+    return [
+        layout,
+        tree.total_runs,
+        round(write_amp, 2),
+        round(get_metrics.reads_per_get, 3),
+        round(zero_metrics.reads_per_get, 4),
+        round(scan_metrics.blocks_read / len(scans), 2),
+    ]
+
+
+def experiment():
+    return [run_layout(layout) for layout in LAYOUTS]
+
+
+def test_e1_layout_tradeoff(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e1_layout_tradeoff",
+        "E1: layout read/write tradeoff (T=4, 10 bits/key)",
+        ["layout", "runs", "write_amp", "io/get", "io/zero-get", "io/scan(50)"],
+        rows,
+    )
+    by_layout = {row[0]: row for row in rows}
+    # Expected shape: tiering writes least, leveling reads best.
+    assert by_layout["tiering"][2] < by_layout["leveling"][2]
+    assert by_layout["leveling"][3] <= by_layout["tiering"][3]
+    assert by_layout["leveling"][5] <= by_layout["tiering"][5]
+    # Lazy leveling: writes between the two, point reads near leveling.
+    assert by_layout["tiering"][2] <= by_layout["lazy_leveling"][2] <= by_layout["leveling"][2]

@@ -1,0 +1,79 @@
+"""E2 — Bloom filters bound point-lookup I/O; cost falls ~exponentially with
+bits/key (tutorial §II-B.2, the Monkey baseline curve).
+
+A tiered tree maximizes runs so unfiltered zero-result lookups are expensive;
+sweeping bits/key shows the exponential I/O decay and the memory paid for it.
+"""
+
+import math
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.filters.bloom import theoretical_fpr
+from repro.workloads.spec import Operation
+
+BITS_SWEEP = [0, 2, 4, 6, 8, 10, 12, 16]
+KEYSPACE = 5000
+N_PROBES = 1500
+
+
+def run_bits(bits: float):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=4 << 10,
+            block_size=512,
+            size_ratio=4,
+            layout="tiering",
+            filter_kind="bloom" if bits > 0 else "none",
+            bits_per_key=bits,
+            seed=11,
+        )
+    )
+    preload_tree(tree, KEYSPACE, value_size=40)
+    # Absent keys interleaved INSIDE the key range, so fence pointers cannot
+    # shortcut them and only the filters stand between the probe and the I/O.
+    in_range_misses = [
+        Operation(kind="get", key=encode_uint_key((i * 613) % (KEYSPACE - 1)) + b"\x00")
+        for i in range(N_PROBES)
+    ]
+    metrics = run_operations(tree, in_range_misses)
+    filter_memory = sum(
+        run.memory_bytes for runs in tree._levels for run in runs
+    )
+    return [
+        bits,
+        round(metrics.reads_per_get, 4),
+        round(metrics.observed_fpr, 4),
+        round(theoretical_fpr(bits), 4) if bits else 1.0,
+        filter_memory,
+    ]
+
+
+def experiment():
+    return [run_bits(bits) for bits in BITS_SWEEP]
+
+
+def test_e2_bloom_sweep(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e2_bloom_sweep",
+        "E2: zero-result lookup cost vs Bloom bits/key (tiering, T=4)",
+        ["bits/key", "io/zero-get", "observed_fpr", "model_fpr", "aux_memory_B"],
+        rows,
+    )
+    ios = [row[1] for row in rows]
+    # Expected shape: monotone (near-)exponential decay with bits/key.
+    assert ios[0] > 0.5, "unfiltered tiered lookups should cost real I/O"
+    assert ios[0] > ios[2] > ios[4], "I/O must fall as bits grow"
+    assert ios[-1] < 0.05, "16 bits/key should nearly eliminate I/O"
+    # The knee: by 10 bits/key the cost is under 5% of the unfiltered cost.
+    ten_bits = next(row for row in rows if row[0] == 10)
+    assert ten_bits[1] < 0.08 * max(ios[0], 1e-9) + 0.05
+
+
+def test_e2_observed_fpr_tracks_theory(benchmark):
+    rows = once(benchmark, lambda: [run_bits(bits) for bits in (4, 8)])
+    for bits, _, observed, model, _ in rows:
+        assert observed < 4 * model + 0.02, f"bits={bits}: fpr {observed} vs {model}"

@@ -1,0 +1,104 @@
+"""E4 — Range-filter comparison for short vs long empty ranges
+(tutorial §II-B.3): Rosetta excels at short ranges, SuRF at long ranges,
+prefix Bloom only within its prefix group, SNARF strong on numeric keys
+with low memory.
+
+Keys are sparse multiples of 1024 so empty ranges of all lengths exist.
+Rows report blocks read per *empty* scan at two range lengths plus the
+range-filter memory.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import run_operations
+from repro.workloads.spec import Operation
+
+FILTERS = {
+    "none": (None, {}),
+    "prefix_bloom": ("prefix_bloom", {"prefix_length": 7, "bits_per_key": 12.0}),
+    "surf": ("surf", {"suffix_bits": 8}),
+    "rosetta": ("rosetta", {"bits_per_key": 22.0, "levels": 22}),
+    "snarf": ("snarf", {"bits_per_key": 6.0}),
+}
+N_KEYS = 3000
+STRIDE = 1024
+SHORT, LONG = 16, 700
+N_SCANS = 300
+
+
+def build_tree(kind, params):
+    config = LSMConfig(
+        buffer_bytes=4 << 10,
+        block_size=512,
+        size_ratio=4,
+        layout="tiering",
+        range_filter=kind or "none",
+        range_filter_params=params,
+        seed=17,
+    )
+    tree = LSMTree(config)
+    for i in range(N_KEYS):
+        key = ((i * 733) % N_KEYS) * STRIDE
+        tree.put(encode_uint_key(key), b"x" * 40)
+    tree.flush()
+    return tree
+
+
+def empty_scans(length):
+    ops = []
+    for i in range(N_SCANS):
+        base = ((i * 997) % (N_KEYS - 2)) * STRIDE
+        lo = base + STRIDE // 2  # middle of a gap
+        ops.append(
+            Operation(
+                kind="scan",
+                key=encode_uint_key(lo),
+                end_key=encode_uint_key(lo + length),
+            )
+        )
+    return ops
+
+
+def run_filter(name):
+    kind, params = FILTERS[name]
+    tree = build_tree(kind, params)
+    short_metrics = run_operations(tree, empty_scans(SHORT))
+    long_metrics = run_operations(tree, empty_scans(LONG))
+    memory = sum(
+        table.range_filter.size_bytes
+        for runs in tree._levels
+        for run in runs
+        for table in run.tables
+        if table.range_filter is not None
+    )
+    return [
+        name,
+        round(short_metrics.blocks_read / N_SCANS, 3),
+        round(long_metrics.blocks_read / N_SCANS, 3),
+        memory,
+    ]
+
+
+def experiment():
+    return [run_filter(name) for name in FILTERS]
+
+
+def test_e4_range_filters(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e4_range_filters",
+        f"E4: I/O per empty range scan (short={SHORT}, long={LONG}; keys sparse x{STRIDE})",
+        ["filter", "io/short-scan", "io/long-scan", "filter_mem_B"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    baseline_short = by_name["none"][1]
+    # Every real range filter beats no-filter on short empty ranges.
+    for name in ("surf", "rosetta", "snarf"):
+        assert by_name[name][1] < baseline_short, name
+    # Rosetta is built for short ranges: within the best two there.
+    short_ranks = sorted(rows[1:], key=lambda r: r[1])
+    assert by_name["rosetta"][1] <= short_ranks[1][1]
+    # SuRF keeps helping on long ranges where dyadic decomposition struggles.
+    assert by_name["surf"][2] < baseline_short + by_name["none"][2]

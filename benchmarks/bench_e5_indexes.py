@@ -1,0 +1,96 @@
+"""E5 — Block indexes: fence pointers vs hash vs learned (tutorial §II-B.1,
+§II-B.4; the Google production result [Abu-Libdeh et al.]).
+
+Fence pointers pin every lookup to exactly one block per run; learned indexes
+match that I/O within their error bound using ~10x less index memory on
+smooth key distributions; the hash index adds definite-absence answers at
+per-key memory cost. Rows report I/O per lookup, index memory, and in-memory
+probe CPU time (measured, since the CPU saving is the point of LSM-trie/
+data-block-hash designs).
+"""
+
+import time
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.workloads.spec import Operation
+
+INDEXES = {
+    "fence": {},
+    "hash": {},
+    "rmi": {"num_leaves": 64},
+    "pgm": {"epsilon": 8},
+    "radix_spline": {"epsilon": 8, "radix_bits": 10},
+}
+KEYSPACE = 8000
+N_GETS = 1500
+
+
+def run_index(kind):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=8 << 10,
+            block_size=512,
+            size_ratio=4,
+            layout="leveling",
+            index=kind,
+            index_params=INDEXES[kind],
+            filter_kind="none",  # isolate the index's contribution
+            seed=19,
+        )
+    )
+    preload_tree(tree, KEYSPACE, value_size=40)
+    gets = [
+        Operation(kind="get", key=encode_uint_key((i * 613) % KEYSPACE))
+        for i in range(N_GETS)
+    ]
+    start = time.perf_counter()
+    metrics = run_operations(tree, gets)
+    elapsed_us = (time.perf_counter() - start) * 1e6 / N_GETS
+    index_memory = sum(
+        table.search_index.size_bytes
+        for runs in tree._levels
+        for run in runs
+        for table in run.tables
+        if table.search_index is not None
+    )
+    misses = [
+        Operation(kind="get", key=encode_uint_key((i * 613) % (KEYSPACE - 1)) + b"\x00")
+        for i in range(500)
+    ]
+    miss_metrics = run_operations(tree, misses)
+    return [
+        kind,
+        tree.total_runs,
+        round(metrics.reads_per_get, 3),
+        round(miss_metrics.reads_per_get, 3),
+        index_memory,
+        round(elapsed_us, 1),
+    ]
+
+
+def experiment():
+    return [run_index(kind) for kind in INDEXES]
+
+
+def test_e5_indexes(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e5_indexes",
+        "E5: block index comparison (no filters; leveling, T=4)",
+        ["index", "runs", "io/get", "io/zero-get", "index_mem_B", "us/get"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # Fence pointers: at most one data block per run per lookup.
+    assert by_name["fence"][2] <= by_name["fence"][1] + 0.1
+    # Every learned index stays within ~2 blocks of fence pointers' I/O.
+    for kind in ("rmi", "pgm", "radix_spline"):
+        assert by_name[kind][2] <= by_name["fence"][2] + 2.0, kind
+    # Learned indexes use less memory than fences on these smooth keys.
+    assert by_name["pgm"][4] < by_name["fence"][4]
+    assert by_name["radix_spline"][4] < by_name["fence"][4]
+    # The hash index answers absent keys with zero I/O (perfect filtering).
+    assert by_name["hash"][3] == 0.0

@@ -1,0 +1,106 @@
+"""E6 — Block caching and compaction invalidation (tutorial §II-B.1).
+
+Part A sweeps the cache size under a zipfian read workload: hit rate rises
+with capacity. Part B interleaves writes (forcing compactions that invalidate
+hot cached blocks) with zipfian reads, with and without the Leaper-style
+prefetcher: Leaper recovers most of the lost hits at a bounded prefetch cost.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.workloads.distributions import ZipfianKeys
+from repro.workloads.spec import Operation
+
+KEYSPACE = 4000
+CACHE_SIZES = [0, 8 << 10, 32 << 10, 128 << 10, 512 << 10]
+
+
+def build_tree(cache_bytes, leaper=False):
+    return LSMTree(
+        LSMConfig(
+            buffer_bytes=4 << 10,
+            block_size=512,
+            size_ratio=4,
+            layout="leveling",
+            cache_bytes=cache_bytes,
+            leaper_prefetch=leaper,
+            leaper_params={"hot_threshold": 2, "max_prefetch_blocks": 64} if leaper else {},
+            seed=23,
+        )
+    )
+
+
+def zipf_gets(n, seed=1):
+    dist = ZipfianKeys(KEYSPACE, seed=seed, theta=0.99)
+    return [Operation(kind="get", key=encode_uint_key(dist.sample())) for _ in range(n)]
+
+
+def cache_sweep():
+    rows = []
+    for size in CACHE_SIZES:
+        tree = build_tree(size)
+        preload_tree(tree, KEYSPACE, value_size=40)
+        run_operations(tree, zipf_gets(500))  # warmup
+        metrics = run_operations(tree, zipf_gets(2000, seed=2))
+        rows.append(
+            [size, round(metrics.cache_hit_rate, 3), round(metrics.reads_per_get, 3)]
+        )
+    return rows
+
+
+def invalidation_run(leaper):
+    tree = build_tree(256 << 10, leaper=leaper)
+    preload_tree(tree, KEYSPACE, value_size=40)
+    run_operations(tree, zipf_gets(1500))  # warm the cache
+    # Mixed phase: writes force compactions that invalidate hot blocks.
+    dist = ZipfianKeys(KEYSPACE, seed=5, theta=0.99)
+    ops = []
+    for i in range(4000):
+        if i % 4 == 0:
+            ops.append(
+                Operation(kind="put", key=encode_uint_key((i * 733) % KEYSPACE),
+                          value=b"y" * 40)
+            )
+        else:
+            ops.append(Operation(kind="get", key=encode_uint_key(dist.sample())))
+    metrics = run_operations(tree, ops)
+    prefetched = tree._leaper.prefetched_blocks if tree._leaper else 0
+    return [
+        "leaper" if leaper else "plain",
+        round(metrics.cache_hit_rate, 3),
+        round(metrics.blocks_read / max(1, metrics.gets), 3),
+        tree.cache.stats.invalidations,
+        prefetched,
+    ]
+
+
+def test_e6_cache_size_sweep(benchmark):
+    rows = once(benchmark, cache_sweep)
+    record(
+        "e6_cache_sweep",
+        "E6a: zipfian read hit rate vs cache size",
+        ["cache_B", "hit_rate", "io/get"],
+        rows,
+    )
+    hit_rates = [row[1] for row in rows]
+    assert hit_rates == sorted(hit_rates), "hit rate must rise with cache size"
+    assert rows[0][1] == 0.0
+    assert rows[-1][1] > 0.5
+    ios = [row[2] for row in rows]
+    assert ios[-1] < ios[0]
+
+
+def test_e6_leaper_recovers_invalidated_hits(benchmark):
+    rows = once(benchmark, lambda: [invalidation_run(False), invalidation_run(True)])
+    record(
+        "e6_leaper",
+        "E6b: compaction invalidation, with and without Leaper prefetch",
+        ["mode", "hit_rate", "io/get", "invalidations", "prefetched"],
+        rows,
+    )
+    plain, leaper = rows
+    assert leaper[4] > 0, "Leaper must prefetch something"
+    assert leaper[1] >= plain[1], "prefetching must not lower the hit rate"
+    assert leaper[2] <= plain[2] * 1.1

@@ -1,0 +1,112 @@
+"""E7 — Partial-compaction file picking (tutorial §II-A.2; Sarkar et al.'s
+data-movement primitive).
+
+One file moves per compaction; *which* file shapes write amplification (least
+overlap wins), space reclamation under deletes (tombstone-density wins), and
+ingestion tail latency (the largest single write burst between puts). Rows
+report all three per picker, same update+delete-heavy workload.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+
+PICKERS = ["round_robin", "least_overlap", "coldest", "most_tombstones", "oldest"]
+KEYSPACE = 1200
+N_OPS = 6000
+
+
+def run_picker(picker):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=2 << 10,
+            block_size=512,
+            size_ratio=3,
+            layout="leveling",
+            partial_compaction=True,
+            file_bytes=1 << 10,
+            picker=picker,
+            seed=29,
+        )
+    )
+    max_burst = 0
+    for i in range(N_OPS):
+        key = encode_uint_key((i * 733) % KEYSPACE)
+        before = tree.device.stats.blocks_written
+        if i % 10 == 9:
+            tree.delete(key)
+        else:
+            tree.put(key, b"x" * 60)
+        max_burst = max(max_burst, tree.device.stats.blocks_written - before)
+    tree.flush()
+    space_amp = tree.space_amplification
+    return [
+        picker,
+        round(tree.write_amplification, 2),
+        round(space_amp, 2),
+        tree.stats.compactions,
+        tree.stats.trivial_moves,
+        max_burst,
+        tree.stats.tombstones_purged,
+    ]
+
+
+def experiment():
+    return [run_picker(picker) for picker in PICKERS]
+
+
+def test_e7_partial_pickers(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e7_partial",
+        "E7: partial-compaction picker comparison (10% deletes)",
+        ["picker", "write_amp", "space_amp", "compactions", "trivial", "max_burst", "purged"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # Least-overlap minimizes (or ties) write amplification across pickers.
+    write_amps = {name: row[1] for name, row in by_name.items()}
+    assert write_amps["least_overlap"] <= min(write_amps.values()) * 1.15
+    # Tombstone-aware picking purges at least as many deletes as round robin.
+    assert by_name["most_tombstones"][6] >= by_name["round_robin"][6] * 0.5
+    # Partial compaction keeps individual write bursts bounded (no full-level
+    # rewrites): the largest burst is far below the whole tree size.
+    for row in rows:
+        assert row[5] < 400, f"{row[0]} burst too large"
+
+
+def test_e7_partial_vs_full_tail(benchmark):
+    """Ablation: partial compaction trades total writes for bounded bursts."""
+
+    def run(partial):
+        tree = LSMTree(
+            LSMConfig(
+                buffer_bytes=2 << 10,
+                block_size=512,
+                size_ratio=3,
+                layout="leveling",
+                partial_compaction=partial,
+                file_bytes=1 << 10 if partial else None,
+                seed=29,
+            )
+        )
+        max_burst = 0
+        for i in range(N_OPS):
+            before = tree.device.stats.blocks_written
+            tree.put(encode_uint_key((i * 733) % KEYSPACE), b"x" * 60)
+            max_burst = max(max_burst, tree.device.stats.blocks_written - before)
+        return [
+            "partial" if partial else "full-level",
+            round(tree.write_amplification, 2),
+            max_burst,
+        ]
+
+    rows = once(benchmark, lambda: [run(False), run(True)])
+    record(
+        "e7_partial_vs_full",
+        "E7b: full-level vs partial compaction — tail burst",
+        ["granularity", "write_amp", "max_burst_blocks"],
+        rows,
+    )
+    full, partial = rows
+    assert partial[2] < full[2], "partial compaction must bound the worst burst"

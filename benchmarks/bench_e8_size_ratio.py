@@ -1,0 +1,91 @@
+"""E8 — The size ratio T sweeps the read/write tradeoff curve (tutorial
+Module III.1; the Monkey/Dostoevsky tradeoff figure).
+
+Under leveling, growing T shortens the tree (cheaper reads) but rewrites each
+level more times (costlier writes); under tiering the same sweep moves the
+other way. The two curves bracket the design continuum. Rows report measured
+write amplification and I/O per lookup for each (layout, T), beside the
+analytic model's predictions.
+"""
+
+from conftest import once, record
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.tuning.cost_model import CostModel, DesignPoint
+from repro.workloads.spec import Operation
+
+RATIOS = [2, 3, 4, 6, 8]
+KEYSPACE = 6000
+VALUE = 40
+
+
+def run_point(layout, ratio):
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=4 << 10,
+            block_size=512,
+            size_ratio=ratio,
+            layout=layout,
+            filter_kind="none",
+            seed=31,
+        )
+    )
+    preload_tree(tree, KEYSPACE, value_size=VALUE)
+    write_amp = tree.write_amplification
+    gets = [
+        Operation(kind="get", key=encode_uint_key((i * 613) % KEYSPACE))
+        for i in range(800)
+    ]
+    metrics = run_operations(tree, gets)
+
+    model = CostModel(
+        num_entries=KEYSPACE,
+        entry_bytes=VALUE + 8,
+        buffer_bytes=4 << 10,
+        block_bytes=512,
+    )
+    point = (
+        DesignPoint.leveling(ratio, 0.0)
+        if layout == "leveling"
+        else DesignPoint.tiering(ratio, 0.0)
+    )
+    return [
+        layout,
+        ratio,
+        tree.num_levels,
+        round(write_amp, 2),
+        round(model.write_amplification(point), 2),
+        round(metrics.reads_per_get, 3),
+        round(model.lookup_cost(point), 3),
+    ]
+
+
+def experiment():
+    rows = []
+    for layout in ("leveling", "tiering"):
+        for ratio in RATIOS:
+            rows.append(run_point(layout, ratio))
+    return rows
+
+
+def test_e8_size_ratio_curve(benchmark):
+    rows = once(benchmark, experiment)
+    record(
+        "e8_size_ratio",
+        "E8: size-ratio sweep — measured vs model (no filters)",
+        ["layout", "T", "levels", "write_amp", "model_wa", "io/get", "model_io"],
+        rows,
+    )
+    leveling = [row for row in rows if row[0] == "leveling"]
+    tiering = [row for row in rows if row[0] == "tiering"]
+    # Levels shrink as T grows.
+    assert leveling[0][2] >= leveling[-1][2]
+    # Tiering read cost rises with T (more runs per level), leveling falls/flat.
+    assert tiering[-1][5] >= tiering[0][5] * 0.8
+    # At every common T, tiering writes less and reads more than leveling.
+    for lev, tier in zip(leveling, tiering):
+        if lev[1] == 2:
+            continue  # degenerate: identical designs
+        assert tier[3] <= lev[3]
+        assert tier[5] >= lev[5] * 0.9

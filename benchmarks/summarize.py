@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Collect every experiment table from benchmarks/results/ into one report.
+
+Usage:  python benchmarks/summarize.py [> report.txt]
+
+Run ``pytest benchmarks/ --benchmark-only`` first; each bench writes its
+table to ``benchmarks/results/<name>.txt``. This script concatenates them in
+experiment order so the whole evaluation reads top to bottom (the same
+ordering as EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+ORDER = [
+    "e1_", "e2_", "e3_", "e4_", "e5_", "e6_cache", "e6_leaper", "e7_partial.",
+    "e7_partial_vs", "e8_", "e9_", "e10_", "e11_", "e12_", "e13_", "e14_",
+    "e15_", "e16_", "e17_", "e18_", "a1_", "a2_", "a3_",
+]
+
+
+def sort_key(path: pathlib.Path) -> "tuple[int, str]":
+    for rank, prefix in enumerate(ORDER):
+        if path.name.startswith(prefix) or (path.name + ".").startswith(prefix):
+            return rank, path.name
+    return len(ORDER), path.name
+
+
+def main() -> int:
+    if not RESULTS.is_dir():
+        print("no results yet: run `pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    tables = sorted(RESULTS.glob("*.txt"), key=sort_key)
+    if not tables:
+        print("results directory is empty", file=sys.stderr)
+        return 1
+    print("=" * 72)
+    print("repro — experiment summary (%d tables)" % len(tables))
+    print("=" * 72)
+    for path in tables:
+        print()
+        print(path.read_text().rstrip())
+    experiments = {re.match(r"([ea]\d+)", p.name).group(1)
+                   for p in tables if re.match(r"([ea]\d+)", p.name)}
+    print()
+    print(f"-- {len(experiments)} experiments, {len(tables)} tables --")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""A guided tour of the LSM design space: every knob, measured.
+
+Runs the same mixed workload against one configuration per design dimension
+the tutorial surveys — layouts, size ratios, buffers, filters, range filters,
+indexes, caches, compaction granularity, key-value separation — and prints a
+single comparison table. This is the "rich design space" of the paper's
+title, made tangible.
+
+Run:  python examples/design_space_tour.py   (takes ~1 minute)
+"""
+
+from repro import LSMConfig, LSMTree
+from repro.bench.harness import preload_tree, run_operations
+from repro.bench.report import print_table
+from repro.workloads.spec import OperationMix, uniform_spec
+
+KEYSPACE = 4000
+N_OPS = 3000
+MIX = OperationMix(put=0.4, get=0.45, scan=0.05, delete=0.1)
+
+BASE = dict(buffer_bytes=4 << 10, block_size=512, size_ratio=4, seed=21)
+
+TOUR = [
+    ("baseline: leveling T=4, bloom10", {}),
+    ("layout: tiering", {"layout": "tiering"}),
+    ("layout: lazy leveling", {"layout": "lazy_leveling"}),
+    ("size ratio: T=2", {"size_ratio": 2}),
+    ("size ratio: T=8", {"size_ratio": 8}),
+    ("buffer: 16KB (4x)", {"buffer_bytes": 16 << 10}),
+    ("buffer: flodb 2-level", {"memtable": "flodb"}),
+    ("filter: none", {"filter_kind": "none"}),
+    ("filter: blocked bloom", {"filter_kind": "blocked_bloom"}),
+    ("filter: cuckoo", {"filter_kind": "cuckoo"}),
+    ("filter: xor", {"filter_kind": "xor"}),
+    ("filter: quotient", {"filter_kind": "quotient"}),
+    ("range filter: snarf", {"range_filter": "snarf"}),
+    ("index: pgm (learned)", {"index": "pgm"}),
+    ("index: hash (lsm-trie)", {"index": "hash"}),
+    ("cache: 64KB lru", {"cache_bytes": 64 << 10}),
+    ("cache: 64KB clock", {"cache_bytes": 64 << 10, "cache_policy": "clock"}),
+    ("partial compaction", {"partial_compaction": True, "file_bytes": 1 << 10}),
+    ("kv separation", {"kv_separation": True, "value_threshold": 32}),
+    ("shared hashing", {"shared_hashing": True, "layout": "tiering"}),
+]
+
+
+def run_stop(name, overrides):
+    config = LSMConfig(**{**BASE, **overrides})
+    tree = LSMTree(config)
+    preload_tree(tree, KEYSPACE, value_size=48)
+    spec = uniform_spec(KEYSPACE, MIX, value_size=48, scan_length=40, seed=6)
+    metrics = run_operations(tree, spec.operations(N_OPS), max_scan_entries=40)
+    return [
+        name,
+        round(tree.write_amplification, 2),
+        round(metrics.reads_per_get, 3),
+        round(metrics.ios_per_op, 3),
+        round(metrics.simulated_time / N_OPS, 3),
+        round(tree.memory_footprint / 1024, 1),
+    ]
+
+
+def main() -> None:
+    rows = [run_stop(name, overrides) for name, overrides in TOUR]
+    print_table(
+        "design-space tour (same mixed workload everywhere)",
+        ["configuration", "write_amp", "io/get", "io/op", "time/op", "mem_KB"],
+        rows,
+    )
+    print(
+        "\nReading guide: tiering cuts write_amp, leveling cuts io/get;"
+        "\nfilters trade memory for io/get; kv separation cuts write_amp at"
+        "\nlarge values; caches cut io/get on skewed reads; no single winner"
+        "\n— which is exactly the tutorial's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

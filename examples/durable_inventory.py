@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""A crash-safe inventory service with a secondary index.
+
+Combines the durability substrate (WAL + manifest + recovery) with secondary
+indexing (tutorial §II-B.4): products keyed by SKU, indexed by category,
+surviving a simulated crash mid-stream with a bounded loss window.
+
+Run:  python examples/durable_inventory.py
+"""
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.report import print_table
+from repro.secondary import IndexMaintenance, SecondaryIndexedStore
+
+CATEGORIES = [b"tools", b"garden", b"kitchen", b"sports", b"office"]
+
+
+def record_for(sku: int, revision: int) -> bytes:
+    category = CATEGORIES[(sku * 7 + revision) % len(CATEGORIES)]
+    return category + b"|qty=%d|rev=%d" % ((sku * 13 + revision) % 500, revision)
+
+
+def category_of(value: bytes) -> bytes:
+    return value.split(b"|", 1)[0]
+
+
+def main() -> None:
+    config = LSMConfig(
+        buffer_bytes=8 << 10,
+        block_size=512,
+        size_ratio=4,
+        wal_enabled=True,
+        wal_sync_interval=8,   # group commit: up to 7 records at risk
+        filter_kind="bloom",
+        bits_per_key=10.0,
+        seed=12,
+    )
+    store = SecondaryIndexedStore(
+        config, extractor=category_of, attr_width=8,
+        maintenance=IndexMaintenance.DEFERRED,
+    )
+
+    # --- normal operation ----------------------------------------------------
+    for revision in range(3):
+        for sku in range(2000):
+            store.put(encode_uint_key(sku), record_for(sku, revision))
+    stale_before = store.stale_postings_estimate
+    cleaned = store.clean()
+
+    kitchen = store.query(b"kitchen")
+    print(f"{len(kitchen)} kitchen SKUs; cleaned {cleaned} stale postings "
+          f"(estimate was {stale_before})")
+
+    # --- crash ---------------------------------------------------------------
+    # A few more writes, then the process "dies": we abandon the objects and
+    # keep only the device, exactly the fail-stop model the WAL covers.
+    for sku in range(2000, 2100):
+        store.put(encode_uint_key(sku), record_for(sku, 9))
+    device = store.primary.device
+    at_risk = store.primary._wal.unsynced_records
+    del store
+
+    # --- recovery --------------------------------------------------------------
+    recovered = LSMTree.recover(config, device)
+    survivors = sum(1 for sku in range(2000, 2100)
+                    if recovered.get(encode_uint_key(sku)).found)
+
+    print_table(
+        "crash recovery report",
+        ["metric", "value"],
+        [
+            ["writes in flight at crash", 100],
+            ["unsynced WAL records (loss window)", at_risk],
+            ["post-crash survivors", survivors],
+            ["lost (== loss window)", 100 - survivors],
+            ["pre-crash records intact",
+             sum(1 for sku in range(0, 2000, 97)
+                 if recovered.get(encode_uint_key(sku)).found)],
+            ["device files live", len(device.live_files)],
+        ],
+    )
+    assert 100 - survivors == at_risk, "loss must equal the unsynced window"
+    assert recovered.get(encode_uint_key(1234)).found
+
+    # --- operations: scrub, checkpoint, restore -------------------------------
+    from repro.core.checkpoint import create_checkpoint, open_checkpoint
+    from repro.storage.block_device import BlockDevice
+
+    scrub = recovered.verify_integrity()
+    backup_device = BlockDevice(block_size=config.block_size)
+    create_checkpoint(recovered, backup_device)
+    restored = open_checkpoint(config, backup_device)
+    print_table(
+        "operations report",
+        ["metric", "value"],
+        [
+            ["scrub: files / blocks checked",
+             f"{scrub['files_checked']} / {scrub['blocks_checked']}"],
+            ["scrub: errors", len(scrub["errors"])],
+            ["checkpoint files copied", len(backup_device.live_files)],
+            ["restored SKUs spot-checked",
+             sum(1 for sku in range(0, 2000, 103)
+                 if restored.get(encode_uint_key(sku)).found)],
+        ],
+    )
+    assert scrub["errors"] == []
+
+    print("\nLoss window == unsynced group-commit records: durability contract"
+          "\nholds. The checkpoint is an independent, scrubbed, openable copy."
+          "\nRebuild the secondary index from the primary (or log it through"
+          "\nits own WAL) to make queries crash-safe too.")
+
+
+if __name__ == "__main__":
+    main()

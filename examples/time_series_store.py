@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""A time-series store on the LSM design space (the workload class the
+tutorial's intro cites: InfluxDB's TSM, monitoring pipelines).
+
+Time-series ingestion is append-mostly with monotonically increasing keys
+(timestamp-major), large payloads, recent-window reads, and retention
+deletes. The right design-space corner differs from the OLTP default:
+
+* sequential keys -> partial compaction becomes pure *trivial moves*
+  (no rewrite: write amplification near 1);
+* large payloads -> key-value separation keeps compactions cheap;
+* recent-window scans -> a prefix Bloom range filter prunes old runs;
+* retention -> tombstone-density picking reclaims expired data fast.
+
+Run:  python examples/time_series_store.py
+"""
+
+from repro import LSMConfig, LSMTree
+from repro.bench.report import print_table
+from repro.common.encoding import encode_uint_key
+
+SERIES = 4          # e.g. four sensors
+POINTS = 5000       # measurements per sensor
+PAYLOAD = 120       # bytes per measurement
+
+
+def ts_key(timestamp: int, series: int) -> bytes:
+    """Timestamp-major composite key: scans over time windows are ranges."""
+    return encode_uint_key(timestamp) + encode_uint_key(series, width=2)
+
+
+def build_store() -> LSMTree:
+    return LSMTree(
+        LSMConfig(
+            buffer_bytes=8 << 10,
+            block_size=1024,
+            size_ratio=4,
+            layout="leveling",
+            partial_compaction=True,       # file-at-a-time: enables trivial moves
+            file_bytes=4 << 10,
+            picker="most_tombstones",      # reclaim expired windows first
+            kv_separation=True,            # payloads out of the merge path
+            value_threshold=64,
+            filter_kind="bloom",
+            bits_per_key=10.0,
+            cache_bytes=64 << 10,
+            seed=2,
+        )
+    )
+
+
+def main() -> None:
+    store = build_store()
+
+    # --- ingestion: timestamps arrive in order ------------------------------
+    for t in range(POINTS):
+        for s in range(SERIES):
+            store.put(ts_key(t, s), b"m" * PAYLOAD)
+    store.flush()
+    ingest_wa = store.write_amplification
+
+    # --- recent-window query: last 100 ticks of sensor 2 --------------------
+    lo, hi = ts_key(POINTS - 100, 0), ts_key(POINTS - 1, SERIES)
+    before = store.device.stats.blocks_read
+    window = [(k, v) for k, v in store.scan(lo, hi)
+              if int.from_bytes(k[8:], "big") == 2]
+    window_io = store.device.stats.blocks_read - before
+
+    # --- retention: drop the oldest 40% of the data -------------------------
+    cutoff = int(POINTS * 0.4)
+    for t in range(cutoff):
+        for s in range(SERIES):
+            store.delete(ts_key(t, s))
+    store.compact_all()
+    store.collect_value_garbage()
+    space_amp = store.space_amplification
+
+    print_table(
+        "time-series store report",
+        ["metric", "value"],
+        [
+            ["points ingested", POINTS * SERIES],
+            ["ingest write amplification", round(ingest_wa, 2)],
+            ["trivial moves (no-rewrite compactions)", store.stats.trivial_moves],
+            ["rewriting compactions", store.stats.compactions],
+            ["recent-window points returned", len(window)],
+            ["recent-window block reads", window_io],
+            ["tombstones purged by retention", store.stats.tombstones_purged],
+            ["space amplification after retention", round(space_amp, 2)],
+            ["value-log fetches", store.stats.value_log_fetches],
+        ],
+    )
+    assert len(window) == 100
+    print("\nSequential keys + partial compaction -> mostly trivial moves;"
+          "\nkv-separation keeps the merge path light at 120B payloads.")
+
+
+if __name__ == "__main__":
+    main()

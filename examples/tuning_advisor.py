@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""A design-space advisor: describe your workload, get a tuned LSM config —
+then watch the recommendation verified on the real engine.
+
+This is tutorial Module III end-to-end: the analytic cost model prices the
+(T, K, Z) continuum, Monkey splits the filter memory, the robust (Endure)
+variant hedges against workload drift, and the engine confirms the ranking.
+
+Run:  python examples/tuning_advisor.py
+"""
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.bench.report import print_table
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+from repro.tuning.endure import robust_tuning
+from repro.tuning.monkey import level_entry_counts, monkey_allocation
+from repro.tuning.navigator import DesignNavigator
+from repro.workloads.spec import OperationMix, uniform_spec
+
+KEYSPACE = 6000
+VALUE = 40
+
+# --- describe the workload you expect -----------------------------------------
+EXPECTED = Workload(zero_lookups=0.15, lookups=0.35, short_ranges=0.05, writes=0.45)
+MIX = OperationMix(put=0.45, get=0.5, scan=0.05)
+
+
+def engine_config(point: DesignPoint, bits) -> LSMConfig:
+    layout = {
+        (1, 1): "leveling",
+        (point.size_ratio - 1, point.size_ratio - 1): "tiering",
+        (point.size_ratio - 1, 1): "lazy_leveling",
+    }.get((point.inner_runs, point.last_runs), "leveling")
+    return LSMConfig(
+        buffer_bytes=4 << 10,
+        block_size=512,
+        size_ratio=point.size_ratio,
+        layout=layout,
+        filter_kind="bloom",
+        bits_per_key=bits,
+        seed=5,
+    )
+
+
+def verify(point: DesignPoint, bits) -> float:
+    tree = LSMTree(engine_config(point, bits))
+    preload_tree(tree, KEYSPACE, value_size=VALUE)
+    spec = uniform_spec(KEYSPACE, MIX, value_size=VALUE, scan_length=50, seed=8)
+    metrics = run_operations(tree, spec.operations(4000), max_scan_entries=50)
+    return metrics.ios_per_op
+
+
+def main() -> None:
+    model = CostModel(num_entries=KEYSPACE, entry_bytes=VALUE + 8,
+                      buffer_bytes=4 << 10, block_bytes=512)
+    navigator = DesignNavigator(model, size_ratios=(2, 3, 4, 6, 8))
+
+    print("Expected workload:", EXPECTED)
+
+    # 1. Rank the design continuum for the expected workload.
+    ranked = navigator.rank(EXPECTED, top=5)
+    print_table(
+        "model ranking (top 5)",
+        ["design", "T", "model io/op", "read", "write"],
+        [
+            [r.point.name, r.point.size_ratio, round(r.cost, 4),
+             round(r.read_cost, 4), round(r.write_cost, 4)]
+            for r in ranked
+        ],
+    )
+
+    # 2. Monkey: split 8 bits/key of filter memory optimally for the winner.
+    best = ranked[0].point
+    counts = level_entry_counts(KEYSPACE, (4 << 10) // (VALUE + 8), best.size_ratio)
+    bits = monkey_allocation(8.0 * KEYSPACE, counts)
+    print("\nMonkey bits/level for the winner:",
+          [round(b, 1) for b in bits])
+
+    # 3. Hedge against drift with Endure.
+    robust, worst = robust_tuning(model, EXPECTED, navigator.candidates(), eta=0.5)
+    print(f"Robust choice at KL radius 0.5: {robust.name}(T={robust.size_ratio}) "
+          f"worst-case {worst:.4f} io/op")
+
+    # 4. Verify the model's ranking on the real engine.
+    print("\nVerifying top-3 on the engine (measured io/op, same workload):")
+    rows = []
+    for r in ranked[:3]:
+        measured = verify(r.point, bits if r.point is best else 8.0)
+        rows.append([f"{r.point.name}(T={r.point.size_ratio})",
+                     round(r.cost, 4), round(measured, 4)])
+    print_table("model vs engine", ["design", "model", "measured"], rows)
+    model_order = [row[0] for row in sorted(rows, key=lambda r: r[1])]
+    engine_order = [row[0] for row in sorted(rows, key=lambda r: r[2])]
+    agreement = "agrees" if model_order[0] == engine_order[0] else "disagrees"
+    print(f"\nModel's winner {agreement} with the engine's winner.")
+
+
+if __name__ == "__main__":
+    main()

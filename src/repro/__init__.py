@@ -1,0 +1,56 @@
+"""repro — the LSM design space and its read optimizations, reproduced.
+
+A from-scratch, instrumented implementation of the systems surveyed by
+Sarkar, Dayan & Athanassoulis, "The LSM Design Space and its Read
+Optimizations" (ICDE 2023): a complete LSM storage engine over a simulated
+block device, the full zoo of point and range filters, classic and learned
+indexes, block caching with compaction-aware prefetching, the compaction
+design space, and analytic cost models with Monkey/Endure-style tuning.
+
+Quickstart::
+
+    from repro import LSMTree, LSMConfig
+    from repro.common import encode_uint_key
+
+    tree = LSMTree(LSMConfig(buffer_bytes=64 << 10, layout="leveling"))
+    for i in range(10_000):
+        tree.put(encode_uint_key(i), b"value-%d" % i)
+    result = tree.get(encode_uint_key(4242))
+    assert result.found
+"""
+
+from repro.common.encoding import (
+    decode_int_key,
+    decode_uint_key,
+    encode_int_key,
+    encode_str_key,
+    encode_uint_key,
+)
+from repro.common.entry import Entry, EntryKind, GetResult
+from repro.core.config import LSMConfig
+from repro.core.lsm_tree import LSMTree
+from repro.core.stats import LSMStats
+from repro.errors import ConfigError, ReproError
+from repro.storage.block_device import BlockDevice, DeviceStats, LatencyModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LSMTree",
+    "LSMConfig",
+    "LSMStats",
+    "Entry",
+    "EntryKind",
+    "GetResult",
+    "BlockDevice",
+    "DeviceStats",
+    "LatencyModel",
+    "ReproError",
+    "ConfigError",
+    "encode_uint_key",
+    "decode_uint_key",
+    "encode_int_key",
+    "decode_int_key",
+    "encode_str_key",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""``python -m repro`` — a 30-second guided demo of the library.
+
+Runs a miniature version of the design-space tour and prints where to go
+next (examples, experiments, tests).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import LSMConfig, LSMTree, __version__, encode_uint_key
+from repro.bench.harness import preload_tree, run_operations
+from repro.bench.report import print_table
+from repro.workloads.spec import OperationMix, uniform_spec
+
+
+def demo() -> None:
+    print(f"repro {__version__} — The LSM Design Space and its Read Optimizations")
+    print("Building three small trees (leveling / tiering / lazy_leveling)...")
+    rows = []
+    for layout in ("leveling", "tiering", "lazy_leveling"):
+        tree = LSMTree(
+            LSMConfig(
+                buffer_bytes=4 << 10, block_size=512, size_ratio=4,
+                layout=layout, bits_per_key=10.0, cache_bytes=32 << 10, seed=1,
+            )
+        )
+        preload_tree(tree, 2000, value_size=40)
+        spec = uniform_spec(2000, OperationMix(put=0.4, get=0.6), value_size=40, seed=2)
+        metrics = run_operations(tree, spec.operations(2000))
+        rows.append(
+            [
+                layout,
+                tree.num_levels,
+                tree.total_runs,
+                round(tree.write_amplification, 2),
+                round(metrics.reads_per_get, 3),
+                round(tree.stats.filter_fpr_observed, 4),
+            ]
+        )
+    print_table(
+        "the read/write tradeoff, in one table",
+        ["layout", "levels", "runs", "write_amp", "io/get", "filter_fpr"],
+        rows,
+    )
+    # Sanity-check the demo's own story before claiming it.
+    by_layout = {row[0]: row for row in rows}
+    assert by_layout["tiering"][3] <= by_layout["leveling"][3]
+    print(
+        "\nNext steps:\n"
+        "  python examples/quickstart.py               # the API tour\n"
+        "  python examples/design_space_tour.py        # 20 design points\n"
+        "  pytest benchmarks/ --benchmark-only         # all experiments (E1-E16)\n"
+        "  pytest tests/                               # the test suite\n"
+        "See README.md, DESIGN.md, and EXPERIMENTS.md for the full map."
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(demo())

@@ -1,0 +1,6 @@
+"""Experiment harness shared by benchmarks/ and examples/."""
+
+from repro.bench.harness import RunMetrics, preload_tree, run_operations
+from repro.bench.report import format_table, print_table
+
+__all__ = ["RunMetrics", "run_operations", "preload_tree", "format_table", "print_table"]

@@ -1,0 +1,118 @@
+"""Drives operation streams against trees and measures what the paper reports.
+
+Every experiment in benchmarks/ has the same skeleton: build a tree from an
+LSMConfig, preload it, run an operation stream, and report I/O-per-operation
+metrics from device/cache/filter counters. This module owns that skeleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.common.encoding import encode_uint_key
+from repro.core.lsm_tree import LSMTree
+from repro.workloads.spec import Operation, _value_for
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate metrics for one measured phase."""
+
+    operations: int = 0
+    gets: int = 0
+    puts: int = 0
+    scans: int = 0
+    deletes: int = 0
+    found: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    simulated_time: float = 0.0
+    filter_probes: int = 0
+    filter_negatives: int = 0
+    false_positives: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    scan_entries: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def reads_per_get(self) -> float:
+        return self.blocks_read / self.gets if self.gets else 0.0
+
+    @property
+    def ios_per_op(self) -> float:
+        total = self.blocks_read + self.blocks_written
+        return total / self.operations if self.operations else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def observed_fpr(self) -> float:
+        """FP / (FP + TN): probes on runs that did not hold the key."""
+        absent_probes = self.false_positives + self.filter_negatives
+        return self.false_positives / absent_probes if absent_probes > 0 else 0.0
+
+
+def preload_tree(tree: LSMTree, keyspace: int, value_size: int = 64, seed: int = 7) -> None:
+    """Insert every key once in a shuffled deterministic order, then flush."""
+    import random
+
+    order = list(range(keyspace))
+    random.Random(seed).shuffle(order)
+    for key in order:
+        tree.put(encode_uint_key(key), _value_for(key, 0, value_size))
+    tree.flush()
+
+
+def run_operations(
+    tree: LSMTree,
+    operations: Iterable[Operation],
+    max_scan_entries: Optional[int] = None,
+) -> RunMetrics:
+    """Execute an operation stream, measuring only this phase's deltas."""
+    metrics = RunMetrics()
+    device_before = tree.device.stats.snapshot()
+    cache_before = tree.cache.stats.snapshot()
+    probe_before_probes = tree.stats.probe.filter_probes
+    probe_before_negatives = tree.stats.probe.filter_negatives
+    probe_before_fp = tree.stats.probe.false_positives
+
+    for op in operations:
+        metrics.operations += 1
+        if op.kind == "put":
+            tree.put(op.key, op.value)
+            metrics.puts += 1
+        elif op.kind == "get":
+            result = tree.get(op.key)
+            metrics.gets += 1
+            if result.found:
+                metrics.found += 1
+        elif op.kind == "scan":
+            metrics.scans += 1
+            count = 0
+            for _ in tree.scan(op.key, op.end_key):
+                count += 1
+                if max_scan_entries is not None and count >= max_scan_entries:
+                    break
+            metrics.scan_entries += count
+        elif op.kind == "delete":
+            tree.delete(op.key)
+            metrics.deletes += 1
+        else:
+            raise ValueError(f"unknown operation kind {op.kind!r}")
+
+    device_delta = tree.device.stats.delta(device_before)
+    cache_delta = tree.cache.stats.delta(cache_before)
+    metrics.blocks_read = device_delta.blocks_read
+    metrics.blocks_written = device_delta.blocks_written
+    metrics.simulated_time = device_delta.simulated_time
+    metrics.cache_hits = cache_delta.hits
+    metrics.cache_misses = cache_delta.misses
+    metrics.filter_probes = tree.stats.probe.filter_probes - probe_before_probes
+    metrics.filter_negatives = tree.stats.probe.filter_negatives - probe_before_negatives
+    metrics.false_positives = tree.stats.probe.false_positives - probe_before_fp
+    return metrics

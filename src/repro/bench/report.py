@@ -1,0 +1,37 @@
+"""Plain-text tables for experiment output (the rows EXPERIMENTS.md records)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    rendered: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print a titled table (benchmarks call this so output lands in logs)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))

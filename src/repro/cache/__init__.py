@@ -1,0 +1,24 @@
+"""Block caching and compaction-aware prefetching (tutorial §II-B.1).
+
+The block cache retains hot data blocks in memory under a byte budget with a
+pluggable eviction policy. Compactions delete the files backing cached blocks,
+silently destroying the hot set ("it is rather frequent that the hot pages
+that are compacted are invalidated"); the Leaper-style prefetcher repairs this
+by re-fetching the new blocks that cover the invalidated hot key ranges right
+after a compaction.
+"""
+
+from repro.cache.policies import ClockPolicy, EvictionPolicy, LFUPolicy, LRUPolicy, make_policy
+from repro.cache.block_cache import BlockCache, CacheStats
+from repro.cache.leaper import LeaperPrefetcher
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "ClockPolicy",
+    "make_policy",
+    "BlockCache",
+    "CacheStats",
+    "LeaperPrefetcher",
+]

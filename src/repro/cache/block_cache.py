@@ -1,0 +1,160 @@
+"""The block cache: byte-budgeted, policy-pluggable, invalidation-aware.
+
+Keys are ``(file_id, block_no)`` pairs (plus tagged variants like value-log
+blocks). The cache exposes the ``get_or_load`` contract the SSTable read path
+uses, and ``invalidate_file`` so compactions can drop blocks of deleted files
+— the event the Leaper prefetcher reacts to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.cache.policies import EvictionPolicy, LRUPolicy, make_policy
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, readable mid-experiment."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**self.__dict__)
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            **{name: getattr(self, name) - getattr(since, name) for name in self.__dict__}
+        )
+
+
+class BlockCache:
+    """A byte-budgeted object cache for parsed blocks.
+
+    Args:
+        capacity_bytes: total charge budget; 0 disables caching entirely
+            (every lookup is a miss and nothing is retained).
+        policy: eviction policy instance or registry name ('lru', 'lfu',
+            'clock'); defaults to LRU like RocksDB's default block cache.
+    """
+
+    def __init__(self, capacity_bytes: int, policy=None) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        if policy is None:
+            self._policy: EvictionPolicy = LRUPolicy()
+        elif isinstance(policy, str):
+            self._policy = make_policy(policy)
+        else:
+            self._policy = policy
+        self._entries: Dict[Hashable, Tuple[object, int]] = {}
+        self._used = 0
+        self.stats = CacheStats()
+        self.access_counts: Dict[Hashable, int] = {}
+
+    # -- the read-path contract ----------------------------------------------
+
+    def get_or_load(self, key: Hashable, loader: Callable[[], Tuple[object, int]]):
+        """Return the cached object or load, insert, and return it.
+
+        ``loader`` returns ``(object, charge_bytes)`` and is only invoked on a
+        miss — its cost (a device block read) is therefore paid exactly when a
+        real engine would pay it.
+        """
+        cached = self._entries.get(key)
+        self.access_counts[key] = self.access_counts.get(key, 0) + 1
+        if cached is not None:
+            self.stats.hits += 1
+            self._policy.on_access(key)
+            return cached[0]
+        self.stats.misses += 1
+        value, charge = loader()
+        self._insert(key, value, charge)
+        return value
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def put(self, key: Hashable, value: object, charge: int) -> None:
+        """Insert without a lookup (prefetch path)."""
+        if key in self._entries:
+            return
+        self._insert(key, value, charge)
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate_file(self, file_id: int) -> List[Hashable]:
+        """Drop every cached block of ``file_id``; returns the dropped keys.
+
+        Compactions call this for each input file they delete. The returned
+        keys (with their access counts) are what Leaper uses to decide which
+        key ranges were hot.
+        """
+        victims = [key for key in self._entries if _file_of(key) == file_id]
+        for key in victims:
+            self._remove(key)
+            self.stats.invalidations += 1
+        return victims
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hot_keys(self, min_accesses: int) -> List[Hashable]:
+        """Currently cached keys with at least ``min_accesses`` touches."""
+        return [
+            key
+            for key in self._entries
+            if self.access_counts.get(key, 0) >= min_accesses
+        ]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _insert(self, key: Hashable, value: object, charge: int) -> None:
+        if self.capacity_bytes == 0 or charge > self.capacity_bytes:
+            return  # uncacheable: larger than the whole cache (or caching off)
+        while self._used + charge > self.capacity_bytes:
+            victim = self._policy.victim()
+            if victim is None:
+                break
+            self._remove(victim)
+            self.stats.evictions += 1
+        self._entries[key] = (value, charge)
+        self._used += charge
+        self._policy.on_insert(key)
+        self.stats.insertions += 1
+
+    def _remove(self, key: Hashable) -> None:
+        value_charge = self._entries.pop(key, None)
+        if value_charge is not None:
+            self._used -= value_charge[1]
+            self._policy.on_remove(key)
+
+
+def _file_of(key: Hashable) -> Optional[int]:
+    """Extract the file id from a cache key; supports tagged tuples."""
+    if isinstance(key, tuple):
+        if len(key) == 2 and isinstance(key[0], int):
+            return key[0]
+        if len(key) == 3 and key[0] == "vlog":
+            return key[1]
+    return None

@@ -1,0 +1,27 @@
+"""Shared primitives: keys, entries, encodings, and comparators.
+
+The whole engine operates on byte-string keys so that any key type (integers,
+strings, composite keys) can participate after an order-preserving encoding.
+:mod:`repro.common.encoding` provides those encodings; :mod:`repro.common.entry`
+defines the versioned key-value record that flows through buffers, runs, and
+iterators.
+"""
+
+from repro.common.encoding import (
+    decode_int_key,
+    decode_uint_key,
+    encode_int_key,
+    encode_str_key,
+    encode_uint_key,
+)
+from repro.common.entry import Entry, EntryKind
+
+__all__ = [
+    "Entry",
+    "EntryKind",
+    "encode_int_key",
+    "decode_int_key",
+    "encode_uint_key",
+    "decode_uint_key",
+    "encode_str_key",
+]

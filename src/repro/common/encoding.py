@@ -1,0 +1,119 @@
+"""Order-preserving key encodings and varint helpers.
+
+LSM runs compare keys as raw byte strings, so numeric keys must be encoded
+such that the byte order matches the numeric order. Unsigned integers use
+fixed-width big-endian; signed integers flip the sign bit first (the classic
+"excess" encoding) so that negative keys sort before positive ones.
+
+The varint helpers implement LEB128-style unsigned varints used by the block
+format in :mod:`repro.storage.sstable`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_UINT64 = struct.Struct(">Q")
+_SIGN_BIT = 1 << 63
+_UINT64_MAX = (1 << 64) - 1
+
+
+def encode_uint_key(value: int, width: int = 8) -> bytes:
+    """Encode a non-negative integer as a fixed-width big-endian key.
+
+    The big-endian layout makes ``encode_uint_key(a) < encode_uint_key(b)``
+    exactly when ``a < b`` for equal widths.
+
+    Args:
+        value: integer in ``[0, 256**width)``.
+        width: number of bytes; 8 by default.
+
+    Raises:
+        ValueError: if the value does not fit in ``width`` bytes.
+    """
+    if value < 0:
+        raise ValueError(f"uint key must be non-negative, got {value}")
+    if value >> (8 * width):
+        raise ValueError(f"{value} does not fit in {width} bytes")
+    return value.to_bytes(width, "big")
+
+
+def decode_uint_key(key: bytes) -> int:
+    """Inverse of :func:`encode_uint_key`."""
+    return int.from_bytes(key, "big")
+
+
+def encode_int_key(value: int) -> bytes:
+    """Encode a signed 64-bit integer preserving numeric order.
+
+    Flips the sign bit so that the two's-complement range maps onto an
+    unsigned range monotonically: -2^63 -> 0x00..00, 0 -> 0x80..00.
+    """
+    if not -_SIGN_BIT <= value < _SIGN_BIT:
+        raise ValueError(f"{value} out of signed 64-bit range")
+    return _UINT64.pack((value + _SIGN_BIT) & _UINT64_MAX)
+
+
+def decode_int_key(key: bytes) -> int:
+    """Inverse of :func:`encode_int_key`."""
+    if len(key) != 8:
+        raise ValueError(f"signed int keys are 8 bytes, got {len(key)}")
+    return _UINT64.unpack(key)[0] - _SIGN_BIT
+
+
+def encode_str_key(value: str) -> bytes:
+    """Encode a unicode string as a UTF-8 key (UTF-8 preserves code-point order)."""
+    return value.encode("utf-8")
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(buf: bytes, offset: int = 0) -> "tuple[int, int]":
+    """Decode an unsigned varint from ``buf`` at ``offset``.
+
+    Returns:
+        ``(value, next_offset)``.
+
+    Raises:
+        ValueError: on truncated input.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def put_length_prefixed(out: bytearray, data: bytes) -> None:
+    """Append ``data`` to ``out`` with a varint length prefix."""
+    out.extend(encode_varint(len(data)))
+    out.extend(data)
+
+
+def get_length_prefixed(buf: bytes, offset: int) -> "tuple[bytes, int]":
+    """Read a varint-length-prefixed byte string; returns ``(data, next_offset)``."""
+    length, pos = decode_varint(buf, offset)
+    end = pos + length
+    if end > len(buf):
+        raise ValueError("truncated length-prefixed field")
+    return buf[pos:end], end

@@ -1,0 +1,87 @@
+"""The versioned key-value record that flows through the engine.
+
+An :class:`Entry` couples a user key with a monotonically increasing sequence
+number and a kind (PUT or DELETE). LSM-trees ingest out-of-place, so an update
+is simply a new PUT with a larger sequence number and a delete is a tombstone
+(DELETE) entry; reconciliation happens at read time and during compaction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class EntryKind(enum.IntEnum):
+    """Record type tag. Values are part of the on-"disk" block format."""
+
+    PUT = 0
+    DELETE = 1
+
+
+@dataclass(frozen=True, order=False)
+class Entry:
+    """One versioned record.
+
+    Attributes:
+        key: user key bytes (compared lexicographically).
+        seqno: global sequence number; larger means more recent.
+        kind: PUT or DELETE (tombstone).
+        value: payload for PUT entries; ``b""`` for tombstones.
+    """
+
+    key: bytes
+    seqno: int
+    kind: EntryKind = EntryKind.PUT
+    value: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.seqno < 0:
+            raise ValueError("seqno must be non-negative")
+        if self.kind is EntryKind.DELETE and self.value:
+            raise ValueError("tombstones carry no value")
+
+    @property
+    def is_tombstone(self) -> bool:
+        """True when the entry logically deletes its key."""
+        return self.kind is EntryKind.DELETE
+
+    def shadows(self, other: "Entry") -> bool:
+        """True when this entry supersedes ``other`` for the same key."""
+        return self.key == other.key and self.seqno >= other.seqno
+
+    def sort_key(self) -> "tuple[bytes, int]":
+        """Total order used inside runs: by key, then *newest first*.
+
+        Within one sorted run each key appears once, but merge iterators order
+        same-key entries from different runs so the freshest wins.
+        """
+        return (self.key, -self.seqno)
+
+    @property
+    def approximate_size(self) -> int:
+        """Bytes this entry occupies in a buffer (key + value + header)."""
+        return len(self.key) + len(self.value) + 16
+
+
+@dataclass
+class GetResult:
+    """Outcome of a point lookup, with the provenance used by experiments.
+
+    Attributes:
+        value: the found value, or None when the key is absent/deleted.
+        found: whether a live value was found.
+        runs_probed: sorted runs whose filter/fence pointers were consulted.
+        blocks_read: data blocks fetched from storage (cache misses included).
+        filter_negatives: probes skipped thanks to a negative filter answer.
+        false_positives: filter said maybe but the run did not hold the key.
+    """
+
+    value: Optional[bytes] = None
+    found: bool = False
+    runs_probed: int = 0
+    blocks_read: int = 0
+    filter_negatives: int = 0
+    false_positives: int = 0
+    source_level: Optional[int] = field(default=None)

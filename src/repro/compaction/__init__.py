@@ -1,0 +1,34 @@
+"""The compaction design space, decomposed into first-order primitives.
+
+Following Sarkar et al. (VLDB 2021) — cited by the tutorial as the compaction
+design space — a compaction policy is the combination of four independent
+primitives:
+
+1. **data layout** (:mod:`~repro.compaction.layout`): how many sorted runs a
+   level may hold — leveling, tiering, lazy leveling, or any hybrid (K, Z);
+2. **trigger** (:mod:`~repro.compaction.trigger`): when to compact — run
+   count, level saturation, or both;
+3. **granularity**: whole level vs. one file at a time (an
+   :class:`~repro.core.config.LSMConfig` switch interpreted by the engine);
+4. **data movement policy** (:mod:`~repro.compaction.picker`): which file a
+   partial compaction picks.
+"""
+
+from repro.compaction.layout import LayoutPolicy
+from repro.compaction.trigger import (
+    CompactionTrigger,
+    CompositeTrigger,
+    RunCountTrigger,
+    SaturationTrigger,
+)
+from repro.compaction.picker import PICKERS, make_picker
+
+__all__ = [
+    "LayoutPolicy",
+    "CompactionTrigger",
+    "RunCountTrigger",
+    "SaturationTrigger",
+    "CompositeTrigger",
+    "PICKERS",
+    "make_picker",
+]

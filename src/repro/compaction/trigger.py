@@ -1,0 +1,90 @@
+"""Compaction triggers: the *when* primitive.
+
+A trigger inspects a level's observable state and decides whether the engine
+should compact it now. The two production staples are provided — run-count
+(tiering-style) and size saturation (leveling/RocksDB-style) — plus a
+composite that fires when any child fires, which is what the default engine
+uses (run bound from the layout policy AND byte capacity from the size ratio).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class LevelState:
+    """What a trigger may look at: one level's aggregate state.
+
+    ``oldest_run_age`` counts flushes since the level's oldest run was
+    written — the staleness clock (the engine has no wall time).
+    """
+
+    level: int
+    num_runs: int
+    size_bytes: int
+    capacity_bytes: int
+    max_runs: int
+    is_last: bool
+    oldest_run_age: int = 0
+
+
+class CompactionTrigger(abc.ABC):
+    """Decides whether a level needs compaction."""
+
+    @abc.abstractmethod
+    def should_compact(self, state: LevelState) -> bool:
+        """True when the level should be compacted now."""
+
+
+class RunCountTrigger(CompactionTrigger):
+    """Fire when a level exceeds its layout-policy run bound."""
+
+    def should_compact(self, state: LevelState) -> bool:
+        return state.num_runs > state.max_runs
+
+
+class SaturationTrigger(CompactionTrigger):
+    """Fire when a level's bytes exceed ``threshold`` of its capacity."""
+
+    def __init__(self, threshold: float = 1.0) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self._threshold = threshold
+
+    def should_compact(self, state: LevelState) -> bool:
+        return state.size_bytes > self._threshold * state.capacity_bytes
+
+
+class StalenessTrigger(CompactionTrigger):
+    """Fire when a level's oldest run has sat for > ``max_age`` flushes.
+
+    The timer/staleness option of Sarkar et al.'s trigger primitive: bounds
+    how long any entry can linger un-merged (and thus how long a delete can
+    take to persist — the Lethe motivation), independent of fill state.
+    Never fires for a single-run last level, where a rewrite would churn the
+    full data set for no structural benefit.
+    """
+
+    def __init__(self, max_age: int) -> None:
+        if max_age < 1:
+            raise ValueError("max_age must be at least 1")
+        self._max_age = max_age
+
+    def should_compact(self, state: LevelState) -> bool:
+        if state.is_last and state.num_runs <= 1:
+            return False
+        return state.oldest_run_age > self._max_age
+
+
+class CompositeTrigger(CompactionTrigger):
+    """Fire when any child trigger fires."""
+
+    def __init__(self, *triggers: CompactionTrigger) -> None:
+        if not triggers:
+            raise ValueError("composite trigger needs at least one child")
+        self._triggers = triggers
+
+    def should_compact(self, state: LevelState) -> bool:
+        return any(trigger.should_compact(state) for trigger in self._triggers)

@@ -1,0 +1,24 @@
+"""The LSM engine: the tutorial's design space behind one configuration object.
+
+:class:`~repro.core.config.LSMConfig` holds every knob the tutorial surveys
+(layout, size ratio, buffer, filters, indexes, cache, compaction primitives,
+key-value separation); :class:`~repro.core.lsm_tree.LSMTree` executes it.
+"""
+
+from repro.core.checkpoint import create_checkpoint, open_checkpoint
+from repro.core.config import LSMConfig
+from repro.core.lsm_tree import LSMTree
+from repro.core.stats import CompactionEvent, LSMStats
+from repro.core.iterator import merge_entries
+from repro.core.version import Version
+
+__all__ = [
+    "LSMConfig",
+    "LSMTree",
+    "LSMStats",
+    "CompactionEvent",
+    "merge_entries",
+    "Version",
+    "create_checkpoint",
+    "open_checkpoint",
+]

@@ -1,0 +1,50 @@
+"""K-way merging of sorted entry streams with newest-wins semantics.
+
+Used by both the scan path (tombstones dropped, one live entry per key) and
+the compaction path (tombstones kept unless compacting into the bottom of the
+tree). Sequence numbers are globally unique, so precedence needs no run-order
+tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Optional
+
+from repro.common.entry import Entry
+
+
+def merge_entries(
+    streams: Iterable[Iterator[Entry]],
+    drop_tombstones: bool = False,
+) -> Iterator[Entry]:
+    """Merge sorted entry streams, yielding the newest entry per key.
+
+    Args:
+        streams: iterators each sorted by key with at most one entry per key.
+        drop_tombstones: suppress tombstones from the output (scan semantics
+            and bottom-level compaction semantics).
+
+    Yields:
+        One entry per distinct key, newest (highest seqno) version.
+    """
+    heap: "list[tuple[bytes, int, int, Entry, Iterator[Entry]]]" = []
+    for idx, stream in enumerate(streams):
+        first = next(stream, None)
+        if first is not None:
+            heap.append((first.key, -first.seqno, idx, first, stream))
+    heapq.heapify(heap)
+
+    current: Optional[Entry] = None
+    while heap:
+        key, _, idx, entry, stream = heapq.heappop(heap)
+        nxt = next(stream, None)
+        if nxt is not None:
+            heapq.heappush(heap, (nxt.key, -nxt.seqno, idx, nxt, stream))
+        if current is not None and key == current.key:
+            continue  # an older version of the key we already emitted
+        if current is not None and not (drop_tombstones and current.is_tombstone):
+            yield current
+        current = entry
+    if current is not None and not (drop_tombstones and current.is_tombstone):
+        yield current

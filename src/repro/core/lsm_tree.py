@@ -1,0 +1,1110 @@
+"""The LSM-tree engine: every tutorial design decision, executed.
+
+One :class:`LSMTree` instance owns a simulated block device, a memtable, a
+block cache, and a hierarchy of storage levels holding sorted runs. All six
+external/internal operations of the tutorial's Module I are implemented —
+put, get, scan, delete, flush, compaction — and the read path exercises every
+Module II optimization the configuration enables (filters, fence pointers or
+learned indexes, block cache, Leaper prefetch, shared hashing, key-value
+separation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.leaper import LeaperPrefetcher
+from repro.common.entry import Entry, EntryKind, GetResult
+from repro.compaction.picker import make_picker
+from repro.compaction.trigger import (
+    CompositeTrigger,
+    LevelState,
+    RunCountTrigger,
+    SaturationTrigger,
+    StalenessTrigger,
+)
+from repro.core.config import LSMConfig
+from repro.core.factories import AuxFactory
+from repro.core.iterator import merge_entries
+from repro.core.manifest import (
+    ManifestData,
+    find_manifest,
+    read_manifest,
+    write_manifest,
+)
+from repro.core.stats import CompactionEvent, LSMStats
+from repro.core.version import Version
+from repro.errors import ClosedError, ConfigError, StorageError
+from repro.filters.elastic import ElasticBloomFilter, ElasticFilterManager
+from repro.filters.hashing import hash64
+from repro.memtable import make_memtable
+from repro.storage.block_device import BlockDevice
+from repro.storage.run import Run
+from repro.storage.sstable import (
+    ProbeStats,
+    SSTable,
+    SSTableBuilder,
+    parse_block,
+    rebuild_sstable,
+)
+from repro.storage.value_log import ValueLog, ValuePointer
+from repro.storage.wal import WriteAheadLog
+
+_INLINE_TAG = b"i"
+_POINTER_TAG = b"p"
+
+
+class LSMTree:
+    """A log-structured merge tree over a simulated block device.
+
+    Args:
+        config: the full design-space configuration.
+        device: bring your own device (e.g. to share one across trees);
+            defaults to a fresh device with the configured block size.
+    """
+
+    def __init__(self, config: LSMConfig, device: Optional[BlockDevice] = None) -> None:
+        config.validate()
+        self.config = config
+        self.device = device or BlockDevice(block_size=config.block_size)
+        self.stats = LSMStats()
+        self.cache = BlockCache(config.cache_bytes, policy=config.cache_policy)
+        self._memtable = make_memtable(config.memtable)
+        self._levels: List[List[Run]] = []
+        self._layout = config.layout_policy()
+        triggers = [RunCountTrigger(), SaturationTrigger(config.saturation_threshold)]
+        if config.staleness_flushes is not None:
+            triggers.append(StalenessTrigger(config.staleness_flushes))
+        self._trigger = CompositeTrigger(*triggers)
+        self._picker = make_picker(config.picker)
+        self._factory = AuxFactory(config)
+        self._seqno = 0
+        self._closed = False
+        self._value_log = (
+            ValueLog(self.device, segment_blocks=config.vlog_segment_blocks)
+            if config.kv_separation
+            else None
+        )
+        self._leaper = (
+            LeaperPrefetcher(self.cache, **config.leaper_params)
+            if config.leaper_prefetch
+            else None
+        )
+        self._elastic = (
+            ElasticFilterManager(config.elastic_budget_units)
+            if config.elastic_budget_units is not None
+            else None
+        )
+        self._wal = (
+            WriteAheadLog(self.device, sync_interval=config.wal_sync_interval)
+            if config.wal_enabled
+            else None
+        )
+        self._manifest_file: Optional[int] = None
+        if self._wal is not None:
+            # Publish the WAL's identity immediately: a crash before the
+            # first flush must still find the log to replay.
+            self._persist_structure()
+
+    # ------------------------------------------------------------------ writes
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a key (out-of-place: a new versioned entry)."""
+        self._check_open()
+        self._seqno += 1
+        self.stats.puts += 1
+        self.stats.user_bytes += len(key) + len(value)
+        if self._wal is not None:
+            # Log the raw value (not the kv-separated pointer) so replay can
+            # re-run the encoding path against a fresh value log.
+            self._wal.append(Entry(key=key, seqno=self._seqno, value=value))
+        entry = Entry(
+            key=key, seqno=self._seqno, kind=EntryKind.PUT,
+            value=self._encode_value(key, value),
+        )
+        if len(entry.key) + len(entry.value) + 12 > self.config.block_size:
+            raise ConfigError(
+                f"entry of {len(key) + len(value)} bytes cannot fit one "
+                f"{self.config.block_size}-byte data block; raise block_size "
+                f"or enable kv_separation (the value log spans blocks)"
+            )
+        self._buffer_entry(entry)
+
+    def delete(self, key: bytes) -> None:
+        """Delete a key by buffering a tombstone."""
+        self._check_open()
+        self._seqno += 1
+        self.stats.deletes += 1
+        self.stats.user_bytes += len(key)
+        tombstone = Entry(key=key, seqno=self._seqno, kind=EntryKind.DELETE)
+        if self._wal is not None:
+            self._wal.append(tombstone)
+        self._buffer_entry(tombstone)
+
+    def flush(self) -> None:
+        """Force the memtable to storage as a new youngest run of level 1."""
+        self._check_open()
+        if self._memtable.is_empty():
+            return
+        entries = self._memtable.sorted_entries()
+        if self._value_log is not None:
+            self._value_log.flush()
+        run = self._build_run(iter(entries), level=1)
+        self._memtable.clear()
+        self.stats.flushes += 1
+        sealed_wal = self._wal.roll() if self._wal is not None else None
+        if run is not None:
+            self._arrive(run, level=1)
+            self.stats.record_event(
+                CompactionEvent("flush", 0, 1, 0, run.size_bytes, self.stats.flushes)
+            )
+        if not self.config.lazy_compaction:
+            self._maybe_compact()
+        if self._wal is not None:
+            # The flushed entries are durable in the new run: persist the new
+            # structure, then drop the log that covered them.
+            self._persist_structure()
+            self._wal.delete(sealed_wal)
+
+    # ------------------------------------------------------------------- reads
+
+    def get(self, key: bytes) -> GetResult:
+        """Point lookup, youngest to oldest, stopping at the first match."""
+        self._check_open()
+        self.stats.gets += 1
+        result = GetResult()
+        probe = ProbeStats()
+
+        entry = self._memtable.get(key)
+        digest: Optional[int] = None
+        share = self.config.shared_hashing and self.config.filter_kind != "none"
+        if entry is None:
+            for level_no, runs in enumerate(self._levels, start=1):
+                for run in runs:
+                    result.runs_probed += 1
+                    if share and digest is None and run.min_key <= key <= run.max_key:
+                        # Lazily compute the one digest this lookup shares
+                        # across every run's filter (tutorial §II-B.2).
+                        digest = hash64(key, self.config.seed)
+                        self.stats.get_hash_evaluations += 1
+                    entry = run.get(key, stats=probe, cache=self.cache, digest=digest)
+                    if entry is not None:
+                        result.source_level = level_no
+                        break
+                if entry is not None:
+                    break
+        if not self.config.shared_hashing:
+            # Without sharing, every filter probe computes its own digest.
+            self.stats.get_hash_evaluations += probe.filter_probes
+
+        result.blocks_read = probe.blocks_read
+        result.filter_negatives = probe.filter_negatives
+        result.false_positives = probe.false_positives
+        self.stats.probe.merge(probe)
+
+        if entry is not None and not entry.is_tombstone:
+            result.found = True
+            result.value = self._decode_value(entry.value)
+        return result
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Range scan over a pinned snapshot; yields (key, value) in order.
+
+        Runs whose range filter proves the interval empty are skipped without
+        I/O (tutorial §II-B.3). The snapshot is released when the iterator is
+        exhausted or closed.
+        """
+        self._check_open()
+        self.stats.scans += 1
+        snapshot = self.snapshot()
+        probe = ProbeStats()
+
+        def buffered() -> Iterator[Entry]:
+            for entry in snapshot.memtable_entries:
+                if start is not None and entry.key < start:
+                    continue
+                if end is not None and entry.key > end:
+                    return
+                yield entry
+
+        def generator() -> Iterator[Tuple[bytes, bytes]]:
+            try:
+                streams = [buffered()]
+                for run in snapshot.runs:
+                    if start is not None and end is not None:
+                        if not run.overlaps(start, end):
+                            continue
+                        if not run.may_contain_range(start, end):
+                            continue  # range filter saved the whole seek
+                    streams.append(
+                        run.iter_entries(start=start, end=end, cache=self.cache, stats=probe)
+                    )
+                for entry in merge_entries(streams, drop_tombstones=True):
+                    self.stats.scan_entries += 1
+                    yield entry.key, self._decode_value(entry.value)
+            finally:
+                self.stats.probe.merge(probe)
+                snapshot.close()
+
+        return generator()
+
+    def multi_get(self, keys) -> "dict[bytes, GetResult]":
+        """Batched point lookups (RocksDB's MultiGet).
+
+        Probes in sorted key order so consecutive keys hit the same cached
+        blocks and the device sees sequential access where possible.
+        """
+        self._check_open()
+        return {key: self.get(key) for key in sorted(set(keys))}
+
+    def delete_range(self, start: bytes, end: bytes) -> int:
+        """Delete every live key in the closed range [start, end].
+
+        Implemented as a snapshot scan issuing point tombstones — the naive
+        strategy, O(matching keys); real range tombstones (a single marker
+        reconciled at read/merge time) are future work noted in DESIGN.md.
+
+        Returns:
+            The number of tombstones written.
+        """
+        self._check_open()
+        if start > end:
+            raise ValueError("empty range: start > end")
+        victims = [key for key, _ in self.scan(start, end)]
+        for key in victims:
+            self.delete(key)
+        return len(victims)
+
+    def approximate_size(self, start: bytes, end: bytes) -> int:
+        """Estimate on-device bytes holding keys in [start, end]
+        (RocksDB's GetApproximateSizes) using fence metadata only — no I/O.
+        """
+        self._check_open()
+        if start > end:
+            raise ValueError("empty range: start > end")
+        total = 0
+        for runs in self._levels:
+            for run in runs:
+                for table in run.tables:
+                    if not table.overlaps(start, end):
+                        continue
+                    blocks = sum(
+                        1
+                        for block_no in range(table.num_data_blocks)
+                        if not (
+                            table._block_last_keys[block_no] < start
+                            or table._block_first_keys[block_no] > end
+                        )
+                    )
+                    if table.num_data_blocks:
+                        total += table.size_bytes * blocks // table.num_data_blocks
+        return total
+
+    def ingest_external(self, pairs) -> int:
+        """Bulk-load sorted (key, value) pairs as pre-built run files
+        (RocksDB's IngestExternalFile; the bulk-loading path of [94]).
+
+        Bypasses the memtable and the compaction cascade: files are written
+        once and placed at the deepest level where no existing data overlaps
+        their key range, so write amplification for a bulk load is ~1.
+        The memtable is flushed first so the newest-data-on-top invariant
+        holds regardless of overlap.
+
+        Args:
+            pairs: (key, value) tuples in strictly increasing key order.
+
+        Returns:
+            The number of entries ingested.
+        """
+        self._check_open()
+        pairs = list(pairs)
+        if not pairs:
+            return 0
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise ValueError("ingest requires strictly increasing keys")
+        self.flush()
+
+        entries = []
+        for key, value in pairs:
+            self._seqno += 1
+            self.stats.puts += 1
+            self.stats.user_bytes += len(key) + len(value)
+            if self._wal is not None:
+                self._wal.append(Entry(key=key, seqno=self._seqno, value=value))
+            entries.append(
+                Entry(key=key, seqno=self._seqno, kind=EntryKind.PUT,
+                      value=self._encode_value(key, value))
+            )
+        lo, hi = entries[0].key, entries[-1].key
+
+        # Deepest level t with no overlap at any level <= t (reads check
+        # shallow levels first, so older overlapping data may only sit BELOW).
+        target = 1
+        for idx in range(len(self._levels)):
+            level = idx + 1
+            overlap = any(run.overlaps(lo, hi) for run in self._levels[idx])
+            if overlap:
+                break
+            target = level + 1
+        run = self._build_run(iter(entries), target)
+        if run is not None:
+            self._arrive(run, target)
+            self.stats.bulk_ingested += len(entries)
+            self.stats.record_event(
+                CompactionEvent("ingest", 0, target, 0, run.size_bytes, self.stats.flushes)
+            )
+        if not self.config.lazy_compaction:
+            self._maybe_compact()
+        if self._wal is not None:
+            self._wal.sync()
+            self._persist_structure()
+        return len(entries)
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """All live entries whose key starts with ``prefix``, in key order.
+
+        Sugar over :meth:`scan` with the tight covering range
+        ``[prefix, prefix·0xFF...]`` — the access pattern RocksDB's prefix
+        seek serves, and the one a configured prefix Bloom filter
+        (``range_filter='prefix_bloom'``) can prune runs for.
+        """
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        upper = _prefix_successor(prefix)
+        for key, value in self.scan(prefix, upper):
+            if upper is not None and key == upper:
+                return  # the successor itself is outside the prefix
+            if upper is None and not key.startswith(prefix):
+                return  # all-0xFF prefix: no finite upper bound exists
+            yield key, value
+
+    def snapshot(self) -> Version:
+        """Pin the current file set (the tutorial's scan 'version')."""
+        self._check_open()
+        runs = [run for level_runs in self._levels for run in level_runs]
+        for run in runs:
+            self._pin(run)
+        return Version(list(self._memtable.scan()), runs, release=self._unpin)
+
+    # -------------------------------------------------------------- maintenance
+
+    def compact_all(self) -> None:
+        """Flush, then run compactions until no trigger fires (test helper)."""
+        self.flush()
+        self._maybe_compact()
+
+    def verify_integrity(self) -> dict:
+        """Scrub every live run file: checksums, sort order, fence agreement.
+
+        Returns a report dict with ``files_checked``, ``blocks_checked``,
+        and ``errors`` (a list of human-readable findings; empty = healthy).
+        Reads bypass the cache so the device contents are what is verified.
+        """
+        self._check_open()
+        report = {"files_checked": 0, "blocks_checked": 0, "errors": []}
+        for level_no, runs in enumerate(self._levels, start=1):
+            for run in runs:
+                previous_max: Optional[bytes] = None
+                for table in run.tables:
+                    report["files_checked"] += 1
+                    if previous_max is not None and table.min_key <= previous_max:
+                        report["errors"].append(
+                            f"L{level_no} file {table.file_id}: overlaps previous file"
+                        )
+                    previous_max = table.max_key
+                    last_key: Optional[bytes] = None
+                    for block_no in range(table.num_data_blocks):
+                        report["blocks_checked"] += 1
+                        try:
+                            payload = self.device.read_block(table.file_id, block_no)
+                            entries = parse_block(payload)
+                        except (StorageError, ValueError) as exc:
+                            report["errors"].append(
+                                f"L{level_no} file {table.file_id} block {block_no}: {exc}"
+                            )
+                            continue
+                        for entry in entries:
+                            if last_key is not None and entry.key <= last_key:
+                                report["errors"].append(
+                                    f"L{level_no} file {table.file_id} block "
+                                    f"{block_no}: keys out of order"
+                                )
+                                break
+                            last_key = entry.key
+                        if entries and (
+                            entries[0].key != table._block_first_keys[block_no]
+                            or entries[-1].key != table._block_last_keys[block_no]
+                        ):
+                            report["errors"].append(
+                                f"L{level_no} file {table.file_id} block "
+                                f"{block_no}: fence keys disagree with contents"
+                            )
+        return report
+
+    def collect_value_garbage(self) -> int:
+        """WiscKey-style value-log GC; returns the number of relocated values.
+
+        Live values are detected by looking their keys up in the tree and
+        comparing pointers; relocated pointers are re-installed via fresh puts
+        of the new pointer (the standard WiscKey approach).
+        """
+        self._check_open()
+        if self._value_log is None:
+            return 0
+
+        def is_live(key: bytes, pointer: ValuePointer) -> bool:
+            entry = self._find_entry(key)
+            if entry is None or entry.is_tombstone:
+                return False
+            value = entry.value
+            return value[:1] == _POINTER_TAG and ValuePointer.decode(value[1:]) == pointer
+
+        relocations = self._value_log.collect_garbage(is_live)
+        # Re-install the moved pointers via fresh puts (WiscKey's approach).
+        for new_pointer in relocations.values():
+            key = self._key_of_pointer(new_pointer)
+            if key is None:
+                continue
+            self._seqno += 1
+            if self._wal is not None:
+                # Log the raw value: the old log segment is gone, so a crash
+                # before the next flush must be able to replay the move.
+                self._wal.append(
+                    Entry(key=key, seqno=self._seqno, value=self._value_log.get(new_pointer))
+                )
+            self._buffer_entry(
+                Entry(
+                    key=key,
+                    seqno=self._seqno,
+                    kind=EntryKind.PUT,
+                    value=_POINTER_TAG + new_pointer.encode(),
+                )
+            )
+        if self._wal is not None:
+            self._wal.sync()
+            self._persist_structure()
+        return len(relocations)
+
+    def close(self) -> None:
+        """Mark the tree closed; subsequent operations raise ClosedError."""
+        self._closed = True
+
+    # ------------------------------------------------------------ durability
+
+    @classmethod
+    def recover(cls, config: LSMConfig, device: BlockDevice) -> "LSMTree":
+        """Rebuild a tree from a device after a crash (requires wal_enabled).
+
+        Reads the newest manifest, reconstructs every run's in-memory
+        auxiliary structures from its data blocks, replays the surviving WAL
+        records into the memtable (re-logging them to a fresh WAL), removes
+        orphaned files, and persists a fresh manifest.
+        """
+        if not config.wal_enabled:
+            raise ClosedError("recovery requires a config with wal_enabled=True")
+        manifest_id = find_manifest(device)
+        tree = cls(config, device=device)
+        if manifest_id is None:
+            tree._persist_structure()
+            return tree
+        data = read_manifest(device, manifest_id)
+        tree._manifest_file = manifest_id
+        tree._seqno = data.seqno
+
+        range_factory = tree._factory.range_filter_factory()
+        index_factory = tree._factory.index_factory()
+        for level_no, runs in enumerate(data.levels, start=1):
+            filter_factory = tree._factory.filter_factory(level_no)
+            for file_ids in reversed(runs):  # oldest first; _arrive prepends
+                tables = [
+                    rebuild_sstable(
+                        device,
+                        file_id,
+                        index_factory=index_factory,
+                        filter_factory=filter_factory,
+                        range_filter_factory=range_factory,
+                        hash_index=config.hash_index_blocks,
+                    )
+                    for file_id in file_ids
+                ]
+                for table in tables:
+                    tree._register_table(table)
+                tree._arrive(Run(tables), level_no)
+
+        if tree._value_log is not None:
+            for file_id in data.vlog_files:
+                if device.file_exists(file_id):
+                    tree._value_log._live_bytes.setdefault(file_id, 0)
+
+        if data.wal_file is not None and device.file_exists(data.wal_file):
+            for entry in tree._wal.replay(data.wal_file):
+                tree._replay_entry(entry)
+            tree._wal.delete(data.wal_file)
+            tree._wal.sync()
+
+        tree._remove_orphans()
+        tree._persist_structure()
+        return tree
+
+    def _replay_entry(self, entry: Entry) -> None:
+        """Re-apply one WAL record, preserving its original sequence number."""
+        self._seqno = max(self._seqno, entry.seqno)
+        assert self._wal is not None
+        self._wal.append(entry)
+        if entry.is_tombstone:
+            self._buffer_entry(entry)
+        else:
+            self._buffer_entry(
+                Entry(
+                    key=entry.key,
+                    seqno=entry.seqno,
+                    kind=EntryKind.PUT,
+                    value=self._encode_value(entry.key, entry.value),
+                )
+            )
+
+    def _collect_manifest(self) -> ManifestData:
+        vlog_files: List[int] = []
+        if self._value_log is not None:
+            vlog_files = sorted(
+                fid for fid in self._value_log._live_bytes if self.device.file_exists(fid)
+            )
+        return ManifestData(
+            seqno=self._seqno,
+            wal_file=self._wal.current_file if self._wal is not None else None,
+            vlog_files=vlog_files,
+            levels=[
+                [[table.file_id for table in run.tables] for run in runs]
+                for runs in self._levels
+            ],
+        )
+
+    def _persist_structure(self) -> None:
+        """Rewrite the manifest to reflect the current file structure."""
+        if self._wal is None:
+            return
+        self._manifest_file = write_manifest(
+            self.device, self._collect_manifest(), self._manifest_file
+        )
+
+    def _remove_orphans(self) -> None:
+        """Delete device files referenced by nothing (post-recovery hygiene)."""
+        data = self._collect_manifest()
+        referenced = data.referenced_files()
+        if self._manifest_file is not None:
+            referenced.add(self._manifest_file)
+        if self._value_log is not None:
+            referenced.add(self._value_log.current_file)
+        if self._wal is not None:
+            referenced.add(self._wal.current_file)
+        for file_id in list(self.device.live_files):
+            if file_id not in referenced:
+                self.device.delete_file(file_id)
+
+    # ------------------------------------------------------------- introspection
+
+    @property
+    def num_levels(self) -> int:
+        """Allocated storage levels (level 0, the memtable, not counted)."""
+        return len(self._levels)
+
+    @property
+    def total_runs(self) -> int:
+        return sum(len(runs) for runs in self._levels)
+
+    def level_summary(self) -> List[dict]:
+        """Per-level shape: run/file counts, bytes, capacity (for examples)."""
+        summary = []
+        for idx, runs in enumerate(self._levels):
+            level = idx + 1
+            summary.append(
+                {
+                    "level": level,
+                    "runs": len(runs),
+                    "files": sum(len(run.tables) for run in runs),
+                    "bytes": sum(run.size_bytes for run in runs),
+                    "capacity": self.config.level_capacity(level),
+                    "entries": sum(run.entry_count for run in runs),
+                }
+            )
+        return summary
+
+    @property
+    def write_amplification(self) -> float:
+        """Device bytes written per user byte ingested."""
+        return self.device.stats.bytes_written / max(1, self.stats.user_bytes)
+
+    @property
+    def space_amplification(self) -> float:
+        """Device bytes used per logical live byte (scans the tree: O(n))."""
+        logical = 0
+        for key, value in self.scan():
+            logical += len(key) + len(value)
+        if logical == 0:
+            return 0.0
+        return self.device.used_bytes / logical
+
+    @property
+    def memory_footprint(self) -> int:
+        """Bytes of in-memory structures: buffer + filters/indexes + cache."""
+        aux = sum(run.memory_bytes for runs in self._levels for run in runs)
+        return self._memtable.size_bytes + aux + self.cache.used_bytes
+
+    @property
+    def memtable_entries(self) -> int:
+        return len(self._memtable)
+
+    # ---------------------------------------------------------------- internals
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("operation on a closed LSMTree")
+
+    def _buffer_entry(self, entry: Entry) -> None:
+        self._memtable.put(entry)
+        if self._memtable.size_bytes >= self.config.buffer_bytes:
+            self.flush()
+        if self.config.lazy_compaction:
+            self._paced_compaction()
+
+    def _paced_compaction(self) -> None:
+        """Bounded compaction work per write, plus debt-based throttling."""
+        for _ in range(self.config.compaction_steps_per_op):
+            if not self._compaction_step():
+                break
+        self._trim_empty_tail()
+        threshold = self.config.slowdown_debt
+        if threshold is not None and self.compaction_debt() > threshold:
+            # Admission throttling: delay this write to let compactions
+            # catch up (Luo & Carey; CruiseDB), modeled as a time charge.
+            self.device.stats.simulated_time += self.config.stall_penalty
+            self.stats.write_stalls += 1
+            self.stats.stall_time += self.config.stall_penalty
+
+    # -- value encoding (key-value separation) --
+
+    def _encode_value(self, key: bytes, value: bytes) -> bytes:
+        if self._value_log is None:
+            return value
+        if len(value) >= self.config.value_threshold:
+            pointer = self._value_log.append(key, value)
+            return _POINTER_TAG + pointer.encode()
+        return _INLINE_TAG + value
+
+    def _decode_value(self, stored: bytes) -> bytes:
+        if self._value_log is None:
+            return stored
+        tag, payload = stored[:1], stored[1:]
+        if tag == _INLINE_TAG:
+            return payload
+        if tag == _POINTER_TAG:
+            self.stats.value_log_fetches += 1
+            return self._value_log.get(ValuePointer.decode(payload), cache=self.cache)
+        raise ValueError(f"corrupt value tag {tag!r}")
+
+    def _find_entry(self, key: bytes) -> Optional[Entry]:
+        """Raw entry lookup (no value resolution, no stats)."""
+        entry = self._memtable.get(key)
+        if entry is not None:
+            return entry
+        for runs in self._levels:
+            for run in runs:
+                entry = run.get(key, cache=self.cache)
+                if entry is not None:
+                    return entry
+        return None
+
+    def _key_of_pointer(self, pointer: ValuePointer) -> Optional[bytes]:
+        """Find which key owns a (just-relocated) value-log record."""
+        assert self._value_log is not None
+        if pointer.file_id == self._value_log.current_file and pointer.span == 1:
+            pending = self._value_log._pending
+            blocks = self._value_log._device.num_blocks(pointer.file_id)
+            if pointer.block_no == blocks and pointer.slot < len(pending):
+                return pending[pointer.slot].key
+        payload = self.device.read_payload(pointer.file_id, pointer.block_no, pointer.span)
+        records = parse_block(payload)
+        return records[pointer.slot].key if pointer.slot < len(records) else None
+
+    # -- run construction --
+
+    def _build_tables(self, entries: Iterator[Entry], level: int) -> List[SSTable]:
+        """Write sorted unique-key entries into one or more files."""
+        filter_factory = self._factory.filter_factory(level)
+        range_factory = self._factory.range_filter_factory()
+        index_factory = self._factory.index_factory()
+        tables: List[SSTable] = []
+        builder: Optional[SSTableBuilder] = None
+        written = 0
+        limit = self.config.file_bytes
+        for entry in entries:
+            if builder is None:
+                builder = SSTableBuilder(
+                    self.device,
+                    block_size=self.config.block_size,
+                    index_factory=index_factory,
+                    filter_factory=filter_factory,
+                    range_filter_factory=range_factory,
+                    hash_index=self.config.hash_index_blocks,
+                )
+                written = 0
+            builder.add(entry)
+            written += entry.approximate_size
+            if limit is not None and written >= limit:
+                tables.append(builder.finish())
+                builder = None
+        if builder is not None:
+            tables.append(builder.finish())
+        for table in tables:
+            self._register_table(table)
+        return tables
+
+    def _build_run(self, entries: Iterator[Entry], level: int) -> Optional[Run]:
+        tables = self._build_tables(entries, level)
+        if not tables:
+            return None
+        return Run(tables)
+
+    def _register_table(self, table: SSTable) -> None:
+        table.born_at = self.stats.flushes  # staleness clock, in flush ticks
+        if self._elastic is not None and isinstance(table.point_filter, ElasticBloomFilter):
+            self._elastic.register(table.point_filter)
+
+    # -- pinning / retirement --
+
+    def _pin(self, run: Run) -> None:
+        for table in run.tables:
+            table.refs += 1
+
+    def _unpin(self, run: Run) -> None:
+        for table in run.tables:
+            self._drop_pin(table)
+
+    # -- level structure --
+
+    def _arrive(self, run: Run, level: int) -> None:
+        """A run arrives at a level as its youngest member."""
+        while len(self._levels) < level:
+            self._levels.append([])
+        self._pin(run)
+        self._levels[level - 1].insert(0, run)
+
+    def _deepest_data_level(self) -> int:
+        """Deepest level currently holding any run (0 when storage is empty)."""
+        deepest = 0
+        for idx, runs in enumerate(self._levels):
+            if runs:
+                deepest = idx + 1
+        return deepest
+
+    def _level_state(self, level: int) -> LevelState:
+        runs = self._levels[level - 1]
+        is_last = level >= self._deepest_data_level()
+        oldest_age = 0
+        if runs:
+            oldest_age = self.stats.flushes - min(
+                table.born_at for run in runs for table in run.tables
+            )
+        return LevelState(
+            level=level,
+            num_runs=len(runs),
+            size_bytes=sum(run.size_bytes for run in runs),
+            capacity_bytes=self.config.level_capacity(level),
+            max_runs=self._layout.max_runs(level, is_last),
+            is_last=is_last,
+            oldest_run_age=oldest_age,
+        )
+
+    # -- compaction --
+
+    def _maybe_compact(self) -> None:
+        """Run compaction steps until no trigger fires (eager mode)."""
+        while self._compaction_step():
+            pass
+        self._trim_empty_tail()
+
+    def _compaction_step(self) -> bool:
+        """Perform at most one compaction; True when work was done.
+
+        This is the unit the lazy-compaction pacer schedules: one full-level
+        merge, or one file move under partial granularity.
+        """
+        for idx in range(len(self._levels)):
+            level = idx + 1
+            if not self._levels[idx]:
+                continue
+            state = self._level_state(level)
+            if self._trigger.should_compact(state):
+                if self.config.partial_compaction and len(self._levels[idx]) == 1:
+                    # When the level is not oversized the trigger must have
+                    # been staleness: move the oldest file, not the picker's.
+                    saturated = state.size_bytes >= state.capacity_bytes
+                    self._compact_partial(level, prefer_oldest=not saturated)
+                else:
+                    self._compact_full(level, state)
+                return True
+        return False
+
+    def compaction_debt(self) -> float:
+        """How far the tree is past its shape bounds (0 = within bounds).
+
+        Sums each level's byte overflow (as a fraction of its capacity) and
+        run-count overflow (as a fraction of its bound) — the gauge the
+        throttling policy watches.
+        """
+        debt = 0.0
+        for idx, runs in enumerate(self._levels):
+            if not runs:
+                continue
+            state = self._level_state(idx + 1)
+            debt += max(0.0, state.size_bytes / state.capacity_bytes - 1.0)
+            debt += max(0.0, (state.num_runs - state.max_runs) / max(1, state.max_runs))
+        return debt
+
+    def _compact_full(self, level: int, state: LevelState) -> None:
+        """Merge a whole level, in place or into the next level."""
+        runs = self._levels[level - 1]
+        saturated = state.size_bytes >= state.capacity_bytes * self.config.saturation_threshold
+        dest = level + 1 if saturated else level
+        if dest == level and len(runs) == 1:
+            # A single-run level can only make progress by moving down
+            # (e.g. a staleness trigger on a leveled level).
+            dest = level + 1
+
+        inputs = list(runs)
+        dest_runs_included: List[Run] = []
+        if dest > level and dest <= len(self._levels):
+            dest_is_leveled = self._layout.max_runs(dest, dest >= self._deepest_data_level()) == 1
+            if dest_is_leveled and self._levels[dest - 1]:
+                dest_runs_included = list(self._levels[dest - 1])
+                inputs = inputs + dest_runs_included
+
+        # Trivial move: one run slides down without touching overlapping data
+        # — unless it carries tombstones into the bottom of the tree, where
+        # nothing would ever rewrite (and thus purge) them: that case takes
+        # the merge path (RocksDB's bottommost-level compaction).
+        if dest > level and len(inputs) == 1:
+            run = inputs[0]
+            must_purge = run.tombstone_count > 0 and self._purge_allowed(dest, inputs)
+            if not must_purge:
+                self._levels[level - 1] = []
+                self._arrive(run, dest)
+                self._unpin(run)  # _arrive re-pinned it; ownership transfer
+                self.stats.trivial_moves += 1
+                self.stats.record_event(
+                    CompactionEvent("trivial_move", level, dest, 0, 0, self.stats.flushes)
+                )
+                return
+
+        purge = self._purge_allowed(dest, inputs)
+        in_bytes = sum(run.size_bytes for run in inputs)
+        merged = self._merge_runs(inputs, dest, purge)
+
+        self._levels[level - 1] = []
+        if dest_runs_included:
+            self._levels[dest - 1] = []
+        if merged is not None:
+            self._arrive(merged, dest)
+        self.stats.compactions += 1
+        self.stats.record_event(
+            CompactionEvent(
+                "full", level, dest, in_bytes,
+                merged.size_bytes if merged is not None else 0, self.stats.flushes,
+            )
+        )
+        self._finish_compaction(inputs, merged.tables if merged is not None else [])
+
+    def _compact_partial(self, level: int, prefer_oldest: bool = False) -> None:
+        """Move one victim file from ``level`` into level+1 (RocksDB-style)."""
+        run = self._levels[level - 1][0]
+        next_runs = self._levels[level] if level < len(self._levels) else []
+        next_run = next_runs[0] if next_runs else None
+
+        if prefer_oldest:
+            victim = min(run.tables, key=lambda table: (table.born_at, table.min_key))
+        else:
+            victim = self._picker.pick(run.tables, next_run.tables if next_run else [])
+        overlapping = (
+            next_run.tables_overlapping(victim.min_key, victim.max_key) if next_run else []
+        )
+
+        bottom_bound = (level + 1) >= self._deepest_data_level()
+        if not overlapping and not (victim.tombstone_count > 0 and bottom_bound):
+            # Trivial move: re-parent the file without rewriting it. A
+            # tombstone-bearing file headed for the bottom is rewritten
+            # instead so its deletes actually persist (Lethe's concern).
+            self._remove_table_from_level(level, run, victim, keep_alive=True)
+            self._add_tables_to_level(level + 1, [victim], drop_temp_pin=True)
+            self.stats.trivial_moves += 1
+            self.stats.record_event(
+                CompactionEvent("trivial_move", level, level + 1, 0, 0, self.stats.flushes)
+            )
+            return
+
+        # The merge consumes the victim's and overlapping files' entries
+        # eagerly, so the old files may be retired right after.
+        streams = [victim.iter_entries()] + [table.iter_entries() for table in overlapping]
+        purge = (level + 1) >= self._deepest_data_level()
+        in_bytes = victim.size_bytes + sum(t.size_bytes for t in overlapping)
+        in_tombstones = victim.tombstone_count + sum(t.tombstone_count for t in overlapping)
+        new_tables = self._build_tables(
+            self._apply_compaction_filter(merge_entries(streams, drop_tombstones=purge)),
+            level + 1,
+        )
+
+        if self._leaper is not None:
+            # Before invalidation: Leaper reads the old blocks' heat.
+            self._leaper.on_compaction([victim] + list(overlapping), new_tables)
+
+        self._remove_table_from_level(level, run, victim, keep_alive=False)
+        self._replace_tables_in_level(level + 1, overlapping, new_tables)
+
+        self.stats.compactions += 1
+        self.stats.compaction_bytes_in += in_bytes
+        out_bytes = sum(t.size_bytes for t in new_tables)
+        self.stats.compaction_bytes_out += out_bytes
+        out_tombstones = sum(t.tombstone_count for t in new_tables)
+        self.stats.tombstones_purged += max(0, in_tombstones - out_tombstones)
+        self.stats.record_event(
+            CompactionEvent("partial", level, level + 1, in_bytes, out_bytes, self.stats.flushes)
+        )
+        if self._elastic is not None:
+            self._elastic.rebalance()
+
+    def _apply_compaction_filter(self, entries: Iterator[Entry]) -> Iterator[Entry]:
+        """Drop live entries the configured compaction filter rejects."""
+        keep = self.config.compaction_filter
+        if keep is None:
+            return entries
+
+        def filtered() -> Iterator[Entry]:
+            for entry in entries:
+                if not entry.is_tombstone and not keep(entry.key, entry.value):
+                    self.stats.filtered_by_compaction += 1
+                    continue
+                yield entry
+
+        return filtered()
+
+    def _merge_runs(self, inputs: List[Run], dest_level: int, purge: bool) -> Optional[Run]:
+        streams = [run.iter_entries() for run in inputs]
+        self.stats.compaction_bytes_in += sum(run.size_bytes for run in inputs)
+        in_tombstones = sum(run.tombstone_count for run in inputs)
+        merged = self._build_run(
+            self._apply_compaction_filter(merge_entries(streams, drop_tombstones=purge)),
+            dest_level,
+        )
+        if merged is not None:
+            self.stats.compaction_bytes_out += merged.size_bytes
+            self.stats.tombstones_purged += max(0, in_tombstones - merged.tombstone_count)
+        else:
+            self.stats.tombstones_purged += in_tombstones
+        return merged
+
+    def _purge_allowed(self, dest: int, inputs: List[Run]) -> bool:
+        """Tombstones may be dropped iff nothing older lives at or below dest."""
+        input_ids = {id(run) for run in inputs}
+        for idx in range(dest - 1, len(self._levels)):
+            for run in self._levels[idx]:
+                if id(run) not in input_ids:
+                    return False
+        return True
+
+    def _finish_compaction(self, old_runs: List[Run], new_tables: List[SSTable]) -> None:
+        old_tables = [table for run in old_runs for table in run.tables]
+        if self._leaper is not None:
+            self._leaper.on_compaction(old_tables, new_tables)
+        for run in old_runs:
+            self._unpin(run)
+        if self._elastic is not None:
+            self._elastic.rebalance()
+
+    # -- partial-compaction table surgery --
+    #
+    # Pin accounting: a table's refs equal the number of live-tree runs plus
+    # open snapshots holding it. Replacing a run swaps pins table-by-table:
+    # pin the new run first, then unpin the old one, so surviving tables never
+    # dip to zero mid-surgery. A victim that must outlive its old run (the
+    # trivial-move path) carries a temporary keep-alive pin across the swap.
+
+    def _remove_table_from_level(
+        self, level: int, run: Run, victim: SSTable, keep_alive: bool
+    ) -> None:
+        remaining = [table for table in run.tables if table is not victim]
+        level_runs = self._levels[level - 1]
+        if keep_alive:
+            victim.refs += 1
+        if remaining:
+            new_run = Run(remaining)
+            self._pin(new_run)
+            level_runs[level_runs.index(run)] = new_run
+        else:
+            level_runs.remove(run)
+        self._unpin(run)
+
+    def _add_tables_to_level(
+        self, level: int, tables: List[SSTable], drop_temp_pin: bool = False
+    ) -> None:
+        while len(self._levels) < level:
+            self._levels.append([])
+        level_runs = self._levels[level - 1]
+        if level_runs:
+            old_run = level_runs[0]
+            new_run = old_run.replace_tables([], tables)
+            self._pin(new_run)
+            level_runs[0] = new_run
+            self._unpin(old_run)
+        else:
+            new_run = Run(sorted(tables, key=lambda t: t.min_key))
+            self._pin(new_run)
+            level_runs.append(new_run)
+        if drop_temp_pin:
+            for table in tables:
+                self._drop_pin(table)
+
+    def _replace_tables_in_level(
+        self, level: int, removed: List[SSTable], added: List[SSTable]
+    ) -> None:
+        while len(self._levels) < level:
+            self._levels.append([])
+        level_runs = self._levels[level - 1]
+        if level_runs:
+            old_run = level_runs[0]
+            new_run = old_run.replace_tables(removed, added)
+            self._pin(new_run)
+            level_runs[0] = new_run
+            self._unpin(old_run)
+        elif added:
+            new_run = Run(sorted(added, key=lambda t: t.min_key))
+            self._pin(new_run)
+            level_runs.append(new_run)
+
+    def _drop_pin(self, table: SSTable) -> None:
+        table.refs -= 1
+        if table.refs <= 0:
+            self.cache.invalidate_file(table.file_id)
+            if self._elastic is not None and isinstance(
+                table.point_filter, ElasticBloomFilter
+            ):
+                self._elastic.unregister(table.point_filter)
+            table.delete()
+
+    def _trim_empty_tail(self) -> None:
+        while self._levels and not self._levels[-1]:
+            self._levels.pop()
+
+
+def _prefix_successor(prefix: bytes) -> Optional[bytes]:
+    """Smallest byte string greater than every key starting with ``prefix``.
+
+    Increments the rightmost non-0xFF byte and truncates; None when the
+    prefix is all 0xFF (no finite successor exists).
+    """
+    for i in range(len(prefix) - 1, -1, -1):
+        if prefix[i] != 0xFF:
+            return prefix[:i] + bytes([prefix[i] + 1])
+    return None

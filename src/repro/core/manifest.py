@@ -1,0 +1,121 @@
+"""Manifest: the persisted description of the tree's file structure.
+
+Like LevelDB/RocksDB's MANIFEST, this records which files make up which run
+at which level, plus the active WAL and value-log files and the last sequence
+number. It is rewritten (as a fresh device file, then the old one deleted)
+after every structure-changing operation, so recovery can rebuild the tree
+from the device alone.
+
+Crash model: the simulation is fail-stop *between client operations* — the
+engine writes the manifest at the end of any operation that changed the file
+structure, so a "crash" (abandoning the LSMTree object) always observes a
+consistent manifest. Mid-compaction crash atomicity (version edits) is out of
+scope and documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import StorageError
+from repro.storage.block_device import BlockDevice
+
+MAGIC = b"MANIFEST1\n"
+
+
+@dataclass
+class ManifestData:
+    """The parsed content of a manifest."""
+
+    seqno: int = 0
+    wal_file: Optional[int] = None
+    vlog_files: List[int] = field(default_factory=list)
+    # levels[i] = list of runs; each run = list of file ids (min-key order).
+    levels: List[List[List[int]]] = field(default_factory=list)
+
+    def referenced_files(self) -> "set[int]":
+        refs = set(self.vlog_files)
+        if self.wal_file is not None:
+            refs.add(self.wal_file)
+        for level in self.levels:
+            for run in level:
+                refs.update(run)
+        return refs
+
+
+def write_manifest(device: BlockDevice, data: ManifestData, previous: Optional[int]) -> int:
+    """Persist ``data`` as a new manifest file; deletes ``previous``.
+
+    Returns:
+        The new manifest's file id.
+    """
+    lines = [MAGIC.decode().strip()]
+    lines.append(f"seqno {data.seqno}")
+    if data.wal_file is not None:
+        lines.append(f"wal {data.wal_file}")
+    if data.vlog_files:
+        lines.append("vlog " + " ".join(str(fid) for fid in data.vlog_files))
+    for level_no, runs in enumerate(data.levels, start=1):
+        lines.append(f"level {level_no}")
+        for run in runs:
+            lines.append("run " + " ".join(str(fid) for fid in run))
+    payload = ("\n".join(lines) + "\n").encode()
+
+    file_id = device.create_file()
+    for offset in range(0, len(payload), device.block_size):
+        device.append_block(file_id, payload[offset : offset + device.block_size])
+    device.seal_file(file_id)
+    if previous is not None and device.file_exists(previous):
+        device.delete_file(previous)
+    return file_id
+
+
+def find_manifest(device: BlockDevice) -> Optional[int]:
+    """Locate the newest manifest file on the device (None when absent)."""
+    newest = None
+    for file_id in device.live_files:
+        if device.num_blocks(file_id) == 0:
+            continue
+        try:
+            head = device.read_block(file_id, 0)
+        except StorageError:
+            continue
+        if head.startswith(MAGIC):
+            newest = file_id  # live_files is sorted ascending
+    return newest
+
+
+def read_manifest(device: BlockDevice, file_id: int) -> ManifestData:
+    """Parse a manifest file.
+
+    Raises:
+        StorageError: if the file is not a valid manifest.
+    """
+    payload = b"".join(
+        device.read_block(file_id, block) for block in range(device.num_blocks(file_id))
+    )
+    if not payload.startswith(MAGIC):
+        raise StorageError(f"file {file_id} is not a manifest")
+    data = ManifestData()
+    current_level: Optional[List[List[int]]] = None
+    for line in payload.decode().splitlines()[1:]:
+        if not line.strip():
+            continue
+        tag, _, rest = line.partition(" ")
+        if tag == "seqno":
+            data.seqno = int(rest)
+        elif tag == "wal":
+            data.wal_file = int(rest)
+        elif tag == "vlog":
+            data.vlog_files = [int(part) for part in rest.split()]
+        elif tag == "level":
+            current_level = []
+            data.levels.append(current_level)
+        elif tag == "run":
+            if current_level is None:
+                raise StorageError("manifest run before level")
+            current_level.append([int(part) for part in rest.split()])
+        else:
+            raise StorageError(f"unknown manifest tag {tag!r}")
+    return data

@@ -1,0 +1,106 @@
+"""Engine-level statistics: the quantities every experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.storage.sstable import ProbeStats
+
+_HISTORY_CAP = 1024
+
+
+@dataclass
+class CompactionEvent:
+    """One internal re-organization, for Compactionary-style introspection.
+
+    Attributes:
+        kind: 'flush', 'full', 'partial', or 'trivial_move'.
+        level: source level (0 for flushes).
+        dest: destination level.
+        bytes_in: logical bytes read by the merge (0 for trivial moves).
+        bytes_out: logical bytes written (0 for trivial moves).
+        tick: the flush counter when the event happened.
+    """
+
+    kind: str
+    level: int
+    dest: int
+    bytes_in: int
+    bytes_out: int
+    tick: int
+
+
+@dataclass
+class LSMStats:
+    """Monotone counters maintained by :class:`~repro.core.lsm_tree.LSMTree`.
+
+    Amplification factors are derived by the tree (they also need device and
+    logical-size information): see ``LSMTree.write_amplification`` etc.
+    """
+
+    puts: int = 0
+    deletes: int = 0
+    gets: int = 0
+    scans: int = 0
+    scan_entries: int = 0
+    user_bytes: int = 0  # key+value bytes the application ingested
+    flushes: int = 0
+    compactions: int = 0
+    trivial_moves: int = 0
+    compaction_bytes_in: int = 0  # logical bytes entering merges
+    compaction_bytes_out: int = 0  # logical bytes written by merges
+    tombstones_purged: int = 0
+    value_log_fetches: int = 0
+    write_stalls: int = 0  # throttled writes (admission control engaged)
+    stall_time: float = 0.0  # simulated time spent stalled
+    filtered_by_compaction: int = 0  # entries dropped by the compaction filter
+    bulk_ingested: int = 0  # entries loaded via ingest_external
+    probe: ProbeStats = field(default_factory=ProbeStats)
+    get_hash_evaluations: int = 0  # digests computed on the get path
+    history: List[CompactionEvent] = field(default_factory=list)
+
+    def record_event(self, event: CompactionEvent) -> None:
+        """Append to the bounded re-organization history."""
+        self.history.append(event)
+        if len(self.history) > _HISTORY_CAP:
+            del self.history[: -_HISTORY_CAP]
+
+    @property
+    def filter_fpr_observed(self) -> float:
+        """Observed false-positive rate: FP / (FP + TN) over all filter probes."""
+        absent_probes = self.probe.false_positives + self.probe.filter_negatives
+        if absent_probes <= 0:
+            return 0.0
+        return self.probe.false_positives / absent_probes
+
+    @property
+    def blocks_per_get(self) -> float:
+        """Average data blocks touched per point lookup."""
+        return self.probe.blocks_read / self.gets if self.gets else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat metrics snapshot (for dashboards and experiment logs)."""
+        return {
+            "puts": self.puts,
+            "deletes": self.deletes,
+            "gets": self.gets,
+            "scans": self.scans,
+            "scan_entries": self.scan_entries,
+            "user_bytes": self.user_bytes,
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+            "trivial_moves": self.trivial_moves,
+            "compaction_bytes_in": self.compaction_bytes_in,
+            "compaction_bytes_out": self.compaction_bytes_out,
+            "tombstones_purged": self.tombstones_purged,
+            "value_log_fetches": self.value_log_fetches,
+            "write_stalls": self.write_stalls,
+            "stall_time": self.stall_time,
+            "filter_probes": self.probe.filter_probes,
+            "filter_negatives": self.probe.filter_negatives,
+            "false_positives": self.probe.false_positives,
+            "filter_fpr_observed": self.filter_fpr_observed,
+            "blocks_per_get": self.blocks_per_get,
+            "get_hash_evaluations": self.get_hash_evaluations,
+        }

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro LSM engine.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class. Sub-hierarchies separate configuration mistakes
+(caller bugs) from runtime storage conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value or an inconsistent combination of knobs."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-substrate failures."""
+
+
+class BlockNotFoundError(StorageError):
+    """A block read referenced a (file, block) pair that was never written."""
+
+    def __init__(self, file_id: int, block_no: int) -> None:
+        super().__init__(f"block {block_no} of file {file_id} does not exist")
+        self.file_id = file_id
+        self.block_no = block_no
+
+
+class FileNotFoundStorageError(StorageError):
+    """A file-level operation referenced an unknown or deleted file id."""
+
+    def __init__(self, file_id: int) -> None:
+        super().__init__(f"file {file_id} does not exist")
+        self.file_id = file_id
+
+
+class ImmutableWriteError(StorageError):
+    """An attempt to rewrite a block of a sealed (immutable) file."""
+
+
+class CorruptionError(StorageError):
+    """A block failed its checksum or structural validation."""
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"corruption detected: {detail}")
+
+
+class FilterError(ReproError):
+    """Base class for filter construction/probe errors."""
+
+
+class FilterFullError(FilterError):
+    """A bounded-capacity filter (e.g. cuckoo) could not admit another key."""
+
+
+class IndexError_(ReproError):
+    """Base class for index construction errors (named to avoid builtins clash)."""
+
+
+class CompactionError(ReproError):
+    """A compaction plan was invalid or could not be executed."""
+
+
+class TuningError(ReproError):
+    """A tuning/optimization routine received an infeasible problem."""
+
+
+class ClosedError(ReproError):
+    """An operation was attempted on a closed LSM tree."""
+
+
+class SnapshotError(ReproError):
+    """A scan referenced a snapshot that has been released."""

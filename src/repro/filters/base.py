@@ -1,0 +1,83 @@
+"""Filter contracts and shared instrumentation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class FilterStats:
+    """Counters every filter maintains, read by experiment E10.
+
+    Attributes:
+        probes: membership queries answered.
+        negatives: probes answered "definitely absent".
+        hash_evaluations: base hash digests computed (shared hashing lowers
+            this without changing probe counts).
+        cache_line_touches: modeled 64-byte line accesses per probe — the
+            quantity blocked Bloom filters minimize.
+    """
+
+    probes: int = 0
+    negatives: int = 0
+    hash_evaluations: int = 0
+    cache_line_touches: int = 0
+
+
+class PointFilter(abc.ABC):
+    """Approximate set membership over the keys of one run.
+
+    Implementations are built once from the full key list (runs are immutable)
+    and must never return a false negative.
+    """
+
+    def __init__(self) -> None:
+        self.stats = FilterStats()
+
+    @abc.abstractmethod
+    def may_contain(self, key: bytes) -> bool:
+        """True when the key may be present; False means definitely absent."""
+
+    @property
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Memory footprint of the filter payload."""
+
+    @property
+    def bits_per_key(self) -> float:
+        """Achieved space usage; 0 for an empty filter."""
+        return 8.0 * self.size_bytes / max(1, self.key_count)
+
+    @property
+    @abc.abstractmethod
+    def key_count(self) -> int:
+        """Number of keys inserted at construction."""
+
+
+class RangeFilter(abc.ABC):
+    """Approximate *range emptiness*: may any key fall inside [lo, hi]?
+
+    Must never report an occupied range as empty (no false negatives).
+    """
+
+    def __init__(self) -> None:
+        self.stats = FilterStats()
+
+    @abc.abstractmethod
+    def may_intersect(self, lo: bytes, hi: bytes) -> bool:
+        """True when some stored key may lie in the closed range [lo, hi]."""
+
+    def may_contain(self, key: bytes) -> bool:
+        """Point probe, the degenerate range [key, key]."""
+        return self.may_intersect(key, key)
+
+    @property
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Memory footprint of the filter payload."""
+
+    @property
+    @abc.abstractmethod
+    def key_count(self) -> int:
+        """Number of keys inserted at construction."""

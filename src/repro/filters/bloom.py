@@ -1,0 +1,160 @@
+"""The standard Bloom filter, the workhorse point filter of LSM engines.
+
+Bit positions come from Kirsch-Mitzenmacher double hashing (one 64-bit digest
+per probe), with the number of hash functions k chosen as ``ln 2 * bits/key``
+rounded to the nearest positive integer — the FPR-optimal choice the tutorial
+and Monkey assume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.filters.base import PointFilter
+from repro.filters.hashing import hash_pair, hash64
+
+
+def optimal_num_hashes(bits_per_key: float) -> int:
+    """FPR-minimizing hash count for a given space budget."""
+    return max(1, round(bits_per_key * math.log(2)))
+
+
+def theoretical_fpr(bits_per_key: float, num_hashes: Optional[int] = None) -> float:
+    """Asymptotic false-positive rate e^{-k ln(2)} at the optimal k.
+
+    With the optimal k this collapses to ``0.6185 ** bits_per_key``, the
+    formula the Monkey cost model relies on.
+    """
+    if bits_per_key <= 0:
+        return 1.0
+    k = num_hashes if num_hashes is not None else optimal_num_hashes(bits_per_key)
+    return (1.0 - math.exp(-k / bits_per_key)) ** k
+
+
+class _BitArray:
+    """A plain bit array over a bytearray."""
+
+    __slots__ = ("data", "nbits")
+
+    def __init__(self, nbits: int) -> None:
+        self.nbits = max(8, nbits)
+        self.data = bytearray((self.nbits + 7) // 8)
+
+    def set(self, pos: int) -> None:
+        self.data[pos >> 3] |= 1 << (pos & 7)
+
+    def test(self, pos: int) -> bool:
+        return bool(self.data[pos >> 3] & (1 << (pos & 7)))
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+
+class BloomFilter(PointFilter):
+    """Standard Bloom filter over a run's key set.
+
+    Args:
+        keys: the run's keys (an iterable; consumed once).
+        bits_per_key: space budget; 0 builds a degenerate always-maybe filter
+            (useful to represent "no filter at this level" in Monkey sweeps).
+        num_hashes: override k; defaults to the optimal ``bits_per_key * ln2``.
+        seed: hash seed (vary per run to decorrelate false positives).
+        hash_counter: optional shared counter for E10's shared-hashing study.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[bytes],
+        bits_per_key: float = 10.0,
+        num_hashes: Optional[int] = None,
+        seed: int = 0,
+        hash_counter=None,
+    ) -> None:
+        super().__init__()
+        if bits_per_key < 0:
+            raise ValueError("bits_per_key must be non-negative")
+        keys = list(keys)
+        self._n = len(keys)
+        self._seed = seed
+        self._hash_counter = hash_counter
+        self._bits_per_key = bits_per_key
+        if bits_per_key == 0 or not keys:
+            self._bits = None
+            self._k = 0
+            return
+        self._k = num_hashes if num_hashes is not None else optimal_num_hashes(bits_per_key)
+        if self._k <= 0:
+            raise ValueError("num_hashes must be positive")
+        self._bits = _BitArray(int(bits_per_key * self._n))
+        for key in keys:
+            h1, h2 = self._probe_pair(key)
+            for i in range(self._k):
+                self._bits.set((h1 + i * h2) % self._bits.nbits)
+
+    def may_contain(self, key: bytes) -> bool:
+        self.stats.probes += 1
+        if self._bits is None:
+            # Degenerate 0-bit filter: never filters anything out.
+            self.stats.cache_line_touches += 0
+            return True
+        h1, h2 = self._probe_pair(key, count=True)
+        lines = set()
+        for i in range(self._k):
+            pos = (h1 + i * h2) % self._bits.nbits
+            lines.add(pos >> 9)  # 512 bits per 64-byte cache line
+            if not self._bits.test(pos):
+                self.stats.negatives += 1
+                self.stats.cache_line_touches += len(lines)
+                return False
+        self.stats.cache_line_touches += len(lines)
+        return True
+
+    def may_contain_digest(self, digest: int) -> bool:
+        """Probe with a precomputed digest (shared-hashing fast path)."""
+        self.stats.probes += 1
+        if self._bits is None:
+            return True
+        h1 = digest & 0xFFFFFFFF
+        h2 = (digest >> 32) | 1
+        lines = set()
+        for i in range(self._k):
+            pos = (h1 + i * h2) % self._bits.nbits
+            lines.add(pos >> 9)
+            if not self._bits.test(pos):
+                self.stats.negatives += 1
+                self.stats.cache_line_touches += len(lines)
+                return False
+        self.stats.cache_line_touches += len(lines)
+        return True
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bits.size_bytes if self._bits is not None else 0
+
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def num_hashes(self) -> int:
+        return self._k
+
+    @property
+    def expected_fpr(self) -> float:
+        """Theoretical FPR for this filter's actual geometry."""
+        if self._bits is None:
+            return 1.0
+        return theoretical_fpr(self._bits.nbits / self._n, self._k)
+
+    # -- internals -----------------------------------------------------------
+
+    def _probe_pair(self, key: bytes, count: bool = False) -> "tuple[int, int]":
+        if self._hash_counter is not None:
+            digest = self._hash_counter.digest(key, self._seed)
+        else:
+            digest = hash64(key, self._seed)
+        if count:
+            self.stats.hash_evaluations += 1
+        return digest & 0xFFFFFFFF, (digest >> 32) | 1

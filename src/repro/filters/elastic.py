@@ -1,0 +1,134 @@
+"""ElasticBF-style hotness-aware multi-unit Bloom filters (Li et al., ATC'19).
+
+Each run's filter is split into several independent small *units*; a probe
+consults only the units currently enabled (loaded in memory). Cold runs keep
+few units enabled — cheap but higher FPR — while hot runs enable more units,
+multiplying their false-positive rates together. A manager rebalances the
+global unit budget toward the hottest runs, boosting read performance at a
+fixed total memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.filters.base import PointFilter
+from repro.filters.bloom import BloomFilter
+
+
+class ElasticBloomFilter(PointFilter):
+    """A filter made of independent units that can be enabled one by one.
+
+    Args:
+        keys: the run's keys.
+        bits_per_key: *total* budget across all units.
+        units: number of independent units the budget is split into.
+        enabled_units: how many units start enabled.
+        seed: base hash seed (each unit derives its own).
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[bytes],
+        bits_per_key: float = 10.0,
+        units: int = 4,
+        enabled_units: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if units <= 0:
+            raise ValueError("units must be positive")
+        if not 0 <= enabled_units <= units:
+            raise ValueError("enabled_units out of range")
+        keys = list(keys)
+        self._n = len(keys)
+        per_unit = bits_per_key / units
+        self._units: List[BloomFilter] = [
+            BloomFilter(keys, bits_per_key=per_unit, num_hashes=1, seed=seed + 7919 * i)
+            for i in range(units)
+        ]
+        self.enabled_units = enabled_units
+        self.accesses = 0  # hotness signal for the manager
+
+    def may_contain(self, key: bytes) -> bool:
+        self.stats.probes += 1
+        self.accesses += 1
+        for unit in self._units[: self.enabled_units]:
+            self.stats.hash_evaluations += 1
+            if not unit.may_contain(key):
+                self.stats.negatives += 1
+                return False
+        return True
+
+    def enable(self, count: int) -> None:
+        """Set how many units are resident (clamped to the unit count)."""
+        self.enabled_units = max(0, min(count, len(self._units)))
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory of the *enabled* units only — the elastic part."""
+        return sum(unit.size_bytes for unit in self._units[: self.enabled_units])
+
+    @property
+    def total_size_bytes(self) -> int:
+        """Memory if every unit were resident (the on-disk footprint)."""
+        return sum(unit.size_bytes for unit in self._units)
+
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def num_units(self) -> int:
+        return len(self._units)
+
+
+class ElasticFilterManager:
+    """Rebalances a global unit budget across many elastic filters by hotness.
+
+    Args:
+        budget_units: total units that may be enabled across all filters.
+    """
+
+    def __init__(self, budget_units: int) -> None:
+        if budget_units < 0:
+            raise ValueError("budget_units must be non-negative")
+        self.budget_units = budget_units
+        self._filters: List[ElasticBloomFilter] = []
+
+    def register(self, filter_: ElasticBloomFilter) -> None:
+        self._filters.append(filter_)
+        self.rebalance()
+
+    def unregister(self, filter_: ElasticBloomFilter) -> None:
+        if filter_ in self._filters:
+            self._filters.remove(filter_)
+
+    def rebalance(self) -> None:
+        """Greedily hand units to the hottest filters (ElasticBF's policy).
+
+        Every filter gets at least one unit (when budget allows) so no run is
+        ever completely unfiltered; remaining units go to runs in descending
+        access-count order.
+        """
+        if not self._filters:
+            return
+        for filter_ in self._filters:
+            filter_.enable(0)
+        remaining = self.budget_units
+        by_heat = sorted(self._filters, key=lambda f: f.accesses, reverse=True)
+        for filter_ in by_heat:
+            if remaining <= 0:
+                break
+            filter_.enable(1)
+            remaining -= 1
+        for filter_ in by_heat:
+            if remaining <= 0:
+                break
+            grant = min(remaining, filter_.num_units - filter_.enabled_units)
+            filter_.enable(filter_.enabled_units + grant)
+            remaining -= grant
+
+    @property
+    def enabled_units(self) -> int:
+        return sum(filter_.enabled_units for filter_ in self._filters)

@@ -1,0 +1,61 @@
+"""Deterministic 64-bit hashing for filters.
+
+Uses a from-scratch xxHash-inspired mixer over 8-byte chunks: deterministic
+across processes (unlike built-in ``hash``), seedable, and fast enough in pure
+Python for simulation-scale key counts. Filters derive all their bit positions
+from one 64-bit digest via the Kirsch-Mitzenmacher double-hashing scheme, so a
+"hash evaluation" in the experiment counters corresponds to one digest.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+_PRIME1 = 0x9E3779B185EBCA87
+_PRIME2 = 0xC2B2AE3D27D4EB4F
+_PRIME3 = 0x165667B19E3779F9
+
+
+def hash64(key: bytes, seed: int = 0) -> int:
+    """One 64-bit digest of ``key`` under ``seed``."""
+    acc = (seed * _PRIME1 + len(key) * _PRIME2) & MASK64
+    for offset in range(0, len(key) - 7, 8):
+        lane = int.from_bytes(key[offset : offset + 8], "little")
+        acc = (acc ^ (lane * _PRIME2 & MASK64)) & MASK64
+        acc = ((acc << 31 | acc >> 33) & MASK64) * _PRIME1 & MASK64
+    tail = len(key) & 7
+    if tail:
+        lane = int.from_bytes(key[-tail:], "little")
+        acc = (acc ^ (lane * _PRIME3 & MASK64)) & MASK64
+        acc = ((acc << 17 | acc >> 47) & MASK64) * _PRIME2 & MASK64
+    acc ^= acc >> 29
+    acc = acc * _PRIME3 & MASK64
+    acc ^= acc >> 32
+    return acc
+
+
+def hash_pair(key: bytes, seed: int = 0) -> "tuple[int, int]":
+    """Split one digest into the (h1, h2) pair for double hashing.
+
+    h2 is forced odd so the probe sequence h1 + i*h2 cycles through any
+    power-of-two table without degenerate strides.
+    """
+    digest = hash64(key, seed)
+    h1 = digest & 0xFFFFFFFF
+    h2 = (digest >> 32) | 1
+    return h1, h2
+
+
+class HashCounter:
+    """Shared hash-evaluation budget counter (experiment E10).
+
+    Filters accept an optional ``HashCounter`` so a :class:`SharedHashProber`
+    can demonstrate the saving from computing the digest once per lookup key
+    instead of once per (key, filter) pair.
+    """
+
+    def __init__(self) -> None:
+        self.evaluations = 0
+
+    def digest(self, key: bytes, seed: int = 0) -> int:
+        self.evaluations += 1
+        return hash64(key, seed)

@@ -1,0 +1,113 @@
+"""Partitioned Bloom filters (RocksDB partitioned index/filters).
+
+One monolithic filter per file must be resident in full; partitioning it into
+many small filters keyed by key range lets the cache hold only the partitions
+actually probed ("more granular in-memory caching", tutorial §II-B.2). The
+class tracks which partitions are resident under a byte budget and charges a
+simulated load for every cold partition touch, which experiments can read.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List
+
+from repro.filters.base import PointFilter
+from repro.filters.bloom import BloomFilter
+
+
+class PartitionedBloomFilter(PointFilter):
+    """A sequence of small range-partitioned Bloom filters.
+
+    Args:
+        keys: the run's sorted key list.
+        bits_per_key: space budget (applied uniformly to every partition).
+        keys_per_partition: partition granularity.
+        resident_budget_bytes: None keeps all partitions resident; otherwise
+            partitions are paged in LRU-style under the budget and each cold
+            touch increments ``partition_loads``.
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[bytes],
+        bits_per_key: float = 10.0,
+        keys_per_partition: int = 1024,
+        resident_budget_bytes=None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if keys_per_partition <= 0:
+            raise ValueError("keys_per_partition must be positive")
+        keys = list(keys)
+        for prev, curr in zip(keys, keys[1:]):
+            if prev > curr:
+                raise ValueError("partitioned filter needs sorted keys")
+        self._n = len(keys)
+        self._partitions: List[BloomFilter] = []
+        self._first_keys: List[bytes] = []
+        for start in range(0, len(keys), keys_per_partition):
+            chunk = keys[start : start + keys_per_partition]
+            self._partitions.append(
+                BloomFilter(chunk, bits_per_key=bits_per_key, seed=seed + start)
+            )
+            self._first_keys.append(chunk[0])
+        self._budget = resident_budget_bytes
+        self._resident: List[int] = []  # LRU order, most recent last
+        self.partition_loads = 0
+
+    def may_contain(self, key: bytes) -> bool:
+        self.stats.probes += 1
+        if not self._partitions:
+            return True
+        idx = bisect.bisect_right(self._first_keys, key) - 1
+        if idx < 0:
+            self.stats.negatives += 1
+            return False
+        self._touch(idx)
+        partition = self._partitions[idx]
+        answer = partition.may_contain(key)
+        self.stats.hash_evaluations += 1
+        self.stats.cache_line_touches += partition.stats.cache_line_touches
+        partition.stats.cache_line_touches = 0
+        if not answer:
+            self.stats.negatives += 1
+        return answer
+
+    @property
+    def size_bytes(self) -> int:
+        """Total payload across partitions (+ the tiny top-level fence)."""
+        payload = sum(partition.size_bytes for partition in self._partitions)
+        fence = sum(len(key) for key in self._first_keys)
+        return payload + fence
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of partitions currently held in memory."""
+        if self._budget is None:
+            return self.size_bytes
+        return sum(self._partitions[idx].size_bytes for idx in self._resident)
+
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    # -- internals -----------------------------------------------------------
+
+    def _touch(self, idx: int) -> None:
+        """Model partition residency under the byte budget (LRU)."""
+        if self._budget is None:
+            return
+        if idx in self._resident:
+            self._resident.remove(idx)
+            self._resident.append(idx)
+            return
+        self.partition_loads += 1
+        self._resident.append(idx)
+        while self.resident_bytes > self._budget and len(self._resident) > 1:
+            self._resident.pop(0)

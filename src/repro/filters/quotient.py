@@ -1,0 +1,194 @@
+"""Quotient filter (Bender et al., VLDB 2012 — "Don't Thrash: How to Cache
+Your Hash on Flash").
+
+Stores p-bit fingerprints split into a q-bit *quotient* (the canonical slot)
+and an r-bit *remainder* kept in the slot array with three metadata bits
+(occupied / continuation / shifted). Its LSM-relevant property, and the
+reason the tutorial cites it as a Bloom replacement: fingerprints can be
+iterated back out **in sorted order**, so two quotient filters merge into one
+with sequential I/O and no rehashing — matching compaction's merge pattern
+(the Cascade Filter design).
+
+This implementation targets immutable runs: it is built in one pass from the
+sorted fingerprint multiset (the canonical layout emerges directly), which is
+also exactly how :meth:`merge` consumes other filters' sorted streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.filters.base import PointFilter
+from repro.filters.hashing import hash64
+
+
+class QuotientFilter(PointFilter):
+    """Build-once quotient filter over a run's key set.
+
+    Args:
+        keys: keys to insert.
+        quotient_bits: q — the table has 2^q canonical slots; choose
+            ``q >= ceil(log2(n / 0.75))`` (done automatically by default).
+        remainder_bits: r — per-probe false-positive rate ~ load * 2^-r.
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[bytes],
+        quotient_bits: int = 0,
+        remainder_bits: int = 9,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 1 <= remainder_bits <= 32:
+            raise ValueError("remainder_bits must be in [1, 32]")
+        keys = list(dict.fromkeys(keys))
+        self._n = len(keys)
+        self._seed = seed
+        self._r = remainder_bits
+        if quotient_bits <= 0:
+            quotient_bits = max(3, (max(1, self._n) * 4 // 3).bit_length())
+        self._q = quotient_bits
+        fingerprints = sorted(self._fingerprint(key) for key in keys)
+        self._layout(fingerprints)
+
+    @classmethod
+    def from_fingerprints(
+        cls, fingerprints: Sequence[int], quotient_bits: int, remainder_bits: int, seed: int = 0
+    ) -> "QuotientFilter":
+        """Construct directly from a sorted fingerprint sequence (merge path)."""
+        filt = cls.__new__(cls)
+        PointFilter.__init__(filt)
+        filt._n = len(fingerprints)
+        filt._seed = seed
+        filt._r = remainder_bits
+        filt._q = quotient_bits
+        filt._layout(sorted(fingerprints))
+        return filt
+
+    @classmethod
+    def merge(cls, filters: Sequence["QuotientFilter"]) -> "QuotientFilter":
+        """Merge filters by merging their sorted fingerprint streams.
+
+        All inputs must share (q, r, seed) — as the filters of runs being
+        compacted do. No key is re-hashed; this is the sequential-merge
+        property that makes quotient filters compaction-friendly.
+        """
+        if not filters:
+            raise ValueError("need at least one filter to merge")
+        q, r, seed = filters[0]._q, filters[0]._r, filters[0]._seed
+        if any(f._q != q or f._r != r or f._seed != seed for f in filters):
+            raise ValueError("merge requires identical (q, r, seed) geometry")
+        import heapq
+
+        merged = list(heapq.merge(*(f.fingerprints() for f in filters)))
+        # Deduplicate (same key in several runs collapses, like compaction).
+        deduped = [fp for i, fp in enumerate(merged) if i == 0 or fp != merged[i - 1]]
+        grown_q = q
+        while (1 << grown_q) * 3 < len(deduped) * 4:
+            grown_q += 1  # keep load <= 75%, mirroring Cascade Filter growth
+        if grown_q != q:
+            deduped.sort()
+        return cls.from_fingerprints(deduped, grown_q, r, seed)
+
+    # -- probes ----------------------------------------------------------------
+
+    def may_contain(self, key: bytes) -> bool:
+        self.stats.probes += 1
+        self.stats.hash_evaluations += 1
+        self.stats.cache_line_touches += 1  # one cluster, usually one line
+        fq, fr = divmod(self._fingerprint(key), 1 << self._r)
+        if not self._occupied[fq]:
+            self.stats.negatives += 1
+            return False
+        slot = self._run_start(fq)
+        while True:
+            if self._remainders[slot] == fr:
+                return True
+            slot += 1
+            if slot >= len(self._remainders) or not self._continuation[slot]:
+                self.stats.negatives += 1
+                return False
+
+    def fingerprints(self) -> Iterator[int]:
+        """Yield stored fingerprints in sorted order (the mergeable stream)."""
+        for fq in range(1 << self._q):
+            if not self._occupied[fq]:
+                continue
+            slot = self._run_start(fq)
+            while True:
+                yield (fq << self._r) | self._remainders[slot]
+                slot += 1
+                if slot >= len(self._remainders) or not self._continuation[slot]:
+                    break
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """(r + 3) bits per slot over 2^q slots (+ overflow slack)."""
+        return (len(self._remainders) * (self._r + 3) + 7) // 8
+
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def load(self) -> float:
+        return self._n / (1 << self._q)
+
+    @property
+    def expected_fpr(self) -> float:
+        return min(1.0, self.load * 2.0 ** (-self._r))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _fingerprint(self, key: bytes) -> int:
+        return hash64(key, self._seed) & ((1 << (self._q + self._r)) - 1)
+
+    def _layout(self, fingerprints: List[int]) -> None:
+        """Canonical one-pass layout from sorted fingerprints."""
+        slots = (1 << self._q) + max(16, self._n // 4)  # non-wrapping slack
+        self._remainders = [0] * slots
+        self._occupied = [False] * slots
+        self._continuation = [False] * slots
+        self._shifted = [False] * slots
+        free = 0
+        index = 0
+        while index < len(fingerprints):
+            fq = fingerprints[index] >> self._r
+            group_end = index
+            while (
+                group_end < len(fingerprints)
+                and fingerprints[group_end] >> self._r == fq
+            ):
+                group_end += 1
+            start = max(fq, free)
+            self._occupied[fq] = True
+            for offset, position in enumerate(range(start, start + group_end - index)):
+                self._remainders[position] = fingerprints[index + offset] & (
+                    (1 << self._r) - 1
+                )
+                self._continuation[position] = offset > 0
+                self._shifted[position] = position != fq
+            free = start + (group_end - index)
+            index = group_end
+
+    def _run_start(self, fq: int) -> int:
+        """Slot where quotient ``fq``'s run begins (canonical cluster walk)."""
+        cluster = fq
+        while self._shifted[cluster]:
+            cluster -= 1
+        slot = cluster
+        quotient = cluster
+        while quotient != fq:
+            # skip the current run
+            slot += 1
+            while slot < len(self._continuation) and self._continuation[slot]:
+                slot += 1
+            # advance to the next occupied quotient
+            quotient += 1
+            while not self._occupied[quotient]:
+                quotient += 1
+        return slot

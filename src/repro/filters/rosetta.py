@@ -1,0 +1,140 @@
+"""Rosetta: a Robust Space-Time Optimized Range Filter (Luo et al., SIGMOD'20).
+
+Rosetta keeps one Bloom filter per binary-prefix length, which together form
+an implicit segment tree over the key domain. A range query decomposes the
+range into dyadic intervals, probes each interval's prefix in the Bloom filter
+of its level, and *doubts* every positive by recursing toward the leaf level —
+a leaf-level positive is the final "maybe". Short ranges need few dyadic
+probes, which is why Rosetta excels exactly where SuRF's truncation hurts
+(tutorial §II-B.3).
+
+Keys are interpreted as 64-bit unsigned integers (first 8 bytes, zero-padded):
+Rosetta targets fixed-width numeric keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.filters.base import RangeFilter
+from repro.filters.bloom import BloomFilter
+
+_DOMAIN_BITS = 64
+
+
+def _key_to_int(key: bytes) -> int:
+    return int.from_bytes(key[:8].ljust(8, b"\x00"), "big")
+
+
+class Rosetta(RangeFilter):
+    """Hierarchy-of-Bloom-filters range filter.
+
+    Args:
+        keys: the run's keys (interpreted as 64-bit big-endian integers).
+        bits_per_key: total memory budget per key across all levels.
+        levels: how many of the deepest prefix levels carry Bloom filters
+            (prefixes shorter than ``64 - levels`` bits answer "maybe" for
+            free). More levels help longer ranges but dilute the per-level
+            budget; the Rosetta paper's tuning assigns most memory to the
+            bottom levels, mirrored by ``bottom_weight``.
+        bottom_weight: fraction of the budget given to the leaf level; the
+            remainder is split evenly above it.
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[bytes],
+        bits_per_key: float = 16.0,
+        levels: int = 24,
+        bottom_weight: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 1 <= levels <= _DOMAIN_BITS:
+            raise ValueError(f"levels must be in [1, {_DOMAIN_BITS}]")
+        if not 0 < bottom_weight <= 1:
+            raise ValueError("bottom_weight must be in (0, 1]")
+        values = sorted({_key_to_int(key) for key in keys})
+        self._n = len(values)
+        self._levels = levels
+        self._min_level = _DOMAIN_BITS - levels + 1  # shallowest filtered level
+        self._seed = seed
+
+        budgets = self._level_budgets(bits_per_key, bottom_weight)
+        self._blooms: List[Optional[BloomFilter]] = [None] * (_DOMAIN_BITS + 1)
+        for level in range(self._min_level, _DOMAIN_BITS + 1):
+            prefixes = {value >> (_DOMAIN_BITS - level) for value in values}
+            prefix_keys = [prefix.to_bytes(8, "big") for prefix in prefixes]
+            # The per-key budget buys nbits = bits_per_key * n total bits; the
+            # per-level filter sizes itself on its (deduplicated) prefix count.
+            per_prefix_bits = (
+                budgets[level] * max(1, self._n) / max(1, len(prefix_keys))
+            )
+            self._blooms[level] = BloomFilter(
+                prefix_keys, bits_per_key=per_prefix_bits, seed=seed + level
+            )
+
+    # -- probes ----------------------------------------------------------------
+
+    def may_intersect(self, lo: bytes, hi: bytes) -> bool:
+        self.stats.probes += 1
+        if lo > hi:
+            raise ValueError("empty range: lo > hi")
+        if self._n == 0:
+            self.stats.negatives += 1
+            return False
+        answer = self._query(_key_to_int(lo), _key_to_int(hi), prefix=0, level=0)
+        if not answer:
+            self.stats.negatives += 1
+        return answer
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(bloom.size_bytes for bloom in self._blooms if bloom is not None)
+
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def filtered_levels(self) -> int:
+        return self._levels
+
+    # -- internals -----------------------------------------------------------------
+
+    def _level_budgets(self, bits_per_key: float, bottom_weight: float) -> List[float]:
+        budgets = [0.0] * (_DOMAIN_BITS + 1)
+        if self._levels == 1:
+            budgets[_DOMAIN_BITS] = bits_per_key
+            return budgets
+        budgets[_DOMAIN_BITS] = bits_per_key * bottom_weight
+        upper = bits_per_key * (1.0 - bottom_weight) / (self._levels - 1)
+        for level in range(self._min_level, _DOMAIN_BITS):
+            budgets[level] = upper
+        return budgets
+
+    def _probe(self, prefix: int, level: int) -> bool:
+        bloom = self._blooms[level]
+        if bloom is None:
+            return True  # level not maintained: cannot rule out
+        self.stats.hash_evaluations += 1
+        return bloom.may_contain(prefix.to_bytes(8, "big"))
+
+    def _query(self, lo: int, hi: int, prefix: int, level: int) -> bool:
+        """Dyadic-decomposition probe with doubting, as in the Rosetta paper."""
+        width = _DOMAIN_BITS - level
+        span_lo = prefix << width
+        span_hi = span_lo | ((1 << width) - 1)
+        if span_hi < lo or span_lo > hi:
+            return False
+        if level > 0 and not self._probe(prefix, level):
+            return False
+        if level == _DOMAIN_BITS:
+            return True
+        # Positive (or unfiltered): doubt by recursing into both children.
+        return self._query(lo, hi, prefix << 1, level + 1) or self._query(
+            lo, hi, (prefix << 1) | 1, level + 1
+        )

@@ -1,0 +1,185 @@
+"""SuRF: the Succinct Range Filter (Zhang et al., SIGMOD 2018).
+
+SuRF stores each key's *shortest distinguishing prefix* in a trie, optionally
+extended with a few real or hashed suffix bits. False positives arise only
+from truncation, so longer shared-prefix queries get strong filtering and the
+filter supports both point and range probes with variable-length keys.
+
+Implementation notes: the trie is materialized as the sorted prefix-free set
+of truncated keys; ordered-set operations over that list are semantically
+identical to the LOUDS-DS trie traversals of the paper (seek / next / prefix
+match). ``size_bytes`` reports the paper's succinct encoding size — 10 bits
+per trie node (8-bit label + ~2 bits LOUDS structure) plus the configured
+suffix bits per key — rather than the Python object overhead, so space-vs-FPR
+comparisons against the other filters are faithful.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from typing import Iterable, List
+
+from repro.filters.base import RangeFilter
+from repro.filters.hashing import hash64
+
+_TERMINATOR = b"\x00"  # appended when one key is a prefix of another
+
+
+class SuffixMode(enum.Enum):
+    """SuRF variants: how many disambiguating bits follow the trie prefix."""
+
+    NONE = "none"  # SuRF-Base
+    HASH = "hash"  # SuRF-Hash: h(key) bits; helps point queries only
+    REAL = "real"  # SuRF-Real: real key bits; helps point and range queries
+
+
+class SuRF(RangeFilter):
+    """Succinct trie range filter over a run's key set.
+
+    Args:
+        keys: the run's keys (any order; deduplicated and sorted internally).
+        suffix_mode: SuRF-Base / SuRF-Hash / SuRF-Real.
+        suffix_bits: bits stored per key in HASH/REAL modes.
+        seed: hash seed for HASH mode.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[bytes],
+        suffix_mode: SuffixMode = SuffixMode.REAL,
+        suffix_bits: int = 8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if suffix_bits < 0 or suffix_bits > 32:
+            raise ValueError("suffix_bits must be in [0, 32]")
+        self._mode = suffix_mode
+        self._suffix_bits = suffix_bits if suffix_mode is not SuffixMode.NONE else 0
+        self._seed = seed
+
+        sorted_keys = sorted(dict.fromkeys(keys))
+        self._n = len(sorted_keys)
+        self._prefixes: List[bytes] = []
+        self._suffixes: List[int] = []
+        for i, key in enumerate(sorted_keys):
+            lcp = 0
+            if i > 0:
+                lcp = max(lcp, _lcp_len(key, sorted_keys[i - 1]))
+            if i + 1 < self._n:
+                lcp = max(lcp, _lcp_len(key, sorted_keys[i + 1]))
+            if lcp >= len(key):
+                # key is a prefix of a neighbor: keep it whole + terminator
+                prefix = key + _TERMINATOR
+            else:
+                prefix = key[: lcp + 1]
+            self._prefixes.append(prefix)
+            self._suffixes.append(self._suffix_of(key, len(prefix)))
+        self._trie_nodes = _count_trie_nodes(self._prefixes)
+
+    # -- probes ----------------------------------------------------------------
+
+    def may_contain(self, key: bytes) -> bool:
+        """Point probe: does the trie hold a prefix of ``key`` with a matching suffix?"""
+        self.stats.probes += 1
+        pos = bisect.bisect_right(self._prefixes, key)
+        # A key that is a prefix of another key is stored as key+terminator,
+        # which sorts just *after* the key itself — check that slot first.
+        if pos < len(self._prefixes) and self._prefixes[pos] == key + _TERMINATOR:
+            return True
+        idx = pos - 1
+        if idx < 0:
+            self.stats.negatives += 1
+            return False
+        prefix = self._prefixes[idx]
+        stored = prefix[:-1] if prefix.endswith(_TERMINATOR) and prefix[:-1] == key else prefix
+        if key[: len(stored)] != stored:
+            self.stats.negatives += 1
+            return False
+        if self._suffix_bits and self._suffixes[idx] != self._suffix_of(key, len(prefix)):
+            self.stats.negatives += 1
+            return False
+        return True
+
+    def may_intersect(self, lo: bytes, hi: bytes) -> bool:
+        """Range probe: may any stored key fall in [lo, hi]?
+
+        A stored prefix ``p`` represents the key interval [p, p·0xFF...]; the
+        filter answers "maybe" when any such interval intersects [lo, hi].
+        REAL suffixes tighten the left boundary check.
+        """
+        self.stats.probes += 1
+        if lo > hi:
+            raise ValueError("empty range: lo > hi")
+        # A stored prefix that is itself a prefix of lo covers keys >= lo.
+        idx = bisect.bisect_right(self._prefixes, lo) - 1
+        if idx >= 0:
+            prefix = self._prefixes[idx]
+            stored = prefix[:-1] if prefix.endswith(_TERMINATOR) else prefix
+            if lo[: len(stored)] == stored:
+                if self._mode is SuffixMode.REAL and self._suffix_bits:
+                    # The real suffix can prove the covered keys sit below lo.
+                    if self._suffixes[idx] >= self._suffix_of(lo, len(prefix)):
+                        return True
+                else:
+                    return True
+        # Otherwise: the smallest stored prefix >= lo must not exceed hi.
+        idx = bisect.bisect_left(self._prefixes, lo)
+        if idx < len(self._prefixes) and self._prefixes[idx] <= _pad_like(hi, self._prefixes[idx]):
+            return True
+        self.stats.negatives += 1
+        return False
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Succinct encoding size: 10 bits/trie node + suffix bits/key."""
+        bits = 10 * self._trie_nodes + self._suffix_bits * self._n
+        return (bits + 7) // 8
+
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def trie_nodes(self) -> int:
+        return self._trie_nodes
+
+    # -- internals -----------------------------------------------------------------
+
+    def _suffix_of(self, key: bytes, prefix_len: int) -> int:
+        if not self._suffix_bits:
+            return 0
+        if self._mode is SuffixMode.HASH:
+            return hash64(key, self._seed) & ((1 << self._suffix_bits) - 1)
+        # REAL: the key bits immediately after the stored prefix.
+        tail = key[prefix_len : prefix_len + (self._suffix_bits + 7) // 8]
+        tail = tail.ljust((self._suffix_bits + 7) // 8, b"\x00")
+        return int.from_bytes(tail, "big") >> (8 * len(tail) - self._suffix_bits)
+
+
+def _lcp_len(a: bytes, b: bytes) -> int:
+    """Length of the longest common prefix of two byte strings."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return i
+    return limit
+
+
+def _pad_like(bound: bytes, prefix: bytes) -> bytes:
+    """Extend ``bound`` with 0xFF so prefix-length comparisons are inclusive."""
+    if len(bound) >= len(prefix):
+        return bound
+    return bound + b"\xff" * (len(prefix) - len(bound))
+
+
+def _count_trie_nodes(sorted_prefixes: List[bytes]) -> int:
+    """Number of distinct trie nodes = distinct prefixes across stored strings."""
+    nodes = 0
+    prev = b""
+    for prefix in sorted_prefixes:
+        nodes += len(prefix) - _lcp_len(prefix, prev)
+        prev = prefix
+    return nodes

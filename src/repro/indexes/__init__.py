@@ -1,0 +1,60 @@
+"""Block search indexes (tutorial §II-B.1 and §II-B.4).
+
+A search index maps a lookup key to the data block(s) of a run file that may
+contain it. Classic fence pointers answer exactly; learned indexes answer
+within an error bound at a fraction of the memory; a hash index answers in
+O(1) CPU. All implement :class:`~repro.indexes.base.SearchIndex` and plug into
+:class:`~repro.storage.sstable.SSTableBuilder` via ``index_factory``.
+"""
+
+from repro.indexes.base import SearchIndex
+from repro.indexes.fence import FencePointers
+from repro.indexes.hash_index import HashIndex
+from repro.indexes.learned.rmi import RMIIndex
+from repro.indexes.learned.pgm import PGMIndex
+from repro.indexes.learned.radix_spline import RadixSplineIndex
+from repro.indexes.remix import RemixView
+
+INDEX_KINDS = {
+    "fence": FencePointers,
+    "hash": HashIndex,
+    "rmi": RMIIndex,
+    "pgm": PGMIndex,
+    "radix_spline": RadixSplineIndex,
+}
+
+
+def make_index_factory(kind: str, **kwargs):
+    """Return an ``index_factory`` callable for :class:`SSTableBuilder`.
+
+    Args:
+        kind: one of ``INDEX_KINDS``.
+        **kwargs: forwarded to the index constructor.
+
+    Raises:
+        KeyError: for unknown kinds.
+    """
+    try:
+        cls = INDEX_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown index kind {kind!r}; expected one of {sorted(INDEX_KINDS)}"
+        ) from None
+
+    def factory(keys, block_of_key):
+        return cls(keys, block_of_key, **kwargs)
+
+    return factory
+
+
+__all__ = [
+    "SearchIndex",
+    "RemixView",
+    "FencePointers",
+    "HashIndex",
+    "RMIIndex",
+    "PGMIndex",
+    "RadixSplineIndex",
+    "INDEX_KINDS",
+    "make_index_factory",
+]

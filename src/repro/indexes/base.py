@@ -1,0 +1,27 @@
+"""The search-index contract."""
+
+from __future__ import annotations
+
+import abc
+
+
+class SearchIndex(abc.ABC):
+    """Maps a key to the inclusive block range that may contain it.
+
+    Indexes are built once per immutable run file from the sorted key list and
+    each key's block number, and are never updated — the property that makes
+    read-only learned indexes a good fit for LSM-trees (tutorial §II-B.4).
+    """
+
+    @abc.abstractmethod
+    def locate(self, key: bytes) -> "tuple[int, int]":
+        """Return ``(lo_block, hi_block)`` to probe, inclusive.
+
+        An empty range (``lo > hi``) asserts the key is definitely absent and
+        saves all I/O for the probe.
+        """
+
+    @property
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """In-memory footprint of the index payload."""

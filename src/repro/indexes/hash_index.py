@@ -1,0 +1,42 @@
+"""Hash-based block index (LSM-trie / data-block-hash-index lineage).
+
+Replaces the fence-pointer binary search with an O(1) hash probe, the CPU
+optimization LSM-trie applies at file granularity and RocksDB's data-block
+hash index applies inside blocks (tutorial §II-B.1, §II-B.4). The index also
+answers definite absence for free, like a 0-false-positive filter, at the
+price of ~10 bytes per key instead of per block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+class HashIndex:
+    """Exact key-to-block hash map.
+
+    Args:
+        keys: all keys of the run in sorted order.
+        block_of_key: each key's data-block number.
+    """
+
+    def __init__(self, keys: Sequence[bytes], block_of_key: Sequence[int]) -> None:
+        if len(keys) != len(block_of_key):
+            raise ValueError("keys and block_of_key must have equal length")
+        self._block_of: Dict[bytes, int] = dict(zip(keys, block_of_key))
+        self._key_bytes = sum(len(key) for key in keys)
+
+    def locate(self, key: bytes) -> "tuple[int, int]":
+        block = self._block_of.get(key)
+        if block is None:
+            return (0, -1)  # definitely absent
+        return (block, block)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modeled as a 2-byte fingerprint + 4-byte block id per key.
+
+        (A production hash index stores fingerprints, not full keys; the
+        Python dict above keeps full keys only for correctness.)
+        """
+        return 6 * len(self._block_of)

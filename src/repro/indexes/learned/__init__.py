@@ -1,0 +1,15 @@
+"""Learned block indexes (Bourbon / RMI / PGM / RadixSpline lineage).
+
+All three map a numeric view of the key (first 8 bytes, big-endian) to a
+predicted entry position with a certified error bound, then translate the
+position interval into a data-block interval. Because runs are immutable the
+indexes are trained once at file-build time, the property the tutorial calls
+out as the reason learned indexes suit LSM-trees (§II-B.4).
+"""
+
+from repro.indexes.learned.common import key_to_float, PositionMapper
+from repro.indexes.learned.rmi import RMIIndex
+from repro.indexes.learned.pgm import PGMIndex
+from repro.indexes.learned.radix_spline import RadixSplineIndex
+
+__all__ = ["key_to_float", "PositionMapper", "RMIIndex", "PGMIndex", "RadixSplineIndex"]

@@ -1,0 +1,40 @@
+"""Shared machinery for learned indexes."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def key_to_float(key: bytes) -> float:
+    """Numeric view of a key: first 8 bytes as an unsigned big-endian integer.
+
+    Distinct keys sharing an 8-byte prefix collapse to the same value; the
+    error bounds are computed on these collapsed values, so correctness is
+    preserved (predictions just get wider where collisions occur).
+    """
+    return float(int.from_bytes(key[:8].ljust(8, b"\x00"), "big"))
+
+
+class PositionMapper:
+    """Translates entry-position intervals into data-block intervals.
+
+    Learned indexes predict *entry* positions; the SSTable needs *block*
+    numbers. Built from the builder-provided ``block_of_key`` array.
+    """
+
+    def __init__(self, block_of_key: Sequence[int]) -> None:
+        self._blocks = np.asarray(block_of_key, dtype=np.int64)
+        if len(self._blocks) == 0:
+            raise ValueError("block_of_key must be non-empty")
+
+    def to_blocks(self, pos_lo: int, pos_hi: int) -> "tuple[int, int]":
+        """Clamp an entry interval and return the covering block interval."""
+        last = len(self._blocks) - 1
+        pos_lo = max(0, min(pos_lo, last))
+        pos_hi = max(0, min(pos_hi, last))
+        return int(self._blocks[pos_lo]), int(self._blocks[pos_hi])
+
+    def __len__(self) -> int:
+        return len(self._blocks)

@@ -1,0 +1,119 @@
+"""PGM-index (Ferragina & Vinciguerra, VLDB 2020): epsilon-bounded piecewise
+linear approximation.
+
+Segments are grown with the streaming *shrinking-cone* algorithm: a segment
+keeps the interval of slopes that still place every covered point within
+±epsilon of the line through the segment's first point; when a new point
+empties the interval, a new segment starts. The result guarantees every
+lookup lands within ``2 * epsilon + 1`` entries of the truth. Used here as a
+read-only index on immutable runs (tutorial §II-B.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+from repro.indexes.learned.common import PositionMapper, key_to_float
+
+
+class PGMIndex:
+    """One-level PGM over a run's sorted keys.
+
+    Args:
+        keys: sorted key list.
+        block_of_key: each key's block number.
+        epsilon: maximum entry-position error the segments guarantee.
+    """
+
+    def __init__(
+        self, keys: Sequence[bytes], block_of_key: Sequence[int], epsilon: int = 16
+    ) -> None:
+        if epsilon < 1:
+            raise ValueError("epsilon must be at least 1")
+        if not keys:
+            raise ValueError("cannot build on an empty key list")
+        self._epsilon = epsilon
+        self._mapper = PositionMapper(block_of_key)
+        xs = [key_to_float(key) for key in keys]
+        self._first_x: List[float] = []
+        self._slopes: List[float] = []
+        self._first_pos: List[int] = []
+        self._build(xs)
+        self._bound = self._certify(xs)
+
+    def locate(self, key: bytes) -> "tuple[int, int]":
+        x = key_to_float(key)
+        seg = bisect.bisect_right(self._first_x, x) - 1
+        if seg < 0:
+            seg = 0
+        predicted = self._first_pos[seg] + self._slopes[seg] * (x - self._first_x[seg])
+        pos = int(predicted)
+        return self._mapper.to_blocks(pos - self._bound, pos + self._bound + 1)
+
+    @property
+    def size_bytes(self) -> int:
+        """Three 8-byte values per segment."""
+        return 24 * len(self._first_x)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._first_x)
+
+    @property
+    def epsilon(self) -> int:
+        return self._epsilon
+
+    @property
+    def certified_bound(self) -> int:
+        """The error bound actually used at lookup time (>= construction bound
+        only when duplicate numeric keys forced it wider)."""
+        return self._bound
+
+    # -- internals -----------------------------------------------------------
+
+    def _certify(self, xs: List[float]) -> int:
+        """Measure the true worst-case residual; guarantees no false misses."""
+        worst = 0
+        for pos, x in enumerate(xs):
+            seg = bisect.bisect_right(self._first_x, x) - 1
+            if seg < 0:
+                seg = 0
+            predicted = self._first_pos[seg] + self._slopes[seg] * (x - self._first_x[seg])
+            worst = max(worst, abs(pos - int(predicted)))
+        return max(self._epsilon, worst)
+
+    def _build(self, xs: List[float]) -> None:
+        """Shrinking-cone segmentation with the +-epsilon guarantee."""
+        eps = float(self._epsilon)
+        start = 0
+        while start < len(xs):
+            origin_x = xs[start]
+            origin_y = float(start)
+            slope_lo, slope_hi = float("-inf"), float("inf")
+            end = start + 1
+            while end < len(xs):
+                dx = xs[end] - origin_x
+                if dx <= 0:
+                    # Duplicate numeric keys: the cone cannot distinguish
+                    # them; they stay in the segment iff within epsilon.
+                    if end - start <= eps:
+                        end += 1
+                        continue
+                    break
+                lo = (end - origin_y - eps) / dx
+                hi = (end - origin_y + eps) / dx
+                new_lo = max(slope_lo, lo)
+                new_hi = min(slope_hi, hi)
+                if new_lo > new_hi:
+                    break
+                slope_lo, slope_hi = new_lo, new_hi
+                end += 1
+            if slope_lo == float("-inf"):
+                slope = 0.0
+            else:
+                slope = (slope_lo + slope_hi) / 2.0
+            self._first_x.append(origin_x)
+            self._first_pos.append(start)
+            self._slopes.append(slope)
+            start = end

@@ -1,0 +1,159 @@
+"""RadixSpline (Kipf et al., aiDM 2020): a single-pass learned index.
+
+A greedy error-bounded spline over the (key, position) curve plus a radix
+table over the top ``radix_bits`` of the key that narrows the spline-segment
+search to a handful of candidates. Construction is a single pass with O(1)
+state per step — the "low training time that does not affect ingestion
+throughput" property the tutorial credits it with — and it is read-only,
+matching run immutability.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+from repro.indexes.learned.common import PositionMapper, key_to_float
+
+_KEY_BITS = 64
+
+
+class RadixSplineIndex:
+    """Radix table + error-bounded spline over a run's sorted keys.
+
+    Args:
+        keys: sorted key list.
+        block_of_key: each key's block number.
+        epsilon: spline error bound in entry positions.
+        radix_bits: radix-table resolution (2^radix_bits slots).
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[bytes],
+        block_of_key: Sequence[int],
+        epsilon: int = 16,
+        radix_bits: int = 12,
+    ) -> None:
+        if epsilon < 1:
+            raise ValueError("epsilon must be at least 1")
+        if not 1 <= radix_bits <= 28:
+            raise ValueError("radix_bits must be in [1, 28]")
+        if not keys:
+            raise ValueError("cannot build on an empty key list")
+        self._epsilon = epsilon
+        self._radix_bits = radix_bits
+        self._mapper = PositionMapper(block_of_key)
+        xs = [key_to_float(key) for key in keys]
+        self._knot_x: List[float] = []
+        self._knot_y: List[int] = []
+        self._build_spline(xs)
+        self._min_x = xs[0]
+        self._max_x = xs[-1]
+        self._build_radix_table()
+        self._bound = self._certify(xs)
+
+    def locate(self, key: bytes) -> "tuple[int, int]":
+        x = key_to_float(key)
+        pos = int(self._predict(x))
+        return self._mapper.to_blocks(pos - self._bound, pos + self._bound + 1)
+
+    @property
+    def size_bytes(self) -> int:
+        """16 bytes per spline knot + 4 bytes per radix slot."""
+        return 16 * len(self._knot_x) + 4 * len(self._radix_table)
+
+    @property
+    def num_knots(self) -> int:
+        return len(self._knot_x)
+
+    @property
+    def epsilon(self) -> int:
+        return self._epsilon
+
+    @property
+    def certified_bound(self) -> int:
+        """The error bound actually used at lookup time."""
+        return self._bound
+
+    # -- internals -----------------------------------------------------------
+
+    def _predict(self, x: float) -> float:
+        seg = self._segment_for(x)
+        x0, y0 = self._knot_x[seg], self._knot_y[seg]
+        x1, y1 = self._knot_x[seg + 1], self._knot_y[seg + 1]
+        if x1 == x0:
+            return float(y0)
+        return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+
+    def _certify(self, xs: List[float]) -> int:
+        """Measure the true worst-case residual over the training keys."""
+        worst = 0
+        for pos, x in enumerate(xs):
+            worst = max(worst, abs(pos - int(self._predict(x))))
+        return max(self._epsilon, worst)
+
+    def _build_spline(self, xs: List[float]) -> None:
+        """GreedySplineCorridor: one pass, keeping an error corridor open."""
+        eps = float(self._epsilon)
+        self._knot_x.append(xs[0])
+        self._knot_y.append(0)
+        if len(xs) == 1:
+            self._knot_x.append(xs[0])
+            self._knot_y.append(0)
+            return
+        base_x, base_y = xs[0], 0.0
+        slope_lo, slope_hi = float("-inf"), float("inf")
+        last_candidate = (xs[1], 1)
+        for i in range(1, len(xs)):
+            dx = xs[i] - base_x
+            if dx <= 0:
+                last_candidate = (xs[i], i)
+                continue
+            lo = (i - base_y - eps) / dx
+            hi = (i - base_y + eps) / dx
+            new_lo = max(slope_lo, lo)
+            new_hi = min(slope_hi, hi)
+            if new_lo > new_hi:
+                # Corridor collapsed: commit the previous point as a knot.
+                knot_x, knot_y = last_candidate
+                self._knot_x.append(knot_x)
+                self._knot_y.append(knot_y)
+                base_x, base_y = knot_x, float(knot_y)
+                ndx = xs[i] - base_x
+                if ndx > 0:
+                    slope_lo = (i - base_y - eps) / ndx
+                    slope_hi = (i - base_y + eps) / ndx
+                else:
+                    slope_lo, slope_hi = float("-inf"), float("inf")
+            else:
+                slope_lo, slope_hi = new_lo, new_hi
+            last_candidate = (xs[i], i)
+        self._knot_x.append(xs[-1])
+        self._knot_y.append(len(xs) - 1)
+
+    def _build_radix_table(self) -> None:
+        """Slot r holds the first spline knot whose prefix is >= r."""
+        slots = 1 << self._radix_bits
+        span = self._max_x - self._min_x
+        self._shift_scale = (slots - 1) / span if span > 0 else 0.0
+        self._radix_table = [0] * (slots + 1)
+        knot_prefixes = [self._prefix_of(x) for x in self._knot_x]
+        knot = 0
+        for slot in range(slots + 1):
+            while knot < len(knot_prefixes) and knot_prefixes[knot] < slot:
+                knot += 1
+            self._radix_table[slot] = knot
+
+    def _prefix_of(self, x: float) -> int:
+        if self._shift_scale == 0.0:
+            return 0
+        clamped = min(max(x, self._min_x), self._max_x)
+        return int((clamped - self._min_x) * self._shift_scale)
+
+    def _segment_for(self, x: float) -> int:
+        prefix = self._prefix_of(x)
+        lo_knot = max(0, self._radix_table[prefix] - 1)
+        hi_knot = min(len(self._knot_x) - 1, self._radix_table[min(prefix + 1, len(self._radix_table) - 1)] + 1)
+        seg = bisect.bisect_right(self._knot_x, x, lo=lo_knot, hi=hi_knot) - 1
+        return max(0, min(seg, len(self._knot_x) - 2))

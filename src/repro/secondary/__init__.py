@@ -1,0 +1,20 @@
+"""Secondary (non-key attribute) indexing over the LSM engine.
+
+Tutorial §II-B.4 surveys secondary-index maintenance for log-structured
+stores (Diff-Index EDBT'14, DELI CCGRID'15, Luo & Carey VLDB'19). The core
+tension: the primary table is write-optimized, but keeping a secondary index
+*exact* requires a read-before-write to clean the stale posting of the old
+value. The three classical maintenance modes are provided:
+
+* eager    — sync-full: read old record, delete stale posting, insert new
+             (exact index; costly write path);
+* lazy     — sync-insert: append the new posting only; queries validate
+             candidates against the primary table (cheap writes, costlier
+             queries, index grows stale);
+* deferred — lazy writes plus batch cleaning cycles (DELI-style), bounding
+             staleness without read-before-write.
+"""
+
+from repro.secondary.store import IndexMaintenance, SecondaryIndexedStore
+
+__all__ = ["SecondaryIndexedStore", "IndexMaintenance"]

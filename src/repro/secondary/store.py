@@ -1,0 +1,156 @@
+"""A primary LSM table plus one secondary index, as composite-key postings.
+
+The secondary index is itself an LSM tree (as in AsterixDB/HBase designs):
+a posting is the composite key ``attribute_bytes || primary_key`` with an
+empty value, so an attribute lookup is a prefix range scan. Both trees share
+one block device, so all I/O accounting lands in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.core.config import LSMConfig
+from repro.core.lsm_tree import LSMTree
+from repro.errors import ConfigError
+
+
+class IndexMaintenance(enum.Enum):
+    """How secondary postings are kept in step with the primary table."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+    DEFERRED = "deferred"
+
+
+class SecondaryIndexedStore:
+    """A key-value store with one secondary attribute index.
+
+    Args:
+        config: configuration for the primary tree; the index tree uses a
+            derived configuration on the same device.
+        extractor: maps a record value to its attribute bytes.
+        attr_width: fixed attribute width; extracted attributes are
+            zero-padded/truncated to it (composite-key ordering needs fixed
+            width, like a fixed-length column).
+        maintenance: EAGER, LAZY, or DEFERRED (see package docstring).
+    """
+
+    def __init__(
+        self,
+        config: LSMConfig,
+        extractor: Callable[[bytes], bytes],
+        attr_width: int = 8,
+        maintenance: IndexMaintenance = IndexMaintenance.EAGER,
+    ) -> None:
+        if attr_width <= 0:
+            raise ConfigError("attr_width must be positive")
+        self.primary = LSMTree(config)
+        index_config = config.replace(
+            kv_separation=False, range_filter="none", wal_enabled=False
+        )
+        self.index = LSMTree(index_config, device=self.primary.device)
+        self._extractor = extractor
+        self._attr_width = attr_width
+        self.maintenance = maintenance
+        self.stale_postings_estimate = 0
+        self.cleanings = 0
+
+    # -- writes ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert/update a record, maintaining the secondary index."""
+        new_attr = self._attr_of(value)
+        if self.maintenance is IndexMaintenance.EAGER:
+            old = self.primary.get(key)  # the read-before-write eager pays for
+            if old.found:
+                old_attr = self._attr_of(old.value)
+                if old_attr != new_attr:
+                    self.index.delete(self._posting(old_attr, key))
+        else:
+            self.stale_postings_estimate += 1  # upper bound; exact is unknowable
+        self.primary.put(key, value)
+        self.index.put(self._posting(new_attr, key), b"")
+
+    def delete(self, key: bytes) -> None:
+        """Delete a record (and, eagerly, its posting)."""
+        if self.maintenance is IndexMaintenance.EAGER:
+            old = self.primary.get(key)
+            if old.found:
+                self.index.delete(self._posting(self._attr_of(old.value), key))
+        self.primary.delete(key)
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, key: bytes):
+        """Primary-key point lookup (unchanged by indexing)."""
+        return self.primary.get(key)
+
+    def query(self, attribute: bytes) -> List[Tuple[bytes, bytes]]:
+        """All live records whose attribute equals ``attribute``.
+
+        Scans the posting range, then validates each candidate against the
+        primary table — mandatory under LAZY/DEFERRED (stale postings), and
+        harmless under EAGER.
+        """
+        results = []
+        for key, value in self._candidates(attribute):
+            del value
+            record = self.primary.get(key)
+            if record.found and self._attr_of(record.value) == self._pad(attribute):
+                results.append((key, record.value))
+        return results
+
+    def query_attribute_range(self, lo: bytes, hi: bytes) -> List[Tuple[bytes, bytes]]:
+        """Records with attribute in the closed range [lo, hi]."""
+        start = self._pad(lo)
+        end = self._pad(hi) + b"\xff" * 16
+        results = []
+        for posting, _ in self.index.scan(start, end):
+            key = posting[self._attr_width:]
+            record = self.primary.get(key)
+            if not record.found:
+                continue
+            attr = self._attr_of(record.value)
+            if self._pad(lo) <= attr <= self._pad(hi) and posting[: self._attr_width] == attr:
+                results.append((key, record.value))
+        return results
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def clean(self) -> int:
+        """DEFERRED-mode batch cleaning: drop stale postings (DELI cycle).
+
+        Returns:
+            The number of stale postings removed.
+        """
+        removed = 0
+        for posting, _ in list(self.index.scan()):
+            attr, key = posting[: self._attr_width], posting[self._attr_width:]
+            record = self.primary.get(key)
+            if not record.found or self._attr_of(record.value) != attr:
+                self.index.delete(posting)
+                removed += 1
+        self.index.compact_all()
+        self.stale_postings_estimate = 0
+        self.cleanings += 1
+        return removed
+
+    # -- internals -----------------------------------------------------------------
+
+    def _pad(self, attribute: bytes) -> bytes:
+        return attribute[: self._attr_width].ljust(self._attr_width, b"\x00")
+
+    def _attr_of(self, value: bytes) -> bytes:
+        return self._pad(self._extractor(value))
+
+    def _posting(self, attribute: bytes, key: bytes) -> bytes:
+        return self._pad(attribute) + key
+
+    def _candidates(self, attribute: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        prefix = self._pad(attribute)
+        for posting, value in self.index.scan(prefix, prefix + b"\xff" * 16):
+            if posting[: self._attr_width] != prefix:
+                break
+            yield posting[self._attr_width:], value

@@ -1,0 +1,260 @@
+"""An in-memory block device with exact I/O accounting.
+
+Files are append-only sequences of fixed-size blocks, mirroring the immutable
+file structure of LSM storage: a file is written once by a flush or compaction,
+sealed, then only ever read or deleted. The device charges a simulated latency
+per access that distinguishes sequential from random reads and reads from
+writes, so experiments can report both I/O counts and simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    BlockNotFoundError,
+    FileNotFoundStorageError,
+    ImmutableWriteError,
+)
+
+
+@dataclass
+class LatencyModel:
+    """Per-access simulated costs, in arbitrary time units.
+
+    Defaults approximate a NAND SSD where a random read costs ~4x a
+    sequential one and writes cost slightly more than reads. Only ratios
+    matter for the experiments; absolute units are arbitrary.
+    """
+
+    sequential_read: float = 1.0
+    random_read: float = 4.0
+    sequential_write: float = 1.5
+    random_write: float = 6.0
+
+    def validate(self) -> None:
+        for name in ("sequential_read", "random_read", "sequential_write", "random_write"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"latency {name} must be non-negative")
+
+
+@dataclass
+class DeviceStats:
+    """Monotone counters of everything the device has done.
+
+    Snapshot/diff with :meth:`snapshot` and :meth:`delta` to measure a single
+    operation or experiment phase.
+    """
+
+    blocks_read: int = 0
+    blocks_written: int = 0
+    sequential_reads: int = 0
+    random_reads: int = 0
+    sequential_writes: int = 0
+    random_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    files_created: int = 0
+    files_deleted: int = 0
+    simulated_time: float = 0.0
+
+    def snapshot(self) -> "DeviceStats":
+        """Return a copy of the current counters."""
+        return DeviceStats(**self.__dict__)
+
+    def delta(self, since: "DeviceStats") -> "DeviceStats":
+        """Return counters accumulated since ``since`` (a prior snapshot)."""
+        return DeviceStats(
+            **{name: getattr(self, name) - getattr(since, name) for name in self.__dict__}
+        )
+
+    @property
+    def total_ios(self) -> int:
+        return self.blocks_read + self.blocks_written
+
+
+class _File:
+    """One immutable append-only file: a list of equally sized blocks."""
+
+    __slots__ = ("file_id", "blocks", "sealed")
+
+    def __init__(self, file_id: int) -> None:
+        self.file_id = file_id
+        self.blocks: List[bytes] = []
+        self.sealed = False
+
+
+class BlockDevice:
+    """The simulated storage device.
+
+    Thread-unsafe by design (the engine is single-threaded, matching the
+    deterministic simulation goal).
+
+    Args:
+        block_size: logical block size in bytes; callers may write shorter
+            payloads (the tail block of a file) but never longer ones.
+        latency: simulated cost model; defaults to an SSD-like profile.
+    """
+
+    def __init__(self, block_size: int = 4096, latency: Optional[LatencyModel] = None) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.latency = latency or LatencyModel()
+        self.latency.validate()
+        self.stats = DeviceStats()
+        self._files: Dict[int, _File] = {}
+        self._next_file_id = 1
+        self._last_read: Optional["tuple[int, int]"] = None
+        self._last_write: Optional["tuple[int, int]"] = None
+
+    # -- file lifecycle ----------------------------------------------------
+
+    def create_file(self, file_id: Optional[int] = None) -> int:
+        """Allocate a new writable file and return its id.
+
+        Args:
+            file_id: force a specific id (checkpoint restore preserves ids so
+                cross-file references like value-log pointers stay valid);
+                must not collide with an existing file.
+        """
+        if file_id is None:
+            file_id = self._next_file_id
+        elif file_id in self._files:
+            raise ValueError(f"file {file_id} already exists")
+        self._next_file_id = max(self._next_file_id, file_id) + 1
+        self._files[file_id] = _File(file_id)
+        self.stats.files_created += 1
+        return file_id
+
+    def seal_file(self, file_id: int) -> None:
+        """Mark a file immutable; further appends raise."""
+        self._file(file_id).sealed = True
+
+    def delete_file(self, file_id: int) -> None:
+        """Remove a file and reclaim its space."""
+        if file_id not in self._files:
+            raise FileNotFoundStorageError(file_id)
+        del self._files[file_id]
+        self.stats.files_deleted += 1
+
+    def file_exists(self, file_id: int) -> bool:
+        return file_id in self._files
+
+    def num_blocks(self, file_id: int) -> int:
+        """Number of blocks currently in the file."""
+        return len(self._file(file_id).blocks)
+
+    def file_size(self, file_id: int) -> int:
+        """Total payload bytes stored in the file."""
+        return sum(len(block) for block in self._file(file_id).blocks)
+
+    @property
+    def live_files(self) -> "List[int]":
+        """Ids of all files currently on the device."""
+        return sorted(self._files)
+
+    @property
+    def used_bytes(self) -> int:
+        """Total payload bytes across all live files (space-amp numerator)."""
+        return sum(
+            len(block) for file in self._files.values() for block in file.blocks
+        )
+
+    # -- block I/O ----------------------------------------------------------
+
+    def append_block(self, file_id: int, data: bytes) -> int:
+        """Append one block to a file; returns the block number.
+
+        Appends to the most recently written file continue sequentially;
+        anything else is charged as a random write (head switch).
+        """
+        file = self._file(file_id)
+        if file.sealed:
+            raise ImmutableWriteError(f"file {file_id} is sealed")
+        if len(data) > self.block_size:
+            raise ValueError(
+                f"block payload {len(data)}B exceeds block size {self.block_size}B"
+            )
+        block_no = len(file.blocks)
+        file.blocks.append(data)
+
+        sequential = self._last_write == (file_id, block_no - 1) or block_no == 0
+        self.stats.blocks_written += 1
+        self.stats.bytes_written += len(data)
+        if sequential:
+            self.stats.sequential_writes += 1
+            self.stats.simulated_time += self.latency.sequential_write
+        else:
+            self.stats.random_writes += 1
+            self.stats.simulated_time += self.latency.random_write
+        self._last_write = (file_id, block_no)
+        return block_no
+
+    def append_payload(self, file_id: int, payload: bytes) -> "tuple[int, int]":
+        """Append a payload of any size, split across consecutive blocks.
+
+        Returns:
+            ``(first_block, num_blocks)`` — the span to pass to
+            :meth:`read_payload`.
+        """
+        first = self.num_blocks(file_id)
+        count = 0
+        for offset in range(0, len(payload), self.block_size):
+            self.append_block(file_id, payload[offset : offset + self.block_size])
+            count += 1
+        if count == 0:  # empty payload still occupies one (empty) block
+            self.append_block(file_id, b"")
+            count = 1
+        return first, count
+
+    def read_payload(self, file_id: int, first_block: int, num_blocks: int) -> bytes:
+        """Read back a payload written by :meth:`append_payload`."""
+        return b"".join(
+            self.read_block(file_id, first_block + i) for i in range(num_blocks)
+        )
+
+    def read_block(self, file_id: int, block_no: int) -> bytes:
+        """Read one block, charging sequential or random latency."""
+        file = self._file(file_id)
+        if not 0 <= block_no < len(file.blocks):
+            raise BlockNotFoundError(file_id, block_no)
+
+        sequential = self._last_read == (file_id, block_no - 1)
+        self.stats.blocks_read += 1
+        self.stats.bytes_read += len(file.blocks[block_no])
+        if sequential:
+            self.stats.sequential_reads += 1
+            self.stats.simulated_time += self.latency.sequential_read
+        else:
+            self.stats.random_reads += 1
+            self.stats.simulated_time += self.latency.random_read
+        self._last_read = (file_id, block_no)
+        return file.blocks[block_no]
+
+    # -- fault injection --------------------------------------------------------
+
+    def corrupt_block(self, file_id: int, block_no: int, byte_offset: int = 0) -> None:
+        """Flip one byte of a stored block (fault-injection test hook).
+
+        Models silent media corruption: readers only notice through
+        checksums (see :func:`repro.storage.sstable.parse_block`).
+        """
+        file = self._file(file_id)
+        if not 0 <= block_no < len(file.blocks):
+            raise BlockNotFoundError(file_id, block_no)
+        block = bytearray(file.blocks[block_no])
+        if not block:
+            return
+        position = byte_offset % len(block)
+        block[position] ^= 0xFF
+        file.blocks[block_no] = bytes(block)
+
+    # -- internals -----------------------------------------------------------
+
+    def _file(self, file_id: int) -> _File:
+        try:
+            return self._files[file_id]
+        except KeyError:
+            raise FileNotFoundStorageError(file_id) from None

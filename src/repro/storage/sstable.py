@@ -1,0 +1,544 @@
+"""Sorted String Tables: the immutable sorted-run file format.
+
+An SSTable is written once (by a flush or a compaction), sealed, and then only
+read. On creation it packs entries into fixed-size data blocks and builds the
+auxiliary structures the tutorial surveys:
+
+* a **search index** over the data blocks — classic fence pointers by default,
+  or any :class:`~repro.indexes.base.SearchIndex` (learned indexes, etc.);
+* an optional **point filter** (Bloom and friends) consulted before any I/O;
+* an optional **range filter** (prefix Bloom / SuRF / Rosetta / SNARF)
+  consulted before range scans;
+* an optional **per-block hash index** for O(1) in-block lookup.
+
+Index and filter payloads are also written to the file as trailing blocks so
+that flush/compaction write-amplification accounts for them, exactly as in
+LevelDB/RocksDB; at read time the in-memory copies are used (the tutorial:
+"such light-weight data structures are typically pre-fetched to memory").
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.common.encoding import (
+    decode_varint,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+from repro.common.entry import Entry, EntryKind
+from repro.errors import CorruptionError
+from repro.storage.block_device import BlockDevice
+
+
+@dataclass
+class ProbeStats:
+    """Filter/index accounting for one or more point lookups."""
+
+    filter_probes: int = 0
+    filter_negatives: int = 0
+    false_positives: int = 0
+    index_probes: int = 0
+    blocks_read: int = 0
+
+    def merge(self, other: "ProbeStats") -> None:
+        self.filter_probes += other.filter_probes
+        self.filter_negatives += other.filter_negatives
+        self.false_positives += other.false_positives
+        self.index_probes += other.index_probes
+        self.blocks_read += other.blocks_read
+
+
+class DataBlock:
+    """A parsed data block: sorted entries plus an optional hash index."""
+
+    __slots__ = ("entries", "hash_index")
+
+    def __init__(self, entries: List[Entry], build_hash_index: bool = False) -> None:
+        self.entries = entries
+        self.hash_index = (
+            {entry.key: i for i, entry in enumerate(entries)} if build_hash_index else None
+        )
+
+    def find(self, key: bytes) -> Optional[Entry]:
+        """Locate ``key`` via the hash index when present, else binary search."""
+        if self.hash_index is not None:
+            idx = self.hash_index.get(key)
+            return self.entries[idx] if idx is not None else None
+        keys = [entry.key for entry in self.entries]
+        idx = bisect.bisect_left(keys, key)
+        if idx < len(self.entries) and self.entries[idx].key == key:
+            return self.entries[idx]
+        return None
+
+    @property
+    def first_key(self) -> bytes:
+        return self.entries[0].key
+
+    @property
+    def last_key(self) -> bytes:
+        return self.entries[-1].key
+
+
+def serialize_block(entries: Sequence[Entry]) -> bytes:
+    """Serialize entries into the on-device block payload.
+
+    The body is prefixed with its CRC32, so every consumer of
+    :func:`parse_block` — data blocks, value-log blocks, WAL frames —
+    detects bit rot (verified by the fault-injection tests and the
+    integrity scrubber).
+    """
+    body = bytearray(encode_varint(len(entries)))
+    for entry in entries:
+        put_length_prefixed(body, entry.key)
+        body.extend(encode_varint(entry.seqno))
+        body.append(int(entry.kind))
+        put_length_prefixed(body, entry.value)
+    return zlib.crc32(body).to_bytes(4, "big") + bytes(body)
+
+
+def parse_block(payload: bytes) -> List[Entry]:
+    """Inverse of :func:`serialize_block`.
+
+    Raises:
+        CorruptionError: when the checksum does not match the body.
+        ValueError: on truncated input (spanning consumers retry with more
+            blocks; see the value log's jumbo scan).
+    """
+    if not payload:
+        return []
+    if len(payload) < 4:
+        raise CorruptionError(f"block of {len(payload)} bytes is too short")
+    stored_crc = int.from_bytes(payload[:4], "big")
+    body = payload[4:]
+    count, pos = decode_varint(body, 0)
+    entries: List[Entry] = []
+    for _ in range(count):
+        key, pos = get_length_prefixed(body, pos)
+        seqno, pos = decode_varint(body, pos)
+        kind_byte = body[pos]
+        if kind_byte not in (0, 1):
+            raise CorruptionError(f"invalid entry kind {kind_byte}")
+        kind = EntryKind(kind_byte)
+        pos += 1
+        value, pos = get_length_prefixed(body, pos)
+        entries.append(Entry(key=key, seqno=seqno, kind=kind, value=value))
+    if zlib.crc32(body) != stored_crc:
+        raise CorruptionError("block checksum mismatch")
+    return entries
+
+
+def _entry_encoded_size(entry: Entry) -> int:
+    """Upper bound on the serialized size of one entry (varints <= 5 bytes here)."""
+    return len(entry.key) + len(entry.value) + 12
+
+
+class SSTable:
+    """A sealed sorted run file and its in-memory auxiliary structures.
+
+    Construct through :class:`SSTableBuilder`; never directly.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        file_id: int,
+        num_data_blocks: int,
+        block_first_keys: List[bytes],
+        block_last_keys: List[bytes],
+        entry_count: int,
+        tombstone_count: int,
+        search_index,
+        point_filter,
+        range_filter,
+        hash_index: bool,
+        aux_blocks: int,
+    ) -> None:
+        self._device = device
+        self.file_id = file_id
+        self.num_data_blocks = num_data_blocks
+        self._block_first_keys = block_first_keys
+        self._block_last_keys = block_last_keys
+        self.entry_count = entry_count
+        self.tombstone_count = tombstone_count
+        self.search_index = search_index
+        self.point_filter = point_filter
+        self.range_filter = range_filter
+        self._hash_index = hash_index
+        self.aux_blocks = aux_blocks
+        self.hotness = 0  # access counter; used by ElasticBF and pickers
+        self.refs = 0  # pin count: live tree + open snapshots (managed by LSMTree)
+        self.born_at = 0  # flush tick when written (staleness clock; set by LSMTree)
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def min_key(self) -> bytes:
+        return self._block_first_keys[0]
+
+    @property
+    def max_key(self) -> bytes:
+        return self._block_last_keys[-1]
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload bytes on device (data + auxiliary blocks)."""
+        return self._device.file_size(self.file_id)
+
+    @property
+    def memory_bytes(self) -> int:
+        """In-memory footprint of the auxiliary structures."""
+        total = sum(len(key) for key in self._block_first_keys)
+        if self.search_index is not None:
+            total += self.search_index.size_bytes
+        if self.point_filter is not None:
+            total += self.point_filter.size_bytes
+        if self.range_filter is not None:
+            total += self.range_filter.size_bytes
+        return total
+
+    def overlaps(self, lo: bytes, hi: bytes) -> bool:
+        """True when the table's key range intersects the closed range [lo, hi]."""
+        return not (hi < self.min_key or lo > self.max_key)
+
+    def contains_key_range(self, key: bytes) -> bool:
+        return self.min_key <= key <= self.max_key
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(
+        self,
+        key: bytes,
+        stats: Optional[ProbeStats] = None,
+        cache=None,
+        digest: Optional[int] = None,
+    ) -> Optional[Entry]:
+        """Point lookup inside this run file.
+
+        Returns the entry (possibly a tombstone) or None when absent. The
+        filter is consulted first; a negative answer costs no I/O. When
+        ``digest`` is given and the filter supports digest probes, the
+        precomputed digest is reused (shared hashing, tutorial §II-B.2).
+        """
+        if not self.contains_key_range(key):
+            return None
+        if self.point_filter is not None:
+            if stats is not None:
+                stats.filter_probes += 1
+            probe_digest = getattr(self.point_filter, "may_contain_digest", None)
+            if digest is not None and probe_digest is not None:
+                positive = probe_digest(digest)
+            else:
+                positive = self.point_filter.may_contain(key)
+            if not positive:
+                if stats is not None:
+                    stats.filter_negatives += 1
+                return None
+
+        lo, hi = self._locate_blocks(key, stats)
+        for block_no in range(lo, hi + 1):
+            if key < self._block_first_keys[block_no] or key > self._block_last_keys[block_no]:
+                continue
+            block = self._load_block(block_no, cache, stats)
+            entry = block.find(key)
+            if entry is not None:
+                return entry
+        if stats is not None and self.point_filter is not None:
+            stats.false_positives += 1
+        return None
+
+    def iter_entries(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        cache=None,
+        stats: Optional[ProbeStats] = None,
+    ) -> Iterator[Entry]:
+        """Yield entries with ``start <= key <= end`` in key order.
+
+        Blocks are fetched lazily so a consumer that stops early does not pay
+        for the rest of the file; reads of consecutive blocks are charged at
+        the sequential rate by the device.
+        """
+        first_block = 0 if start is None else self._first_block_for(start)
+        for block_no in range(first_block, self.num_data_blocks):
+            if end is not None and self._block_first_keys[block_no] > end:
+                return
+            block = self._load_block(block_no, cache, stats)
+            for entry in block.entries:
+                if start is not None and entry.key < start:
+                    continue
+                if end is not None and entry.key > end:
+                    return
+                yield entry
+
+    def keys(self) -> Iterator[bytes]:
+        """Yield every key in the table (used by filter rebuilds and tests)."""
+        for entry in self.iter_entries():
+            yield entry.key
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def delete(self) -> None:
+        """Drop the underlying file (called when a compaction obsoletes it)."""
+        if self._device.file_exists(self.file_id):
+            self._device.delete_file(self.file_id)
+
+    # -- internals -----------------------------------------------------------
+
+    def _first_block_for(self, key: bytes) -> int:
+        """Index of the first block whose key range may include ``key``."""
+        idx = bisect.bisect_left(self._block_last_keys, key)
+        return min(idx, self.num_data_blocks - 1)
+
+    def _locate_blocks(self, key: bytes, stats: Optional[ProbeStats]) -> "tuple[int, int]":
+        if stats is not None:
+            stats.index_probes += 1
+        if self.search_index is not None:
+            lo, hi = self.search_index.locate(key)
+            lo = max(lo, 0)
+            hi = min(hi, self.num_data_blocks - 1)
+            return lo, hi
+        block = self._first_block_for(key)
+        return block, block
+
+    def _load_block(self, block_no: int, cache, stats: Optional[ProbeStats]) -> DataBlock:
+        if stats is not None:
+            stats.blocks_read += 1
+
+        def loader() -> "tuple[DataBlock, int]":
+            payload = self._device.read_block(self.file_id, block_no)
+            return DataBlock(parse_block(payload), self._hash_index), len(payload)
+
+        if cache is not None:
+            return cache.get_or_load((self.file_id, block_no), loader)
+        return loader()[0]
+
+
+# Factories let the engine plug in any index/filter without import cycles:
+# they receive the full sorted key list plus each key's block number.
+IndexFactory = Callable[[Sequence[bytes], Sequence[int]], object]
+FilterFactory = Callable[[Sequence[bytes]], object]
+
+
+def rebuild_sstable(
+    device: BlockDevice,
+    file_id: int,
+    index_factory: Optional[IndexFactory] = None,
+    filter_factory: Optional[FilterFactory] = None,
+    range_filter_factory: Optional[FilterFactory] = None,
+    hash_index: bool = False,
+) -> SSTable:
+    """Reconstruct an SSTable object from its on-device file (recovery path).
+
+    Data blocks are scanned to recover keys and block boundaries; the
+    in-memory auxiliary structures (fences, filters, indexes) are rebuilt by
+    the supplied factories — the real-engine equivalent of loading the filter
+    and index blocks. Auxiliary padding blocks (zero-filled) terminate the
+    data region.
+
+    Raises:
+        ValueError: if the file holds no data blocks.
+    """
+    first_keys: List[bytes] = []
+    last_keys: List[bytes] = []
+    keys: List[bytes] = []
+    block_of_key: List[int] = []
+    entry_count = 0
+    tombstones = 0
+    total_blocks = device.num_blocks(file_id)
+    data_blocks = 0
+    for block_no in range(total_blocks):
+        payload = device.read_block(file_id, block_no)
+        if not payload.strip(b"\x00"):
+            break  # zero-filled auxiliary padding: end of the data region
+        entries = parse_block(payload)
+        if not entries:
+            break
+        data_blocks += 1
+        first_keys.append(entries[0].key)
+        last_keys.append(entries[-1].key)
+        for entry in entries:
+            keys.append(entry.key)
+            block_of_key.append(block_no)
+            entry_count += 1
+            if entry.is_tombstone:
+                tombstones += 1
+    if not data_blocks:
+        raise ValueError(f"file {file_id} holds no data blocks")
+    return SSTable(
+        device=device,
+        file_id=file_id,
+        num_data_blocks=data_blocks,
+        block_first_keys=first_keys,
+        block_last_keys=last_keys,
+        entry_count=entry_count,
+        tombstone_count=tombstones,
+        search_index=index_factory(keys, block_of_key) if index_factory else None,
+        point_filter=filter_factory(keys) if filter_factory else None,
+        range_filter=range_filter_factory(keys) if range_filter_factory else None,
+        hash_index=hash_index,
+        aux_blocks=total_blocks - data_blocks,
+    )
+
+
+class SSTableBuilder:
+    """Streams sorted entries into data blocks and builds the aux structures.
+
+    Args:
+        device: target block device.
+        block_size: data-block payload budget (defaults to the device's).
+        index_factory: builds the block search index from ``(keys, block_nos)``;
+            None disables indexing (every lookup scans from a bisected guess).
+        filter_factory: builds the point filter from the key list.
+        range_filter_factory: builds the range filter from the key list.
+        hash_index: attach a per-block hash map for O(1) in-block search.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        block_size: Optional[int] = None,
+        index_factory: Optional[IndexFactory] = None,
+        filter_factory: Optional[FilterFactory] = None,
+        range_filter_factory: Optional[FilterFactory] = None,
+        hash_index: bool = False,
+    ) -> None:
+        self._device = device
+        self._block_size = block_size or device.block_size
+        if self._block_size > device.block_size:
+            raise ValueError("table block size cannot exceed device block size")
+        self._index_factory = index_factory
+        self._filter_factory = filter_factory
+        self._range_filter_factory = range_filter_factory
+        self._hash_index = hash_index
+
+        self._file_id = device.create_file()
+        self._pending: List[Entry] = []
+        self._pending_size = len(encode_varint(0))
+        self._keys: List[bytes] = []
+        self._block_of_key: List[int] = []
+        self._block_first_keys: List[bytes] = []
+        self._block_last_keys: List[bytes] = []
+        self._entry_count = 0
+        self._tombstones = 0
+        self._last_key: Optional[bytes] = None
+        self._finished = False
+
+    def add(self, entry: Entry) -> None:
+        """Append the next entry; keys must arrive in strictly increasing order."""
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        if self._last_key is not None and entry.key <= self._last_key:
+            raise ValueError(
+                f"entries must be added in strictly increasing key order "
+                f"({entry.key!r} after {self._last_key!r})"
+            )
+        self._last_key = entry.key
+
+        size = _entry_encoded_size(entry)
+        if self._pending and self._pending_size + size > self._block_size:
+            self._flush_block()
+        self._pending.append(entry)
+        self._pending_size += size
+        self._keys.append(entry.key)
+        self._block_of_key.append(len(self._block_first_keys))
+        self._entry_count += 1
+        if entry.is_tombstone:
+            self._tombstones += 1
+
+    def add_all(self, entries) -> None:
+        """Convenience: add every entry from an iterable."""
+        for entry in entries:
+            self.add(entry)
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    def finish(self) -> SSTable:
+        """Seal the file and return the readable table.
+
+        Raises:
+            ValueError: when no entries were added (empty tables are illegal;
+                callers should simply skip creating them).
+        """
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        if not self._entry_count:
+            self._device.delete_file(self._file_id)
+            raise ValueError("cannot build an empty SSTable")
+        if self._pending:
+            self._flush_block()
+        self._finished = True
+
+        search_index = (
+            self._index_factory(self._keys, self._block_of_key)
+            if self._index_factory is not None
+            else None
+        )
+        point_filter = (
+            self._filter_factory(self._keys) if self._filter_factory is not None else None
+        )
+        range_filter = (
+            self._range_filter_factory(self._keys)
+            if self._range_filter_factory is not None
+            else None
+        )
+
+        aux_blocks = self._write_aux_blocks(search_index, point_filter, range_filter)
+        self._device.seal_file(self._file_id)
+        return SSTable(
+            device=self._device,
+            file_id=self._file_id,
+            num_data_blocks=len(self._block_first_keys),
+            block_first_keys=self._block_first_keys,
+            block_last_keys=self._block_last_keys,
+            entry_count=self._entry_count,
+            tombstone_count=self._tombstones,
+            search_index=search_index,
+            point_filter=point_filter,
+            range_filter=range_filter,
+            hash_index=self._hash_index,
+            aux_blocks=aux_blocks,
+        )
+
+    def abandon(self) -> None:
+        """Discard a partially written table (compaction error paths)."""
+        if not self._finished and self._device.file_exists(self._file_id):
+            self._device.delete_file(self._file_id)
+        self._finished = True
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush_block(self) -> None:
+        payload = serialize_block(self._pending)
+        self._device.append_block(self._file_id, payload)
+        self._block_first_keys.append(self._pending[0].key)
+        self._block_last_keys.append(self._pending[-1].key)
+        self._pending = []
+        self._pending_size = len(encode_varint(0))
+
+    def _write_aux_blocks(self, search_index, point_filter, range_filter) -> int:
+        """Persist index/filter payload sizes as trailing blocks.
+
+        The in-memory structures are authoritative at read time; these writes
+        exist so flush/compaction write-amplification includes the auxiliary
+        data, as it does in real engines.
+        """
+        aux_bytes = sum(len(key) for key in self._block_first_keys)
+        for structure in (search_index, point_filter, range_filter):
+            if structure is not None:
+                aux_bytes += structure.size_bytes
+        blocks = 0
+        remaining = aux_bytes
+        while remaining > 0:
+            chunk = min(remaining, self._block_size)
+            self._device.append_block(self._file_id, b"\x00" * chunk)
+            remaining -= chunk
+            blocks += 1
+        return blocks

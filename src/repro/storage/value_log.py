@@ -1,0 +1,180 @@
+"""WiscKey-style key-value separation: an append-only value log.
+
+The tutorial (§II-A.2) notes that separating keys from values improves
+ingestion and compaction at the expense of extra accesses for queries. The
+LSM then stores small :class:`ValuePointer` records; each pointer dereference
+costs one (typically random) block read, which is exactly the tradeoff E12
+measures. Garbage collection rewrites a log segment keeping only values the
+LSM still references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.sstable import parse_block, serialize_block
+from repro.common.entry import Entry, EntryKind
+
+
+@dataclass(frozen=True)
+class ValuePointer:
+    """Locator of one value inside the log.
+
+    ``(file, block, slot)`` addresses a record within a packed block;
+    ``span > 1`` marks a jumbo value occupying ``span`` consecutive blocks
+    by itself (values larger than one device block).
+    """
+
+    file_id: int
+    block_no: int
+    slot: int
+    span: int = 1
+
+    def encode(self) -> bytes:
+        return b"%d:%d:%d:%d" % (self.file_id, self.block_no, self.slot, self.span)
+
+    @staticmethod
+    def decode(data: bytes) -> "ValuePointer":
+        parts = [int(part) for part in data.split(b":")]
+        if len(parts) == 3:  # legacy three-field form
+            parts.append(1)
+        file_id, block_no, slot, span = parts
+        return ValuePointer(file_id, block_no, slot, span)
+
+
+class ValueLog:
+    """Append-only log of values, packed into device blocks.
+
+    Values are buffered and flushed one block at a time; a pointer becomes
+    durable when its block is written. ``get`` costs one block read (served
+    through the block cache when one is supplied).
+    """
+
+    def __init__(self, device: BlockDevice, segment_blocks: int = 256) -> None:
+        if segment_blocks <= 0:
+            raise ValueError("segment_blocks must be positive")
+        self._device = device
+        self._segment_blocks = segment_blocks
+        self._file_id = device.create_file()
+        self._pending: List[Entry] = []
+        self._pending_size = 0
+        self.garbage_bytes = 0
+        self._live_bytes: Dict[int, int] = {self._file_id: 0}
+
+    @property
+    def current_file(self) -> int:
+        return self._file_id
+
+    def append(self, key: bytes, value: bytes) -> ValuePointer:
+        """Append one value; returns its pointer. May trigger a block write.
+
+        Values too large for one block take the jumbo path: they are written
+        immediately across consecutive blocks and addressed by span.
+        """
+        record = Entry(key=key, seqno=0, kind=EntryKind.PUT, value=value)
+        size = len(key) + len(value) + 12
+        self._live_bytes[self._file_id] = self._live_bytes.get(self._file_id, 0) + len(value)
+        if size > self._device.block_size:
+            self._flush_pending()
+            first, span = self._device.append_payload(
+                self._file_id, serialize_block([record])
+            )
+            return ValuePointer(self._file_id, first, 0, span)
+        if self._pending and self._pending_size + size > self._device.block_size:
+            self._flush_pending()
+        pointer = ValuePointer(self._file_id, self._device.num_blocks(self._file_id), len(self._pending))
+        self._pending.append(record)
+        self._pending_size += size
+        return pointer
+
+    def flush(self) -> None:
+        """Force any buffered values to the device (called with memtable flush)."""
+        if self._pending:
+            self._flush_pending()
+        if self._device.num_blocks(self._file_id) >= self._segment_blocks:
+            self._roll_segment()
+
+    def get(self, pointer: ValuePointer, cache=None) -> bytes:
+        """Dereference a pointer, reading (or cache-hitting) its block span."""
+        if pointer.file_id == self._file_id and pointer.span == 1:
+            pending_block = self._device.num_blocks(self._file_id)
+            if pointer.block_no == pending_block:
+                return self._pending[pointer.slot].value
+
+        def loader() -> "Tuple[List[Entry], int]":
+            payload = self._device.read_payload(
+                pointer.file_id, pointer.block_no, pointer.span
+            )
+            return parse_block(payload), len(payload)
+
+        if cache is not None:
+            entries = cache.get_or_load(("vlog", pointer.file_id, pointer.block_no), loader)
+        else:
+            entries = loader()[0]
+        return entries[pointer.slot].value
+
+    def mark_dead(self, value_size: int, file_id: Optional[int] = None) -> None:
+        """Record that a previously appended value is no longer referenced."""
+        self.garbage_bytes += value_size
+        if file_id is not None and file_id in self._live_bytes:
+            self._live_bytes[file_id] = max(0, self._live_bytes[file_id] - value_size)
+
+    def collect_garbage(
+        self, is_live: Callable[[bytes, ValuePointer], bool]
+    ) -> Dict[ValuePointer, ValuePointer]:
+        """Rewrite sealed segments keeping only live values.
+
+        Args:
+            is_live: oracle (key, old_pointer) -> bool, typically a closure
+                over the LSM that checks the key still points at ``old_pointer``.
+
+        Returns:
+            Mapping from old pointers to their relocated pointers, which the
+            caller must re-install in the LSM.
+        """
+        self.flush()
+        relocations: Dict[ValuePointer, ValuePointer] = {}
+        sealed = [fid for fid in self._device.live_files if fid != self._file_id and fid in self._live_bytes]
+        for file_id in sealed:
+            for record, old in self._scan_file(file_id):
+                if is_live(record.key, old):
+                    relocations[old] = self.append(record.key, record.value)
+            self._device.delete_file(file_id)
+            self._live_bytes.pop(file_id, None)
+        self.garbage_bytes = 0
+        self.flush()
+        return relocations
+
+    def _scan_file(self, file_id: int):
+        """Yield every (record, pointer) in a sealed segment, jumbo-aware."""
+        total = self._device.num_blocks(file_id)
+        block_no = 0
+        while block_no < total:
+            payload = self._device.read_block(file_id, block_no)
+            span = 1
+            while True:
+                try:
+                    records = parse_block(payload)
+                    break
+                except ValueError:
+                    if block_no + span >= total:
+                        raise
+                    payload += self._device.read_block(file_id, block_no + span)
+                    span += 1
+            for slot, record in enumerate(records):
+                yield record, ValuePointer(file_id, block_no, slot, span)
+            block_no += span
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush_pending(self) -> None:
+        self._device.append_block(self._file_id, serialize_block(self._pending))
+        self._pending = []
+        self._pending_size = 0
+
+    def _roll_segment(self) -> None:
+        self._device.seal_file(self._file_id)
+        self._file_id = self._device.create_file()
+        self._live_bytes.setdefault(self._file_id, 0)

@@ -1,0 +1,33 @@
+"""Cost models and tuning: navigating the LSM design space (Module III).
+
+The analytic model (:mod:`~repro.tuning.cost_model`) prices any (T, K, Z,
+bits, buffer) configuration in expected I/Os per operation, following the
+Monkey/Dostoevsky analyses. On top of it:
+
+* :mod:`~repro.tuning.monkey` — optimal filter-memory allocation across levels;
+* :mod:`~repro.tuning.memory` — buffer-vs-filter memory splitting;
+* :mod:`~repro.tuning.navigator` — enumerate and rank whole configurations;
+* :mod:`~repro.tuning.endure` — robust tuning under workload uncertainty.
+"""
+
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+from repro.tuning.monkey import monkey_allocation, uniform_allocation
+from repro.tuning.memory import optimize_memory_split
+from repro.tuning.navigator import DesignNavigator
+from repro.tuning.endure import kl_worst_case_workload, nominal_tuning, robust_tuning
+from repro.tuning.skew_model import SkewAwareCostModel, zipf_top_mass
+
+__all__ = [
+    "SkewAwareCostModel",
+    "zipf_top_mass",
+    "CostModel",
+    "DesignPoint",
+    "Workload",
+    "monkey_allocation",
+    "uniform_allocation",
+    "optimize_memory_split",
+    "DesignNavigator",
+    "nominal_tuning",
+    "robust_tuning",
+    "kl_worst_case_workload",
+]

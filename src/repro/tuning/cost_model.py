@@ -1,0 +1,243 @@
+"""Analytic I/O cost model for the (T, K, Z) design continuum.
+
+Follows the Monkey (Dayan et al., SIGMOD 2017) and Dostoevsky (Dayan &
+Idreos, SIGMOD 2018) analyses. A configuration is a :class:`DesignPoint`;
+a :class:`Workload` weights the four canonical operation classes; the
+:class:`CostModel` prices each operation in expected storage I/Os:
+
+* zero-result point lookup: sum of false-positive rates over all runs;
+* existing point lookup: 1 + the false positives of the runs above the match;
+* short range lookup (seeks dominate): one seek per qualifying run;
+* long range lookup (scan dominates): ~ s/B blocks per level, xK for tiered;
+* write, amortized per entry: each entry is rewritten ~T/(K+1) times per
+  level over L levels, divided by B entries per block.
+
+These are the formulas experiment E13 validates against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import TuningError
+from repro.filters.bloom import theoretical_fpr
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Fractions of the four canonical operation classes (sum to 1).
+
+    Attributes:
+        zero_lookups: point lookups for absent keys (filter-dominated).
+        lookups: point lookups for existing keys.
+        short_ranges: range lookups dominated by per-run seeks.
+        long_ranges_selectivity: page selectivity of long ranges (0 disables).
+        writes: inserts/updates/deletes.
+        long_ranges: fraction of long range queries.
+    """
+
+    zero_lookups: float = 0.25
+    lookups: float = 0.25
+    short_ranges: float = 0.0
+    long_ranges: float = 0.0
+    writes: float = 0.5
+    long_ranges_selectivity: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = (
+            self.zero_lookups + self.lookups + self.short_ranges + self.long_ranges + self.writes
+        )
+        if abs(total - 1.0) > 1e-6:
+            raise TuningError(f"workload fractions must sum to 1, got {total}")
+        if any(
+            f < 0
+            for f in (
+                self.zero_lookups,
+                self.lookups,
+                self.short_ranges,
+                self.long_ranges,
+                self.writes,
+            )
+        ):
+            raise TuningError("workload fractions must be non-negative")
+
+    def as_vector(self) -> "List[float]":
+        return [self.zero_lookups, self.lookups, self.short_ranges, self.long_ranges, self.writes]
+
+    @staticmethod
+    def from_vector(vector: Sequence[float]) -> "Workload":
+        z0, z1, qs, ql, w = vector
+        return Workload(
+            zero_lookups=z0, lookups=z1, short_ranges=qs, long_ranges=ql, writes=w
+        )
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One LSM configuration, in model terms.
+
+    Attributes:
+        size_ratio: T.
+        inner_runs: K (runs tolerated per inner level).
+        last_runs: Z (runs tolerated at the last level).
+        bits_per_key: scalar, or per-level sequence (Monkey).
+        name: label for experiment tables.
+    """
+
+    size_ratio: int = 4
+    inner_runs: int = 1
+    last_runs: int = 1
+    bits_per_key: Union[float, Sequence[float]] = 10.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_ratio < 2:
+            raise TuningError("size_ratio must be at least 2")
+        if self.inner_runs < 1 or self.last_runs < 1:
+            raise TuningError("run bounds must be at least 1")
+
+    @staticmethod
+    def leveling(size_ratio: int, bits_per_key=10.0) -> "DesignPoint":
+        return DesignPoint(size_ratio, 1, 1, bits_per_key, name="leveling")
+
+    @staticmethod
+    def tiering(size_ratio: int, bits_per_key=10.0) -> "DesignPoint":
+        return DesignPoint(
+            size_ratio, size_ratio - 1, size_ratio - 1, bits_per_key, name="tiering"
+        )
+
+    @staticmethod
+    def lazy_leveling(size_ratio: int, bits_per_key=10.0) -> "DesignPoint":
+        return DesignPoint(size_ratio, size_ratio - 1, 1, bits_per_key, name="lazy_leveling")
+
+
+class CostModel:
+    """Prices operations for a data size and design point.
+
+    Args:
+        num_entries: N — total entries resident in the tree.
+        entry_bytes: E — bytes per entry.
+        buffer_bytes: M_buf — memtable capacity in bytes.
+        block_bytes: B·E — storage block size in bytes.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        entry_bytes: int = 64,
+        buffer_bytes: int = 1 << 20,
+        block_bytes: int = 4096,
+    ) -> None:
+        if min(num_entries, entry_bytes, buffer_bytes, block_bytes) <= 0:
+            raise TuningError("model parameters must be positive")
+        self.num_entries = num_entries
+        self.entry_bytes = entry_bytes
+        self.buffer_bytes = buffer_bytes
+        self.block_bytes = block_bytes
+        self.entries_per_block = max(1, block_bytes // entry_bytes)
+        self.buffer_entries = max(1, buffer_bytes // entry_bytes)
+
+    # -- shape ------------------------------------------------------------------
+
+    def num_levels(self, point: DesignPoint) -> int:
+        """L = ceil(log_T(N / buffer_entries)), at least 1."""
+        ratio = self.num_entries / self.buffer_entries
+        if ratio <= 1:
+            return 1
+        return max(1, math.ceil(math.log(ratio, point.size_ratio)))
+
+    def entries_at_level(self, point: DesignPoint, level: int) -> int:
+        """Capacity of ``level`` (1-based), in entries."""
+        return self.buffer_entries * point.size_ratio ** level
+
+    def runs_per_level(self, point: DesignPoint, level: int, total_levels: int) -> int:
+        return point.last_runs if level == total_levels else point.inner_runs
+
+    def level_fpr(self, point: DesignPoint, level: int) -> float:
+        bits = self._bits_at(point, level)
+        return theoretical_fpr(bits)
+
+    # -- per-operation costs ---------------------------------------------------------
+
+    def zero_result_lookup_cost(self, point: DesignPoint) -> float:
+        """Expected I/Os: sum of run false-positive rates."""
+        levels = self.num_levels(point)
+        cost = 0.0
+        for level in range(1, levels + 1):
+            runs = self.runs_per_level(point, level, levels)
+            cost += runs * self.level_fpr(point, level)
+        return cost
+
+    def lookup_cost(self, point: DesignPoint) -> float:
+        """Expected I/Os for an existing key (assumed at the last level).
+
+        1 I/O for the true hit plus false positives at the runs above it —
+        the standard worst-case-location assumption of Monkey.
+        """
+        levels = self.num_levels(point)
+        cost = 1.0
+        for level in range(1, levels + 1):
+            runs = self.runs_per_level(point, level, levels)
+            fpr = self.level_fpr(point, level)
+            if level == levels:
+                cost += max(0, runs - 1) * fpr
+            else:
+                cost += runs * fpr
+        return cost
+
+    def short_range_cost(self, point: DesignPoint) -> float:
+        """One seek per run: filters cannot help a plain range query."""
+        levels = self.num_levels(point)
+        return float(
+            sum(self.runs_per_level(point, level, levels) for level in range(1, levels + 1))
+        )
+
+    def long_range_cost(self, point: DesignPoint, selectivity: float = 1e-4) -> float:
+        """Seeks plus ~selectivity·level_size/B sequential blocks per level."""
+        levels = self.num_levels(point)
+        cost = self.short_range_cost(point)
+        for level in range(1, levels + 1):
+            entries = min(self.entries_at_level(point, level), self.num_entries)
+            cost += selectivity * entries / self.entries_per_block
+        return cost
+
+    def write_cost(self, point: DesignPoint) -> float:
+        """Amortized I/Os per inserted entry.
+
+        Each entry is copied once per level arrival plus ~(T-1)/(K+1) in-level
+        re-merges (leveling: T-1 rewrites; tiering: ~1 write per level),
+        all divided by B entries per block. Matches Dostoevsky's
+        O((T-1)/(K+1) + (T-1)/Z) per-level behaviour up to constants.
+        """
+        levels = self.num_levels(point)
+        per_level_inner = 1.0 + (point.size_ratio - 1.0) / (point.inner_runs + 1.0)
+        per_level_last = 1.0 + (point.size_ratio - 1.0) / (point.last_runs + 1.0)
+        copies = per_level_inner * max(0, levels - 1) + per_level_last
+        return copies / self.entries_per_block
+
+    def write_amplification(self, point: DesignPoint) -> float:
+        """Bytes written per user byte: the write cost times B."""
+        return self.write_cost(point) * self.entries_per_block
+
+    # -- aggregate --------------------------------------------------------------------
+
+    def workload_cost(self, point: DesignPoint, workload: Workload) -> float:
+        """Expected I/Os per operation under the workload mix."""
+        selectivity = workload.long_ranges_selectivity or 1e-4
+        return (
+            workload.zero_lookups * self.zero_result_lookup_cost(point)
+            + workload.lookups * self.lookup_cost(point)
+            + workload.short_ranges * self.short_range_cost(point)
+            + workload.long_ranges * self.long_range_cost(point, selectivity)
+            + workload.writes * self.write_cost(point)
+        )
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _bits_at(self, point: DesignPoint, level: int) -> float:
+        if isinstance(point.bits_per_key, (int, float)):
+            return float(point.bits_per_key)
+        bits = list(point.bits_per_key)
+        return float(bits[min(level - 1, len(bits) - 1)])

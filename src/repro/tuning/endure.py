@@ -1,0 +1,153 @@
+"""Endure-style robust tuning under workload uncertainty (Huynh et al.,
+VLDB 2022).
+
+Cloud workloads drift: the workload the system is tuned for (w0) and the one
+it observes (w) differ. Endure replaces "minimize cost at w0" with
+"minimize the worst cost over a KL-divergence ball around w0":
+
+    min_design  max_{w : KL(w || w0) <= eta}  cost(design, w)
+
+The inner maximization has a closed-form dual: the worst-case workload tilts
+w0 exponentially toward the design's expensive operations,
+``w_i ∝ w0_i · exp(c_i / λ)``, with λ >= 0 chosen so the KL constraint is
+tight (found here by bisection). The outer minimization enumerates the same
+candidate grid the navigator uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+
+
+def _operation_costs(model: CostModel, point: DesignPoint, selectivity: float) -> np.ndarray:
+    """Per-operation-class costs, aligned with Workload.as_vector()."""
+    return np.array(
+        [
+            model.zero_result_lookup_cost(point),
+            model.lookup_cost(point),
+            model.short_range_cost(point),
+            model.long_range_cost(point, selectivity),
+            model.write_cost(point),
+        ]
+    )
+
+
+def kl_divergence(w: Sequence[float], w0: Sequence[float]) -> float:
+    """KL(w || w0) over workload simplices (0·log0 = 0)."""
+    total = 0.0
+    for wi, w0i in zip(w, w0):
+        if wi > 0:
+            if w0i <= 0:
+                return math.inf
+            total += wi * math.log(wi / w0i)
+    return total
+
+
+def kl_worst_case_workload(
+    costs: Sequence[float], w0: Sequence[float], eta: float
+) -> "Tuple[List[float], float]":
+    """The cost-maximizing workload in the KL ball around ``w0``.
+
+    Args:
+        costs: per-class costs of the design under consideration.
+        w0: the expected workload (simplex vector).
+        eta: KL radius; 0 returns w0 itself.
+
+    Returns:
+        (worst-case workload, its expected cost).
+    """
+    if eta < 0:
+        raise TuningError("eta must be non-negative")
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    w0_arr = np.asarray(w0, dtype=np.float64)
+    if eta == 0 or np.ptp(costs_arr[w0_arr > 0]) < 1e-12:
+        return list(w0_arr), float(np.dot(costs_arr, w0_arr))
+
+    # KL(w || w0) is finite only on w0's support: classes with zero nominal
+    # probability can never gain mass, so the tilt normalizes over the
+    # support's maximum cost (not the global maximum).
+    support_max = float(costs_arr[w0_arr > 0].max())
+
+    def tilt(lam: float) -> np.ndarray:
+        exponent = np.where(w0_arr > 0, (costs_arr - support_max) / lam, -np.inf)
+        weights = w0_arr * np.exp(exponent)
+        return weights / weights.sum()
+
+    def kl_at(lam: float) -> float:
+        return kl_divergence(tilt(lam), list(w0_arr))
+
+    # KL(tilt(λ) || w0) decreases in λ: large λ ≈ no tilt (KL→0), small λ
+    # concentrates on the most expensive class (KL→ -ln w0_max < ∞ possibly
+    # below eta, in which case the ball is slack and the vertex is optimal).
+    lam_hi = 1e6 * max(1.0, float(costs_arr.max()))
+    lam_lo = 1e-9 * max(1.0, float(costs_arr.max()))
+    if kl_at(lam_lo) <= eta:
+        w = tilt(lam_lo)
+        return list(w), float(np.dot(costs_arr, w))
+    for _ in range(200):
+        mid = math.sqrt(lam_lo * lam_hi)
+        if kl_at(mid) > eta:
+            lam_lo = mid
+        else:
+            lam_hi = mid
+    w = tilt(lam_hi)
+    return list(w), float(np.dot(costs_arr, w))
+
+
+def nominal_tuning(
+    model: CostModel,
+    w0: Workload,
+    candidates: Iterable[DesignPoint],
+    selectivity: float = 1e-4,
+) -> "Tuple[DesignPoint, float]":
+    """Classic tuning: the design minimizing expected cost at w0."""
+    best: Optional[Tuple[DesignPoint, float]] = None
+    w0_vec = np.asarray(w0.as_vector())
+    for point in candidates:
+        cost = float(np.dot(_operation_costs(model, point, selectivity), w0_vec))
+        if best is None or cost < best[1]:
+            best = (point, cost)
+    if best is None:
+        raise TuningError("no candidate designs supplied")
+    return best
+
+
+def robust_tuning(
+    model: CostModel,
+    w0: Workload,
+    candidates: Iterable[DesignPoint],
+    eta: float,
+    selectivity: float = 1e-4,
+) -> "Tuple[DesignPoint, float]":
+    """Endure: the design minimizing worst-case cost over the KL ball.
+
+    Returns:
+        (design, its worst-case cost at radius eta).
+    """
+    best: Optional[Tuple[DesignPoint, float]] = None
+    w0_vec = w0.as_vector()
+    for point in candidates:
+        costs = _operation_costs(model, point, selectivity)
+        _, worst = kl_worst_case_workload(costs, w0_vec, eta)
+        if best is None or worst < best[1]:
+            best = (point, worst)
+    if best is None:
+        raise TuningError("no candidate designs supplied")
+    return best
+
+
+def evaluate_under_drift(
+    model: CostModel,
+    point: DesignPoint,
+    observed: Workload,
+    selectivity: float = 1e-4,
+) -> float:
+    """Expected cost of a (possibly mis-)tuned design at an observed workload."""
+    costs = _operation_costs(model, point, selectivity)
+    return float(np.dot(costs, np.asarray(observed.as_vector())))

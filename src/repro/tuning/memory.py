@@ -1,0 +1,95 @@
+"""Memory allocation between the write buffer and the Bloom filters.
+
+Monkey's second contribution (and Luo & Carey's memory-wall line of work,
+tutorial §II-B.5): with a fixed memory budget M, every byte given to the
+buffer deepens nothing (it *shrinks* L and the write cost) while every byte
+given to filters cuts lookup false positives. The optimum is interior and
+workload-dependent; experiment E11 measures the real engine against this
+optimizer's prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+from repro.tuning.monkey import level_entry_counts, monkey_allocation
+
+
+@dataclass(frozen=True)
+class MemorySplit:
+    """One evaluated split of the memory budget."""
+
+    buffer_bytes: int
+    filter_bits_total: float
+    bits_per_level: "tuple[float, ...]"
+    cost: float
+
+
+def optimize_memory_split(
+    total_memory_bytes: int,
+    num_entries: int,
+    workload: Workload,
+    design: Optional[DesignPoint] = None,
+    entry_bytes: int = 64,
+    block_bytes: int = 4096,
+    min_buffer_bytes: int = 4096,
+    steps: int = 32,
+    use_monkey: bool = True,
+) -> MemorySplit:
+    """Find the buffer/filter split minimizing the model cost.
+
+    Sweeps the buffer share geometrically between ``min_buffer_bytes`` and the
+    whole budget, allocating the remainder to filters (Monkey-optimally by
+    default), and returns the cheapest split.
+
+    Raises:
+        TuningError: if the budget cannot even hold the minimum buffer.
+    """
+    if total_memory_bytes <= min_buffer_bytes:
+        raise TuningError("memory budget smaller than the minimum buffer")
+    if design is None:
+        design = DesignPoint.leveling(4)
+    if steps < 2:
+        raise TuningError("need at least 2 sweep steps")
+
+    best: Optional[MemorySplit] = None
+    ratio = (total_memory_bytes / min_buffer_bytes) ** (1.0 / (steps - 1))
+    for step in range(steps):
+        buffer_bytes = int(min_buffer_bytes * ratio ** step)
+        buffer_bytes = min(buffer_bytes, total_memory_bytes)
+        filter_bits = max(0.0, (total_memory_bytes - buffer_bytes) * 8.0)
+        model = CostModel(
+            num_entries,
+            entry_bytes=entry_bytes,
+            buffer_bytes=buffer_bytes,
+            block_bytes=block_bytes,
+        )
+        entries = level_entry_counts(
+            num_entries, model.buffer_entries, design.size_ratio
+        )
+        if use_monkey:
+            levels = len(entries)
+            runs = [
+                design.last_runs if level == levels else design.inner_runs
+                for level in range(1, levels + 1)
+            ]
+            bits = monkey_allocation(filter_bits, entries, runs_per_level=runs)
+        else:
+            total_entries = sum(entries)
+            bits = [filter_bits / total_entries] * len(entries)
+        point = DesignPoint(
+            size_ratio=design.size_ratio,
+            inner_runs=design.inner_runs,
+            last_runs=design.last_runs,
+            bits_per_key=tuple(bits),
+            name=design.name,
+        )
+        cost = model.workload_cost(point, workload)
+        candidate = MemorySplit(buffer_bytes, filter_bits, tuple(bits), cost)
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    assert best is not None
+    return best

@@ -1,0 +1,135 @@
+"""Monkey: optimal Bloom-filter memory allocation across levels.
+
+Dayan et al. (SIGMOD 2017) showed that giving every level the same bits/key —
+the production default — is suboptimal: the last level holds ~ (T-1)/T of all
+entries yet contributes just as much false-positive mass per run as the tiny
+first level. Minimizing the *sum* of run FPRs under a total memory budget
+pushes memory toward the smaller (shallower) levels, making their FPRs
+exponentially smaller, and may assign deep levels zero memory.
+
+Two solvers are provided: a closed-form waterfilling derived from the
+Lagrangian of ``min Σ n_i·exp(-ln2²·m_i/n_i) s.t. Σ m_i = M`` (the FPR of an
+optimal Bloom filter with m_i bits over n_i keys is exp(-ln2²·m_i/n_i)), and
+a numeric check via scipy. The closed form is exact for this objective.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import TuningError
+
+_LN2_SQ = math.log(2) ** 2
+
+
+def uniform_allocation(total_bits: float, level_entries: Sequence[int]) -> List[float]:
+    """The production baseline: the same bits/key everywhere."""
+    total_entries = sum(level_entries)
+    if total_entries <= 0:
+        raise TuningError("need at least one entry")
+    bits_per_key = total_bits / total_entries
+    return [bits_per_key for _ in level_entries]
+
+
+def monkey_allocation(
+    total_bits: float,
+    level_entries: Sequence[int],
+    runs_per_level: Sequence[int] = None,
+) -> List[float]:
+    """Optimal per-level bits/key under a total filter-memory budget.
+
+    Minimizes ``Σ r_i · exp(-ln2²·b_i)`` subject to ``Σ n_i·b_i = M`` and
+    ``b_i >= 0`` via the exact KKT waterfilling:
+    ``b_i = A - ln(n_i / r_i)/ln2²`` on the active set.
+
+    Args:
+        total_bits: M — total filter bits available.
+        level_entries: n_i — entries per level, shallowest first.
+        runs_per_level: r_i — runs at each level (1 for leveling; T-1 for
+            tiered levels). Defaults to all-ones.
+
+    Returns:
+        bits/key per level; deep levels may get 0.0, meaning "no filter at
+        this level", exactly as Monkey prescribes.
+    """
+    if total_bits < 0:
+        raise TuningError("total_bits must be non-negative")
+    entries = [float(n) for n in level_entries]
+    if not entries or any(n <= 0 for n in entries):
+        raise TuningError("level_entries must be positive")
+    runs = [1.0] * len(entries) if runs_per_level is None else [float(r) for r in runs_per_level]
+    if len(runs) != len(entries) or any(r < 1 for r in runs):
+        raise TuningError("runs_per_level must align with level_entries and be >= 1")
+
+    c = _LN2_SQ
+    active = list(range(len(entries)))
+    while active:
+        total_n = sum(entries[i] for i in active)
+        weighted_log = sum(entries[i] * math.log(entries[i] / runs[i]) for i in active)
+        a_const = (total_bits + weighted_log / c) / total_n
+        alloc = {i: a_const - math.log(entries[i] / runs[i]) / c for i in active}
+        negative = [i for i in active if alloc[i] <= 0]
+        if not negative:
+            bits = [0.0] * len(entries)
+            for i in active:
+                bits[i] = alloc[i]
+            return bits
+        # Deactivate the levels KKT priced below zero and re-solve.
+        active = [i for i in active if i not in negative]
+    return [0.0] * len(entries)
+
+
+def monkey_allocation_numeric(
+    total_bits: float, level_entries: Sequence[int]
+) -> List[float]:
+    """Numeric cross-check of :func:`monkey_allocation` via scipy SLSQP."""
+    entries = np.asarray(level_entries, dtype=np.float64)
+    if entries.min() <= 0:
+        raise TuningError("level_entries must be positive")
+
+    def total_fpr(bits_vec: np.ndarray) -> float:
+        return float(np.sum(np.exp(-_LN2_SQ * bits_vec)))
+
+    start = np.full(len(entries), total_bits / entries.sum())
+    constraint = {"type": "eq", "fun": lambda b: float(np.dot(b, entries) - total_bits)}
+    bounds = [(0.0, None)] * len(entries)
+    result = optimize.minimize(
+        total_fpr, start, bounds=bounds, constraints=[constraint], method="SLSQP"
+    )
+    if not result.success:
+        raise TuningError(f"numeric Monkey optimization failed: {result.message}")
+    return [float(b) for b in result.x]
+
+
+def expected_zero_lookup_cost(
+    bits_per_level: Sequence[float], runs_per_level: Sequence[int]
+) -> float:
+    """Σ runs_i · exp(-ln2²·bits_i): the model cost Monkey minimizes."""
+    if len(bits_per_level) != len(runs_per_level):
+        raise TuningError("bits and runs vectors must align")
+    return sum(
+        runs * math.exp(-_LN2_SQ * bits)
+        for bits, runs in zip(bits_per_level, runs_per_level)
+    )
+
+
+def level_entry_counts(
+    num_entries: int, buffer_entries: int, size_ratio: int
+) -> List[int]:
+    """Entries per level for a tree of N entries (shallowest first)."""
+    if min(num_entries, buffer_entries, size_ratio) <= 0 or size_ratio < 2:
+        raise TuningError("invalid tree shape parameters")
+    counts: List[int] = []
+    remaining = num_entries
+    level = 1
+    while remaining > 0:
+        capacity = buffer_entries * size_ratio ** level
+        take = min(remaining, capacity)
+        counts.append(take)
+        remaining -= take
+        level += 1
+    return counts or [num_entries]

@@ -1,0 +1,105 @@
+"""The design-space navigator: enumerate, price, and rank configurations.
+
+The tutorial's Module III message is that the (T, K, Z, memory) space is
+navigable with a cost model: given a workload, enumerate candidate design
+points, price each, and return the best (or the whole Pareto frontier over
+read and write costs, which is the tradeoff curve of experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+
+
+@dataclass(frozen=True)
+class RankedDesign:
+    """A priced design point."""
+
+    point: DesignPoint
+    cost: float
+    read_cost: float
+    write_cost: float
+
+
+class DesignNavigator:
+    """Enumerates the (T, K, Z) continuum and ranks it for a workload.
+
+    Args:
+        model: the cost model (fixes N, E, buffer, block size).
+        size_ratios: candidate T values.
+        include_hybrids: also enumerate intermediate (K, Z) hybrids, not just
+            the three canonical corner designs.
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        size_ratios: Sequence[int] = (2, 3, 4, 6, 8, 10),
+        include_hybrids: bool = False,
+        bits_per_key: float = 10.0,
+    ) -> None:
+        self._model = model
+        self._size_ratios = list(size_ratios)
+        self._include_hybrids = include_hybrids
+        self._bits = bits_per_key
+
+    def candidates(self) -> Iterable[DesignPoint]:
+        """Every design point the navigator considers."""
+        for ratio in self._size_ratios:
+            yield DesignPoint.leveling(ratio, self._bits)
+            yield DesignPoint.tiering(ratio, self._bits)
+            yield DesignPoint.lazy_leveling(ratio, self._bits)
+            if self._include_hybrids:
+                for inner in range(1, ratio):
+                    for last in range(1, ratio):
+                        if (inner, last) in ((1, 1), (ratio - 1, ratio - 1), (ratio - 1, 1)):
+                            continue
+                        yield DesignPoint(
+                            ratio, inner, last, self._bits,
+                            name=f"hybrid(T={ratio},K={inner},Z={last})",
+                        )
+
+    def rank(self, workload: Workload, top: Optional[int] = None) -> List[RankedDesign]:
+        """All candidates priced for the workload, cheapest first."""
+        ranked = [self._price(point, workload) for point in self.candidates()]
+        ranked.sort(key=lambda r: r.cost)
+        return ranked[:top] if top is not None else ranked
+
+    def best(self, workload: Workload) -> RankedDesign:
+        """The cheapest design for the workload."""
+        return self.rank(workload, top=1)[0]
+
+    def tradeoff_curve(self) -> List[Tuple[float, float, DesignPoint]]:
+        """The read/write Pareto frontier: (read_cost, write_cost, point).
+
+        Read cost here is the zero-result lookup cost (the filter-dominated
+        metric Monkey optimizes); write cost is the amortized insert cost.
+        """
+        priced = []
+        for point in self.candidates():
+            read = self._model.zero_result_lookup_cost(point)
+            write = self._model.write_cost(point)
+            priced.append((read, write, point))
+        priced.sort(key=lambda item: (item[0], item[1]))
+        frontier: List[Tuple[float, float, DesignPoint]] = []
+        best_write = float("inf")
+        for read, write, point in priced:
+            if write < best_write:
+                frontier.append((read, write, point))
+                best_write = write
+        return frontier
+
+    # -- internals -----------------------------------------------------------
+
+    def _price(self, point: DesignPoint, workload: Workload) -> RankedDesign:
+        read = (
+            workload.zero_lookups * self._model.zero_result_lookup_cost(point)
+            + workload.lookups * self._model.lookup_cost(point)
+            + workload.short_ranges * self._model.short_range_cost(point)
+            + workload.long_ranges * self._model.long_range_cost(point)
+        )
+        write = workload.writes * self._model.write_cost(point)
+        return RankedDesign(point, read + write, read, write)

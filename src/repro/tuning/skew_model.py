@@ -1,0 +1,103 @@
+"""Distribution-aware cost modeling (tutorial §III-1; Cosine, VLDB 2022).
+
+Monkey/Dostoevsky-style models price the *worst case*: every lookup pays
+storage I/O. Cosine's departure, reproduced here, is a model aware of the
+access distribution and the cache: under a zipfian workload, the cache
+absorbs the hot mass, so the expected existing-lookup cost is the worst-case
+cost scaled by the cache *miss* rate. The gap between the two models grows
+with skew — exactly why worst-case navigation picks wrong designs for
+skewed workloads (experiment E17 quantifies both predictions against the
+simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+
+
+def zipf_top_mass(keyspace: int, top: int, theta: float) -> float:
+    """Fraction of zipfian probability mass on the ``top`` hottest keys.
+
+    H_{top,theta} / H_{keyspace,theta}, with the harmonic sums computed
+    exactly up to a cutoff and by integral approximation beyond — the same
+    scheme the workload generator uses, so model and generator agree.
+    """
+    if keyspace <= 0:
+        raise TuningError("keyspace must be positive")
+    if not 0 < theta < 1:
+        raise TuningError("theta must be in (0, 1)")
+    top = max(0, min(top, keyspace))
+    if top == 0:
+        return 0.0
+    return _zeta(top, theta) / _zeta(keyspace, theta)
+
+
+def _zeta(n: int, theta: float) -> float:
+    cutoff = min(n, 10_000)
+    total = sum(1.0 / (i ** theta) for i in range(1, cutoff + 1))
+    if n > cutoff:
+        total += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) / (1 - theta)
+    return total
+
+
+@dataclass
+class SkewAwareCostModel:
+    """Wraps a worst-case :class:`CostModel` with cache+skew awareness.
+
+    Args:
+        base: the worst-case model (fixes N, E, buffer, block size).
+        cache_bytes: block-cache budget.
+        theta: zipfian skew of the read workload.
+
+    The cache is modeled as holding one hot key's block per cached block
+    (scrambled zipfian spreads hot keys across blocks), so the expected
+    hit rate for existing lookups is the zipf mass of the hottest
+    ``cache_bytes / block_bytes`` keys. Zero-result lookups and writes do
+    not benefit (absent keys cache nothing; writes are buffered anyway).
+    """
+
+    base: CostModel
+    cache_bytes: int
+    theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes < 0:
+            raise TuningError("cache_bytes must be non-negative")
+        if not 0 < self.theta < 1:
+            raise TuningError("theta must be in (0, 1)")
+
+    @property
+    def expected_hit_rate(self) -> float:
+        cached_keys = self.cache_bytes // self.base.block_bytes
+        return zipf_top_mass(self.base.num_entries, cached_keys, self.theta)
+
+    def lookup_cost(self, point: DesignPoint) -> float:
+        """Expected I/Os per existing lookup: worst case x miss rate."""
+        return (1.0 - self.expected_hit_rate) * self.base.lookup_cost(point)
+
+    def zero_result_lookup_cost(self, point: DesignPoint) -> float:
+        """Unchanged: absent keys leave nothing cacheable behind the filters."""
+        return self.base.zero_result_lookup_cost(point)
+
+    def workload_cost(self, point: DesignPoint, workload: Workload) -> float:
+        """Expected I/Os per operation with the lookup discount applied."""
+        worst = self.base.workload_cost(point, workload)
+        discount = workload.lookups * self.expected_hit_rate * self.base.lookup_cost(point)
+        return worst - discount
+
+    # -- CostModel pass-throughs so the navigator can use this model drop-in --
+
+    def short_range_cost(self, point: DesignPoint) -> float:
+        return self.base.short_range_cost(point)
+
+    def long_range_cost(self, point: DesignPoint, selectivity: float = 1e-4) -> float:
+        return self.base.long_range_cost(point, selectivity)
+
+    def write_cost(self, point: DesignPoint) -> float:
+        return self.base.write_cost(point)
+
+    def num_levels(self, point: DesignPoint) -> int:
+        return self.base.num_levels(point)

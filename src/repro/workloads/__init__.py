@@ -1,0 +1,41 @@
+"""Workload generation: key distributions, operation mixes, YCSB presets.
+
+Experiments drive the engine with streams of operations produced here. Key
+distributions are deterministic given their seed, so every benchmark run is
+reproducible bit-for-bit.
+"""
+
+from repro.workloads.distributions import (
+    HotspotKeys,
+    KeyDistribution,
+    LatestKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+from repro.workloads.spec import (
+    Operation,
+    OperationMix,
+    WorkloadSpec,
+    generate_operations,
+    preload,
+    uniform_spec,
+)
+from repro.workloads.ycsb import YCSB_PRESETS, ycsb
+
+__all__ = [
+    "preload",
+    "uniform_spec",
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfianKeys",
+    "SequentialKeys",
+    "HotspotKeys",
+    "LatestKeys",
+    "Operation",
+    "OperationMix",
+    "WorkloadSpec",
+    "generate_operations",
+    "YCSB_PRESETS",
+    "ycsb",
+]

@@ -1,0 +1,161 @@
+"""Key distributions: uniform, zipfian (YCSB-style scrambled), sequential,
+hotspot, and latest.
+
+All distributions draw integer keys from ``[0, keyspace)`` and are
+deterministic under their seed. The zipfian generator implements the
+Gray et al. algorithm used by YCSB, including the scrambling step that
+spreads the hot keys across the keyspace (so hot keys do not cluster in one
+key range, matching real skewed workloads).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+
+from repro.filters.hashing import hash64
+
+
+class KeyDistribution(abc.ABC):
+    """A deterministic stream of integer keys in ``[0, keyspace)``."""
+
+    def __init__(self, keyspace: int, seed: int = 0) -> None:
+        if keyspace <= 0:
+            raise ValueError("keyspace must be positive")
+        self.keyspace = keyspace
+        self._rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def sample(self) -> int:
+        """Draw the next key."""
+
+    def sample_many(self, count: int) -> "list[int]":
+        return [self.sample() for _ in range(count)]
+
+
+class UniformKeys(KeyDistribution):
+    """Every key equally likely."""
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.keyspace)
+
+
+class SequentialKeys(KeyDistribution):
+    """0, 1, 2, ... wrapping at the keyspace (time-series ingestion)."""
+
+    def __init__(self, keyspace: int, seed: int = 0, start: int = 0) -> None:
+        super().__init__(keyspace, seed)
+        self._next = start % keyspace
+
+    def sample(self) -> int:
+        key = self._next
+        self._next = (self._next + 1) % self.keyspace
+        return key
+
+
+class ZipfianKeys(KeyDistribution):
+    """YCSB's scrambled zipfian: rank-zipf + hash scrambling.
+
+    Args:
+        keyspace: number of distinct keys.
+        theta: skew (YCSB default 0.99; 0 degenerates to uniform-ish).
+        scrambled: hash the zipf rank so hot keys spread over the keyspace.
+    """
+
+    def __init__(
+        self, keyspace: int, seed: int = 0, theta: float = 0.99, scrambled: bool = True
+    ) -> None:
+        super().__init__(keyspace, seed)
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self._theta = theta
+        self._scrambled = scrambled
+        self._zetan = self._zeta(keyspace, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / keyspace) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5 ** self._theta:
+            rank = 1
+        else:
+            rank = int(self.keyspace * (self._eta * u - self._eta + 1) ** self._alpha)
+        rank = min(rank, self.keyspace - 1)
+        if not self._scrambled:
+            return rank
+        return hash64(rank.to_bytes(8, "little"), seed=1) % self.keyspace
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact up to a cutoff, then the integral approximation; keeps
+        # construction O(1)-ish for large keyspaces.
+        cutoff = min(n, 10_000)
+        total = sum(1.0 / (i ** theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            total += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) / (1 - theta)
+        return total
+
+
+class HotspotKeys(KeyDistribution):
+    """A fraction of operations hit a small hot region of the keyspace."""
+
+    def __init__(
+        self,
+        keyspace: int,
+        seed: int = 0,
+        hot_fraction: float = 0.2,
+        hot_weight: float = 0.8,
+    ) -> None:
+        super().__init__(keyspace, seed)
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0 <= hot_weight <= 1:
+            raise ValueError("hot_weight must be in [0, 1]")
+        self._hot_size = max(1, int(keyspace * hot_fraction))
+        self._hot_weight = hot_weight
+
+    def sample(self) -> int:
+        if self._rng.random() < self._hot_weight:
+            return self._rng.randrange(self._hot_size)
+        if self._hot_size == self.keyspace:
+            return self._rng.randrange(self.keyspace)
+        return self._hot_size + self._rng.randrange(self.keyspace - self._hot_size)
+
+
+class LatestKeys(KeyDistribution):
+    """Skewed toward recently inserted keys (YCSB-D's 'latest').
+
+    Call :meth:`advance` whenever an insert happens so the head moves.
+    """
+
+    def __init__(self, keyspace: int, seed: int = 0, theta: float = 0.99) -> None:
+        super().__init__(keyspace, seed)
+        self._head = 1
+        self._zipf = ZipfianKeys(keyspace, seed=seed, theta=theta, scrambled=False)
+
+    def advance(self, head: int) -> None:
+        """Record that keys up to ``head`` now exist."""
+        self._head = max(1, min(head, self.keyspace))
+
+    def sample(self) -> int:
+        offset = self._zipf.sample() % self._head
+        return self._head - 1 - offset
+
+
+def describe(distribution: KeyDistribution) -> str:
+    """One-line label for experiment output."""
+    name = type(distribution).__name__
+    extra = ""
+    if isinstance(distribution, ZipfianKeys):
+        extra = f"(theta={distribution._theta})"
+    return f"{name}{extra}[{distribution.keyspace}]"
+
+
+def estimated_distinct(keyspace: int, samples: int) -> int:
+    """Expected distinct keys when sampling uniformly with replacement."""
+    return round(keyspace * (1 - math.exp(-samples / keyspace)))

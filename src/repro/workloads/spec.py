@@ -1,0 +1,141 @@
+"""Operation mixes and workload specifications."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.common.encoding import encode_uint_key
+from repro.workloads.distributions import KeyDistribution, LatestKeys, UniformKeys
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation for the engine: kind, key(s), optional value.
+
+    kind is one of 'put', 'get', 'scan', 'delete'. Scans carry ``end_key``.
+    """
+
+    kind: str
+    key: bytes
+    value: bytes = b""
+    end_key: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Fractions of each operation kind; must sum to 1."""
+
+    put: float = 0.0
+    get: float = 0.0
+    scan: float = 0.0
+    delete: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.put + self.get + self.scan + self.delete
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"operation mix must sum to 1, got {total}")
+        for name in ("put", "get", "scan", "delete"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} fraction must be non-negative")
+
+
+@dataclass
+class WorkloadSpec:
+    """A complete workload description.
+
+    Attributes:
+        mix: operation fractions.
+        read_keys: distribution for get/scan keys.
+        write_keys: distribution for put/delete keys (defaults to read_keys).
+        value_size: payload bytes per put.
+        scan_length: keys spanned by each scan's range.
+        seed: RNG seed for the operation-kind sequence.
+    """
+
+    mix: OperationMix
+    read_keys: KeyDistribution
+    write_keys: Optional[KeyDistribution] = None
+    value_size: int = 64
+    scan_length: int = 100
+    seed: int = 0
+    _inserts: int = field(default=0, repr=False)
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """Generate ``count`` operations."""
+        return generate_operations(self, count)
+
+
+def generate_operations(spec: WorkloadSpec, count: int) -> Iterator[Operation]:
+    """Yield operations drawn from the spec's mix and distributions."""
+    rng = random.Random(spec.seed)
+    write_keys = spec.write_keys or spec.read_keys
+    mix = spec.mix
+    thresholds = (
+        mix.put,
+        mix.put + mix.get,
+        mix.put + mix.get + mix.scan,
+    )
+    for i in range(count):
+        draw = rng.random()
+        if draw < thresholds[0]:
+            raw = write_keys.sample()
+            spec._inserts += 1
+            if isinstance(spec.read_keys, LatestKeys):
+                spec.read_keys.advance(spec._inserts)
+            yield Operation(
+                kind="put",
+                key=encode_uint_key(raw),
+                value=_value_for(raw, i, spec.value_size),
+            )
+        elif draw < thresholds[1]:
+            yield Operation(kind="get", key=encode_uint_key(spec.read_keys.sample()))
+        elif draw < thresholds[2]:
+            start = spec.read_keys.sample()
+            end = min(start + spec.scan_length - 1, spec.read_keys.keyspace - 1)
+            yield Operation(
+                kind="scan",
+                key=encode_uint_key(start),
+                end_key=encode_uint_key(end),
+            )
+        else:
+            yield Operation(kind="delete", key=encode_uint_key(write_keys.sample()))
+
+
+def _value_for(key: int, op_index: int, size: int) -> bytes:
+    """A deterministic, verifiable value payload."""
+    stamp = b"k%dv%d:" % (key, op_index)
+    if len(stamp) >= size:
+        return stamp[:size]
+    return stamp + b"x" * (size - len(stamp))
+
+
+def preload(tree, keyspace: int, value_size: int = 64, seed: int = 0) -> None:
+    """Insert every key of the keyspace once, in random order.
+
+    The standard experiment setup: load, then measure the query phase.
+    """
+    order = list(range(keyspace))
+    random.Random(seed).shuffle(order)
+    for key in order:
+        tree.put(encode_uint_key(key), _value_for(key, 0, value_size))
+    tree.flush()
+
+
+def uniform_spec(
+    keyspace: int,
+    mix: OperationMix,
+    value_size: int = 64,
+    scan_length: int = 100,
+    seed: int = 0,
+) -> WorkloadSpec:
+    """Convenience: a spec with independent uniform read/write keys."""
+    return WorkloadSpec(
+        mix=mix,
+        read_keys=UniformKeys(keyspace, seed=seed + 1),
+        write_keys=UniformKeys(keyspace, seed=seed + 2),
+        value_size=value_size,
+        scan_length=scan_length,
+        seed=seed,
+    )

@@ -1,0 +1,61 @@
+"""YCSB core-workload presets (the mixes every LSM paper reports against).
+
+=======  =============================  ====================
+Preset   Mix                            Key distribution
+=======  =============================  ====================
+A        50% get / 50% put              zipfian
+B        95% get / 5% put               zipfian
+C        100% get                       zipfian
+D        95% get / 5% put               latest
+E        95% scan / 5% put              zipfian
+F        50% get / 50% put (RMW-ish)    zipfian
+=======  =============================  ====================
+"""
+
+from __future__ import annotations
+
+from repro.workloads.distributions import LatestKeys, ZipfianKeys
+from repro.workloads.spec import OperationMix, WorkloadSpec
+
+YCSB_PRESETS = {
+    "A": OperationMix(put=0.5, get=0.5),
+    "B": OperationMix(put=0.05, get=0.95),
+    "C": OperationMix(get=1.0),
+    "D": OperationMix(put=0.05, get=0.95),
+    "E": OperationMix(put=0.05, scan=0.95),
+    "F": OperationMix(put=0.5, get=0.5),
+}
+
+
+def ycsb(
+    preset: str,
+    keyspace: int,
+    value_size: int = 64,
+    scan_length: int = 100,
+    seed: int = 0,
+    theta: float = 0.99,
+) -> WorkloadSpec:
+    """Build a WorkloadSpec for one YCSB core preset.
+
+    Raises:
+        KeyError: for unknown preset letters.
+    """
+    preset = preset.upper()
+    try:
+        mix = YCSB_PRESETS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown YCSB preset {preset!r}; expected one of {sorted(YCSB_PRESETS)}"
+        ) from None
+    if preset == "D":
+        read_keys = LatestKeys(keyspace, seed=seed + 1, theta=theta)
+    else:
+        read_keys = ZipfianKeys(keyspace, seed=seed + 1, theta=theta)
+    return WorkloadSpec(
+        mix=mix,
+        read_keys=read_keys,
+        write_keys=ZipfianKeys(keyspace, seed=seed + 2, theta=theta),
+        value_size=value_size,
+        scan_length=scan_length,
+        seed=seed,
+    )

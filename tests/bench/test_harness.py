@@ -1,0 +1,83 @@
+"""Bench harness: metrics aggregation and table rendering."""
+
+import pytest
+
+from repro.bench.harness import RunMetrics, preload_tree, run_operations
+from repro.bench.report import format_table, print_table
+from repro.common.encoding import encode_uint_key
+from repro.workloads.spec import Operation, OperationMix, uniform_spec
+from tests.conftest import make_tree
+
+
+class TestRunMetrics:
+    def test_derived_rates_guard_zero(self):
+        metrics = RunMetrics()
+        assert metrics.reads_per_get == 0.0
+        assert metrics.ios_per_op == 0.0
+        assert metrics.cache_hit_rate == 0.0
+        assert metrics.observed_fpr == 0.0
+
+    def test_derived_rates(self):
+        metrics = RunMetrics(operations=10, gets=5, blocks_read=20, blocks_written=10,
+                             cache_hits=3, cache_misses=1)
+        assert metrics.reads_per_get == 4.0
+        assert metrics.ios_per_op == 3.0
+        assert metrics.cache_hit_rate == 0.75
+
+
+class TestHarness:
+    def test_preload_makes_all_keys_readable(self):
+        tree = make_tree()
+        preload_tree(tree, 300)
+        for i in range(0, 300, 17):
+            assert tree.get(encode_uint_key(i)).found
+
+    def test_run_operations_counts_kinds(self):
+        tree = make_tree()
+        preload_tree(tree, 200)
+        spec = uniform_spec(200, OperationMix(put=0.4, get=0.4, scan=0.1, delete=0.1))
+        metrics = run_operations(tree, spec.operations(500))
+        assert metrics.operations == 500
+        assert metrics.puts + metrics.gets + metrics.scans + metrics.deletes == 500
+        assert metrics.found > 0
+
+    def test_phase_isolation(self):
+        tree = make_tree()
+        preload_tree(tree, 500)
+        load_reads = tree.device.stats.blocks_read
+        metrics = run_operations(
+            tree, [Operation(kind="get", key=encode_uint_key(i)) for i in range(50)]
+        )
+        assert metrics.blocks_read <= tree.device.stats.blocks_read - load_reads + 1
+
+    def test_scan_cap(self):
+        tree = make_tree()
+        preload_tree(tree, 500)
+        ops = [Operation(kind="scan", key=encode_uint_key(0),
+                         end_key=encode_uint_key(499))]
+        metrics = run_operations(tree, ops, max_scan_entries=10)
+        assert metrics.scan_entries == 10
+
+    def test_unknown_operation_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            run_operations(tree, [Operation(kind="merge", key=b"k")])
+
+
+class TestReport:
+    def test_format_alignment(self):
+        table = format_table(["name", "value"], [["leveling", 1.5], ["tiering", 20]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_float_rendering(self):
+        table = format_table(["x"], [[0.000001], [12345678.0], [3.14159]])
+        assert "e-06" in table or "1e-06" in table
+        assert "3.142" in table
+
+    def test_print_table_smoke(self, capsys):
+        print_table("demo", ["a"], [[1]])
+        out = capsys.readouterr().out
+        assert "== demo ==" in out and "1" in out

@@ -1,0 +1,179 @@
+"""Block cache: policies, byte budgets, invalidation, and Leaper prefetch."""
+
+import pytest
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.leaper import LeaperPrefetcher
+from repro.cache.policies import ClockPolicy, LFUPolicy, LRUPolicy, make_policy
+from repro.common.entry import Entry
+from repro.storage.block_device import BlockDevice
+from repro.storage.sstable import SSTableBuilder
+
+
+class TestPolicies:
+    def test_lru_evicts_oldest_touch(self):
+        policy = LRUPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_insert(key)
+        policy.on_access("a")
+        assert policy.victim() == "b"
+
+    def test_lru_remove(self):
+        policy = LRUPolicy()
+        policy.on_insert("a")
+        policy.on_remove("a")
+        assert policy.victim() is None
+
+    def test_lfu_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        for key in ("a", "b"):
+            policy.on_insert(key)
+        for _ in range(3):
+            policy.on_access("a")
+        assert policy.victim() == "b"
+
+    def test_lfu_ties_break_fifo(self):
+        policy = LFUPolicy()
+        policy.on_insert("first")
+        policy.on_insert("second")
+        assert policy.victim() == "first"
+
+    def test_clock_second_chance(self):
+        policy = ClockPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_insert(key)
+        policy.on_access("a")  # referenced: survives one pass
+        assert policy.victim() == "b"
+
+    def test_clock_all_referenced_degrades_to_fifo(self):
+        policy = ClockPolicy()
+        for key in ("a", "b"):
+            policy.on_insert(key)
+            policy.on_access(key)
+        victim = policy.victim()
+        assert victim in ("a", "b")
+
+    def test_registry(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        with pytest.raises(KeyError):
+            make_policy("arc")
+
+
+class TestBlockCache:
+    def test_hit_after_load(self):
+        cache = BlockCache(1024)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return "block", 100
+
+        assert cache.get_or_load((1, 0), loader) == "block"
+        assert cache.get_or_load((1, 0), loader) == "block"
+        assert len(calls) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_byte_budget_evicts(self):
+        cache = BlockCache(250)
+        for i in range(5):
+            cache.get_or_load((1, i), lambda: ("x", 100))
+        assert cache.used_bytes <= 250
+        assert cache.stats.evictions >= 3
+
+    def test_zero_capacity_disables(self):
+        cache = BlockCache(0)
+        cache.get_or_load((1, 0), lambda: ("x", 10))
+        cache.get_or_load((1, 0), lambda: ("x", 10))
+        assert len(cache) == 0
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_oversized_object_not_cached(self):
+        cache = BlockCache(50)
+        cache.get_or_load((1, 0), lambda: ("big", 100))
+        assert len(cache) == 0
+
+    def test_invalidate_file_drops_only_that_file(self):
+        cache = BlockCache(10_000)
+        cache.get_or_load((1, 0), lambda: ("a", 10))
+        cache.get_or_load((2, 0), lambda: ("b", 10))
+        dropped = cache.invalidate_file(1)
+        assert dropped == [(1, 0)]
+        assert not cache.contains((1, 0))
+        assert cache.contains((2, 0))
+
+    def test_invalidate_handles_vlog_keys(self):
+        cache = BlockCache(10_000)
+        cache.get_or_load(("vlog", 3, 0), lambda: ("v", 10))
+        assert cache.invalidate_file(3) == [("vlog", 3, 0)]
+
+    def test_hot_keys_threshold(self):
+        cache = BlockCache(10_000)
+        for _ in range(5):
+            cache.get_or_load((1, 0), lambda: ("a", 10))
+        cache.get_or_load((1, 1), lambda: ("b", 10))
+        assert cache.hot_keys(min_accesses=3) == [(1, 0)]
+
+    def test_put_prefetch_path(self):
+        cache = BlockCache(1000)
+        cache.put((9, 0), "prefetched", 10)
+        assert cache.contains((9, 0))
+        cache.put((9, 0), "again", 10)  # idempotent
+        assert cache.used_bytes == 10
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+    def test_policy_by_name(self):
+        cache = BlockCache(100, policy="clock")
+        cache.get_or_load((1, 0), lambda: ("x", 10))
+        assert cache.contains((1, 0))
+
+
+def build_table(device, values):
+    builder = SSTableBuilder(device)
+    for i, v in enumerate(values):
+        builder.add(Entry(key=b"k%06d" % v, seqno=i + 1, value=b"v" * 40))
+    return builder.finish()
+
+
+class TestLeaper:
+    def make_setup(self):
+        device = BlockDevice(block_size=256)
+        cache = BlockCache(1 << 20)
+        old = build_table(device, range(0, 200))
+        new = build_table(device, range(0, 200, 2))
+        return device, cache, old, new
+
+    def test_prefetches_new_blocks_covering_hot_old_blocks(self):
+        device, cache, old, new = self.make_setup()
+        # Heat up one old block through the cache.
+        for _ in range(5):
+            old.get(b"k%06d" % 50, cache=cache)
+        leaper = LeaperPrefetcher(cache, hot_threshold=2, max_prefetch_blocks=16)
+        fetched = leaper.on_compaction([old], [new])
+        assert fetched > 0
+        # The covering new block is now a cache hit with zero demand I/O.
+        before = device.stats.blocks_read
+        new.get(b"k%06d" % 50, cache=cache)
+        assert device.stats.blocks_read == before
+
+    def test_no_hot_blocks_no_prefetch(self):
+        _, cache, old, new = self.make_setup()
+        leaper = LeaperPrefetcher(cache, hot_threshold=2)
+        assert leaper.on_compaction([old], [new]) == 0
+
+    def test_budget_caps_prefetch(self):
+        _, cache, old, new = self.make_setup()
+        for key in range(0, 200, 10):
+            for _ in range(3):
+                old.get(b"k%06d" % key, cache=cache)
+        leaper = LeaperPrefetcher(cache, hot_threshold=2, max_prefetch_blocks=2)
+        assert leaper.on_compaction([old], [new]) <= 2
+
+    def test_validation(self):
+        cache = BlockCache(100)
+        with pytest.raises(ValueError):
+            LeaperPrefetcher(cache, hot_threshold=0)
+        with pytest.raises(ValueError):
+            LeaperPrefetcher(cache, max_prefetch_blocks=-1)

@@ -1,0 +1,107 @@
+"""Encodings: order preservation and varint round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.encoding import (
+    decode_int_key,
+    decode_uint_key,
+    decode_varint,
+    encode_int_key,
+    encode_str_key,
+    encode_uint_key,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+
+
+class TestUintKeys:
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**32, 2**64 - 1):
+            assert decode_uint_key(encode_uint_key(value)) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_uint_key(-1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            encode_uint_key(2**64, width=8)
+
+    def test_custom_width(self):
+        assert encode_uint_key(255, width=2) == b"\x00\xff"
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_order_preserving(self, a, b):
+        assert (a < b) == (encode_uint_key(a) < encode_uint_key(b))
+
+
+class TestIntKeys:
+    def test_roundtrip_extremes(self):
+        for value in (-(2**63), -1, 0, 1, 2**63 - 1):
+            assert decode_int_key(encode_int_key(value)) == value
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_int_key(2**63)
+        with pytest.raises(ValueError):
+            encode_int_key(-(2**63) - 1)
+
+    def test_decode_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            decode_int_key(b"abc")
+
+    @given(st.integers(-(2**63), 2**63 - 1), st.integers(-(2**63), 2**63 - 1))
+    def test_order_preserving(self, a, b):
+        assert (a < b) == (encode_int_key(a) < encode_int_key(b))
+
+    def test_negative_sorts_before_positive(self):
+        assert encode_int_key(-5) < encode_int_key(0) < encode_int_key(5)
+
+
+class TestStrKeys:
+    def test_utf8(self):
+        assert encode_str_key("abc") == b"abc"
+
+    def test_order_for_ascii(self):
+        assert encode_str_key("apple") < encode_str_key("banana")
+
+
+class TestVarint:
+    @given(st.integers(0, 2**64))
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")  # continuation bit with no next byte
+
+    def test_single_byte_boundary(self):
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+
+class TestLengthPrefixed:
+    @given(st.binary(max_size=200), st.binary(max_size=200))
+    def test_roundtrip_two_fields(self, a, b):
+        buf = bytearray()
+        put_length_prefixed(buf, a)
+        put_length_prefixed(buf, b)
+        got_a, offset = get_length_prefixed(bytes(buf), 0)
+        got_b, end = get_length_prefixed(bytes(buf), offset)
+        assert got_a == a and got_b == b and end == len(buf)
+
+    def test_truncated_payload_raises(self):
+        buf = bytearray()
+        put_length_prefixed(buf, b"hello")
+        with pytest.raises(ValueError):
+            get_length_prefixed(bytes(buf[:-1]), 0)

@@ -1,0 +1,111 @@
+"""Checkpoints: consistent copies that open as live trees."""
+
+import pytest
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.core.checkpoint import create_checkpoint, open_checkpoint
+from repro.errors import ConfigError
+from repro.storage.block_device import BlockDevice
+
+
+def durable_config(**overrides):
+    base = dict(
+        buffer_bytes=4 << 10, block_size=512, size_ratio=3,
+        wal_enabled=True, wal_sync_interval=1, seed=71,
+    )
+    base.update(overrides)
+    return LSMConfig(**base)
+
+
+def loaded_tree(config, n=1500, keyspace=500):
+    tree = LSMTree(config)
+    for i in range(n):
+        tree.put(encode_uint_key((i * 733) % keyspace), b"v%06d" % i)
+    return tree
+
+
+class TestCheckpoint:
+    def test_checkpoint_opens_with_identical_contents(self):
+        config = durable_config()
+        tree = loaded_tree(config)
+        expected = dict(tree.scan())
+        target = BlockDevice(block_size=512)
+        create_checkpoint(tree, target)
+        restored = open_checkpoint(config, target)
+        assert dict(restored.scan()) == expected
+
+    def test_checkpoint_includes_buffered_entries(self):
+        config = durable_config(buffer_bytes=1 << 20)  # nothing auto-flushes
+        tree = LSMTree(config)
+        tree.put(b"buffered", b"v")
+        target = BlockDevice(block_size=512)
+        create_checkpoint(tree, target)  # flushes first
+        restored = open_checkpoint(config, target)
+        assert restored.get(b"buffered").value == b"v"
+
+    def test_checkpoint_isolated_from_source_writes(self):
+        config = durable_config()
+        tree = loaded_tree(config, n=500)
+        target = BlockDevice(block_size=512)
+        create_checkpoint(tree, target)
+        tree.put(encode_uint_key(0), b"post-checkpoint")
+        tree.compact_all()
+        restored = open_checkpoint(config, target)
+        assert restored.get(encode_uint_key(0)).value != b"post-checkpoint"
+
+    def test_restored_tree_is_durable_and_writable(self):
+        config = durable_config()
+        tree = loaded_tree(config, n=400)
+        target = BlockDevice(block_size=512)
+        create_checkpoint(tree, target)
+        restored = open_checkpoint(config, target)
+        restored.put(b"new", b"write")
+        # Crash the restored tree and recover it again.
+        twice = LSMTree.recover(config, restored.device)
+        assert twice.get(b"new").value == b"write"
+
+    def test_kv_separation_pointers_survive(self):
+        config = durable_config(kv_separation=True, value_threshold=32)
+        tree = LSMTree(config)
+        for i in range(200):
+            tree.put(encode_uint_key(i), b"B" * 200 + b"%d" % i)
+        target = BlockDevice(block_size=512)
+        create_checkpoint(tree, target)
+        restored = open_checkpoint(config, target)
+        for i in range(0, 200, 17):
+            assert restored.get(encode_uint_key(i)).value == b"B" * 200 + b"%d" % i
+
+    def test_target_must_be_empty(self):
+        config = durable_config()
+        tree = loaded_tree(config, n=100)
+        target = BlockDevice(block_size=512)
+        target.create_file()
+        with pytest.raises(ConfigError):
+            create_checkpoint(tree, target)
+
+    def test_block_size_must_match(self):
+        config = durable_config()
+        tree = loaded_tree(config, n=100)
+        with pytest.raises(ConfigError):
+            create_checkpoint(tree, BlockDevice(block_size=1024))
+
+    def test_checkpoint_scrubs_clean(self):
+        config = durable_config()
+        tree = loaded_tree(config)
+        target = BlockDevice(block_size=512)
+        create_checkpoint(tree, target)
+        restored = open_checkpoint(config, target)
+        assert restored.verify_integrity()["errors"] == []
+
+
+class TestForcedFileIds:
+    def test_create_with_id(self):
+        device = BlockDevice()
+        assert device.create_file(file_id=42) == 42
+        assert device.create_file() == 43
+
+    def test_collision_rejected(self):
+        device = BlockDevice()
+        fid = device.create_file()
+        with pytest.raises(ValueError):
+            device.create_file(file_id=fid)

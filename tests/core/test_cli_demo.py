@@ -1,0 +1,11 @@
+"""The `python -m repro` demo runs end to end and tells the truth."""
+
+from repro.__main__ import demo
+
+
+def test_demo_runs_and_prints_tradeoff(capsys):
+    demo()
+    out = capsys.readouterr().out
+    assert "read/write tradeoff" in out
+    assert "leveling" in out and "tiering" in out
+    assert "Next steps" in out

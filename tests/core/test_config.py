@@ -1,0 +1,83 @@
+"""LSMConfig: validation and derived values."""
+
+import pytest
+
+from repro.core.config import LSMConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        LSMConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("buffer_bytes", 0),
+            ("size_ratio", 1),
+            ("block_size", 0),
+            ("memtable", "btree"),
+            ("index", "bogus"),
+            ("filter_kind", "bogus"),
+            ("range_filter", "bogus"),
+            ("cache_policy", "arc"),
+            ("picker", "bogus"),
+            ("layout", "bogus"),
+            ("cache_bytes", -1),
+            ("saturation_threshold", 0),
+            ("bits_per_key", -1),
+            ("bits_per_key", []),
+            ("bits_per_key", [10, -1]),
+        ],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            LSMConfig(**{field: value})
+
+    def test_partial_requires_file_bytes(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(partial_compaction=True)
+
+    def test_partial_requires_leveled_layout(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(partial_compaction=True, file_bytes=8192, layout="tiering")
+
+    def test_file_bytes_at_least_block(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(block_size=4096, file_bytes=1024)
+
+    def test_leaper_needs_cache(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(leaper_prefetch=True, cache_bytes=0)
+
+    def test_elastic_budget_needs_elastic_filter(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(elastic_budget_units=8, filter_kind="bloom")
+
+
+class TestDerived:
+    def test_level_capacity_geometric(self):
+        config = LSMConfig(buffer_bytes=1000, size_ratio=4)
+        assert config.level_capacity(1) == 4000
+        assert config.level_capacity(2) == 16000
+        with pytest.raises(ValueError):
+            config.level_capacity(0)
+
+    def test_bits_for_level_scalar(self):
+        config = LSMConfig(bits_per_key=7.5)
+        assert config.bits_for_level(1) == 7.5
+        assert config.bits_for_level(9) == 7.5
+
+    def test_bits_for_level_vector_extends_last(self):
+        config = LSMConfig(bits_per_key=[12.0, 9.0, 6.0])
+        assert config.bits_for_level(1) == 12.0
+        assert config.bits_for_level(3) == 6.0
+        assert config.bits_for_level(10) == 6.0
+
+    def test_layout_policy_resolution(self):
+        assert LSMConfig(layout="tiering", size_ratio=5).layout_policy().inner_runs == 4
+
+    def test_replace(self):
+        config = LSMConfig(size_ratio=4)
+        other = config.replace(size_ratio=8)
+        assert other.size_ratio == 8 and config.size_ratio == 4

@@ -1,0 +1,216 @@
+"""Durability: WAL, manifest persistence, and crash recovery.
+
+Crash model (see repro.core.manifest): fail-stop between client operations —
+a "crash" abandons the LSMTree object; recovery rebuilds from the device.
+"""
+
+import pytest
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.common.entry import Entry
+from repro.core.manifest import ManifestData, find_manifest, read_manifest, write_manifest
+from repro.errors import ClosedError, StorageError
+from repro.storage.block_device import BlockDevice
+from repro.storage.wal import WriteAheadLog
+
+
+def durable_config(**overrides):
+    base = dict(
+        buffer_bytes=4 << 10,
+        block_size=512,
+        size_ratio=3,
+        wal_enabled=True,
+        wal_sync_interval=1,  # zero loss window unless a test overrides
+        seed=77,
+    )
+    base.update(overrides)
+    return LSMConfig(**base)
+
+
+class TestWAL:
+    def test_append_replay_roundtrip(self, device):
+        wal = WriteAheadLog(device, sync_interval=4)
+        entries = [Entry(key=b"k%d" % i, seqno=i + 1, value=b"v%d" % i) for i in range(10)]
+        for entry in entries:
+            wal.append(entry)
+        assert list(wal.replay()) == entries
+
+    def test_sync_interval_controls_loss_window(self, device):
+        wal = WriteAheadLog(device, sync_interval=5)
+        for i in range(7):
+            wal.append(Entry(key=b"k%d" % i, seqno=i + 1))
+        assert wal.unsynced_records == 2  # 5 synced at the group commit
+
+    def test_roll_seals_and_starts_fresh(self, device):
+        wal = WriteAheadLog(device, sync_interval=1)
+        wal.append(Entry(key=b"a", seqno=1))
+        sealed = wal.roll()
+        wal.append(Entry(key=b"b", seqno=2))
+        assert [e.key for e in wal.replay(sealed)] == [b"a"]
+        assert [e.key for e in wal.replay()] == [b"b"]
+        wal.delete(sealed)
+        assert not device.file_exists(sealed)
+
+    def test_invalid_sync_interval(self, device):
+        with pytest.raises(ValueError):
+            WriteAheadLog(device, sync_interval=0)
+
+
+class TestManifest:
+    def test_write_find_read_roundtrip(self, device):
+        data = ManifestData(
+            seqno=42,
+            wal_file=7,
+            vlog_files=[3, 4],
+            levels=[[[10, 11]], [[12], [13, 14]]],
+        )
+        file_id = write_manifest(device, data, previous=None)
+        assert find_manifest(device) == file_id
+        parsed = read_manifest(device, file_id)
+        assert parsed == data
+
+    def test_rewrite_deletes_previous(self, device):
+        first = write_manifest(device, ManifestData(seqno=1), previous=None)
+        second = write_manifest(device, ManifestData(seqno=2), previous=first)
+        assert not device.file_exists(first)
+        assert read_manifest(device, second).seqno == 2
+
+    def test_find_ignores_non_manifests(self, device):
+        other = device.create_file()
+        device.append_block(other, b"not a manifest")
+        assert find_manifest(device) is None
+
+    def test_read_rejects_garbage(self, device):
+        other = device.create_file()
+        device.append_block(other, b"garbage")
+        with pytest.raises(StorageError):
+            read_manifest(device, other)
+
+
+class TestRecovery:
+    def write_and_crash(self, config, n=2000, keyspace=600):
+        tree = LSMTree(config)
+        expected = {}
+        for i in range(n):
+            key = encode_uint_key((i * 733) % keyspace)
+            if i % 11 == 10:
+                tree.delete(key)
+                expected.pop(key, None)
+            else:
+                value = b"v%06d" % i
+                tree.put(key, value)
+                expected[key] = value
+        # Crash: abandon the object. The device is all that survives.
+        return tree.device, expected
+
+    def test_full_recovery_no_loss(self):
+        config = durable_config()
+        device, expected = self.write_and_crash(config)
+        recovered = LSMTree.recover(config, device)
+        assert dict(recovered.scan()) == expected
+        for key, value in list(expected.items())[:50]:
+            result = recovered.get(key)
+            assert result.found and result.value == value
+
+    def test_recovery_without_any_flush(self):
+        config = durable_config(buffer_bytes=1 << 20)  # nothing ever flushes
+        device, expected = self.write_and_crash(config, n=300)
+        recovered = LSMTree.recover(config, device)
+        assert dict(recovered.scan()) == expected
+
+    def test_group_commit_bounds_loss(self):
+        config = durable_config(wal_sync_interval=16, buffer_bytes=1 << 20)
+        tree = LSMTree(config)
+        for i in range(100):
+            tree.put(encode_uint_key(i), b"v%d" % i)
+        lost_window = tree._wal.unsynced_records
+        assert lost_window < 16
+        recovered = LSMTree.recover(config, tree.device)
+        survived = len(list(recovered.scan()))
+        assert survived == 100 - lost_window
+
+    def test_recovered_tree_keeps_working(self):
+        config = durable_config()
+        device, expected = self.write_and_crash(config, n=800)
+        recovered = LSMTree.recover(config, device)
+        recovered.put(b"post-crash", b"alive")
+        recovered.flush()
+        assert recovered.get(b"post-crash").value == b"alive"
+        # And it can crash and recover AGAIN.
+        twice = LSMTree.recover(config, recovered.device)
+        assert twice.get(b"post-crash").value == b"alive"
+
+    def test_recovery_with_kv_separation(self):
+        config = durable_config(kv_separation=True, value_threshold=32)
+        tree = LSMTree(config)
+        expected = {}
+        for i in range(500):
+            key = encode_uint_key(i % 150)
+            value = (b"blob%04d" % i) * 8  # 64B: separated
+            tree.put(key, value)
+            expected[key] = value
+        recovered = LSMTree.recover(config, tree.device)
+        assert dict(recovered.scan()) == expected
+
+    def test_recovery_after_value_gc(self):
+        config = durable_config(
+            kv_separation=True, value_threshold=16, vlog_segment_blocks=2
+        )
+        tree = LSMTree(config)
+        for round_no in range(4):
+            for i in range(60):
+                tree.put(encode_uint_key(i), b"r%d-" % round_no + b"x" * 60)
+        tree.compact_all()
+        tree.collect_value_garbage()
+        recovered = LSMTree.recover(config, tree.device)
+        for i in range(60):
+            assert recovered.get(encode_uint_key(i)).value.startswith(b"r3-")
+
+    def test_recovery_preserves_filters_and_indexes(self):
+        config = durable_config(filter_kind="bloom", bits_per_key=10.0, index="fence")
+        device, expected = self.write_and_crash(config)
+        recovered = LSMTree.recover(config, device)
+        before = recovered.device.stats.blocks_read
+        for i in range(300):
+            recovered.get(encode_uint_key(10_000 + i))
+        assert recovered.device.stats.blocks_read - before < 10
+
+    def test_orphan_files_removed(self):
+        config = durable_config()
+        device, _ = self.write_and_crash(config)
+        orphan = device.create_file()
+        device.append_block(orphan, b"orphaned temp file")
+        recovered = LSMTree.recover(config, device)
+        assert not device.file_exists(orphan)
+        del recovered
+
+    def test_recover_requires_wal_config(self):
+        with pytest.raises(ClosedError):
+            LSMTree.recover(LSMConfig(wal_enabled=False), BlockDevice())
+
+    def test_recover_empty_device_gives_fresh_tree(self):
+        config = durable_config()
+        tree = LSMTree.recover(config, BlockDevice(block_size=512))
+        tree.put(b"k", b"v")
+        assert tree.get(b"k").found
+
+    def test_wal_adds_write_io(self):
+        def written(wal):
+            config = durable_config(wal_enabled=wal)
+            tree = LSMTree(config)
+            for i in range(1000):
+                tree.put(encode_uint_key(i % 300), b"x" * 40)
+            tree.flush()
+            return tree.device.stats.bytes_written
+
+        assert written(True) > written(False)
+
+    def test_seqno_continuity_after_recovery(self):
+        config = durable_config(buffer_bytes=1 << 20)
+        tree = LSMTree(config)
+        tree.put(b"k", b"old")
+        recovered = LSMTree.recover(config, tree.device)
+        recovered.put(b"k", b"new")  # must shadow the replayed entry
+        assert recovered.get(b"k").value == b"new"
+        recovered.flush()
+        assert recovered.get(b"k").value == b"new"

@@ -1,0 +1,110 @@
+"""Merge iterator: newest-wins, tombstone handling, arbitrary stream shapes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.entry import Entry, EntryKind
+from repro.core.iterator import merge_entries
+
+
+def stream(pairs):
+    """pairs: [(key, seqno, value-or-None)] sorted by key."""
+    return iter(
+        [
+            Entry(
+                key=k,
+                seqno=s,
+                kind=EntryKind.DELETE if v is None else EntryKind.PUT,
+                value=v or b"",
+            )
+            for k, s, v in pairs
+        ]
+    )
+
+
+class TestMerge:
+    def test_empty(self):
+        assert list(merge_entries([])) == []
+        assert list(merge_entries([iter([])])) == []
+
+    def test_single_stream_passthrough(self):
+        entries = list(merge_entries([stream([(b"a", 1, b"x"), (b"b", 2, b"y")])]))
+        assert [e.key for e in entries] == [b"a", b"b"]
+
+    def test_newest_version_wins(self):
+        merged = list(
+            merge_entries(
+                [stream([(b"k", 5, b"new")]), stream([(b"k", 1, b"old")])]
+            )
+        )
+        assert len(merged) == 1
+        assert merged[0].value == b"new"
+
+    def test_interleaved_keys(self):
+        merged = list(
+            merge_entries(
+                [
+                    stream([(b"a", 1, b"1"), (b"c", 2, b"2")]),
+                    stream([(b"b", 3, b"3"), (b"d", 4, b"4")]),
+                ]
+            )
+        )
+        assert [e.key for e in merged] == [b"a", b"b", b"c", b"d"]
+
+    def test_tombstone_kept_by_default(self):
+        merged = list(
+            merge_entries(
+                [stream([(b"k", 5, None)]), stream([(b"k", 1, b"old")])]
+            )
+        )
+        assert len(merged) == 1 and merged[0].is_tombstone
+
+    def test_tombstone_dropped_when_requested(self):
+        merged = list(
+            merge_entries(
+                [stream([(b"k", 5, None)]), stream([(b"k", 1, b"old")])],
+                drop_tombstones=True,
+            )
+        )
+        assert merged == []
+
+    def test_tombstone_shadowed_by_newer_put(self):
+        merged = list(
+            merge_entries(
+                [stream([(b"k", 9, b"alive")]), stream([(b"k", 5, None)])],
+                drop_tombstones=True,
+            )
+        )
+        assert len(merged) == 1 and merged[0].value == b"alive"
+
+    def test_last_key_tombstone_dropped(self):
+        merged = list(
+            merge_entries(
+                [stream([(b"a", 1, b"x"), (b"z", 2, None)])], drop_tombstones=True
+            )
+        )
+        assert [e.key for e in merged] == [b"a"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    streams_data=st.lists(
+        st.dictionaries(st.binary(min_size=1, max_size=4), st.binary(max_size=8), max_size=20),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_property_matches_dict_semantics(streams_data):
+    # Stream i holds seqnos in band [i*1000, i*1000+999]; later streams newer.
+    streams = []
+    model = {}
+    for band, data in enumerate(streams_data):
+        entries = []
+        for offset, (key, value) in enumerate(sorted(data.items())):
+            entries.append(Entry(key=key, seqno=band * 1000 + offset + 1, value=value))
+        streams.append(iter(entries))
+    for data in streams_data:  # later bands shadow earlier ones
+        model.update(data)
+    merged = list(merge_entries(streams))
+    assert [e.key for e in merged] == sorted(model)
+    assert {e.key: e.value for e in merged} == model

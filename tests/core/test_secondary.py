@@ -1,0 +1,120 @@
+"""Secondary indexing: eager/lazy/deferred maintenance correctness."""
+
+import pytest
+
+from repro import encode_uint_key
+from repro.errors import ConfigError
+from repro.secondary import IndexMaintenance, SecondaryIndexedStore
+from tests.conftest import make_config
+
+
+def color_of(value: bytes) -> bytes:
+    """Test records look like b'color:payload'."""
+    return value.split(b":", 1)[0]
+
+
+def make_store(maintenance, **overrides):
+    return SecondaryIndexedStore(
+        make_config(**overrides),
+        extractor=color_of,
+        attr_width=8,
+        maintenance=maintenance,
+    )
+
+
+COLORS = [b"red", b"green", b"blue"]
+
+
+def load(store, n=300):
+    expected = {}
+    for i in range(n):
+        key = encode_uint_key(i % 100)
+        value = COLORS[i % 3] + b":payload%04d" % i
+        store.put(key, value)
+        expected[key] = value
+    return expected
+
+
+@pytest.mark.parametrize("maintenance", list(IndexMaintenance))
+class TestQueryCorrectness:
+    def test_query_returns_exactly_matching_live_records(self, maintenance):
+        store = make_store(maintenance)
+        expected = load(store)
+        for color in COLORS:
+            got = dict(store.query(color))
+            want = {k: v for k, v in expected.items() if color_of(v) == color}
+            assert got == want, f"{maintenance}: {color}"
+
+    def test_updates_move_records_between_attributes(self, maintenance):
+        store = make_store(maintenance)
+        key = encode_uint_key(1)
+        store.put(key, b"red:v1")
+        store.put(key, b"blue:v2")
+        assert dict(store.query(b"red")) == {}
+        assert dict(store.query(b"blue")) == {key: b"blue:v2"}
+
+    def test_deleted_records_not_returned(self, maintenance):
+        store = make_store(maintenance)
+        load(store, n=60)
+        victim = encode_uint_key(5)
+        store.delete(victim)
+        for color in COLORS:
+            assert victim not in dict(store.query(color))
+
+    def test_attribute_range_query(self, maintenance):
+        store = make_store(maintenance)
+        load(store)
+        got = store.query_attribute_range(b"blue", b"green")
+        colors = {color_of(v) for _, v in got}
+        assert colors <= {b"blue", b"green"}
+        assert len(got) == len(store.query(b"blue")) + len(store.query(b"green"))
+
+    def test_primary_get_unaffected(self, maintenance):
+        store = make_store(maintenance)
+        expected = load(store, n=120)
+        for key, value in expected.items():
+            assert store.get(key).value == value
+
+
+class TestMaintenanceTradeoffs:
+    def test_eager_pays_reads_on_the_write_path(self):
+        def write_reads(maintenance):
+            store = make_store(maintenance)
+            load(store, n=400)
+            return store.primary.stats.gets
+
+        assert write_reads(IndexMaintenance.EAGER) > write_reads(IndexMaintenance.LAZY)
+
+    def test_lazy_index_accumulates_stale_postings(self):
+        store = make_store(IndexMaintenance.LAZY)
+        key = encode_uint_key(1)
+        for i in range(5):
+            store.put(key, COLORS[i % 3] + b":v%d" % i)
+        # 4 of the 5 postings are stale; queries still answer correctly.
+        assert store.stale_postings_estimate >= 4
+        live = {c: dict(store.query(c)) for c in COLORS}
+        assert sum(len(v) for v in live.values()) == 1
+
+    def test_deferred_cleaning_removes_stale_postings(self):
+        store = make_store(IndexMaintenance.DEFERRED)
+        load(store, n=300)  # each key overwritten 3x: ~200 stale postings
+        removed = store.clean()
+        assert removed > 100
+        assert store.cleanings == 1
+        # After cleaning, queries still exact.
+        expected = {}
+        for i in range(300):
+            expected[encode_uint_key(i % 100)] = COLORS[i % 3] + b":payload%04d" % i
+        for color in COLORS:
+            want = {k: v for k, v in expected.items() if color_of(v) == color}
+            assert dict(store.query(color)) == want
+
+    def test_clean_is_idempotent(self):
+        store = make_store(IndexMaintenance.DEFERRED)
+        load(store, n=90)
+        store.clean()
+        assert store.clean() == 0
+
+    def test_invalid_attr_width(self):
+        with pytest.raises(ConfigError):
+            SecondaryIndexedStore(make_config(), extractor=color_of, attr_width=0)

@@ -1,0 +1,141 @@
+"""Key-space sharding and the staleness compaction trigger."""
+
+import pytest
+
+from repro import encode_uint_key
+from repro.compaction.trigger import LevelState, StalenessTrigger
+from repro.errors import ConfigError
+from repro.sharding import ShardedStore, even_boundaries, merge_shard_scans
+from tests.conftest import make_config, make_tree
+
+
+class TestStalenessTrigger:
+    def make_state(self, age, num_runs=2, is_last=False):
+        return LevelState(
+            level=1, num_runs=num_runs, size_bytes=10, capacity_bytes=100,
+            max_runs=4, is_last=is_last, oldest_run_age=age,
+        )
+
+    def test_fires_past_max_age(self):
+        trigger = StalenessTrigger(max_age=5)
+        assert not trigger.should_compact(self.make_state(5))
+        assert trigger.should_compact(self.make_state(6))
+
+    def test_never_rewrites_single_run_last_level(self):
+        trigger = StalenessTrigger(max_age=1)
+        assert not trigger.should_compact(self.make_state(99, num_runs=1, is_last=True))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StalenessTrigger(max_age=0)
+        with pytest.raises(ConfigError):
+            make_config(staleness_flushes=0)
+
+    def test_engine_merges_stale_tiered_runs(self):
+        # Tiering would leave runs lying around; staleness forces merges.
+        lazy = make_tree(layout="tiering", size_ratio=4)
+        eager = make_tree(layout="tiering", size_ratio=4, staleness_flushes=2)
+        for tree in (lazy, eager):
+            for i in range(3000):
+                tree.put(encode_uint_key((i * 733) % 1000), b"x" * 30)
+            tree.flush()
+        assert eager.total_runs <= lazy.total_runs
+        assert eager.stats.compactions >= lazy.stats.compactions
+        for i in range(0, 1000, 29):
+            assert eager.get(encode_uint_key(i)).found
+
+    def test_staleness_bounds_tombstone_persistence(self):
+        # With a staleness trigger, deletes reach the bottom (and purge)
+        # even when no level ever fills up.
+        tree = make_tree(layout="tiering", size_ratio=4, staleness_flushes=3,
+                         buffer_bytes=1 << 10)
+        for i in range(200):
+            tree.put(encode_uint_key(i), b"x" * 30)
+        tree.flush()
+        for i in range(200):
+            tree.delete(encode_uint_key(i))
+        tree.flush()
+        # Keep flushing unrelated keys: staleness must eventually purge.
+        for round_no in range(12):
+            for i in range(40):
+                tree.put(encode_uint_key(10_000 + round_no * 40 + i), b"y" * 30)
+            tree.flush()
+        assert tree.stats.tombstones_purged >= 200
+
+
+class TestShardedStore:
+    def make_store(self, shards=4, keyspace=2000):
+        return ShardedStore(
+            make_config(buffer_bytes=2 << 10),
+            even_boundaries(keyspace, shards),
+        )
+
+    def test_routing_respects_boundaries(self):
+        store = self.make_store(shards=4, keyspace=2000)
+        assert store.num_shards == 4
+        assert store.shard_for(encode_uint_key(0)) is store.shards[0]
+        assert store.shard_for(encode_uint_key(500)) is store.shards[1]
+        assert store.shard_for(encode_uint_key(1999)) is store.shards[3]
+
+    def test_dict_equivalence(self):
+        store = self.make_store()
+        model = {}
+        for i in range(3000):
+            key = encode_uint_key((i * 733) % 2000)
+            if i % 9 == 8:
+                store.delete(key)
+                model.pop(key, None)
+            else:
+                value = b"v%06d" % i
+                store.put(key, value)
+                model[key] = value
+        for key, value in list(model.items())[::17]:
+            result = store.get(key)
+            assert result.found and result.value == value
+        assert dict(store.scan()) == model
+
+    def test_scan_is_globally_ordered(self):
+        store = self.make_store()
+        for i in range(0, 2000, 7):
+            store.put(encode_uint_key(i), b"v")
+        keys = [k for k, _ in store.scan()]
+        assert keys == sorted(keys)
+
+    def test_bounded_scan_crosses_shards(self):
+        store = self.make_store(shards=4, keyspace=2000)
+        for i in range(2000):
+            store.put(encode_uint_key(i), b"v")
+        got = [k for k, _ in store.scan(encode_uint_key(450), encode_uint_key(550))]
+        assert got == [encode_uint_key(i) for i in range(450, 551)]
+
+    def test_sharding_reduces_depth(self):
+        config = make_config(buffer_bytes=2 << 10)
+        single = ShardedStore(config, [])
+        sharded = ShardedStore(config, even_boundaries(4000, 8))
+        for store in (single, sharded):
+            for i in range(6000):
+                store.put(encode_uint_key((i * 733) % 4000), b"x" * 40)
+            store.flush()
+        assert sharded.max_depth <= single.max_depth
+        assert sharded.num_shards == 8
+
+    def test_shard_summary_balanced_under_uniform_keys(self):
+        store = self.make_store(shards=4, keyspace=2000)
+        for i in range(4000):
+            store.put(encode_uint_key((i * 733) % 2000), b"x" * 30)
+        store.flush()
+        entries = [s["entries"] for s in store.shard_summary()]
+        assert max(entries) < 2 * min(entries)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedStore(make_config(), [b"b", b"a"])
+
+    def test_even_boundaries_validation(self):
+        with pytest.raises(ConfigError):
+            even_boundaries(100, 0)
+
+    def test_merge_shard_scans_helper(self):
+        a = iter([(b"a", b"1"), (b"c", b"3")])
+        b = iter([(b"b", b"2"), (b"d", b"4")])
+        assert [k for k, _ in merge_shard_scans([a, b])] == [b"a", b"b", b"c", b"d"]

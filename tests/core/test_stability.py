@@ -1,0 +1,98 @@
+"""Lazy compaction pacing and write throttling (tutorial §III-2)."""
+
+import pytest
+
+from repro import encode_uint_key
+from repro.errors import ConfigError
+from tests.conftest import make_config, make_tree
+
+
+def ingest(tree, n=3000, keyspace=1000, track_bursts=False):
+    bursts = []
+    for i in range(n):
+        before = tree.device.stats.blocks_written
+        tree.put(encode_uint_key((i * 733) % keyspace), b"x" * 40)
+        bursts.append(tree.device.stats.blocks_written - before)
+    return bursts
+
+
+class TestLazyCompaction:
+    def test_correctness_preserved(self):
+        tree = make_tree(lazy_compaction=True, compaction_steps_per_op=1)
+        expected = {}
+        for i in range(2500):
+            key = encode_uint_key((i * 733) % 600)
+            value = b"v%06d" % i
+            tree.put(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            result = tree.get(key)
+            assert result.found and result.value == value
+        assert dict(tree.scan()) == expected
+
+    def test_bounds_per_operation_work(self):
+        eager_bursts = ingest(make_tree(layout="leveling"))
+        lazy_bursts = ingest(
+            make_tree(layout="leveling", lazy_compaction=True, compaction_steps_per_op=1,
+                      partial_compaction=True, file_bytes=1 << 10)
+        )
+        assert max(lazy_bursts) < max(eager_bursts)
+
+    def test_zero_steps_accumulates_debt(self):
+        tree = make_tree(lazy_compaction=True, compaction_steps_per_op=0)
+        ingest(tree, n=2000)
+        assert tree.compaction_debt() > 0
+        assert tree.stats.compactions == 0
+
+    def test_compact_all_drains_debt(self):
+        tree = make_tree(lazy_compaction=True, compaction_steps_per_op=0)
+        ingest(tree, n=2000)
+        tree.compact_all()
+        assert tree.compaction_debt() == 0.0
+
+    def test_debt_zero_within_bounds(self, small_tree):
+        ingest(small_tree, n=500)
+        small_tree.compact_all()
+        assert small_tree.compaction_debt() == 0.0
+
+
+class TestThrottling:
+    def test_throttle_engages_under_debt(self):
+        tree = make_tree(
+            lazy_compaction=True,
+            compaction_steps_per_op=0,  # starve compactions: debt must grow
+            slowdown_debt=0.5,
+            stall_penalty=100.0,
+        )
+        ingest(tree, n=2000)
+        assert tree.stats.write_stalls > 0
+        assert tree.stats.stall_time == tree.stats.write_stalls * 100.0
+
+    def test_no_throttle_when_keeping_up(self):
+        tree = make_tree(
+            lazy_compaction=True,
+            compaction_steps_per_op=4,  # plenty of pacing budget
+            slowdown_debt=2.0,
+        )
+        ingest(tree, n=2000)
+        assert tree.stats.write_stalls < 50
+
+    def test_throttling_bounds_debt_vs_unthrottled(self):
+        # Throttling doesn't reduce debt by itself (the penalty is a time
+        # charge), but paired with pacing it trades latency for stability;
+        # here we check the instrumentation: stalls scale with debt excess.
+        starved = make_tree(lazy_compaction=True, compaction_steps_per_op=0,
+                            slowdown_debt=0.1)
+        paced = make_tree(lazy_compaction=True, compaction_steps_per_op=2,
+                          slowdown_debt=0.1)
+        ingest(starved, n=1500)
+        ingest(paced, n=1500)
+        assert starved.stats.write_stalls > paced.stats.write_stalls
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            make_config(compaction_steps_per_op=-1)
+        with pytest.raises(ConfigError):
+            make_config(slowdown_debt=-0.1)
+        with pytest.raises(ConfigError):
+            make_config(stall_penalty=-1)

@@ -1,0 +1,203 @@
+"""Stateful property testing: the engine vs a dict, under arbitrary
+interleavings of puts, deletes, flushes, compactions, gets, and scans.
+
+Hypothesis drives random operation sequences; after every step the tree must
+agree with the model. Run for each canonical layout and for the durable
+(WAL) configuration, where every flush boundary also crash-recovers.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+
+KEYS = st.integers(0, 40)
+VALUES = st.binary(min_size=1, max_size=24)
+
+
+class LSMMachine(RuleBasedStateMachine):
+    """Dict-equivalence machine over a small tree."""
+
+    layout = "leveling"
+
+    def __init__(self):
+        super().__init__()
+        self.tree = LSMTree(
+            LSMConfig(
+                buffer_bytes=1 << 10,
+                block_size=256,
+                size_ratio=3,
+                layout=self.layout,
+                bits_per_key=8.0,
+                cache_bytes=8 << 10,
+                seed=99,
+            )
+        )
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.tree.put(encode_uint_key(key), value)
+        self.model[encode_uint_key(key)] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.tree.delete(encode_uint_key(key))
+        self.model.pop(encode_uint_key(key), None)
+
+    @rule()
+    def flush(self):
+        self.tree.flush()
+
+    @rule()
+    def compact(self):
+        self.tree.compact_all()
+
+    @rule(key=KEYS)
+    def check_get(self, key):
+        result = self.tree.get(encode_uint_key(key))
+        expected = self.model.get(encode_uint_key(key))
+        if expected is None:
+            assert not result.found
+        else:
+            assert result.found and result.value == expected
+
+    @rule(lo=KEYS, hi=KEYS)
+    def check_scan(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        got = dict(self.tree.scan(encode_uint_key(lo), encode_uint_key(hi)))
+        want = {
+            k: v
+            for k, v in self.model.items()
+            if encode_uint_key(lo) <= k <= encode_uint_key(hi)
+        }
+        assert got == want
+
+    @invariant()
+    def levels_within_reason(self):
+        # The tree never balloons past a sane depth for 41 keys.
+        assert self.tree.num_levels <= 8
+
+
+class TieringMachine(LSMMachine):
+    layout = "tiering"
+
+
+class LazyLevelingMachine(LSMMachine):
+    layout = "lazy_leveling"
+
+
+class PartialCompactionMachine(LSMMachine):
+    """Exercises file-granularity compaction and its run/table surgery."""
+
+    def __init__(self):
+        super(LSMMachine, self).__init__()
+        self.tree = LSMTree(
+            LSMConfig(
+                buffer_bytes=1 << 10,
+                block_size=256,
+                size_ratio=3,
+                layout="leveling",
+                partial_compaction=True,
+                file_bytes=512,
+                picker="round_robin",
+                seed=99,
+            )
+        )
+        self.model = {}
+
+
+class KVSeparationMachine(LSMMachine):
+    """Exercises the value-log path, including jumbo values."""
+
+    def __init__(self):
+        super(LSMMachine, self).__init__()
+        self.tree = LSMTree(
+            LSMConfig(
+                buffer_bytes=1 << 10,
+                block_size=256,
+                size_ratio=3,
+                kv_separation=True,
+                value_threshold=16,
+                vlog_segment_blocks=4,
+                seed=99,
+            )
+        )
+        self.model = {}
+
+    @rule(key=KEYS)
+    def put_jumbo(self, key):
+        value = b"J" * 700  # larger than a block: the jumbo path
+        self.tree.put(encode_uint_key(key), value)
+        self.model[encode_uint_key(key)] = value
+
+    @rule()
+    def value_gc(self):
+        self.tree.collect_value_garbage()
+
+
+class DurableMachine(RuleBasedStateMachine):
+    """Same model, but every flush is followed by a crash + recovery."""
+
+    def __init__(self):
+        super().__init__()
+        self.config = LSMConfig(
+            buffer_bytes=1 << 10,
+            block_size=256,
+            size_ratio=3,
+            wal_enabled=True,
+            wal_sync_interval=1,
+            seed=101,
+        )
+        self.tree = LSMTree(self.config)
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.tree.put(encode_uint_key(key), value)
+        self.model[encode_uint_key(key)] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.tree.delete(encode_uint_key(key))
+        self.model.pop(encode_uint_key(key), None)
+
+    @rule()
+    def crash_and_recover(self):
+        device = self.tree.device
+        self.tree = LSMTree.recover(self.config, device)
+
+    @rule(key=KEYS)
+    def check_get(self, key):
+        result = self.tree.get(encode_uint_key(key))
+        expected = self.model.get(encode_uint_key(key))
+        if expected is None:
+            assert not result.found
+        else:
+            assert result.found and result.value == expected
+
+    @invariant()
+    def full_agreement_cheap_sample(self):
+        # Spot-check three fixed keys every step (full scans are too slow).
+        for raw in (0, 20, 40):
+            key = encode_uint_key(raw)
+            result = self.tree.get(key)
+            assert result.found == (key in self.model)
+
+
+_settings = settings(max_examples=15, stateful_step_count=40, deadline=None)
+
+TestLeveling = pytest.mark.filterwarnings("ignore")(LSMMachine.TestCase)
+TestLeveling.settings = _settings
+TestTiering = TieringMachine.TestCase
+TestTiering.settings = _settings
+TestLazyLeveling = LazyLevelingMachine.TestCase
+TestLazyLeveling.settings = _settings
+TestPartial = PartialCompactionMachine.TestCase
+TestPartial.settings = settings(max_examples=10, stateful_step_count=30, deadline=None)
+TestKVSeparation = KVSeparationMachine.TestCase
+TestKVSeparation.settings = settings(max_examples=10, stateful_step_count=30, deadline=None)
+TestDurable = DurableMachine.TestCase
+TestDurable.settings = settings(max_examples=10, stateful_step_count=30, deadline=None)

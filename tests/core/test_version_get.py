@@ -1,0 +1,66 @@
+"""Snapshot point reads: Version.get sees the world as of snapshot time."""
+
+import pytest
+
+from repro import encode_uint_key
+from repro.errors import SnapshotError
+from tests.conftest import make_tree
+
+
+class TestVersionGet:
+    def test_reads_memtable_and_runs(self):
+        tree = make_tree()
+        tree.put(b"flushed", b"on-disk")
+        tree.flush()
+        tree.put(b"buffered", b"in-memory")
+        with tree.snapshot() as snapshot:
+            assert snapshot.get(b"buffered").value == b"in-memory"
+            assert snapshot.get(b"flushed").value == b"on-disk"
+            assert snapshot.get(b"missing") is None
+
+    def test_isolated_from_later_writes(self):
+        tree = make_tree()
+        tree.put(b"k", b"v1")
+        tree.flush()
+        with tree.snapshot() as snapshot:
+            tree.put(b"k", b"v2")
+            tree.compact_all()
+            assert snapshot.get(b"k").value == b"v1"
+        assert tree.get(b"k").value == b"v2"
+
+    def test_sees_tombstones_raw(self):
+        tree = make_tree()
+        tree.put(b"k", b"v")
+        tree.delete(b"k")
+        with tree.snapshot() as snapshot:
+            entry = snapshot.get(b"k")
+            assert entry is not None and entry.is_tombstone
+
+    def test_newest_run_wins(self):
+        tree = make_tree()
+        for value in (b"old", b"mid", b"new"):
+            tree.put(b"k", value)
+            tree.flush()
+        with tree.snapshot() as snapshot:
+            assert snapshot.get(b"k").value == b"new"
+
+    def test_closed_snapshot_raises(self):
+        tree = make_tree()
+        tree.put(b"k", b"v")
+        snapshot = tree.snapshot()
+        snapshot.close()
+        with pytest.raises(SnapshotError):
+            snapshot.get(b"k")
+
+    def test_agrees_with_tree_get_across_many_keys(self):
+        tree = make_tree()
+        for i in range(800):
+            tree.put(encode_uint_key((i * 733) % 300), b"v%d" % i)
+        with tree.snapshot() as snapshot:
+            for i in range(300):
+                key = encode_uint_key(i)
+                live = tree.get(key)
+                snap = snapshot.get(key)
+                assert live.found == (snap is not None and not snap.is_tombstone)
+                if live.found:
+                    assert snap.value == live.value

@@ -1,0 +1,113 @@
+"""Bloom filter: no false negatives, FPR near theory, instrumentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.bloom import BloomFilter, optimal_num_hashes, theoretical_fpr
+
+
+def sample_keys(n, prefix=b"k"):
+    return [prefix + b"%08d" % i for i in range(n)]
+
+
+class TestBasics:
+    def test_no_false_negatives(self):
+        keys = sample_keys(2000)
+        bloom = BloomFilter(keys, bits_per_key=8)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_rejects_most_absent_keys(self):
+        keys = sample_keys(2000)
+        bloom = BloomFilter(keys, bits_per_key=10)
+        absent = [b"absent%08d" % i for i in range(2000)]
+        fp = sum(bloom.may_contain(key) for key in absent)
+        assert fp / len(absent) < 0.05  # theory: ~0.8%; generous bound
+
+    def test_fpr_tracks_theory_across_budgets(self):
+        keys = sample_keys(3000)
+        absent = [b"no%08d" % i for i in range(3000)]
+        for bits in (4, 8, 12):
+            bloom = BloomFilter(keys, bits_per_key=bits)
+            fp = sum(bloom.may_contain(k) for k in absent) / len(absent)
+            expected = theoretical_fpr(bits)
+            assert fp < 3 * expected + 0.01, f"bits={bits}: {fp} vs {expected}"
+
+    def test_zero_bits_always_maybe(self):
+        bloom = BloomFilter(sample_keys(10), bits_per_key=0)
+        assert bloom.may_contain(b"anything")
+        assert bloom.size_bytes == 0
+
+    def test_empty_keyset(self):
+        bloom = BloomFilter([], bits_per_key=10)
+        assert bloom.may_contain(b"whatever")  # degenerate, but no crash
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter([b"a"], bits_per_key=-1)
+
+    def test_size_bytes_matches_budget(self):
+        bloom = BloomFilter(sample_keys(1000), bits_per_key=8)
+        assert abs(bloom.size_bytes - 1000) <= 8
+
+    def test_bits_per_key_property(self):
+        bloom = BloomFilter(sample_keys(1000), bits_per_key=8)
+        assert 7.5 <= bloom.bits_per_key <= 8.5
+
+    def test_different_seeds_give_different_false_positives(self):
+        keys = sample_keys(500)
+        a = BloomFilter(keys, bits_per_key=6, seed=1)
+        b = BloomFilter(keys, bits_per_key=6, seed=2)
+        absent = [b"zz%06d" % i for i in range(2000)]
+        fps_a = {k for k in absent if a.may_contain(k)}
+        fps_b = {k for k in absent if b.may_contain(k)}
+        assert fps_a != fps_b
+
+
+class TestInstrumentation:
+    def test_probe_and_negative_counters(self):
+        bloom = BloomFilter(sample_keys(100), bits_per_key=12)
+        bloom.may_contain(b"k%08d" % 5)
+        bloom.may_contain(b"definitely-absent")
+        assert bloom.stats.probes == 2
+        assert bloom.stats.negatives >= 1
+
+    def test_hash_evaluations_one_per_probe(self):
+        bloom = BloomFilter(sample_keys(100), bits_per_key=12)
+        for i in range(10):
+            bloom.may_contain(b"q%d" % i)
+        assert bloom.stats.hash_evaluations == 10
+
+    def test_digest_probe_matches_plain_probe(self):
+        from repro.filters.hashing import hash64
+
+        keys = sample_keys(500)
+        bloom = BloomFilter(keys, bits_per_key=10, seed=3)
+        probes = keys[:50] + [b"no%d" % i for i in range(50)]
+        for key in probes:
+            assert bloom.may_contain(key) == bloom.may_contain_digest(hash64(key, 3))
+
+    def test_cache_line_touches_at_most_k(self):
+        bloom = BloomFilter(sample_keys(1000), bits_per_key=10)
+        bloom.may_contain(b"k%08d" % 1)
+        assert bloom.stats.cache_line_touches <= bloom.num_hashes
+
+
+class TestTheory:
+    def test_optimal_num_hashes(self):
+        assert optimal_num_hashes(10) == 7
+        assert optimal_num_hashes(1) == 1
+
+    def test_theoretical_fpr_monotone_in_bits(self):
+        fprs = [theoretical_fpr(bits) for bits in range(0, 17, 2)]
+        assert all(a >= b for a, b in zip(fprs, fprs[1:]))
+
+    def test_zero_bits_fpr_is_one(self):
+        assert theoretical_fpr(0) == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=200, unique=True))
+def test_property_no_false_negatives(keys):
+    bloom = BloomFilter(keys, bits_per_key=6)
+    assert all(bloom.may_contain(key) for key in keys)

@@ -1,0 +1,233 @@
+"""Blocked/partitioned/elastic/cuckoo/xor filters and shared hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilterError
+from repro.filters.blocked_bloom import BlockedBloomFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.elastic import ElasticBloomFilter, ElasticFilterManager
+from repro.filters.partitioned import PartitionedBloomFilter
+from repro.filters.shared_hash import SharedHashProber
+from repro.filters.xor import XorFilter
+
+
+def sample_keys(n, prefix=b"k"):
+    return [prefix + b"%08d" % i for i in range(n)]
+
+
+ABSENT = [b"absent%08d" % i for i in range(2000)]
+
+
+class TestBlockedBloom:
+    def test_no_false_negatives(self):
+        keys = sample_keys(2000)
+        filt = BlockedBloomFilter(keys, bits_per_key=10)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_one_cache_line_per_probe(self):
+        filt = BlockedBloomFilter(sample_keys(1000), bits_per_key=10)
+        for i in range(20):
+            filt.may_contain(b"q%d" % i)
+        assert filt.stats.cache_line_touches == 20
+
+    def test_fpr_worse_than_standard_but_bounded(self):
+        keys = sample_keys(3000)
+        blocked = BlockedBloomFilter(keys, bits_per_key=10)
+        standard = BloomFilter(keys, bits_per_key=10)
+        fp_blocked = sum(blocked.may_contain(k) for k in ABSENT) / len(ABSENT)
+        fp_standard = sum(standard.may_contain(k) for k in ABSENT) / len(ABSENT)
+        assert fp_blocked < 0.1
+        assert fp_blocked >= fp_standard * 0.5  # typically a bit worse
+
+    def test_zero_bits(self):
+        filt = BlockedBloomFilter(sample_keys(5), bits_per_key=0)
+        assert filt.may_contain(b"x")
+
+
+class TestPartitioned:
+    def test_no_false_negatives(self):
+        keys = sample_keys(3000)
+        filt = PartitionedBloomFilter(keys, bits_per_key=10, keys_per_partition=256)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_partition_count(self):
+        filt = PartitionedBloomFilter(sample_keys(1000), keys_per_partition=100)
+        assert filt.num_partitions == 10
+
+    def test_requires_sorted_keys(self):
+        with pytest.raises(ValueError):
+            PartitionedBloomFilter([b"b", b"a"])
+
+    def test_key_below_first_partition_is_negative(self):
+        filt = PartitionedBloomFilter(sample_keys(100))
+        assert not filt.may_contain(b"a")  # sorts below b"k..."
+
+    def test_residency_budget_causes_partition_loads(self):
+        keys = sample_keys(4000)
+        filt = PartitionedBloomFilter(
+            keys, bits_per_key=10, keys_per_partition=500,
+            resident_budget_bytes=1200,  # ~2 partitions fit
+        )
+        # Sweep probes across all partitions: must page partitions in and out.
+        for key in keys[::100]:
+            filt.may_contain(key)
+        assert filt.partition_loads > 2
+        assert filt.resident_bytes <= 1200 + 700  # one partition of slack
+
+    def test_unlimited_budget_loads_nothing(self):
+        filt = PartitionedBloomFilter(sample_keys(1000))
+        for key in sample_keys(1000)[::50]:
+            filt.may_contain(key)
+        assert filt.partition_loads == 0
+
+
+class TestElastic:
+    def test_no_false_negatives_any_enablement(self):
+        keys = sample_keys(1000)
+        filt = ElasticBloomFilter(keys, bits_per_key=12, units=4, enabled_units=1)
+        for enabled in (0, 1, 2, 4):
+            filt.enable(enabled)
+            assert all(filt.may_contain(k) for k in keys)
+
+    def test_more_units_lower_fpr(self):
+        keys = sample_keys(2000)
+        filt = ElasticBloomFilter(keys, bits_per_key=12, units=4, enabled_units=1)
+        rates = []
+        for enabled in (1, 2, 4):
+            filt.enable(enabled)
+            fp = sum(filt.may_contain(k) for k in ABSENT) / len(ABSENT)
+            rates.append(fp)
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_memory_scales_with_enabled_units(self):
+        filt = ElasticBloomFilter(sample_keys(1000), bits_per_key=12, units=4)
+        filt.enable(1)
+        one = filt.size_bytes
+        filt.enable(4)
+        assert filt.size_bytes == pytest.approx(4 * one, rel=0.01)
+        assert filt.total_size_bytes == filt.size_bytes
+
+    def test_manager_gives_units_to_hot_filters(self):
+        keys = sample_keys(500)
+        manager = ElasticFilterManager(budget_units=6)
+        hot = ElasticBloomFilter(keys, units=4, seed=1)
+        cold = ElasticBloomFilter(keys, units=4, seed=2)
+        manager.register(hot)
+        manager.register(cold)
+        for _ in range(100):
+            hot.may_contain(b"probe")
+        manager.rebalance()
+        assert hot.enabled_units > cold.enabled_units
+        assert manager.enabled_units <= 6
+
+    def test_manager_keeps_every_filter_minimally_covered(self):
+        manager = ElasticFilterManager(budget_units=3)
+        filters = [ElasticBloomFilter(sample_keys(100), units=4, seed=i) for i in range(3)]
+        for filt in filters:
+            manager.register(filt)
+        assert all(filt.enabled_units >= 1 for filt in filters)
+
+
+class TestCuckoo:
+    def test_no_false_negatives(self):
+        keys = sample_keys(5000)
+        filt = CuckooFilter(keys, fingerprint_bits=12)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_low_fpr(self):
+        filt = CuckooFilter(sample_keys(5000), fingerprint_bits=12)
+        fp = sum(filt.may_contain(k) for k in ABSENT) / len(ABSENT)
+        assert fp < 0.02
+
+    def test_supports_deletion(self):
+        keys = sample_keys(100)
+        filt = CuckooFilter(keys)
+        assert filt.delete(keys[0])
+        assert filt.count == 99
+
+    def test_load_factor_reported(self):
+        filt = CuckooFilter(sample_keys(1000), load_factor=0.8)
+        assert 0.1 < filt.load <= 0.95
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CuckooFilter([], fingerprint_bits=0)
+        with pytest.raises(ValueError):
+            CuckooFilter([], load_factor=1.5)
+
+    def test_expected_fpr_formula(self):
+        filt = CuckooFilter(sample_keys(10), fingerprint_bits=8)
+        assert filt.expected_fpr == pytest.approx(8 / 256)
+
+
+class TestXor:
+    def test_no_false_negatives(self):
+        keys = sample_keys(3000)
+        filt = XorFilter(keys, fingerprint_bits=8)
+        assert all(filt.may_contain(k) for k in keys)
+
+    def test_fpr_close_to_2_pow_minus_f(self):
+        filt = XorFilter(sample_keys(3000), fingerprint_bits=8)
+        fp = sum(filt.may_contain(k) for k in ABSENT) / len(ABSENT)
+        assert fp < 3 * filt.expected_fpr + 0.01
+
+    def test_smaller_than_bloom_at_similar_fpr(self):
+        keys = sample_keys(5000)
+        xor8 = XorFilter(keys, fingerprint_bits=8)  # FPR 0.39%
+        bloom = BloomFilter(keys, bits_per_key=11.5)  # FPR ~0.4%
+        assert xor8.size_bytes < bloom.size_bytes
+
+    def test_empty_keyset_rejects_everything(self):
+        filt = XorFilter([], fingerprint_bits=8)
+        assert not filt.may_contain(b"x")
+
+    def test_duplicate_keys_tolerated(self):
+        filt = XorFilter([b"a", b"a", b"b"], fingerprint_bits=8)
+        assert filt.may_contain(b"a") and filt.may_contain(b"b")
+
+    def test_invalid_fingerprint_bits(self):
+        with pytest.raises(ValueError):
+            XorFilter([b"a"], fingerprint_bits=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=300, unique=True))
+    def test_property_no_false_negatives(self, keys):
+        filt = XorFilter(keys)
+        assert all(filt.may_contain(key) for key in keys)
+
+
+class TestSharedHashing:
+    def test_saves_evaluations_across_filters(self):
+        keys = sample_keys(500)
+        filters = [BloomFilter(keys, bits_per_key=10, seed=i) for i in range(5)]
+        prober = SharedHashProber()
+        for i in range(100):
+            prober.probe_all(b"q%d" % i, filters)
+        assert prober.hash_evaluations == 100
+        assert prober.saved_evaluations == 400
+        assert prober.probes == 500
+
+    def test_answers_match_direct_probes(self):
+        keys = sample_keys(500)
+        filt = BloomFilter(keys, bits_per_key=10, seed=0)
+        prober = SharedHashProber(seed=0)
+        for key in keys[:50] + ABSENT[:50]:
+            assert prober.probe_all(key, [filt]) == [filt.may_contain(key)]
+
+    def test_falls_back_for_filters_without_digest_probe(self):
+        keys = sample_keys(200)
+        mixed = [BloomFilter(keys, seed=0), CuckooFilter(keys)]
+        prober = SharedHashProber(seed=0)
+        answers = prober.probe_all(keys[0], mixed)
+        assert answers == [True, True]
+
+    def test_any_positive(self):
+        keys = sample_keys(100)
+        prober = SharedHashProber(seed=0)
+        assert prober.any_positive(keys[0], [BloomFilter(keys, seed=0)])
+
+    def test_empty_filter_list(self):
+        assert SharedHashProber().probe_all(b"k", []) == []

@@ -1,0 +1,114 @@
+"""Quotient filter: membership, FPR, and the merge-without-rehash property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.quotient import QuotientFilter
+
+
+def sample_keys(n, prefix=b"k"):
+    return [prefix + b"%08d" % i for i in range(n)]
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        keys = sample_keys(5000)
+        filt = QuotientFilter(keys, remainder_bits=9)
+        assert all(filt.may_contain(key) for key in keys)
+
+    def test_fpr_near_theory(self):
+        keys = sample_keys(5000)
+        filt = QuotientFilter(keys, remainder_bits=9)
+        absent = [b"absent%08d" % i for i in range(5000)]
+        fpr = sum(filt.may_contain(k) for k in absent) / len(absent)
+        assert fpr < 3 * filt.expected_fpr + 0.01
+
+    def test_more_remainder_bits_fewer_false_positives(self):
+        keys = sample_keys(3000)
+        absent = [b"no%08d" % i for i in range(3000)]
+        coarse = QuotientFilter(keys, remainder_bits=4)
+        fine = QuotientFilter(keys, remainder_bits=12)
+        fp_coarse = sum(coarse.may_contain(k) for k in absent)
+        fp_fine = sum(fine.may_contain(k) for k in absent)
+        assert fp_fine < fp_coarse
+
+    def test_empty_and_tiny(self):
+        assert not QuotientFilter([], remainder_bits=8).may_contain(b"x")
+        tiny = QuotientFilter([b"only"], remainder_bits=8)
+        assert tiny.may_contain(b"only")
+
+    def test_duplicates_deduplicated(self):
+        filt = QuotientFilter([b"a", b"a", b"b"])
+        assert filt.key_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotientFilter([b"a"], remainder_bits=0)
+
+    def test_load_kept_reasonable_by_auto_sizing(self):
+        filt = QuotientFilter(sample_keys(10_000))
+        assert filt.load <= 0.8
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=300, unique=True))
+    def test_property_no_false_negatives(self, keys):
+        filt = QuotientFilter(keys, remainder_bits=7)
+        assert all(filt.may_contain(key) for key in keys)
+
+
+class TestMergeability:
+    """The LSM-relevant property: sorted fingerprint streams, rehash-free merge."""
+
+    def test_fingerprints_sorted(self):
+        filt = QuotientFilter(sample_keys(2000), remainder_bits=9)
+        fps = list(filt.fingerprints())
+        assert fps == sorted(fps)
+        assert len(fps) == filt.key_count or len(fps) == filt._n
+
+    def test_merge_preserves_membership(self):
+        keys = sample_keys(6000)
+        a = QuotientFilter(keys[:3500], quotient_bits=13, remainder_bits=9, seed=5)
+        b = QuotientFilter(keys[3000:], quotient_bits=13, remainder_bits=9, seed=5)
+        merged = QuotientFilter.merge([a, b])
+        assert all(merged.may_contain(key) for key in keys)
+
+    def test_merge_deduplicates_shared_keys(self):
+        keys = sample_keys(1000)
+        a = QuotientFilter(keys, quotient_bits=12, remainder_bits=9, seed=5)
+        b = QuotientFilter(keys, quotient_bits=12, remainder_bits=9, seed=5)
+        merged = QuotientFilter.merge([a, b])
+        assert merged.key_count == len(set(a.fingerprints()))
+
+    def test_merge_grows_quotient_to_keep_load_bounded(self):
+        parts = [
+            QuotientFilter(sample_keys(3000, prefix=b"p%d-" % i),
+                           quotient_bits=12, remainder_bits=9, seed=5)
+            for i in range(4)
+        ]
+        merged = QuotientFilter.merge(parts)
+        assert merged.load <= 0.8
+
+    def test_merge_rejects_mismatched_geometry(self):
+        a = QuotientFilter([b"a"], quotient_bits=10, remainder_bits=9)
+        b = QuotientFilter([b"b"], quotient_bits=10, remainder_bits=8)
+        with pytest.raises(ValueError):
+            QuotientFilter.merge([a, b])
+        with pytest.raises(ValueError):
+            QuotientFilter.merge([])
+
+
+def test_engine_integration():
+    from repro import encode_uint_key
+    from tests.conftest import make_tree
+
+    tree = make_tree(filter_kind="quotient", filter_params={"remainder_bits": 9})
+    for i in range(2000):
+        tree.put(encode_uint_key((i * 733) % 700), b"v%d" % i)
+    tree.flush()
+    for i in range(0, 700, 13):
+        assert tree.get(encode_uint_key(i)).found
+    before = tree.device.stats.blocks_read
+    for i in range(300):
+        tree.get(encode_uint_key(i) + b"\x00")  # absent, in-range
+    assert tree.device.stats.blocks_read - before < 15

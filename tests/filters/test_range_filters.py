@@ -1,0 +1,209 @@
+"""Range filters: the no-false-negative contract and each design's niche."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.encoding import encode_uint_key
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import Snarf
+from repro.filters.surf import SuRF, SuffixMode
+
+
+def int_keys(values):
+    return [encode_uint_key(v) for v in values]
+
+
+SPARSE_VALUES = list(range(0, 100_000, 100))  # gaps of width 99
+SPARSE_KEYS = int_keys(SPARSE_VALUES)
+
+
+def make_filters(keys):
+    return {
+        "prefix_bloom": PrefixBloomFilter(keys, prefix_length=7),
+        "surf": SuRF(keys),
+        "rosetta": Rosetta(keys, bits_per_key=20, levels=22),
+        "snarf": Snarf(keys, bits_per_key=6),
+    }
+
+
+@pytest.mark.parametrize("name", ["prefix_bloom", "surf", "rosetta", "snarf"])
+class TestNoFalseNegatives:
+    def test_point_membership(self, name):
+        filt = make_filters(SPARSE_KEYS)[name]
+        for value in SPARSE_VALUES[::20]:
+            assert filt.may_contain(encode_uint_key(value)), f"{name} lost {value}"
+
+    def test_occupied_ranges(self, name):
+        filt = make_filters(SPARSE_KEYS)[name]
+        for value in SPARSE_VALUES[::20]:
+            lo = encode_uint_key(max(0, value - 5))
+            hi = encode_uint_key(value + 5)
+            assert filt.may_intersect(lo, hi), f"{name} lost range around {value}"
+
+    def test_rejects_inverted_range(self, name):
+        filt = make_filters(SPARSE_KEYS)[name]
+        with pytest.raises(ValueError):
+            filt.may_intersect(encode_uint_key(10), encode_uint_key(5))
+
+
+class TestEmptyRangeDetection:
+    """Each filter should reject a decent share of truly empty short ranges."""
+
+    @staticmethod
+    def empty_range_rejection_rate(filt, width=10, probes=500):
+        rejected = 0
+        for i in range(probes):
+            base = (i * 97) % 99_000
+            lo = base - (base % 100) + 45  # inside a gap: [x+45, x+45+width]
+            if lo % 100 + width >= 99:
+                continue
+            if not filt.may_intersect(encode_uint_key(lo), encode_uint_key(lo + width)):
+                rejected += 1
+        return rejected / probes
+
+    def test_rosetta_filters_short_empty_ranges(self):
+        filt = Rosetta(SPARSE_KEYS, bits_per_key=20, levels=22)
+        assert self.empty_range_rejection_rate(filt) > 0.5
+
+    def test_snarf_filters_short_empty_ranges(self):
+        filt = Snarf(SPARSE_KEYS, bits_per_key=6)
+        assert self.empty_range_rejection_rate(filt) > 0.5
+
+    def test_surf_filters_empty_ranges_on_sparse_data(self):
+        filt = SuRF(SPARSE_KEYS, suffix_mode=SuffixMode.REAL, suffix_bits=8)
+        assert self.empty_range_rejection_rate(filt) > 0.3
+
+    def test_snarf_more_bits_fewer_false_positives(self):
+        low = Snarf(SPARSE_KEYS, bits_per_key=2)
+        high = Snarf(SPARSE_KEYS, bits_per_key=10)
+        assert self.empty_range_rejection_rate(high) >= self.empty_range_rejection_rate(low)
+
+
+class TestPrefixBloom:
+    def test_answers_only_within_one_prefix_group(self):
+        keys = [b"user0001x", b"user0002x", b"item0001x"]
+        filt = PrefixBloomFilter(keys, prefix_length=4)
+        # Range spanning two prefixes: cannot help.
+        assert filt.may_intersect(b"itemz", b"userz")
+        # Range within an absent prefix: filtered out.
+        assert not filt.may_intersect(b"cart0000", b"cart9999")
+        # Range within a present prefix: maybe.
+        assert filt.may_intersect(b"user0000", b"user9999")
+
+    def test_short_bounds_are_conservative(self):
+        filt = PrefixBloomFilter([b"abcdef1"], prefix_length=6)
+        assert filt.may_intersect(b"ab", b"ab")  # bound shorter than prefix
+
+    def test_invalid_prefix_length(self):
+        with pytest.raises(ValueError):
+            PrefixBloomFilter([b"a"], prefix_length=0)
+
+
+class TestSuRF:
+    def test_point_queries_with_suffix_modes(self):
+        keys = [b"apple", b"application", b"banana", b"band", b"bandana"]
+        for mode in SuffixMode:
+            filt = SuRF(keys, suffix_mode=mode, suffix_bits=8)
+            for key in keys:
+                assert filt.may_contain(key), f"{mode}: lost {key!r}"
+
+    def test_key_that_is_prefix_of_another(self):
+        filt = SuRF([b"ab", b"abc", b"abcd"])
+        assert filt.may_contain(b"ab")
+        assert filt.may_contain(b"abc")
+        assert filt.may_contain(b"abcd")
+
+    def test_truncation_causes_nearby_false_positives_only(self):
+        keys = [b"aaaa0000", b"bbbb0000", b"cccc0000"]
+        filt = SuRF(keys, suffix_mode=SuffixMode.NONE)
+        # Distant probe differing in the first byte is rejected.
+        assert not filt.may_contain(b"zzzz0000")
+
+    def test_real_suffix_reduces_point_fpr(self):
+        keys = [encode_uint_key(v) for v in range(0, 50_000, 50)]
+        base = SuRF(keys, suffix_mode=SuffixMode.NONE)
+        real = SuRF(keys, suffix_mode=SuffixMode.REAL, suffix_bits=8)
+        probes = [encode_uint_key(v + 7) for v in range(0, 50_000, 50)]
+        fp_base = sum(base.may_contain(p) for p in probes)
+        fp_real = sum(real.may_contain(p) for p in probes)
+        assert fp_real <= fp_base
+
+    def test_range_across_keys(self):
+        filt = SuRF([b"b", b"d", b"f"])
+        assert filt.may_intersect(b"c", b"e")  # contains d
+        assert filt.may_intersect(b"a", b"b")
+        assert not filt.may_intersect(b"g", b"h")
+
+    def test_size_accounts_nodes_and_suffixes(self):
+        keys = int_keys(range(1000))
+        base = SuRF(keys, suffix_mode=SuffixMode.NONE)
+        real = SuRF(keys, suffix_mode=SuffixMode.REAL, suffix_bits=8)
+        assert real.size_bytes > base.size_bytes
+        assert base.trie_nodes > 0
+
+    def test_invalid_suffix_bits(self):
+        with pytest.raises(ValueError):
+            SuRF([b"a"], suffix_bits=64)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=10), min_size=1, max_size=80, unique=True))
+    def test_property_no_false_negatives(self, keys):
+        filt = SuRF(keys)
+        for key in keys:
+            assert filt.may_contain(key)
+
+
+class TestRosetta:
+    def test_point_and_tiny_ranges(self):
+        values = [5, 100, 1000, 65536, 2**40]
+        filt = Rosetta(int_keys(values), bits_per_key=24, levels=64)
+        for v in values:
+            assert filt.may_contain(encode_uint_key(v))
+        assert filt.may_intersect(encode_uint_key(4), encode_uint_key(6))
+        assert not filt.may_intersect(encode_uint_key(200), encode_uint_key(210))
+
+    def test_empty_filter_rejects_all(self):
+        filt = Rosetta([], bits_per_key=10)
+        assert not filt.may_intersect(encode_uint_key(0), encode_uint_key(10))
+
+    def test_level_budget_validation(self):
+        with pytest.raises(ValueError):
+            Rosetta([b"a"], levels=0)
+        with pytest.raises(ValueError):
+            Rosetta([b"a"], bottom_weight=0)
+
+    def test_size_scales_with_bits(self):
+        small = Rosetta(SPARSE_KEYS, bits_per_key=8, levels=16)
+        large = Rosetta(SPARSE_KEYS, bits_per_key=32, levels=16)
+        assert large.size_bytes > small.size_bytes
+
+
+class TestSnarf:
+    def test_handles_all_equal_keys(self):
+        filt = Snarf([encode_uint_key(42)] * 5, bits_per_key=4)
+        assert filt.may_contain(encode_uint_key(42))
+
+    def test_empty(self):
+        filt = Snarf([], bits_per_key=4)
+        assert not filt.may_intersect(encode_uint_key(0), encode_uint_key(1))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Snarf([b"a"], bits_per_key=0)
+        with pytest.raises(ValueError):
+            Snarf([b"a"], model_knots=1)
+
+    def test_compressed_size_much_smaller_than_dense_bitmap(self):
+        filt = Snarf(SPARSE_KEYS, bits_per_key=64, model_knots=16)
+        dense_bytes = filt.bit_space / 8
+        assert filt.size_bytes < dense_bytes / 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 2**48), min_size=1, max_size=150, unique=True))
+    def test_property_no_false_negatives(self, values):
+        keys = int_keys(sorted(values))
+        filt = Snarf(keys, bits_per_key=4)
+        for v in values:
+            assert filt.may_contain(encode_uint_key(v))

@@ -1,0 +1,76 @@
+"""Fence separator shortening: exactness preserved, memory reduced."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.fence import FencePointers, _shortest_separator
+
+
+class TestShortestSeparator:
+    def test_single_diverging_byte(self):
+        assert _shortest_separator(b"apple", b"banana") == b"b"
+
+    def test_shared_prefix(self):
+        assert _shortest_separator(b"user:0199", b"user:0200") == b"user:02"
+
+    def test_lower_is_prefix_of_upper(self):
+        sep = _shortest_separator(b"ab", b"abc")
+        assert b"ab" < sep <= b"abc"
+
+    def test_adjacent_keys(self):
+        sep = _shortest_separator(b"a", b"b")
+        assert sep == b"b"
+
+    @given(st.binary(min_size=1, max_size=16), st.binary(min_size=1, max_size=16))
+    def test_property_valid_separator(self, a, b):
+        lower, upper = sorted((a, b))
+        if lower == upper:
+            return
+        sep = _shortest_separator(lower, upper)
+        assert lower < sep <= upper
+        assert upper.startswith(sep)
+
+
+class TestShortenedFences:
+    KEYS = [b"user:%06d" % i for i in range(500)]
+    BLOCKS = [i // 25 for i in range(500)]
+
+    def test_locate_identical_to_full_fences(self):
+        full = FencePointers(self.KEYS, self.BLOCKS)
+        short = FencePointers(self.KEYS, self.BLOCKS, shorten=True)
+        probes = self.KEYS + [key + b"x" for key in self.KEYS[::7]] + [b"a", b"z"]
+        for key in probes:
+            assert full.locate(key) == short.locate(key), key
+
+    def test_memory_reduced_on_long_shared_prefixes(self):
+        full = FencePointers(self.KEYS, self.BLOCKS)
+        short = FencePointers(self.KEYS, self.BLOCKS, shorten=True)
+        assert short.size_bytes < full.size_bytes
+
+    def test_single_block_unchanged(self):
+        fences = FencePointers([b"a", b"b"], [0, 0], shorten=True)
+        assert fences.locate(b"a") == (0, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 10**9), min_size=2, max_size=200, unique=True),
+        per_block=st.integers(1, 16),
+    )
+    def test_property_exactness(self, values, per_block):
+        keys = [b"%012d" % v for v in sorted(values)]
+        blocks = [i // per_block for i in range(len(keys))]
+        short = FencePointers(keys, blocks, shorten=True)
+        for key, block in zip(keys, blocks):
+            assert short.locate(key) == (block, block)
+
+
+def test_engine_with_shortened_fences():
+    from repro import encode_uint_key
+    from tests.conftest import make_tree
+
+    tree = make_tree(index="fence", index_params={"shorten": True})
+    for i in range(1500):
+        tree.put(encode_uint_key((i * 733) % 500), b"v%d" % i)
+    tree.flush()
+    for i in range(0, 500, 11):
+        assert tree.get(encode_uint_key(i)).found

@@ -1,0 +1,128 @@
+"""Block device: file lifecycle, I/O accounting, latency model."""
+
+import pytest
+
+from repro.errors import (
+    BlockNotFoundError,
+    FileNotFoundStorageError,
+    ImmutableWriteError,
+)
+from repro.storage.block_device import BlockDevice, DeviceStats, LatencyModel
+
+
+class TestFileLifecycle:
+    def test_create_write_read(self, device):
+        fid = device.create_file()
+        block_no = device.append_block(fid, b"hello")
+        assert block_no == 0
+        assert device.read_block(fid, 0) == b"hello"
+
+    def test_sequential_block_numbers(self, device):
+        fid = device.create_file()
+        assert [device.append_block(fid, b"x") for _ in range(3)] == [0, 1, 2]
+
+    def test_sealed_file_rejects_writes(self, device):
+        fid = device.create_file()
+        device.append_block(fid, b"x")
+        device.seal_file(fid)
+        with pytest.raises(ImmutableWriteError):
+            device.append_block(fid, b"y")
+
+    def test_delete_file(self, device):
+        fid = device.create_file()
+        device.append_block(fid, b"x")
+        device.delete_file(fid)
+        assert not device.file_exists(fid)
+        with pytest.raises(FileNotFoundStorageError):
+            device.read_block(fid, 0)
+
+    def test_delete_unknown_file_raises(self, device):
+        with pytest.raises(FileNotFoundStorageError):
+            device.delete_file(999)
+
+    def test_read_missing_block_raises(self, device):
+        fid = device.create_file()
+        with pytest.raises(BlockNotFoundError):
+            device.read_block(fid, 0)
+
+    def test_oversized_block_rejected(self, device):
+        fid = device.create_file()
+        with pytest.raises(ValueError):
+            device.append_block(fid, b"x" * (device.block_size + 1))
+
+    def test_live_files_and_sizes(self, device):
+        a = device.create_file()
+        b = device.create_file()
+        device.append_block(a, b"xx")
+        device.append_block(b, b"yyy")
+        assert device.live_files == [a, b]
+        assert device.file_size(a) == 2
+        assert device.used_bytes == 5
+
+
+class TestAccounting:
+    def test_read_write_counters(self, device):
+        fid = device.create_file()
+        device.append_block(fid, b"abc")
+        device.read_block(fid, 0)
+        assert device.stats.blocks_written == 1
+        assert device.stats.blocks_read == 1
+        assert device.stats.bytes_written == 3
+        assert device.stats.bytes_read == 3
+
+    def test_sequential_vs_random_reads(self, device):
+        fid = device.create_file()
+        for _ in range(4):
+            device.append_block(fid, b"x")
+        device.read_block(fid, 0)  # random (first)
+        device.read_block(fid, 1)  # sequential
+        device.read_block(fid, 2)  # sequential
+        device.read_block(fid, 0)  # random (backwards)
+        assert device.stats.sequential_reads == 2
+        assert device.stats.random_reads == 2
+
+    def test_appends_are_sequential_within_a_file(self, device):
+        fid = device.create_file()
+        for _ in range(3):
+            device.append_block(fid, b"x")
+        assert device.stats.sequential_writes == 3
+        assert device.stats.random_writes == 0
+
+    def test_interleaved_file_appends_cost_random_writes(self, device):
+        a, b = device.create_file(), device.create_file()
+        device.append_block(a, b"x")  # first block: sequential by definition
+        device.append_block(b, b"x")  # first block of b: sequential
+        device.append_block(a, b"x")  # jump back to a: random
+        assert device.stats.random_writes == 1
+
+    def test_simulated_time_uses_latency_model(self):
+        latency = LatencyModel(sequential_read=1, random_read=10,
+                               sequential_write=2, random_write=20)
+        device = BlockDevice(block_size=64, latency=latency)
+        fid = device.create_file()
+        device.append_block(fid, b"x")  # sequential write: 2
+        device.read_block(fid, 0)  # random read: 10
+        assert device.stats.simulated_time == 12
+
+    def test_snapshot_delta(self, device):
+        fid = device.create_file()
+        device.append_block(fid, b"x")
+        before = device.stats.snapshot()
+        device.read_block(fid, 0)
+        delta = device.stats.delta(before)
+        assert delta.blocks_read == 1
+        assert delta.blocks_written == 0
+
+    def test_total_ios(self):
+        stats = DeviceStats(blocks_read=3, blocks_written=4)
+        assert stats.total_ios == 7
+
+
+class TestValidation:
+    def test_zero_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDevice(block_size=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDevice(latency=LatencyModel(sequential_read=-1))

@@ -1,0 +1,103 @@
+"""Runs: partitioned sorted units, routing, replacement surgery."""
+
+import pytest
+
+from repro.common.entry import Entry
+from repro.storage.run import Run
+from repro.storage.sstable import SSTableBuilder
+
+
+def build_table(device, keys):
+    builder = SSTableBuilder(device)
+    for i, key in enumerate(keys):
+        builder.add(Entry(key=key, seqno=i + 1, value=b"v"))
+    return builder.finish()
+
+
+@pytest.fixture
+def partitioned_run(device):
+    tables = [
+        build_table(device, [b"a", b"b"]),
+        build_table(device, [b"m", b"n"]),
+        build_table(device, [b"x", b"y"]),
+    ]
+    return Run(tables)
+
+
+class TestConstruction:
+    def test_requires_tables(self):
+        with pytest.raises(ValueError):
+            Run([])
+
+    def test_rejects_overlapping_tables(self, device):
+        a = build_table(device, [b"a", b"m"])
+        b = build_table(device, [b"c", b"z"])
+        with pytest.raises(ValueError):
+            Run([a, b])
+
+    def test_rejects_unsorted_tables(self, device):
+        a = build_table(device, [b"a", b"b"])
+        b = build_table(device, [b"x", b"y"])
+        with pytest.raises(ValueError):
+            Run([b, a])
+
+    def test_metadata_aggregates(self, partitioned_run):
+        assert partitioned_run.min_key == b"a"
+        assert partitioned_run.max_key == b"y"
+        assert partitioned_run.entry_count == 6
+
+
+class TestRouting:
+    def test_get_routes_to_right_table(self, partitioned_run):
+        assert partitioned_run.get(b"m").key == b"m"
+        assert partitioned_run.get(b"y").key == b"y"
+
+    def test_get_in_gap_between_tables(self, partitioned_run):
+        assert partitioned_run.get(b"c") is None  # between table 0 and 1
+
+    def test_get_outside_range(self, partitioned_run):
+        assert partitioned_run.get(b"0") is None
+        assert partitioned_run.get(b"zz") is None
+
+    def test_get_bumps_table_hotness(self, partitioned_run):
+        partitioned_run.get(b"a")
+        partitioned_run.get(b"b")
+        assert partitioned_run.tables[0].hotness == 2
+
+    def test_iter_spans_all_tables(self, partitioned_run):
+        keys = [e.key for e in partitioned_run.iter_entries()]
+        assert keys == [b"a", b"b", b"m", b"n", b"x", b"y"]
+
+    def test_iter_bounded_skips_tables(self, partitioned_run):
+        keys = [e.key for e in partitioned_run.iter_entries(start=b"m", end=b"n")]
+        assert keys == [b"m", b"n"]
+
+    def test_tables_overlapping(self, partitioned_run):
+        hits = partitioned_run.tables_overlapping(b"n", b"x")
+        assert [t.min_key for t in hits] == [b"m", b"x"]
+
+
+class TestSurgery:
+    def test_replace_tables_removes_and_adds(self, device, partitioned_run):
+        new_table = build_table(device, [b"c", b"d"])
+        victim = partitioned_run.tables[0]
+        updated = partitioned_run.replace_tables([victim], [new_table])
+        assert [t.min_key for t in updated.tables] == [b"c", b"m", b"x"]
+        # original run is untouched (immutability)
+        assert [t.min_key for t in partitioned_run.tables] == [b"a", b"m", b"x"]
+
+    def test_replace_validates_result(self, device, partitioned_run):
+        overlapping = build_table(device, [b"a", b"z"])
+        with pytest.raises(ValueError):
+            partitioned_run.replace_tables([], [overlapping])
+
+    def test_overlaps(self, partitioned_run):
+        assert partitioned_run.overlaps(b"b", b"c")
+        assert not partitioned_run.overlaps(b"z", b"zz")
+
+    def test_may_contain_range_without_filters_falls_back(self, partitioned_run):
+        assert partitioned_run.may_contain_range(b"a", b"b")
+        # no table spans [c, d]: key-range metadata alone proves emptiness
+        assert not partitioned_run.may_contain_range(b"c", b"d")
+        # a range overlapping an unfiltered table must answer "maybe"
+        assert partitioned_run.may_contain_range(b"n", b"q")

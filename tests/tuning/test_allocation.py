@@ -1,0 +1,139 @@
+"""Monkey allocation and buffer-vs-filter memory splitting."""
+
+import math
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import DesignPoint, Workload
+from repro.tuning.memory import optimize_memory_split
+from repro.tuning.monkey import (
+    expected_zero_lookup_cost,
+    level_entry_counts,
+    monkey_allocation,
+    monkey_allocation_numeric,
+    uniform_allocation,
+)
+
+LEVELS = [100_000, 400_000, 1_600_000]
+TOTAL_BITS = 10.0 * sum(LEVELS)
+
+
+class TestMonkey:
+    def test_budget_exactly_spent(self):
+        bits = monkey_allocation(TOTAL_BITS, LEVELS)
+        spent = sum(b * n for b, n in zip(bits, LEVELS))
+        assert spent == pytest.approx(TOTAL_BITS, rel=1e-9)
+
+    def test_shallow_levels_get_more_bits(self):
+        bits = monkey_allocation(TOTAL_BITS, LEVELS)
+        assert bits[0] > bits[1] > bits[2]
+
+    def test_beats_uniform_on_model_cost(self):
+        runs = [1, 1, 1]
+        monkey = monkey_allocation(TOTAL_BITS, LEVELS)
+        uniform = uniform_allocation(TOTAL_BITS, LEVELS)
+        assert expected_zero_lookup_cost(monkey, runs) < expected_zero_lookup_cost(
+            uniform, runs
+        )
+
+    def test_matches_numeric_optimum(self):
+        closed = monkey_allocation(TOTAL_BITS, LEVELS)
+        numeric = monkey_allocation_numeric(TOTAL_BITS, LEVELS)
+        cost_closed = expected_zero_lookup_cost(closed, [1, 1, 1])
+        cost_numeric = expected_zero_lookup_cost(numeric, [1, 1, 1])
+        assert cost_closed <= cost_numeric * 1.01
+
+    def test_tiny_budget_zeroes_deep_levels(self):
+        bits = monkey_allocation(0.5 * sum(LEVELS), LEVELS)
+        assert bits[-1] == 0.0
+        assert bits[0] > 0.0
+
+    def test_zero_budget(self):
+        assert monkey_allocation(0.0, LEVELS) == [0.0, 0.0, 0.0]
+
+    def test_tiered_runs_shift_allocation(self):
+        leveled = monkey_allocation(TOTAL_BITS, LEVELS, runs_per_level=[1, 1, 1])
+        tiered = monkey_allocation(TOTAL_BITS, LEVELS, runs_per_level=[3, 3, 3])
+        # Equal run multipliers do not change the *relative* split...
+        assert leveled == pytest.approx(tiered)
+        # ...but uneven runs do: a level with more runs earns more bits.
+        uneven = monkey_allocation(TOTAL_BITS, LEVELS, runs_per_level=[1, 1, 8])
+        assert uneven[2] > leveled[2]
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            monkey_allocation(-1, LEVELS)
+        with pytest.raises(TuningError):
+            monkey_allocation(10, [])
+        with pytest.raises(TuningError):
+            monkey_allocation(10, [0])
+        with pytest.raises(TuningError):
+            monkey_allocation(10, LEVELS, runs_per_level=[1])
+
+    def test_single_level(self):
+        bits = monkey_allocation(1000.0, [100])
+        assert bits == [pytest.approx(10.0)]
+
+
+class TestLevelEntryCounts:
+    def test_geometric_fill(self):
+        counts = level_entry_counts(10_000, buffer_entries=100, size_ratio=4)
+        assert counts[0] == 400
+        assert counts[1] == 1600
+        assert sum(counts) == 10_000
+
+    def test_small_dataset_one_level(self):
+        assert level_entry_counts(50, buffer_entries=100, size_ratio=4) == [50]
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            level_entry_counts(0, 10, 4)
+
+
+class TestMemorySplit:
+    WORKLOAD = Workload(zero_lookups=0.4, lookups=0.3, writes=0.3)
+
+    def test_interior_optimum(self):
+        split = optimize_memory_split(
+            total_memory_bytes=16 << 20,
+            num_entries=10_000_000,
+            workload=self.WORKLOAD,
+            design=DesignPoint.leveling(4),
+        )
+        assert 4096 < split.buffer_bytes < 16 << 20
+        assert split.filter_bits_total > 0
+
+    def test_write_heavy_prefers_bigger_buffer(self):
+        def buffer_for(writes):
+            w = Workload(zero_lookups=(1 - writes) / 2, lookups=(1 - writes) / 2,
+                         writes=writes)
+            return optimize_memory_split(
+                8 << 20, 5_000_000, w, DesignPoint.leveling(4)
+            ).buffer_bytes
+
+        assert buffer_for(0.9) >= buffer_for(0.1)
+
+    def test_monkey_split_never_worse_than_uniform(self):
+        kwargs = dict(
+            total_memory_bytes=8 << 20,
+            num_entries=5_000_000,
+            workload=self.WORKLOAD,
+            design=DesignPoint.leveling(4),
+        )
+        monkey = optimize_memory_split(use_monkey=True, **kwargs)
+        uniform = optimize_memory_split(use_monkey=False, **kwargs)
+        assert monkey.cost <= uniform.cost * (1 + 1e-9)
+
+    def test_budget_too_small(self):
+        with pytest.raises(TuningError):
+            optimize_memory_split(1024, 1000, self.WORKLOAD, min_buffer_bytes=4096)
+
+
+def test_expected_cost_helper_validates():
+    with pytest.raises(TuningError):
+        expected_zero_lookup_cost([1.0], [1, 2])
+    assert expected_zero_lookup_cost([0.0], [2]) == pytest.approx(2.0)
+    assert expected_zero_lookup_cost([10.0], [1]) == pytest.approx(
+        math.exp(-10 * math.log(2) ** 2)
+    )

@@ -1,0 +1,143 @@
+"""Analytic cost model: formula sanity and the tutorial's canonical orderings."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+
+
+@pytest.fixture
+def model():
+    return CostModel(num_entries=100_000_000, entry_bytes=64,
+                     buffer_bytes=8 << 20, block_bytes=4096)
+
+
+class TestWorkload:
+    def test_must_sum_to_one(self):
+        with pytest.raises(TuningError):
+            Workload(zero_lookups=0.5, lookups=0.5, writes=0.5)
+
+    def test_vector_roundtrip(self):
+        w = Workload(zero_lookups=0.1, lookups=0.2, short_ranges=0.3,
+                     long_ranges=0.1, writes=0.3)
+        assert Workload.from_vector(w.as_vector()) == w
+
+    def test_negative_rejected(self):
+        with pytest.raises(TuningError):
+            Workload(zero_lookups=-0.1, lookups=0.6, writes=0.5)
+
+
+class TestDesignPoint:
+    def test_canonical_constructors(self):
+        assert DesignPoint.leveling(4).inner_runs == 1
+        assert DesignPoint.tiering(4).inner_runs == 3
+        lazy = DesignPoint.lazy_leveling(4)
+        assert (lazy.inner_runs, lazy.last_runs) == (3, 1)
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            DesignPoint(size_ratio=1)
+        with pytest.raises(TuningError):
+            DesignPoint(inner_runs=0)
+
+
+class TestShape:
+    def test_num_levels_grows_with_data(self, model):
+        small = CostModel(num_entries=1_000_000, buffer_bytes=8 << 20)
+        point = DesignPoint.leveling(4)
+        assert small.num_levels(point) < model.num_levels(point)
+
+    def test_num_levels_shrinks_with_larger_t(self, model):
+        l_small_t = model.num_levels(DesignPoint.leveling(2))
+        l_big_t = model.num_levels(DesignPoint.leveling(10))
+        assert l_big_t < l_small_t
+
+    def test_tiny_dataset_one_level(self):
+        model = CostModel(num_entries=10, buffer_bytes=1 << 20)
+        assert model.num_levels(DesignPoint.leveling(4)) == 1
+
+
+class TestCanonicalOrderings:
+    """The read/write orderings the tutorial teaches (Module I.2, II.4)."""
+
+    def test_tiering_writes_cheaper_than_leveling(self, model):
+        for t in (3, 4, 8):
+            assert model.write_cost(DesignPoint.tiering(t)) < model.write_cost(
+                DesignPoint.leveling(t)
+            )
+        # T=2 degenerates: tiering and leveling coincide by definition.
+        assert model.write_cost(DesignPoint.tiering(2)) == model.write_cost(
+            DesignPoint.leveling(2)
+        )
+
+    def test_tiering_reads_costlier_than_leveling(self, model):
+        for t in (3, 4, 8):
+            assert model.zero_result_lookup_cost(
+                DesignPoint.tiering(t)
+            ) > model.zero_result_lookup_cost(DesignPoint.leveling(t))
+
+    def test_lazy_leveling_between(self, model):
+        t = 4
+        lazy_zero = model.zero_result_lookup_cost(DesignPoint.lazy_leveling(t))
+        assert (
+            model.zero_result_lookup_cost(DesignPoint.leveling(t))
+            <= lazy_zero
+            <= model.zero_result_lookup_cost(DesignPoint.tiering(t))
+        )
+        lazy_write = model.write_cost(DesignPoint.lazy_leveling(t))
+        assert (
+            model.write_cost(DesignPoint.tiering(t))
+            <= lazy_write
+            <= model.write_cost(DesignPoint.leveling(t))
+        )
+
+    def test_leveling_write_cost_grows_with_t(self, model):
+        costs = [model.write_cost(DesignPoint.leveling(t)) for t in (2, 4, 8, 16)]
+        # larger T = fewer levels but T-1 rewrites per level: net increase
+        assert costs[-1] > costs[0]
+
+    def test_tiering_write_cost_shrinks_with_t(self, model):
+        costs = [model.write_cost(DesignPoint.tiering(t)) for t in (2, 4, 8, 16)]
+        assert costs[-1] < costs[0]
+
+    def test_zero_lookup_cost_falls_exponentially_with_bits(self, model):
+        costs = [
+            model.zero_result_lookup_cost(DesignPoint.leveling(4, bits))
+            for bits in (0, 5, 10, 15)
+        ]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+        assert costs[0] / max(costs[-1], 1e-12) > 100
+
+    def test_existing_lookup_at_least_one_io(self, model):
+        assert model.lookup_cost(DesignPoint.leveling(4)) >= 1.0
+
+    def test_short_range_counts_all_runs(self, model):
+        point = DesignPoint.tiering(4)
+        levels = model.num_levels(point)
+        assert model.short_range_cost(point) == levels * 3
+
+    def test_long_range_grows_with_selectivity(self, model):
+        point = DesignPoint.leveling(4)
+        assert model.long_range_cost(point, 1e-3) > model.long_range_cost(point, 1e-5)
+
+    def test_workload_cost_blends(self, model):
+        point = DesignPoint.leveling(4)
+        write_heavy = Workload(zero_lookups=0.0, lookups=0.0, writes=1.0)
+        read_heavy = Workload(zero_lookups=0.0, lookups=1.0, writes=0.0)
+        assert model.workload_cost(point, write_heavy) == pytest.approx(
+            model.write_cost(point)
+        )
+        assert model.workload_cost(point, read_heavy) == pytest.approx(
+            model.lookup_cost(point)
+        )
+
+    def test_per_level_bits_vector_supported(self, model):
+        uniform = DesignPoint.leveling(4, 10.0)
+        monkeyish = DesignPoint.leveling(4, (14.0, 12.0, 10.0, 8.0))
+        assert model.zero_result_lookup_cost(monkeyish) != model.zero_result_lookup_cost(
+            uniform
+        )
+
+    def test_invalid_model_params(self):
+        with pytest.raises(TuningError):
+            CostModel(num_entries=0)

@@ -1,0 +1,136 @@
+"""Navigator and Endure robust tuning."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+from repro.tuning.endure import (
+    evaluate_under_drift,
+    kl_divergence,
+    kl_worst_case_workload,
+    nominal_tuning,
+    robust_tuning,
+)
+from repro.tuning.navigator import DesignNavigator
+
+
+@pytest.fixture
+def model():
+    return CostModel(num_entries=50_000_000, buffer_bytes=8 << 20)
+
+
+class TestNavigator:
+    def test_read_heavy_prefers_leveling(self, model):
+        nav = DesignNavigator(model)
+        best = nav.best(Workload(zero_lookups=0.45, lookups=0.45, writes=0.1))
+        assert best.point.inner_runs == 1
+
+    def test_write_heavy_prefers_tiering(self, model):
+        nav = DesignNavigator(model)
+        best = nav.best(Workload(zero_lookups=0.02, lookups=0.03, writes=0.95))
+        assert best.point.inner_runs > 1
+
+    def test_rank_sorted(self, model):
+        nav = DesignNavigator(model)
+        ranked = nav.rank(Workload(zero_lookups=0.3, lookups=0.3, writes=0.4))
+        costs = [r.cost for r in ranked]
+        assert costs == sorted(costs)
+
+    def test_hybrids_expand_candidate_set(self, model):
+        plain = len(list(DesignNavigator(model).candidates()))
+        hybrid = len(list(DesignNavigator(model, include_hybrids=True).candidates()))
+        assert hybrid > plain
+
+    def test_tradeoff_curve_is_pareto(self, model):
+        frontier = DesignNavigator(model, include_hybrids=True).tradeoff_curve()
+        assert len(frontier) >= 3
+        reads = [read for read, _, _ in frontier]
+        writes = [write for _, write, _ in frontier]
+        assert reads == sorted(reads)
+        assert writes == sorted(writes, reverse=True)
+
+
+class TestKLWorstCase:
+    COSTS = [5.0, 1.0, 0.5, 2.0, 0.1]
+    W0 = [0.2, 0.2, 0.2, 0.2, 0.2]
+
+    def test_zero_radius_returns_nominal(self):
+        w, cost = kl_worst_case_workload(self.COSTS, self.W0, eta=0.0)
+        assert w == pytest.approx(self.W0)
+
+    def test_worst_case_tilts_toward_expensive_ops(self):
+        w, cost = kl_worst_case_workload(self.COSTS, self.W0, eta=0.1)
+        assert w[0] > self.W0[0]  # most expensive class gains mass
+        assert w[4] < self.W0[4]  # cheapest loses
+        assert cost > sum(c * p for c, p in zip(self.COSTS, self.W0))
+
+    def test_kl_constraint_respected(self):
+        for eta in (0.01, 0.05, 0.2):
+            w, _ = kl_worst_case_workload(self.COSTS, self.W0, eta=eta)
+            assert kl_divergence(w, self.W0) <= eta * 1.05
+
+    def test_worst_cost_monotone_in_radius(self):
+        costs = [
+            kl_worst_case_workload(self.COSTS, self.W0, eta=eta)[1]
+            for eta in (0.0, 0.05, 0.2, 1.0)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_huge_radius_concentrates_on_max_cost(self):
+        _, cost = kl_worst_case_workload(self.COSTS, self.W0, eta=50.0)
+        assert cost == pytest.approx(max(self.COSTS), rel=0.05)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(TuningError):
+            kl_worst_case_workload(self.COSTS, self.W0, eta=-1)
+
+    def test_uniform_costs_stay_nominal(self):
+        w, cost = kl_worst_case_workload([2.0] * 5, self.W0, eta=0.5)
+        assert cost == pytest.approx(2.0)
+
+
+class TestEndure:
+    W0 = Workload(zero_lookups=0.1, lookups=0.2, writes=0.7)
+
+    def candidates(self):
+        points = []
+        for t in (2, 4, 6, 8, 10):
+            points.append(DesignPoint.leveling(t))
+            points.append(DesignPoint.tiering(t))
+            points.append(DesignPoint.lazy_leveling(t))
+        return points
+
+    def test_nominal_vs_robust_designs_differ_or_match_sensibly(self, model):
+        nominal, _ = nominal_tuning(model, self.W0, self.candidates())
+        robust, _ = robust_tuning(model, self.W0, self.candidates(), eta=0.5)
+        # A robust design never has MORE runs tolerance than the nominal one
+        # for a write-heavy w0 (drift can only add reads).
+        assert robust.inner_runs <= nominal.inner_runs
+
+    def test_robust_wins_under_drift(self, model):
+        candidates = self.candidates()
+        nominal, _ = nominal_tuning(model, self.W0, candidates)
+        robust, _ = robust_tuning(model, self.W0, candidates, eta=1.0)
+        drifted = Workload(zero_lookups=0.4, lookups=0.4, writes=0.2)
+        nominal_cost = evaluate_under_drift(model, nominal, drifted)
+        robust_cost = evaluate_under_drift(model, robust, drifted)
+        assert robust_cost <= nominal_cost
+
+    def test_robust_near_nominal_at_w0(self, model):
+        candidates = self.candidates()
+        nominal, nominal_cost = nominal_tuning(model, self.W0, candidates)
+        robust, _ = robust_tuning(model, self.W0, candidates, eta=0.25)
+        robust_at_w0 = evaluate_under_drift(model, robust, self.W0)
+        assert robust_at_w0 <= nominal_cost * 3.0  # bounded regret at nominal
+
+    def test_empty_candidates_rejected(self, model):
+        with pytest.raises(TuningError):
+            nominal_tuning(model, self.W0, [])
+        with pytest.raises(TuningError):
+            robust_tuning(model, self.W0, [], eta=0.1)
+
+
+def test_kl_divergence_edge_cases():
+    assert kl_divergence([0.5, 0.5], [0.5, 0.5]) == 0.0
+    assert kl_divergence([1.0, 0.0], [0.5, 0.5]) > 0
+    assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == float("inf")

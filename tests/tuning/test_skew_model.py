@@ -1,0 +1,76 @@
+"""Distribution-aware (Cosine-style) cost model."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning.cost_model import CostModel, DesignPoint, Workload
+from repro.tuning.skew_model import SkewAwareCostModel, zipf_top_mass
+
+
+class TestZipfTopMass:
+    def test_bounds(self):
+        assert zipf_top_mass(1000, 0, 0.9) == 0.0
+        assert zipf_top_mass(1000, 1000, 0.9) == pytest.approx(1.0)
+        assert 0 < zipf_top_mass(1000, 10, 0.9) < 1
+
+    def test_monotone_in_top(self):
+        masses = [zipf_top_mass(10_000, k, 0.9) for k in (1, 10, 100, 1000)]
+        assert masses == sorted(masses)
+
+    def test_skew_concentrates_mass(self):
+        mild = zipf_top_mass(100_000, 100, 0.5)
+        heavy = zipf_top_mass(100_000, 100, 0.99)
+        assert heavy > mild
+
+    def test_top_clamped(self):
+        assert zipf_top_mass(100, 1_000_000, 0.9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            zipf_top_mass(0, 1, 0.9)
+        with pytest.raises(TuningError):
+            zipf_top_mass(10, 1, 1.5)
+
+
+class TestSkewAwareModel:
+    def make(self, cache_bytes=1 << 20, theta=0.9):
+        base = CostModel(num_entries=1_000_000, entry_bytes=64,
+                         buffer_bytes=1 << 20, block_bytes=4096)
+        return base, SkewAwareCostModel(base, cache_bytes=cache_bytes, theta=theta)
+
+    def test_lookup_discounted_by_hit_rate(self):
+        base, aware = self.make()
+        point = DesignPoint.leveling(4)
+        assert aware.lookup_cost(point) < base.lookup_cost(point)
+        assert aware.lookup_cost(point) == pytest.approx(
+            (1 - aware.expected_hit_rate) * base.lookup_cost(point)
+        )
+
+    def test_zero_result_unchanged(self):
+        base, aware = self.make()
+        point = DesignPoint.tiering(4)
+        assert aware.zero_result_lookup_cost(point) == base.zero_result_lookup_cost(point)
+
+    def test_no_cache_no_discount(self):
+        base, aware = self.make(cache_bytes=0)
+        point = DesignPoint.leveling(4)
+        assert aware.lookup_cost(point) == base.lookup_cost(point)
+
+    def test_bigger_cache_bigger_discount(self):
+        _, small = self.make(cache_bytes=1 << 20)
+        _, large = self.make(cache_bytes=64 << 20)
+        point = DesignPoint.leveling(4)
+        assert large.lookup_cost(point) < small.lookup_cost(point)
+
+    def test_workload_cost_between_zero_and_worst(self):
+        base, aware = self.make()
+        point = DesignPoint.lazy_leveling(4)
+        workload = Workload(zero_lookups=0.2, lookups=0.5, writes=0.3)
+        assert 0 < aware.workload_cost(point, workload) <= base.workload_cost(point, workload)
+
+    def test_validation(self):
+        base = CostModel(num_entries=1000)
+        with pytest.raises(TuningError):
+            SkewAwareCostModel(base, cache_bytes=-1)
+        with pytest.raises(TuningError):
+            SkewAwareCostModel(base, cache_bytes=0, theta=2.0)

@@ -1,0 +1,139 @@
+"""Workload generators: distributions, specs, YCSB presets."""
+
+import collections
+
+import pytest
+
+from repro.common.encoding import decode_uint_key
+from repro.workloads.distributions import (
+    HotspotKeys,
+    LatestKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+from repro.workloads.spec import OperationMix, WorkloadSpec, generate_operations, uniform_spec
+from repro.workloads.ycsb import YCSB_PRESETS, ycsb
+
+
+class TestDistributions:
+    def test_uniform_in_range_and_deterministic(self):
+        a = UniformKeys(1000, seed=5)
+        b = UniformKeys(1000, seed=5)
+        sample_a = a.sample_many(500)
+        assert all(0 <= k < 1000 for k in sample_a)
+        assert sample_a == b.sample_many(500)
+
+    def test_uniform_covers_keyspace(self):
+        keys = UniformKeys(10, seed=1).sample_many(1000)
+        assert len(set(keys)) == 10
+
+    def test_sequential_wraps(self):
+        dist = SequentialKeys(3)
+        assert dist.sample_many(7) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_zipfian_skew(self):
+        dist = ZipfianKeys(10_000, seed=2, theta=0.99)
+        counts = collections.Counter(dist.sample_many(20_000))
+        top_share = sum(c for _, c in counts.most_common(100)) / 20_000
+        assert top_share > 0.3  # hot head dominates
+
+    def test_zipfian_scrambling_spreads_hot_keys(self):
+        plain = ZipfianKeys(10_000, seed=2, scrambled=False)
+        scrambled = ZipfianKeys(10_000, seed=2, scrambled=True)
+        plain_top = collections.Counter(plain.sample_many(5000)).most_common(5)
+        scrambled_top = collections.Counter(scrambled.sample_many(5000)).most_common(5)
+        assert max(k for k, _ in plain_top) < 100  # ranks cluster at 0
+        assert max(k for k, _ in scrambled_top) > 100  # spread across space
+
+    def test_zipfian_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(100, theta=1.5)
+
+    def test_hotspot_concentrates(self):
+        dist = HotspotKeys(1000, seed=3, hot_fraction=0.1, hot_weight=0.9)
+        keys = dist.sample_many(5000)
+        hot_share = sum(1 for k in keys if k < 100) / len(keys)
+        assert 0.85 < hot_share < 0.95
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            HotspotKeys(100, hot_fraction=0)
+        with pytest.raises(ValueError):
+            HotspotKeys(100, hot_weight=2)
+
+    def test_latest_skews_to_recent(self):
+        dist = LatestKeys(10_000, seed=4)
+        dist.advance(5000)
+        keys = dist.sample_many(2000)
+        assert all(k < 5000 for k in keys)
+        recent_share = sum(1 for k in keys if k > 4500) / len(keys)
+        assert recent_share > 0.5
+
+    def test_zero_keyspace_rejected(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+
+
+class TestSpec:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OperationMix(put=0.5, get=0.6)
+        with pytest.raises(ValueError):
+            OperationMix(put=1.2, get=-0.2)
+
+    def test_operation_fractions_respected(self):
+        spec = uniform_spec(1000, OperationMix(put=0.3, get=0.5, scan=0.1, delete=0.1))
+        counts = collections.Counter(op.kind for op in spec.operations(5000))
+        assert counts["put"] == pytest.approx(1500, rel=0.15)
+        assert counts["get"] == pytest.approx(2500, rel=0.15)
+        assert counts["scan"] == pytest.approx(500, rel=0.3)
+        assert counts["delete"] == pytest.approx(500, rel=0.3)
+
+    def test_values_sized(self):
+        spec = uniform_spec(100, OperationMix(put=1.0), value_size=40)
+        for op in spec.operations(50):
+            assert len(op.value) == 40
+
+    def test_scans_carry_end_key(self):
+        spec = uniform_spec(10_000, OperationMix(scan=1.0), scan_length=50)
+        for op in spec.operations(20):
+            assert op.end_key is not None
+            span = decode_uint_key(op.end_key) - decode_uint_key(op.key)
+            assert 0 <= span <= 49
+
+    def test_deterministic(self):
+        mix = OperationMix(put=0.5, get=0.5)
+        ops_a = [
+            (op.kind, op.key) for op in uniform_spec(100, mix, seed=9).operations(200)
+        ]
+        ops_b = [
+            (op.kind, op.key) for op in uniform_spec(100, mix, seed=9).operations(200)
+        ]
+        assert ops_a == ops_b
+
+
+class TestYCSB:
+    def test_presets_complete(self):
+        assert set(YCSB_PRESETS) == set("ABCDEF")
+
+    def test_c_is_read_only(self):
+        spec = ycsb("C", 1000)
+        kinds = {op.kind for op in spec.operations(500)}
+        assert kinds == {"get"}
+
+    def test_e_is_scan_heavy(self):
+        spec = ycsb("E", 1000)
+        counts = collections.Counter(op.kind for op in spec.operations(1000))
+        assert counts["scan"] > 800
+
+    def test_d_uses_latest_distribution(self):
+        spec = ycsb("D", 1000)
+        assert isinstance(spec.read_keys, LatestKeys)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            ycsb("Z", 100)
+
+    def test_case_insensitive(self):
+        assert ycsb("a", 100).mix == YCSB_PRESETS["A"]
