@@ -31,6 +31,7 @@ from repro.core.config import LSMConfig
 from repro.core.lsm_tree import LSMTree
 from repro.core.stats import LSMStats
 from repro.errors import ConfigError, ReproError
+from repro.service import DBService, ServiceConfig
 from repro.storage.block_device import BlockDevice, DeviceStats, LatencyModel
 
 __version__ = "1.0.0"
@@ -39,6 +40,8 @@ __all__ = [
     "LSMTree",
     "LSMConfig",
     "LSMStats",
+    "DBService",
+    "ServiceConfig",
     "Entry",
     "EntryKind",
     "GetResult",

@@ -7,8 +7,10 @@ metrics from device/cache/filter counters. This module owns that skeleton.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 from repro.common.encoding import encode_uint_key
 from repro.core.lsm_tree import LSMTree
@@ -115,4 +117,104 @@ def run_operations(
     metrics.filter_probes = tree.stats.probe.filter_probes - probe_before_probes
     metrics.filter_negatives = tree.stats.probe.filter_negatives - probe_before_negatives
     metrics.false_positives = tree.stats.probe.false_positives - probe_before_fp
+    return metrics
+
+
+# -- concurrent driving (the service layer's workloads) ------------------------
+
+
+@dataclass
+class ConcurrentRunMetrics:
+    """What a multi-threaded phase against a :class:`DBService` reports."""
+
+    operations: int = 0
+    puts: int = 0
+    gets: int = 0
+    found: int = 0
+    wall_seconds: float = 0.0
+    max_flush_backlog: int = 0  # peak sealed-memtables + level-1 runs observed
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def run_concurrent_workload(
+    service,
+    n_writers: int,
+    ops_per_writer: int,
+    n_readers: int = 0,
+    ops_per_reader: int = 0,
+    keyspace: int = 10_000,
+    value_size: int = 40,
+    seed: int = 7,
+    sample_interval_s: float = 0.001,
+) -> ConcurrentRunMetrics:
+    """Drive N writer and M reader threads through a DBService.
+
+    Writers put deterministic (thread-disjoint) keys; readers issue point
+    lookups over the same keyspace. While client threads run, the driver
+    samples the tree's flush backlog so stall behavior is observable (the
+    quantity backpressure is supposed to bound). Exceptions raised inside
+    client threads are captured into ``errors`` rather than lost.
+    """
+    metrics = ConcurrentRunMetrics()
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(n_writers + n_readers + 1)
+
+    def writer(tid: int) -> None:
+        local_puts = 0
+        try:
+            start_barrier.wait()
+            for i in range(ops_per_writer):
+                key = (tid * ops_per_writer + i * 7919) % keyspace
+                service.put(encode_uint_key(key), _value_for(key, seed, value_size))
+                local_puts += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced via metrics.errors
+            with lock:
+                metrics.errors.append(f"writer {tid}: {exc!r}")
+        finally:
+            with lock:
+                metrics.puts += local_puts
+                metrics.operations += local_puts
+
+    def reader(tid: int) -> None:
+        local_gets = 0
+        local_found = 0
+        try:
+            start_barrier.wait()
+            for i in range(ops_per_reader):
+                key = (tid * 104729 + i * 613) % keyspace
+                if service.get(encode_uint_key(key)).found:
+                    local_found += 1
+                local_gets += 1
+        except Exception as exc:  # noqa: BLE001
+            with lock:
+                metrics.errors.append(f"reader {tid}: {exc!r}")
+        finally:
+            with lock:
+                metrics.gets += local_gets
+                metrics.found += local_found
+                metrics.operations += local_gets
+
+    threads = [
+        threading.Thread(target=writer, args=(tid,), name=f"bench-writer-{tid}")
+        for tid in range(n_writers)
+    ] + [
+        threading.Thread(target=reader, args=(tid,), name=f"bench-reader-{tid}")
+        for tid in range(n_readers)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    began = time.monotonic()
+    tree = getattr(service, "tree", service)
+    while any(thread.is_alive() for thread in threads):
+        metrics.max_flush_backlog = max(metrics.max_flush_backlog, tree.flush_backlog())
+        time.sleep(sample_interval_s)
+    for thread in threads:
+        thread.join()
+    metrics.max_flush_backlog = max(metrics.max_flush_backlog, tree.flush_backlog())
+    metrics.wall_seconds = time.monotonic() - began
     return metrics

@@ -8,6 +8,7 @@ uses, and ``invalidate_file`` so compactions can drop blocks of deleted files
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
@@ -65,6 +66,9 @@ class BlockCache:
         self._used = 0
         self.stats = CacheStats()
         self.access_counts: Dict[Hashable, int] = {}
+        # Concurrent readers share the cache (repro.service); policy state
+        # (LRU order, clock hands) is not safe to mutate concurrently.
+        self._lock = threading.RLock()
 
     # -- the read-path contract ----------------------------------------------
 
@@ -75,15 +79,18 @@ class BlockCache:
         miss — its cost (a device block read) is therefore paid exactly when a
         real engine would pay it.
         """
-        cached = self._entries.get(key)
-        self.access_counts[key] = self.access_counts.get(key, 0) + 1
-        if cached is not None:
-            self.stats.hits += 1
-            self._policy.on_access(key)
-            return cached[0]
-        self.stats.misses += 1
-        value, charge = loader()
-        self._insert(key, value, charge)
+        with self._lock:
+            cached = self._entries.get(key)
+            self.access_counts[key] = self.access_counts.get(key, 0) + 1
+            if cached is not None:
+                self.stats.hits += 1
+                self._policy.on_access(key)
+                return cached[0]
+            self.stats.misses += 1
+        value, charge = loader()  # the device read happens outside the lock
+        with self._lock:
+            if key not in self._entries:
+                self._insert(key, value, charge)
         return value
 
     def contains(self, key: Hashable) -> bool:
@@ -91,9 +98,10 @@ class BlockCache:
 
     def put(self, key: Hashable, value: object, charge: int) -> None:
         """Insert without a lookup (prefetch path)."""
-        if key in self._entries:
-            return
-        self._insert(key, value, charge)
+        with self._lock:
+            if key in self._entries:
+                return
+            self._insert(key, value, charge)
 
     # -- invalidation ----------------------------------------------------------
 
@@ -104,11 +112,12 @@ class BlockCache:
         keys (with their access counts) are what Leaper uses to decide which
         key ranges were hot.
         """
-        victims = [key for key in self._entries if _file_of(key) == file_id]
-        for key in victims:
-            self._remove(key)
-            self.stats.invalidations += 1
-        return victims
+        with self._lock:
+            victims = [key for key in self._entries if _file_of(key) == file_id]
+            for key in victims:
+                self._remove(key)
+                self.stats.invalidations += 1
+            return victims
 
     # -- introspection -----------------------------------------------------------
 

@@ -11,7 +11,10 @@ separation).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.cache.block_cache import BlockCache
 from repro.cache.leaper import LeaperPrefetcher
@@ -55,6 +58,63 @@ _INLINE_TAG = b"i"
 _POINTER_TAG = b"p"
 
 
+class ImmutableMemtable:
+    """A sealed memtable awaiting flush.
+
+    Sealing swaps the active buffer out from under writers in O(n) (one
+    sorted copy, no device I/O); the sealed entries stay on the read path —
+    probed after the active memtable, newest seal first — until a flush job
+    builds their run and installs it. ``sealed_wal`` is the WAL segment that
+    covered these entries; it is deleted once the run is durable.
+    """
+
+    __slots__ = ("entries", "keys", "sealed_wal", "size_bytes", "claimed")
+
+    def __init__(
+        self, entries: List[Entry], sealed_wal: Optional[int], size_bytes: int
+    ) -> None:
+        self.entries = entries
+        self.keys = [entry.key for entry in entries]
+        self.sealed_wal = sealed_wal
+        self.size_bytes = size_bytes
+        self.claimed = False  # a flush worker is already building this run
+
+    def get(self, key: bytes) -> Optional[Entry]:
+        idx = bisect.bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return self.entries[idx]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class CompactionPlan:
+    """A schedulable unit of re-organization, picked under the tree mutex.
+
+    ``plan_compaction`` pins every input run, so the merge phase
+    (:meth:`LSMTree.execute_compaction`) can read them without holding the
+    mutex even while flushes install new runs concurrently; installation
+    removes exactly the planned inputs (surgical, not level-clearing), so
+    runs that arrived mid-merge survive.
+    """
+
+    level: int
+    dest: int
+    source_runs: List[Run] = field(default_factory=list)
+    dest_runs: List[Run] = field(default_factory=list)
+    purge: bool = False
+    trivial: bool = False
+    partial: bool = False  # execute via the partial-compaction path (under mutex)
+    prefer_oldest: bool = False
+    bytes_in: int = 0
+
+    @property
+    def inputs(self) -> List[Run]:
+        return self.source_runs + self.dest_runs
+
+
 class LSMTree:
     """A log-structured merge tree over a simulated block device.
 
@@ -71,6 +131,10 @@ class LSMTree:
         self.stats = LSMStats()
         self.cache = BlockCache(config.cache_bytes, policy=config.cache_policy)
         self._memtable = make_memtable(config.memtable)
+        self._immutables: List[ImmutableMemtable] = []
+        self._mutex = threading.RLock()
+        self._install_cv = threading.Condition(self._mutex)
+        self._maintenance_cb: Optional[Callable[[], None]] = None
         self._levels: List[List[Run]] = []
         self._layout = config.layout_policy()
         triggers = [RunCountTrigger(), SaturationTrigger(config.saturation_threshold)]
@@ -112,60 +176,202 @@ class LSMTree:
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or update a key (out-of-place: a new versioned entry)."""
         self._check_open()
-        self._seqno += 1
-        self.stats.puts += 1
-        self.stats.user_bytes += len(key) + len(value)
-        if self._wal is not None:
-            # Log the raw value (not the kv-separated pointer) so replay can
-            # re-run the encoding path against a fresh value log.
-            self._wal.append(Entry(key=key, seqno=self._seqno, value=value))
-        entry = Entry(
-            key=key, seqno=self._seqno, kind=EntryKind.PUT,
-            value=self._encode_value(key, value),
-        )
-        if len(entry.key) + len(entry.value) + 12 > self.config.block_size:
-            raise ConfigError(
-                f"entry of {len(key) + len(value)} bytes cannot fit one "
-                f"{self.config.block_size}-byte data block; raise block_size "
-                f"or enable kv_separation (the value log spans blocks)"
+        with self._mutex:
+            self._seqno += 1
+            self.stats.puts += 1
+            self.stats.user_bytes += len(key) + len(value)
+            if self._wal is not None:
+                # Log the raw value (not the kv-separated pointer) so replay can
+                # re-run the encoding path against a fresh value log.
+                self._wal.append(Entry(key=key, seqno=self._seqno, value=value))
+            entry = Entry(
+                key=key, seqno=self._seqno, kind=EntryKind.PUT,
+                value=self._encode_value(key, value),
             )
-        self._buffer_entry(entry)
+            if len(entry.key) + len(entry.value) + 12 > self.config.block_size:
+                raise ConfigError(
+                    f"entry of {len(key) + len(value)} bytes cannot fit one "
+                    f"{self.config.block_size}-byte data block; raise block_size "
+                    f"or enable kv_separation (the value log spans blocks)"
+                )
+            self._buffer_entry(entry)
 
     def delete(self, key: bytes) -> None:
         """Delete a key by buffering a tombstone."""
         self._check_open()
-        self._seqno += 1
-        self.stats.deletes += 1
-        self.stats.user_bytes += len(key)
-        tombstone = Entry(key=key, seqno=self._seqno, kind=EntryKind.DELETE)
-        if self._wal is not None:
-            self._wal.append(tombstone)
-        self._buffer_entry(tombstone)
+        with self._mutex:
+            self._seqno += 1
+            self.stats.deletes += 1
+            self.stats.user_bytes += len(key)
+            tombstone = Entry(key=key, seqno=self._seqno, kind=EntryKind.DELETE)
+            if self._wal is not None:
+                self._wal.append(tombstone)
+            self._buffer_entry(tombstone)
+
+    def write_batch(self, ops) -> int:
+        """Apply a group of writes as one atomic group commit.
+
+        Args:
+            ops: iterable of ``(kind, key, value)`` triples where kind is
+                ``'put'`` or ``'delete'`` (value is ignored for deletes).
+
+        The whole batch becomes one WAL frame (one device append instead of
+        one per record) followed by one memtable application pass — the
+        leader's half of the leader/follower group-commit protocol that
+        :class:`repro.service.WriteBatcher` drives.
+
+        Returns:
+            The number of records applied.
+        """
+        self._check_open()
+        with self._mutex:
+            wal_entries: List[Entry] = []
+            staged: List[Entry] = []
+            for kind, key, value in ops:
+                self._seqno += 1
+                if kind == "put":
+                    entry = Entry(
+                        key=key, seqno=self._seqno, kind=EntryKind.PUT,
+                        value=self._encode_value(key, value),
+                    )
+                    if len(entry.key) + len(entry.value) + 12 > self.config.block_size:
+                        raise ConfigError(
+                            f"entry of {len(key) + len(value)} bytes cannot fit "
+                            f"one {self.config.block_size}-byte data block; raise "
+                            f"block_size or enable kv_separation"
+                        )
+                    self.stats.puts += 1
+                    self.stats.user_bytes += len(key) + len(value)
+                    if self._wal is not None:
+                        wal_entries.append(Entry(key=key, seqno=self._seqno, value=value))
+                elif kind == "delete":
+                    entry = Entry(key=key, seqno=self._seqno, kind=EntryKind.DELETE)
+                    self.stats.deletes += 1
+                    self.stats.user_bytes += len(key)
+                    if self._wal is not None:
+                        wal_entries.append(entry)
+                else:
+                    raise ValueError(f"unknown write kind {kind!r}")
+                staged.append(entry)
+            if self._wal is not None and wal_entries:
+                self._wal.append_batch(wal_entries)
+                self._wal.sync()  # the batch's durability point: one frame
+            for entry in staged:
+                self._buffer_entry(entry)
+            return len(staged)
+
+    def seal_memtable(self) -> Optional[ImmutableMemtable]:
+        """Seal the active memtable into the immutable queue (no run I/O).
+
+        The sealed entries stay readable (gets/scans probe immutables after
+        the active buffer) until a flush builds and installs their run. Rolls
+        the WAL so the sealed segment exactly covers the sealed entries.
+
+        Returns:
+            The sealed memtable, or None when the buffer was empty.
+        """
+        self._check_open()
+        with self._mutex:
+            if self._memtable.is_empty():
+                return None
+            entries = self._memtable.sorted_entries()
+            size = self._memtable.size_bytes
+            if self._value_log is not None:
+                self._value_log.flush()
+            sealed_wal = self._wal.roll() if self._wal is not None else None
+            self._memtable.clear()
+            sealed = ImmutableMemtable(entries, sealed_wal, size)
+            self._immutables.append(sealed)
+            return sealed
+
+    def claim_flush(self) -> Optional[ImmutableMemtable]:
+        """Claim the oldest unclaimed sealed memtable for building.
+
+        Flush workers call this so two workers never build the same seal;
+        the claim is released implicitly by :meth:`install_flush`.
+        """
+        with self._mutex:
+            for imm in self._immutables:
+                if not imm.claimed:
+                    imm.claimed = True
+                    return imm
+            return None
+
+    @property
+    def mutex(self) -> "threading.RLock":
+        """The tree's structure mutex (reentrant); the service layer's lock."""
+        return self._mutex
+
+    def build_flush(self, sealed: ImmutableMemtable) -> Optional[Run]:
+        """Write a sealed memtable as a level-1 run (the I/O-heavy phase).
+
+        Safe to call without the tree mutex: the sealed entries are
+        immutable and the new file is invisible until installed.
+        """
+        return self._build_run(iter(sealed.entries), level=1)
+
+    def install_flush(self, sealed: ImmutableMemtable, run: Optional[Run]) -> None:
+        """Atomically publish a built flush and retire its WAL segment.
+
+        Installs strictly in seal order (level-1 runs must stay newest-first
+        even when parallel workers finish builds out of order): a worker
+        holding a newer seal waits until every older seal has installed.
+        """
+        with self._install_cv:
+            while self._immutables and self._immutables[0] is not sealed:
+                if sealed not in self._immutables:
+                    break  # already installed (defensive; double-install no-op)
+                self._install_cv.wait()
+            if sealed not in self._immutables:
+                return
+            self.stats.flushes += 1
+            if run is not None:
+                self._arrive(run, level=1)
+                self.stats.record_event(
+                    CompactionEvent("flush", 0, 1, 0, run.size_bytes, self.stats.flushes)
+                )
+            self._immutables.remove(sealed)
+            self._install_cv.notify_all()
+            if not self.config.lazy_compaction and self._maintenance_cb is None:
+                self._maybe_compact()
+            if self._wal is not None:
+                # The flushed entries are durable in the new run: persist the
+                # new structure, then drop the log that covered them.
+                self._persist_structure()
+                if sealed.sealed_wal is not None:
+                    self._wal.delete(sealed.sealed_wal)
 
     def flush(self) -> None:
-        """Force the memtable to storage as a new youngest run of level 1."""
+        """Force all buffered entries to storage as new youngest level-1 runs.
+
+        Seals the active memtable, then builds and installs a run for every
+        pending sealed memtable (oldest first). Inline mode never has more
+        than one; a service-managed tree may have a backlog.
+        """
         self._check_open()
-        if self._memtable.is_empty():
-            return
-        entries = self._memtable.sorted_entries()
-        if self._value_log is not None:
-            self._value_log.flush()
-        run = self._build_run(iter(entries), level=1)
-        self._memtable.clear()
-        self.stats.flushes += 1
-        sealed_wal = self._wal.roll() if self._wal is not None else None
-        if run is not None:
-            self._arrive(run, level=1)
-            self.stats.record_event(
-                CompactionEvent("flush", 0, 1, 0, run.size_bytes, self.stats.flushes)
-            )
-        if not self.config.lazy_compaction:
-            self._maybe_compact()
-        if self._wal is not None:
-            # The flushed entries are durable in the new run: persist the new
-            # structure, then drop the log that covered them.
-            self._persist_structure()
-            self._wal.delete(sealed_wal)
+        self.seal_memtable()
+        while True:
+            with self._mutex:
+                pending = [imm for imm in self._immutables if not imm.claimed]
+                if not pending:
+                    break
+                sealed = pending[0]
+                sealed.claimed = True
+            run = self.build_flush(sealed)
+            self.install_flush(sealed, run)
+
+    def set_maintenance_callback(self, callback: Optional[Callable[[], None]]) -> None:
+        """Hand flush/compaction scheduling to an external service.
+
+        With a callback installed, a full memtable is *sealed* on the write
+        path (cheap) and the callback is invoked — under the tree mutex — to
+        request a background flush; inline compaction cascades are disabled
+        (the scheduler decides when reorganization runs, the design dimension
+        the compaction design-space paper isolates). Pass None to restore
+        inline maintenance.
+        """
+        with self._mutex:
+            self._maintenance_cb = callback
 
     # ------------------------------------------------------------------- reads
 
@@ -176,7 +382,7 @@ class LSMTree:
         result = GetResult()
         probe = ProbeStats()
 
-        entry = self._memtable.get(key)
+        entry = self.probe_memory(key)
         digest: Optional[int] = None
         share = self.config.shared_hashing and self.config.filter_kind != "none"
         if entry is None:
@@ -385,10 +591,46 @@ class LSMTree:
     def snapshot(self) -> Version:
         """Pin the current file set (the tutorial's scan 'version')."""
         self._check_open()
-        runs = [run for level_runs in self._levels for run in level_runs]
-        for run in runs:
-            self._pin(run)
-        return Version(list(self._memtable.scan()), runs, release=self._unpin)
+        with self._mutex:
+            if self._immutables:
+                streams = [iter(self._memtable.scan())] + [
+                    iter(imm.entries) for imm in reversed(self._immutables)
+                ]
+                buffered = list(merge_entries(streams))
+            else:
+                buffered = list(self._memtable.scan())
+            runs = [run for level_runs in self._levels for run in level_runs]
+            for run in runs:
+                self._pin(run)
+        return Version(buffered, runs, release=self._unpin)
+
+    def probe_memory(self, key: bytes) -> Optional[Entry]:
+        """In-memory lookup only: active memtable, then sealed memtables
+        newest-first. No device I/O; returns raw entries (maybe tombstones).
+        """
+        with self._mutex:
+            entry = self._memtable.get(key)
+            if entry is not None:
+                return entry
+            for imm in reversed(self._immutables):
+                entry = imm.get(key)
+                if entry is not None:
+                    return entry
+            return None
+
+    def pin_runs(self) -> Version:
+        """Pin just the on-storage runs, newest level first.
+
+        The service read path probes memory under the mutex via
+        :meth:`probe_memory`, then walks this pinned version's runs outside
+        it — background installs can't delete a pinned run's files.
+        """
+        self._check_open()
+        with self._mutex:
+            runs = [run for level_runs in self._levels for run in level_runs]
+            for run in runs:
+                self._pin(run)
+        return Version([], runs, release=self._unpin)
 
     # -------------------------------------------------------------- maintenance
 
@@ -650,13 +892,29 @@ class LSMTree:
 
     @property
     def memory_footprint(self) -> int:
-        """Bytes of in-memory structures: buffer + filters/indexes + cache."""
+        """Bytes of in-memory structures: buffers + filters/indexes + cache."""
         aux = sum(run.memory_bytes for runs in self._levels for run in runs)
-        return self._memtable.size_bytes + aux + self.cache.used_bytes
+        sealed = sum(imm.size_bytes for imm in self._immutables)
+        return self._memtable.size_bytes + sealed + aux + self.cache.used_bytes
 
     @property
     def memtable_entries(self) -> int:
         return len(self._memtable)
+
+    @property
+    def immutable_memtables(self) -> int:
+        """Sealed memtables awaiting flush (service mode's flush backlog)."""
+        return len(self._immutables)
+
+    def flush_backlog(self) -> int:
+        """Level-0-style write debt: sealed memtables + level-1 runs.
+
+        The gauge backpressure watches — RocksDB's ``level0_file_num``
+        analog for this engine's shape (level 1 holds flush output).
+        """
+        with self._mutex:
+            level1 = len(self._levels[0]) if self._levels else 0
+            return level1 + len(self._immutables)
 
     # ---------------------------------------------------------------- internals
 
@@ -667,8 +925,14 @@ class LSMTree:
     def _buffer_entry(self, entry: Entry) -> None:
         self._memtable.put(entry)
         if self._memtable.size_bytes >= self.config.buffer_bytes:
-            self.flush()
-        if self.config.lazy_compaction:
+            if self._maintenance_cb is not None:
+                # Service mode: seal (cheap swap) and let the scheduler build
+                # the run off the write path.
+                self.seal_memtable()
+                self._maintenance_cb()
+            else:
+                self.flush()
+        if self.config.lazy_compaction and self._maintenance_cb is None:
             self._paced_compaction()
 
     def _paced_compaction(self) -> None:
@@ -708,7 +972,7 @@ class LSMTree:
 
     def _find_entry(self, key: bytes) -> Optional[Entry]:
         """Raw entry lookup (no value resolution, no stats)."""
-        entry = self._memtable.get(key)
+        entry = self.probe_memory(key)
         if entry is not None:
             return entry
         for runs in self._levels:
@@ -833,21 +1097,173 @@ class LSMTree:
         This is the unit the lazy-compaction pacer schedules: one full-level
         merge, or one file move under partial granularity.
         """
-        for idx in range(len(self._levels)):
-            level = idx + 1
-            if not self._levels[idx]:
-                continue
-            state = self._level_state(level)
-            if self._trigger.should_compact(state):
-                if self.config.partial_compaction and len(self._levels[idx]) == 1:
+        plan = self.plan_compaction()
+        if plan is None:
+            return False
+        if plan.partial:
+            self._compact_partial(plan.level, prefer_oldest=plan.prefer_oldest)
+            return True
+        merged = self.execute_compaction(plan)
+        self.install_compaction(plan, merged)
+        return True
+
+    def compaction_needed(self) -> bool:
+        """True when any level's trigger currently fires (scheduler poll)."""
+        with self._mutex:
+            for idx in range(len(self._levels)):
+                if not self._levels[idx]:
+                    continue
+                if self._trigger.should_compact(self._level_state(idx + 1)):
+                    return True
+            return False
+
+    def plan_compaction(self) -> Optional[CompactionPlan]:
+        """Pick the next compaction under the mutex and pin its inputs.
+
+        Scans shallow-to-deep (flush debt at level 1 outranks deep
+        saturation), replicating the trigger logic of the inline path.
+        Returns None when no trigger fires. For a non-partial plan every
+        input run gains a pin that :meth:`install_compaction` (or
+        :meth:`abandon_compaction`) releases.
+        """
+        with self._mutex:
+            for idx in range(len(self._levels)):
+                level = idx + 1
+                runs = self._levels[idx]
+                if not runs:
+                    continue
+                state = self._level_state(level)
+                if not self._trigger.should_compact(state):
+                    continue
+                if self.config.partial_compaction and len(runs) == 1:
                     # When the level is not oversized the trigger must have
                     # been staleness: move the oldest file, not the picker's.
                     saturated = state.size_bytes >= state.capacity_bytes
-                    self._compact_partial(level, prefer_oldest=not saturated)
-                else:
-                    self._compact_full(level, state)
-                return True
-        return False
+                    return CompactionPlan(
+                        level=level, dest=level + 1,
+                        partial=True, prefer_oldest=not saturated,
+                    )
+                saturated = (
+                    state.size_bytes
+                    >= state.capacity_bytes * self.config.saturation_threshold
+                )
+                dest = level + 1 if saturated else level
+                if dest == level and len(runs) == 1:
+                    # A single-run level can only make progress by moving down
+                    # (e.g. a staleness trigger on a leveled level).
+                    dest = level + 1
+                source = list(runs)
+                dest_runs: List[Run] = []
+                if dest > level and dest <= len(self._levels):
+                    dest_is_leveled = (
+                        self._layout.max_runs(dest, dest >= self._deepest_data_level()) == 1
+                    )
+                    if dest_is_leveled and self._levels[dest - 1]:
+                        dest_runs = list(self._levels[dest - 1])
+                inputs = source + dest_runs
+                # Trivial move: one run slides down without touching
+                # overlapping data — unless it carries tombstones into the
+                # bottom of the tree, where nothing would ever rewrite (and
+                # thus purge) them: that case takes the merge path (RocksDB's
+                # bottommost-level compaction).
+                trivial = False
+                if dest > level and len(inputs) == 1:
+                    run = inputs[0]
+                    must_purge = run.tombstone_count > 0 and self._purge_allowed(dest, inputs)
+                    trivial = not must_purge
+                plan = CompactionPlan(
+                    level=level, dest=dest,
+                    source_runs=source, dest_runs=dest_runs,
+                    purge=self._purge_allowed(dest, inputs), trivial=trivial,
+                    bytes_in=sum(run.size_bytes for run in inputs),
+                )
+                for run in inputs:
+                    self._pin(run)
+                return plan
+            return None
+
+    def execute_compaction(self, plan: CompactionPlan) -> Optional[Run]:
+        """Merge a plan's inputs into a new run (the I/O-heavy phase).
+
+        Runs without the tree mutex: the inputs are pinned, and only newer
+        data can arrive above them while the merge reads. Trivial moves and
+        partial plans do no work here.
+        """
+        if plan.trivial or plan.partial:
+            return None
+        return self._merge_runs(plan.inputs, plan.dest, plan.purge)
+
+    def install_compaction(self, plan: CompactionPlan, merged: Optional[Run]) -> None:
+        """Atomically swap a finished compaction into the level structure.
+
+        Removes exactly the planned input runs (runs flushed mid-merge are
+        untouched), installs the merged output, records stats, and releases
+        the plan's pins.
+        """
+        if plan.partial:
+            with self._mutex:
+                self._compact_partial(plan.level, prefer_oldest=plan.prefer_oldest)
+                self._trim_empty_tail()
+                self._persist_after_background_compaction()
+            return
+        with self._mutex:
+            source_ids = {id(run) for run in plan.source_runs}
+            self._levels[plan.level - 1] = [
+                run for run in self._levels[plan.level - 1] if id(run) not in source_ids
+            ]
+            if plan.dest_runs:
+                dest_ids = {id(run) for run in plan.dest_runs}
+                self._levels[plan.dest - 1] = [
+                    run for run in self._levels[plan.dest - 1] if id(run) not in dest_ids
+                ]
+            if plan.trivial:
+                run = plan.inputs[0]
+                self._arrive(run, plan.dest)
+                self._unpin(run)  # the plan's pin
+                self._unpin(run)  # the old level-membership pin (transferred)
+                self.stats.trivial_moves += 1
+                self.stats.record_event(
+                    CompactionEvent(
+                        "trivial_move", plan.level, plan.dest, 0, 0, self.stats.flushes
+                    )
+                )
+            else:
+                if merged is not None:
+                    self._arrive(merged, plan.dest)
+                self.stats.compactions += 1
+                self.stats.record_event(
+                    CompactionEvent(
+                        "full", plan.level, plan.dest, plan.bytes_in,
+                        merged.size_bytes if merged is not None else 0,
+                        self.stats.flushes,
+                    )
+                )
+                for run in plan.inputs:
+                    self._unpin(run)  # the plan's pin
+                self._finish_compaction(
+                    plan.inputs, merged.tables if merged is not None else []
+                )
+            self._trim_empty_tail()
+            self._persist_after_background_compaction()
+
+    def _persist_after_background_compaction(self) -> None:
+        """Keep the manifest current when compaction runs off the flush path.
+
+        Inline mode persists once per flush, after the whole cascade; a
+        scheduler-run compaction deletes its input files on its own
+        timeline, so it must rewrite the manifest itself or recovery would
+        chase files that no longer exist.
+        """
+        if self._wal is not None and self._maintenance_cb is not None:
+            self._persist_structure()
+
+    def abandon_compaction(self, plan: CompactionPlan) -> None:
+        """Release a plan's pins without installing (scheduler shutdown)."""
+        if plan.partial:
+            return
+        with self._mutex:
+            for run in plan.inputs:
+                self._unpin(run)
 
     def compaction_debt(self) -> float:
         """How far the tree is past its shape bounds (0 = within bounds).
@@ -865,61 +1281,17 @@ class LSMTree:
             debt += max(0.0, (state.num_runs - state.max_runs) / max(1, state.max_runs))
         return debt
 
-    def _compact_full(self, level: int, state: LevelState) -> None:
-        """Merge a whole level, in place or into the next level."""
-        runs = self._levels[level - 1]
-        saturated = state.size_bytes >= state.capacity_bytes * self.config.saturation_threshold
-        dest = level + 1 if saturated else level
-        if dest == level and len(runs) == 1:
-            # A single-run level can only make progress by moving down
-            # (e.g. a staleness trigger on a leveled level).
-            dest = level + 1
-
-        inputs = list(runs)
-        dest_runs_included: List[Run] = []
-        if dest > level and dest <= len(self._levels):
-            dest_is_leveled = self._layout.max_runs(dest, dest >= self._deepest_data_level()) == 1
-            if dest_is_leveled and self._levels[dest - 1]:
-                dest_runs_included = list(self._levels[dest - 1])
-                inputs = inputs + dest_runs_included
-
-        # Trivial move: one run slides down without touching overlapping data
-        # — unless it carries tombstones into the bottom of the tree, where
-        # nothing would ever rewrite (and thus purge) them: that case takes
-        # the merge path (RocksDB's bottommost-level compaction).
-        if dest > level and len(inputs) == 1:
-            run = inputs[0]
-            must_purge = run.tombstone_count > 0 and self._purge_allowed(dest, inputs)
-            if not must_purge:
-                self._levels[level - 1] = []
-                self._arrive(run, dest)
-                self._unpin(run)  # _arrive re-pinned it; ownership transfer
-                self.stats.trivial_moves += 1
-                self.stats.record_event(
-                    CompactionEvent("trivial_move", level, dest, 0, 0, self.stats.flushes)
-                )
-                return
-
-        purge = self._purge_allowed(dest, inputs)
-        in_bytes = sum(run.size_bytes for run in inputs)
-        merged = self._merge_runs(inputs, dest, purge)
-
-        self._levels[level - 1] = []
-        if dest_runs_included:
-            self._levels[dest - 1] = []
-        if merged is not None:
-            self._arrive(merged, dest)
-        self.stats.compactions += 1
-        self.stats.record_event(
-            CompactionEvent(
-                "full", level, dest, in_bytes,
-                merged.size_bytes if merged is not None else 0, self.stats.flushes,
-            )
-        )
-        self._finish_compaction(inputs, merged.tables if merged is not None else [])
-
     def _compact_partial(self, level: int, prefer_oldest: bool = False) -> None:
-        """Move one victim file from ``level`` into level+1 (RocksDB-style)."""
+        """Move one victim file from ``level`` into level+1 (RocksDB-style).
+
+        Runs entirely under the tree mutex: the unit is one file, so holding
+        the lock across its merge keeps the surgery simple without stalling
+        writers for a whole-level merge.
+        """
+        with self._mutex:
+            self._compact_partial_locked(level, prefer_oldest)
+
+    def _compact_partial_locked(self, level: int, prefer_oldest: bool) -> None:
         run = self._levels[level - 1][0]
         next_runs = self._levels[level] if level < len(self._levels) else []
         next_run = next_runs[0] if next_runs else None

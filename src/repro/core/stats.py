@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List
+from typing import Deque, List
 
 from repro.storage.sstable import ProbeStats
 
@@ -58,13 +59,29 @@ class LSMStats:
     bulk_ingested: int = 0  # entries loaded via ingest_external
     probe: ProbeStats = field(default_factory=ProbeStats)
     get_hash_evaluations: int = 0  # digests computed on the get path
-    history: List[CompactionEvent] = field(default_factory=list)
+    # -- service-layer counters (repro.service) --
+    batches_committed: int = 0  # group commits applied by the write batcher
+    batched_records: int = 0  # records carried by those batches
+    stall_slowdowns: int = 0  # writes delayed by soft backpressure
+    stall_stops: int = 0  # writes blocked by hard backpressure
+    stall_time_wall: float = 0.0  # wall-clock seconds writers spent gated
+    flush_jobs: int = 0  # background flushes executed by the scheduler
+    compaction_jobs: int = 0  # background compactions executed by the scheduler
+    # The event log is capped by construction: a deque(maxlen=_HISTORY_CAP)
+    # can never overrun, however the events are appended.
+    history: Deque[CompactionEvent] = field(
+        default_factory=lambda: deque(maxlen=_HISTORY_CAP)
+    )
 
     def record_event(self, event: CompactionEvent) -> None:
         """Append to the bounded re-organization history."""
         self.history.append(event)
-        if len(self.history) > _HISTORY_CAP:
-            del self.history[: -_HISTORY_CAP]
+
+    def recent_events(self, n: int) -> List[CompactionEvent]:
+        """The last ``n`` re-organization events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.history)[-n:]
 
     @property
     def filter_fpr_observed(self) -> float:
@@ -97,6 +114,13 @@ class LSMStats:
             "value_log_fetches": self.value_log_fetches,
             "write_stalls": self.write_stalls,
             "stall_time": self.stall_time,
+            "batches_committed": self.batches_committed,
+            "batched_records": self.batched_records,
+            "stall_slowdowns": self.stall_slowdowns,
+            "stall_stops": self.stall_stops,
+            "stall_time_wall": self.stall_time_wall,
+            "flush_jobs": self.flush_jobs,
+            "compaction_jobs": self.compaction_jobs,
             "filter_probes": self.probe.filter_probes,
             "filter_negatives": self.probe.filter_negatives,
             "false_positives": self.probe.false_positives,

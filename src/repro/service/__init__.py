@@ -1,0 +1,33 @@
+"""repro.service — the concurrent DB service layer.
+
+Wraps :class:`~repro.core.lsm_tree.LSMTree` in the front-end production
+LSM stores actually have: group-commit write batching, background flush
+and compaction scheduling with I/O rate limiting, and RocksDB-style write
+stalls. See ``docs/architecture.md`` ("Service layer") for the threading
+model.
+"""
+
+from repro.service.backpressure import (
+    STATE_OK,
+    STATE_SLOWDOWN,
+    STATE_STOP,
+    BackpressureController,
+)
+from repro.service.batcher import BatcherStats, WriteBatcher, WriteOp
+from repro.service.config import ServiceConfig
+from repro.service.scheduler import CompactionScheduler, RateLimiter
+from repro.service.service import DBService
+
+__all__ = [
+    "DBService",
+    "ServiceConfig",
+    "WriteBatcher",
+    "WriteOp",
+    "BatcherStats",
+    "CompactionScheduler",
+    "RateLimiter",
+    "BackpressureController",
+    "STATE_OK",
+    "STATE_SLOWDOWN",
+    "STATE_STOP",
+]

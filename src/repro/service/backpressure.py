@@ -1,0 +1,99 @@
+"""Write stalls: RocksDB-style admission control for the write path.
+
+When flushes and compactions fall behind, letting writers run ahead only
+deepens the debt: lookups slow down (more runs to probe) and the eventual
+catch-up starves everything. The controller watches two gauges — the flush
+backlog (sealed memtables + level-1 runs, RocksDB's ``level0_file_num``)
+and the tree's compaction-debt fraction — and answers with three states:
+``ok`` (admit), ``slowdown`` (delay each write), ``stop`` (block writers
+until maintenance catches up).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.config import ServiceConfig
+
+STATE_OK = "ok"
+STATE_SLOWDOWN = "slowdown"
+STATE_STOP = "stop"
+
+
+class BackpressureController:
+    """Gates writers on a tree's maintenance debt.
+
+    Args:
+        tree: any object with ``flush_backlog() -> int``,
+            ``compaction_debt() -> float``, and a ``stats`` record (the
+            :class:`~repro.core.lsm_tree.LSMTree` surface; tests pass
+            stubs).
+        config: stall thresholds (see :class:`ServiceConfig`).
+        scheduler: when given, the controller registers a progress listener
+            so hard-stalled writers wake as soon as a background job lands,
+            and re-requests compaction while stopped.
+    """
+
+    def __init__(self, tree, config: "ServiceConfig", scheduler=None) -> None:
+        self._tree = tree
+        self._config = config
+        self._scheduler = scheduler
+        self._cv = threading.Condition()
+        if scheduler is not None:
+            scheduler.add_listener(self._on_progress)
+
+    # -- state --------------------------------------------------------------
+
+    def state(self) -> str:
+        """The current admission state, from the tree's live gauges."""
+        config = self._config
+        backlog = self._tree.flush_backlog()
+        if backlog >= config.l0_stop_runs:
+            return STATE_STOP
+        debt = None
+        if config.debt_stop is not None:
+            debt = self._tree.compaction_debt()
+            if debt >= config.debt_stop:
+                return STATE_STOP
+        if backlog >= config.l0_slowdown_runs:
+            return STATE_SLOWDOWN
+        if config.debt_slowdown is not None:
+            if debt is None:
+                debt = self._tree.compaction_debt()
+            if debt >= config.debt_slowdown:
+                return STATE_SLOWDOWN
+        return STATE_OK
+
+    # -- the writer-side gate ----------------------------------------------
+
+    def gate(self) -> None:
+        """Called per write *before* it enqueues; delays or blocks it."""
+        state = self.state()
+        if state == STATE_OK:
+            return
+        stats = self._tree.stats
+        began = time.monotonic()
+        if state == STATE_SLOWDOWN:
+            stats.stall_slowdowns += 1
+            time.sleep(self._config.slowdown_delay_s)
+        else:
+            stats.stall_stops += 1
+            if self._scheduler is not None:
+                # Make sure someone is actually working the debt down.
+                self._scheduler.request_flush(self._tree)
+                self._scheduler.request_compaction(self._tree)
+            deadline = began + self._config.stop_timeout_s
+            with self._cv:
+                while self.state() == STATE_STOP:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break  # safety valve: never wedge a writer forever
+                    self._cv.wait(remaining)
+        stats.stall_time_wall += time.monotonic() - began
+
+    def _on_progress(self) -> None:
+        with self._cv:
+            self._cv.notify_all()

@@ -1,0 +1,129 @@
+"""Group commit: coalescing concurrent writes into one WAL append.
+
+The leader/follower protocol every production engine uses (RocksDB's write
+group, LevelDB's writer queue): the first writer to find the queue empty
+becomes the *leader*, waits briefly for followers to pile on, then applies
+the whole batch — one WAL frame, one memtable pass — and wakes everyone.
+Each caller blocks until its own write is durable, so acknowledgement
+semantics are unchanged; only the I/O is amortized.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, NamedTuple, Optional
+
+from repro.errors import ClosedError
+
+
+class WriteOp(NamedTuple):
+    """One queued write: ``kind`` is 'put' or 'delete' (value unused)."""
+
+    kind: str
+    key: bytes
+    value: Optional[bytes]
+
+
+class _Request:
+    __slots__ = ("op", "done", "error")
+
+    def __init__(self, op: WriteOp) -> None:
+        self.op = op
+        self.done = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+@dataclass
+class BatcherStats:
+    """Group-commit accounting (read after a workload for batch shapes)."""
+
+    batches: int = 0
+    records: int = 0
+    max_batch: int = 0
+
+    @property
+    def avg_batch(self) -> float:
+        return self.records / self.batches if self.batches else 0.0
+
+
+class WriteBatcher:
+    """A group-commit queue in front of a single apply function.
+
+    Args:
+        apply_fn: called on the leader's thread with the drained batch
+            (a list of :class:`WriteOp`); must be thread-safe — two leaders
+            can exist back-to-back (a follower that arrives after a drain
+            becomes the next leader while the previous batch still commits).
+        max_batch: drain at most this many requests per commit.
+        max_wait_s: leader linger time waiting for followers.
+    """
+
+    def __init__(
+        self,
+        apply_fn: Callable[[List[WriteOp]], None],
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._apply = apply_fn
+        self._max_batch = max_batch
+        self._max_wait = max_wait_s
+        self._queue: List[_Request] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self.stats = BatcherStats()
+
+    def submit(self, op: WriteOp) -> None:
+        """Enqueue one write and block until it is committed.
+
+        The calling thread either becomes the batch leader (applies the
+        whole group) or a follower (sleeps until its leader signals).
+        Exceptions raised by ``apply_fn`` propagate to every member of the
+        failed batch.
+        """
+        request = _Request(op)
+        with self._cond:
+            if self._closed:
+                raise ClosedError("submit on a closed WriteBatcher")
+            self._queue.append(request)
+            leader = len(self._queue) == 1
+            if not leader and len(self._queue) >= self._max_batch:
+                self._cond.notify_all()  # wake the leader early: batch is full
+        if leader:
+            self._lead()
+        else:
+            request.done.wait()
+            if request.error is not None:
+                raise request.error
+
+    def _lead(self) -> None:
+        """Linger for followers, drain the queue, commit the batch."""
+        with self._cond:
+            deadline = time.monotonic() + self._max_wait
+            while len(self._queue) < self._max_batch and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch, self._queue = self._queue, []
+        try:
+            self._apply([request.op for request in batch])
+            self.stats.batches += 1
+            self.stats.records += len(batch)
+            self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        except BaseException as exc:  # propagate to every follower, then re-raise
+            for request in batch:
+                request.error = exc
+                request.done.set()
+            raise
+        for request in batch:
+            request.done.set()
+
+    def close(self) -> None:
+        """Reject new submissions; in-flight batches complete normally."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,183 @@
+"""DBService: the thread-safe, production-shaped front door to an LSMTree.
+
+The seed engine runs every flush and compaction inline on the caller's
+write path. This facade restores the shape production stores actually have:
+
+* writes go through a :class:`WriteBatcher` (group commit — one WAL frame
+  per batch, leader/follower acknowledgement);
+* a full memtable is *sealed* on the write path and built/installed by a
+  :class:`CompactionScheduler` worker in the background;
+* a :class:`BackpressureController` delays or blocks writers when
+  maintenance falls behind (RocksDB-style slowdown/stop);
+* reads probe memory under the tree mutex, then walk a pinned
+  :class:`~repro.core.version.Version` outside it, so background installs
+  never invalidate an in-flight lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.common.entry import GetResult
+from repro.core.config import LSMConfig
+from repro.core.lsm_tree import LSMTree
+from repro.errors import ClosedError
+from repro.service.backpressure import BackpressureController
+from repro.service.batcher import WriteBatcher, WriteOp
+from repro.service.config import ServiceConfig
+from repro.service.scheduler import CompactionScheduler, RateLimiter
+
+
+class DBService:
+    """A concurrent database service over one :class:`LSMTree`.
+
+    Args:
+        tree: the tree to serve, or an :class:`LSMConfig` to build one from.
+        config: service knobs; defaults are reasonable for tests/demos.
+        scheduler: an externally owned scheduler to share (the sharded
+            deployment passes one scheduler for all shards); the service
+            creates and owns a private one when omitted.
+
+    The service is itself thread-safe: any number of client threads may
+    call :meth:`put`, :meth:`delete`, :meth:`get`, and :meth:`scan`
+    concurrently. :meth:`close` drains queues (every acknowledged write
+    reaches storage or the WAL) and stops owned background workers.
+    """
+
+    def __init__(
+        self,
+        tree,
+        config: Optional[ServiceConfig] = None,
+        scheduler: Optional[CompactionScheduler] = None,
+    ) -> None:
+        if isinstance(tree, LSMConfig):
+            tree = LSMTree(tree)
+        self.tree: LSMTree = tree
+        self.config = config or ServiceConfig()
+        self._owns_scheduler = scheduler is None
+        if scheduler is None:
+            limiter = None
+            if self.config.compaction_rate_bytes is not None:
+                limiter = RateLimiter(
+                    self.config.compaction_rate_bytes,
+                    self.config.compaction_burst_bytes,
+                )
+            scheduler = CompactionScheduler(
+                num_workers=self.config.num_workers, rate_limiter=limiter
+            )
+        self.scheduler = scheduler
+        self.scheduler.register(tree)
+        self.backpressure = BackpressureController(tree, self.config, scheduler)
+        self._batcher = WriteBatcher(
+            self._apply_batch,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_batch_wait_s,
+        )
+        self._closed = False
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Durable insert/update; blocks until its group commit lands."""
+        self._submit(WriteOp("put", key, value))
+
+    def delete(self, key: bytes) -> None:
+        """Durable delete; blocks until its group commit lands."""
+        self._submit(WriteOp("delete", key, None))
+
+    def _submit(self, op: WriteOp) -> None:
+        self._check_open()
+        self.backpressure.gate()
+        self._batcher.submit(op)
+
+    def _apply_batch(self, ops) -> None:
+        self.tree.write_batch(ops)
+        self.tree.stats.batches_committed += 1
+        self.tree.stats.batched_records += len(ops)
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: bytes) -> GetResult:
+        """Point lookup against a pinned snapshot of the tree.
+
+        Memory (active + sealed memtables) is probed under the tree mutex;
+        on a miss the storage runs are pinned and probed outside it, so a
+        concurrent compaction can retire — but never delete — the files
+        this lookup is reading.
+        """
+        self._check_open()
+        tree = self.tree
+        with tree.mutex:
+            tree.stats.gets += 1
+            entry = tree.probe_memory(key)
+            version = tree.pin_runs() if entry is None else None
+        if version is not None:
+            try:
+                entry = version.get(key, cache=tree.cache)
+            finally:
+                version.close()
+        result = GetResult()
+        if entry is not None and not entry.is_tombstone:
+            result.found = True
+            result.value = tree._decode_value(entry.value)
+        return result
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Range scan over a pinned snapshot (see :meth:`LSMTree.scan`)."""
+        self._check_open()
+        return self.tree.scan(start, end)
+
+    def multi_get(self, keys) -> "dict[bytes, GetResult]":
+        """Batched point lookups in sorted key order."""
+        return {key: self.get(key) for key in sorted(set(keys))}
+
+    # -- maintenance --------------------------------------------------------
+
+    def flush(self, wait: bool = True) -> None:
+        """Seal the memtable and schedule its flush; optionally wait."""
+        self._check_open()
+        if self.tree.seal_memtable() is not None:
+            self.scheduler.request_flush(self.tree)
+        if wait:
+            self.scheduler.drain()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for all queued background work to finish."""
+        return self.scheduler.drain(timeout)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain and stop: commit queued writes, flush, stop owned workers.
+
+        The underlying tree stays open (inspectable, and still usable
+        single-threaded with inline maintenance restored).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if self.tree.seal_memtable() is not None:
+            self.scheduler.request_flush(self.tree)
+        self.scheduler.drain()
+        if self._owns_scheduler:
+            self.scheduler.close()
+        self.tree.set_maintenance_callback(None)
+
+    def __enter__(self) -> "DBService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def stats(self):
+        return self.tree.stats
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("operation on a closed DBService")

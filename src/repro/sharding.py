@@ -28,6 +28,15 @@ class ShardedStore:
         boundaries: sorted split keys; ``len(boundaries) + 1`` shards are
             created. Shard i holds keys in ``[boundaries[i-1], boundaries[i])``.
         device: optional shared device (a fresh one by default).
+        scheduler: an externally owned
+            :class:`~repro.service.scheduler.CompactionScheduler` shared by
+            every shard — one background worker pool for the whole store
+            instead of per-shard inline maintenance (or, worse, one pool per
+            shard). When given, each shard seals its memtable on the write
+            path and the shared workers build/install runs and compact; call
+            ``scheduler.drain()`` (or :meth:`flush`) before tearing the
+            store down. When None, shards flush and compact inline exactly
+            as before.
     """
 
     def __init__(
@@ -35,16 +44,21 @@ class ShardedStore:
         config: LSMConfig,
         boundaries: Sequence[bytes],
         device: Optional[BlockDevice] = None,
+        scheduler=None,
     ) -> None:
         boundaries = list(boundaries)
         if boundaries != sorted(set(boundaries)):
             raise ConfigError("shard boundaries must be sorted and unique")
         self.device = device or BlockDevice(block_size=config.block_size)
         self._boundaries = boundaries
+        self.scheduler = scheduler
         self.shards: List[LSMTree] = [
             LSMTree(config.replace(seed=config.seed + i), device=self.device)
             for i in range(len(boundaries) + 1)
         ]
+        if scheduler is not None:
+            for shard in self.shards:
+                scheduler.register(shard)
 
     # -- routing -------------------------------------------------------------
 
@@ -77,8 +91,15 @@ class ShardedStore:
             yield from shard.scan(start, end)
 
     def flush(self) -> None:
+        """Flush every shard; with a shared scheduler, waits for its workers."""
         for shard in self.shards:
-            shard.flush()
+            if self.scheduler is not None:
+                if shard.seal_memtable() is not None:
+                    self.scheduler.request_flush(shard)
+            else:
+                shard.flush()
+        if self.scheduler is not None:
+            self.scheduler.drain()
 
     def compact_all(self) -> None:
         for shard in self.shards:

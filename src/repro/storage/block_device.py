@@ -9,6 +9,7 @@ writes, so experiments can report both I/O counts and simulated time.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -88,8 +89,10 @@ class _File:
 class BlockDevice:
     """The simulated storage device.
 
-    Thread-unsafe by design (the engine is single-threaded, matching the
-    deterministic simulation goal).
+    Block-level operations are serialized by an internal lock so the
+    concurrent service layer (background flush/compaction workers plus
+    client threads) shares one device safely; the single-threaded inline
+    engine pays only an uncontended lock acquire.
 
     Args:
         block_size: logical block size in bytes; callers may write shorter
@@ -108,6 +111,7 @@ class BlockDevice:
         self._next_file_id = 1
         self._last_read: Optional["tuple[int, int]"] = None
         self._last_write: Optional["tuple[int, int]"] = None
+        self._lock = threading.RLock()
 
     # -- file lifecycle ----------------------------------------------------
 
@@ -119,14 +123,15 @@ class BlockDevice:
                 cross-file references like value-log pointers stay valid);
                 must not collide with an existing file.
         """
-        if file_id is None:
-            file_id = self._next_file_id
-        elif file_id in self._files:
-            raise ValueError(f"file {file_id} already exists")
-        self._next_file_id = max(self._next_file_id, file_id) + 1
-        self._files[file_id] = _File(file_id)
-        self.stats.files_created += 1
-        return file_id
+        with self._lock:
+            if file_id is None:
+                file_id = self._next_file_id
+            elif file_id in self._files:
+                raise ValueError(f"file {file_id} already exists")
+            self._next_file_id = max(self._next_file_id, file_id) + 1
+            self._files[file_id] = _File(file_id)
+            self.stats.files_created += 1
+            return file_id
 
     def seal_file(self, file_id: int) -> None:
         """Mark a file immutable; further appends raise."""
@@ -134,10 +139,11 @@ class BlockDevice:
 
     def delete_file(self, file_id: int) -> None:
         """Remove a file and reclaim its space."""
-        if file_id not in self._files:
-            raise FileNotFoundStorageError(file_id)
-        del self._files[file_id]
-        self.stats.files_deleted += 1
+        with self._lock:
+            if file_id not in self._files:
+                raise FileNotFoundStorageError(file_id)
+            del self._files[file_id]
+            self.stats.files_deleted += 1
 
     def file_exists(self, file_id: int) -> bool:
         return file_id in self._files
@@ -170,27 +176,28 @@ class BlockDevice:
         Appends to the most recently written file continue sequentially;
         anything else is charged as a random write (head switch).
         """
-        file = self._file(file_id)
-        if file.sealed:
-            raise ImmutableWriteError(f"file {file_id} is sealed")
-        if len(data) > self.block_size:
-            raise ValueError(
-                f"block payload {len(data)}B exceeds block size {self.block_size}B"
-            )
-        block_no = len(file.blocks)
-        file.blocks.append(data)
+        with self._lock:
+            file = self._file(file_id)
+            if file.sealed:
+                raise ImmutableWriteError(f"file {file_id} is sealed")
+            if len(data) > self.block_size:
+                raise ValueError(
+                    f"block payload {len(data)}B exceeds block size {self.block_size}B"
+                )
+            block_no = len(file.blocks)
+            file.blocks.append(data)
 
-        sequential = self._last_write == (file_id, block_no - 1) or block_no == 0
-        self.stats.blocks_written += 1
-        self.stats.bytes_written += len(data)
-        if sequential:
-            self.stats.sequential_writes += 1
-            self.stats.simulated_time += self.latency.sequential_write
-        else:
-            self.stats.random_writes += 1
-            self.stats.simulated_time += self.latency.random_write
-        self._last_write = (file_id, block_no)
-        return block_no
+            sequential = self._last_write == (file_id, block_no - 1) or block_no == 0
+            self.stats.blocks_written += 1
+            self.stats.bytes_written += len(data)
+            if sequential:
+                self.stats.sequential_writes += 1
+                self.stats.simulated_time += self.latency.sequential_write
+            else:
+                self.stats.random_writes += 1
+                self.stats.simulated_time += self.latency.random_write
+            self._last_write = (file_id, block_no)
+            return block_no
 
     def append_payload(self, file_id: int, payload: bytes) -> "tuple[int, int]":
         """Append a payload of any size, split across consecutive blocks.
@@ -217,21 +224,22 @@ class BlockDevice:
 
     def read_block(self, file_id: int, block_no: int) -> bytes:
         """Read one block, charging sequential or random latency."""
-        file = self._file(file_id)
-        if not 0 <= block_no < len(file.blocks):
-            raise BlockNotFoundError(file_id, block_no)
+        with self._lock:
+            file = self._file(file_id)
+            if not 0 <= block_no < len(file.blocks):
+                raise BlockNotFoundError(file_id, block_no)
 
-        sequential = self._last_read == (file_id, block_no - 1)
-        self.stats.blocks_read += 1
-        self.stats.bytes_read += len(file.blocks[block_no])
-        if sequential:
-            self.stats.sequential_reads += 1
-            self.stats.simulated_time += self.latency.sequential_read
-        else:
-            self.stats.random_reads += 1
-            self.stats.simulated_time += self.latency.random_read
-        self._last_read = (file_id, block_no)
-        return file.blocks[block_no]
+            sequential = self._last_read == (file_id, block_no - 1)
+            self.stats.blocks_read += 1
+            self.stats.bytes_read += len(file.blocks[block_no])
+            if sequential:
+                self.stats.sequential_reads += 1
+                self.stats.simulated_time += self.latency.sequential_read
+            else:
+                self.stats.random_reads += 1
+                self.stats.simulated_time += self.latency.random_read
+            self._last_read = (file_id, block_no)
+            return file.blocks[block_no]
 
     # -- fault injection --------------------------------------------------------
 

@@ -1,0 +1,130 @@
+"""BackpressureController state machine, against a stub tree."""
+
+import pytest
+
+from repro.core.stats import LSMStats
+from repro.service import (
+    STATE_OK,
+    STATE_SLOWDOWN,
+    STATE_STOP,
+    BackpressureController,
+    ServiceConfig,
+)
+from repro.errors import ConfigError
+
+
+class StubTree:
+    """The minimal gauge surface the controller reads."""
+
+    def __init__(self, backlog=0, debt=0.0):
+        self.backlog = backlog
+        self.debt = debt
+        self.stats = LSMStats()
+
+    def flush_backlog(self):
+        return self.backlog
+
+    def compaction_debt(self):
+        return self.debt
+
+
+def controller(tree, **overrides):
+    config = ServiceConfig(
+        l0_slowdown_runs=4,
+        l0_stop_runs=8,
+        slowdown_delay_s=0.0,
+        stop_timeout_s=0.05,
+        **overrides,
+    )
+    return BackpressureController(tree, config)
+
+
+def test_state_follows_l0_thresholds():
+    tree = StubTree()
+    bp = controller(tree)
+    assert bp.state() == STATE_OK
+    tree.backlog = 3
+    assert bp.state() == STATE_OK
+    tree.backlog = 4
+    assert bp.state() == STATE_SLOWDOWN
+    tree.backlog = 7
+    assert bp.state() == STATE_SLOWDOWN
+    tree.backlog = 8
+    assert bp.state() == STATE_STOP
+    tree.backlog = 2  # maintenance caught up: state recovers immediately
+    assert bp.state() == STATE_OK
+
+
+def test_state_follows_debt_thresholds():
+    tree = StubTree(debt=0.0)
+    bp = controller(tree, debt_slowdown=0.5, debt_stop=2.0)
+    assert bp.state() == STATE_OK
+    tree.debt = 0.6
+    assert bp.state() == STATE_SLOWDOWN
+    tree.debt = 2.5
+    assert bp.state() == STATE_STOP
+
+
+def test_debt_gauges_ignored_when_unconfigured():
+    tree = StubTree(debt=99.0)  # huge debt, but no thresholds set
+    assert controller(tree).state() == STATE_OK
+
+
+def test_gate_counts_slowdowns():
+    tree = StubTree(backlog=5)
+    bp = controller(tree)
+    bp.gate()
+    bp.gate()
+    assert tree.stats.stall_slowdowns == 2
+    assert tree.stats.stall_stops == 0
+
+
+def test_gate_blocks_on_stop_until_timeout():
+    """With nothing working the debt down, the safety valve releases the writer."""
+    tree = StubTree(backlog=10)
+    bp = controller(tree)
+    bp.gate()
+    assert tree.stats.stall_stops == 1
+    assert tree.stats.stall_time_wall >= 0.05  # held for the full stop_timeout
+
+
+def test_gate_returns_without_counting_when_ok():
+    tree = StubTree(backlog=0)
+    bp = controller(tree)
+    bp.gate()
+    assert tree.stats.stall_slowdowns == 0
+    assert tree.stats.stall_stops == 0
+    assert tree.stats.stall_time_wall == 0.0
+
+
+def test_progress_notification_releases_a_stopped_writer():
+    """A background job landing must wake the hard-stalled writer early."""
+    import threading
+    import time
+
+    tree = StubTree(backlog=10)
+    config = ServiceConfig(
+        l0_slowdown_runs=4, l0_stop_runs=8, stop_timeout_s=30.0
+    )
+    bp = BackpressureController(tree, config)
+    released = threading.Event()
+
+    def writer():
+        bp.gate()
+        released.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    time.sleep(0.05)
+    assert not released.is_set()  # still stopped
+    tree.backlog = 0  # "a flush landed"
+    bp._on_progress()
+    assert released.wait(2.0), "progress notification must release the writer"
+    thread.join()
+
+
+def test_threshold_validation():
+    with pytest.raises(ConfigError):
+        ServiceConfig(l0_slowdown_runs=8, l0_stop_runs=4)
+    with pytest.raises(ConfigError):
+        ServiceConfig(debt_slowdown=2.0, debt_stop=1.0)

@@ -1,0 +1,119 @@
+"""WriteBatcher: leader/follower group commit semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ClosedError
+from repro.service import WriteBatcher, WriteOp
+
+
+def collect_batches():
+    batches = []
+    lock = threading.Lock()
+
+    def apply(ops):
+        with lock:
+            batches.append(list(ops))
+
+    return batches, apply
+
+
+def test_single_write_commits_after_linger():
+    """A lone writer becomes leader and flushes its batch of one on timeout."""
+    batches, apply = collect_batches()
+    batcher = WriteBatcher(apply, max_batch=100, max_wait_s=0.01)
+    began = time.monotonic()
+    batcher.submit(WriteOp("put", b"k", b"v"))
+    elapsed = time.monotonic() - began
+    assert batches == [[WriteOp("put", b"k", b"v")]]
+    assert elapsed >= 0.01  # the leader lingered for followers that never came
+    assert batcher.stats.batches == 1
+    assert batcher.stats.records == 1
+
+
+def test_concurrent_writers_coalesce():
+    """Writers arriving within the linger window share one commit."""
+    batches, apply = collect_batches()
+    batcher = WriteBatcher(apply, max_batch=64, max_wait_s=0.25)
+    n = 8
+    barrier = threading.Barrier(n)
+
+    def writer(i):
+        barrier.wait()
+        batcher.submit(WriteOp("put", b"k%d" % i, b"v"))
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert batcher.stats.records == n
+    assert batcher.stats.batches < n  # amortization happened
+    assert sum(len(b) for b in batches) == n
+    assert batcher.stats.max_batch >= 2
+
+
+def test_full_batch_wakes_leader_early():
+    """Hitting max_batch commits immediately instead of waiting out the linger."""
+    batches, apply = collect_batches()
+    batcher = WriteBatcher(apply, max_batch=4, max_wait_s=5.0)
+    n = 4
+    barrier = threading.Barrier(n)
+
+    def writer(i):
+        barrier.wait()
+        batcher.submit(WriteOp("put", b"k%d" % i, b"v"))
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n)]
+    began = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # With a 5s linger, finishing fast proves the full-batch wakeup fired.
+    assert time.monotonic() - began < 2.0
+    assert batcher.stats.records == n
+
+
+def test_apply_errors_propagate_to_every_member():
+    boom = RuntimeError("disk on fire")
+
+    def apply(ops):
+        raise boom
+
+    batcher = WriteBatcher(apply, max_batch=8, max_wait_s=0.05)
+    errors = []
+    barrier = threading.Barrier(3)
+
+    def writer(i):
+        barrier.wait()
+        try:
+            batcher.submit(WriteOp("put", b"k%d" % i, b"v"))
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(errors) == 3
+    assert all(exc is boom for exc in errors)
+    assert batcher.stats.batches == 0  # a failed batch is not counted
+
+
+def test_submit_after_close_raises():
+    batcher = WriteBatcher(lambda ops: None, max_batch=4, max_wait_s=0.001)
+    batcher.submit(WriteOp("put", b"k", b"v"))
+    batcher.close()
+    with pytest.raises(ClosedError):
+        batcher.submit(WriteOp("put", b"k2", b"v"))
+
+
+def test_delete_ops_flow_through():
+    batches, apply = collect_batches()
+    batcher = WriteBatcher(apply, max_batch=4, max_wait_s=0.001)
+    batcher.submit(WriteOp("delete", b"k", None))
+    assert batches == [[WriteOp("delete", b"k", None)]]

@@ -1,0 +1,23 @@
+"""Satellite smoke test: `python -m repro` runs end to end as shipped."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def test_python_dash_m_repro_runs_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "read/write tradeoff" in proc.stdout
+    assert "leveling" in proc.stdout and "tiering" in proc.stdout

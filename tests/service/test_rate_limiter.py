@@ -1,0 +1,79 @@
+"""RateLimiter token accounting, with an injected clock — fully deterministic."""
+
+import pytest
+
+from repro.service import RateLimiter
+
+
+class FakeTime:
+    """A manual clock whose sleep() advances it — no real waiting."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def make(rate=1000.0, burst=1000.0):
+    ft = FakeTime()
+    return ft, RateLimiter(rate, burst, clock=ft.clock, sleep=ft.sleep)
+
+
+def test_starts_full_and_admits_immediately():
+    ft, limiter = make()
+    assert limiter.tokens == 1000.0
+    assert limiter.request(400) == 0.0
+    assert limiter.tokens == 600.0
+    assert limiter.bytes_admitted == 400
+    assert limiter.waits == 0
+    assert ft.sleeps == []
+
+
+def test_oversized_request_passes_and_drives_bucket_negative():
+    """Deficit style: any positive bucket admits, however large the request."""
+    _, limiter = make()
+    assert limiter.request(2500) == 0.0
+    assert limiter.tokens == 1000.0 - 2500.0  # -1500
+
+
+def test_waits_exactly_the_deficit_over_the_rate():
+    ft, limiter = make(rate=1000.0, burst=1000.0)
+    limiter.request(2500)  # bucket now at -1500
+    waited = limiter.request(100)
+    # It must sleep until the bucket turns positive: 1500 bytes / 1000 B/s.
+    assert waited == pytest.approx(1.5, abs=0.01)
+    assert ft.sleeps and sum(ft.sleeps) == pytest.approx(waited)
+    assert limiter.waits == 1
+    assert limiter.total_wait_s == pytest.approx(waited)
+    assert limiter.bytes_admitted == 2600
+
+
+def test_refill_is_capped_at_burst():
+    ft, limiter = make(rate=1000.0, burst=500.0)
+    limiter.request(300)
+    ft.now += 100.0  # a long idle period refills far more than the cap
+    assert limiter.tokens == 500.0
+
+
+def test_average_rate_holds_over_many_requests():
+    ft, limiter = make(rate=1000.0, burst=1000.0)
+    total = 0
+    for _ in range(20):
+        limiter.request(500)
+        total += 500
+    # The burst covers 1000 bytes up front and the final admit leaves its 500
+    # as outstanding deficit; everything else pays 1000 B/s in simulated time.
+    assert ft.now == pytest.approx((total - 1000.0 - 500.0) / 1000.0, abs=0.1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        RateLimiter(0)
+    with pytest.raises(ValueError):
+        RateLimiter(100.0, burst_bytes=0)

@@ -1,0 +1,163 @@
+"""CompactionScheduler: priorities, dedupe, and background maintenance."""
+
+import threading
+import time
+
+from repro import LSMConfig, LSMTree, encode_uint_key
+from repro.service import CompactionScheduler, RateLimiter
+
+
+class StubStats:
+    def __init__(self):
+        self.flush_jobs = 0
+        self.compaction_jobs = 0
+
+
+class StubTree:
+    """Records which jobs ran, in order; optionally blocks its first flush."""
+
+    def __init__(self, log, name, block_event=None):
+        self.log = log
+        self.name = name
+        self.block_event = block_event
+        self.stats = StubStats()
+        self.maintenance_cb = None
+
+    def set_maintenance_callback(self, cb):
+        self.maintenance_cb = cb
+
+    # -- flush surface -------------------------------------------------------
+
+    def claim_flush(self):
+        if self.block_event is not None:
+            event, self.block_event = self.block_event, None
+            event.wait()
+        self.log.append(("flush", self.name))
+        return None  # nothing sealed: the job is a no-op probe
+
+    def compaction_needed(self):
+        return False
+
+    # -- compaction surface --------------------------------------------------
+
+    def plan_compaction(self):
+        self.log.append(("compact", self.name))
+        return None
+
+
+def small_tree(**overrides):
+    base = dict(
+        buffer_bytes=2 << 10, block_size=512, size_ratio=3, bits_per_key=8.0, seed=5
+    )
+    base.update(overrides)
+    return LSMTree(LSMConfig(**base))
+
+
+def test_flush_outranks_earlier_compaction():
+    """A flush submitted *after* a compaction still runs first."""
+    log = []
+    gate = threading.Event()
+    blocker = StubTree(log, "blocker", block_event=gate)
+    tree_b = StubTree(log, "B")
+    tree_c = StubTree(log, "C")
+    scheduler = CompactionScheduler(num_workers=1)
+    try:
+        scheduler.request_flush(blocker)  # occupies the only worker
+        deadline = time.monotonic() + 2.0
+        while scheduler.pending_jobs == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        scheduler.request_compaction(tree_b)  # enqueued first...
+        scheduler.request_flush(tree_c)  # ...but lower priority than this
+        gate.set()
+        assert scheduler.drain(timeout=5.0)
+    finally:
+        gate.set()
+        scheduler.close(drain=False)
+    assert log == [("flush", "blocker"), ("flush", "C"), ("compact", "B")]
+
+
+def test_duplicate_requests_are_deduped():
+    log = []
+    gate = threading.Event()
+    blocker = StubTree(log, "blocker", block_event=gate)
+    tree = StubTree(log, "T")
+    scheduler = CompactionScheduler(num_workers=1)
+    try:
+        scheduler.request_flush(blocker)
+        deadline = time.monotonic() + 2.0
+        while scheduler.pending_jobs == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        for _ in range(5):
+            scheduler.request_flush(tree)
+            scheduler.request_compaction(tree)
+        gate.set()
+        assert scheduler.drain(timeout=5.0)
+    finally:
+        gate.set()
+        scheduler.close(drain=False)
+    assert log.count(("flush", "T")) == 1
+    assert log.count(("compact", "T")) == 1
+
+
+def test_register_takes_over_maintenance():
+    """A registered tree seals on buffer-full and flushes in the background."""
+    scheduler = CompactionScheduler(num_workers=2)
+    tree = small_tree()
+    try:
+        scheduler.register(tree)
+        for i in range(2000):
+            tree.put(encode_uint_key(i % 500), b"x" * 30)
+        assert scheduler.drain(timeout=10.0)
+    finally:
+        scheduler.close(drain=False)
+    assert tree.stats.flush_jobs > 0
+    assert tree.immutable_memtables == 0  # every seal was built and installed
+    tree.verify_integrity()
+    assert tree.get(encode_uint_key(499)).found
+    # Background jobs feed the same history satellite tooling reads.
+    recent = tree.stats.recent_events(5)
+    assert recent and recent == list(tree.stats.history)[-5:]
+    assert any(e.kind == "flush" for e in tree.stats.history)
+
+
+def test_background_compaction_keeps_shape_and_charges_limiter():
+    limiter = RateLimiter(64 << 20)  # generous: accounting, not throttling
+    scheduler = CompactionScheduler(num_workers=2, rate_limiter=limiter)
+    tree = small_tree()
+    try:
+        scheduler.register(tree)
+        for i in range(4000):
+            tree.put(encode_uint_key((i * 733) % 800), b"x" * 30)
+        assert scheduler.drain(timeout=15.0)
+    finally:
+        scheduler.close(drain=False)
+    assert tree.stats.compaction_jobs > 0
+    assert limiter.bytes_admitted > 0
+    tree.verify_integrity()
+    for probe in (0, 399, 799):
+        assert tree.get(encode_uint_key(probe)).found
+
+
+def test_one_scheduler_serves_many_trees():
+    scheduler = CompactionScheduler(num_workers=2)
+    trees = [small_tree(seed=i) for i in range(3)]
+    try:
+        for tree in trees:
+            scheduler.register(tree)
+        for i in range(1500):
+            for tree in trees:
+                tree.put(encode_uint_key(i % 400), b"y" * 25)
+        assert scheduler.drain(timeout=15.0)
+    finally:
+        scheduler.close(drain=False)
+    for tree in trees:
+        assert tree.stats.flush_jobs > 0
+        tree.verify_integrity()
+        assert tree.get(encode_uint_key(1)).found
+
+
+def test_close_is_idempotent_and_stops_workers():
+    scheduler = CompactionScheduler(num_workers=1)
+    scheduler.close()
+    scheduler.close()
+    assert scheduler.pending_jobs == 0
