@@ -31,6 +31,7 @@ from repro.core.config import LSMConfig
 from repro.core.lsm_tree import LSMTree
 from repro.core.stats import LSMStats
 from repro.errors import ConfigError, ReproError
+from repro.observe import MetricsRegistry, TraceRecorder, observe_tree
 from repro.service import DBService, ServiceConfig
 from repro.storage.block_device import BlockDevice, DeviceStats, LatencyModel
 
@@ -42,6 +43,9 @@ __all__ = [
     "LSMStats",
     "DBService",
     "ServiceConfig",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "observe_tree",
     "Entry",
     "EntryKind",
     "GetResult",

@@ -1,20 +1,28 @@
-"""``python -m repro`` — a 30-second guided demo of the library.
+"""``python -m repro`` — the CLI: demo tour, stats dumps, and read traces.
 
-Runs a miniature version of the design-space tour and prints where to go
-next (examples, experiments, tests).
+Subcommands:
+
+* ``demo`` (the default) — the 30-second guided tour of the design space;
+* ``stats`` — run an instrumented workload and print the RocksDB-style
+  per-level table plus latency percentiles (``--format table|prometheus|
+  json`` selects the export surface);
+* ``trace`` — run with read-path tracing enabled and print the recorded
+  spans with their per-stage latency breakdowns.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from typing import List, Optional
 
-from repro import LSMConfig, LSMTree, __version__, encode_uint_key
+from repro import LSMConfig, LSMTree, __version__
 from repro.bench.harness import preload_tree, run_operations
-from repro.bench.report import print_table
+from repro.bench.report import format_table, print_table
 from repro.workloads.spec import OperationMix, uniform_spec
 
 
-def demo() -> None:
+def demo() -> int:
     print(f"repro {__version__} — The LSM Design Space and its Read Optimizations")
     print("Building three small trees (leveling / tiering / lazy_leveling)...")
     rows = []
@@ -48,13 +56,159 @@ def demo() -> None:
     assert by_layout["tiering"][3] <= by_layout["leveling"][3]
     print(
         "\nNext steps:\n"
+        "  python -m repro stats                       # per-level stats + percentiles\n"
+        "  python -m repro trace --sampling 1.0        # read-path spans\n"
         "  python examples/quickstart.py               # the API tour\n"
         "  python examples/design_space_tour.py        # 20 design points\n"
         "  pytest benchmarks/ --benchmark-only         # all experiments (E1-E16)\n"
         "  pytest tests/                               # the test suite\n"
         "See README.md, DESIGN.md, and EXPERIMENTS.md for the full map."
     )
+    return 0
+
+
+def _instrumented_run(
+    ops: int, keys: int, sampling: float, trace_capacity: int = 256, seed: int = 1
+):
+    """Build a small observed tree and drive a mixed workload through it.
+
+    Returns (tree, registry, recorder) with the workload already applied.
+    """
+    from repro.observe import MetricsRegistry, observe_tree
+
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=8 << 10, block_size=512, size_ratio=4,
+            layout="leveling", bits_per_key=10.0, cache_bytes=64 << 10, seed=seed,
+        )
+    )
+    preload_tree(tree, keys, value_size=40)
+    registry = MetricsRegistry()
+    _, recorder = observe_tree(
+        tree, registry, sampling=sampling, trace_capacity=trace_capacity
+    )
+    spec = uniform_spec(
+        keys,
+        OperationMix(put=0.30, get=0.65, scan=0.05),
+        value_size=40,
+        seed=seed + 1,
+        scan_length=32,
+    )
+    for op in spec.operations(ops):
+        if op.kind == "put":
+            tree.put(op.key, op.value)
+        elif op.kind == "get":
+            tree.get(op.key)
+        elif op.kind == "scan":
+            for _ in tree.scan(op.key, op.end_key):
+                pass
+    return tree, registry, recorder
+
+
+def stats_command(args: argparse.Namespace) -> int:
+    """Per-level stats table and latency percentiles for a demo workload."""
+    from repro.observe import export_level_gauges, render_dump, to_json, to_prometheus
+
+    sampling = args.sampling if args.format == "json" else 0.0
+    tree, registry, recorder = _instrumented_run(
+        ops=args.ops, keys=args.keys, sampling=sampling
+    )
+    if args.format == "prometheus":
+        export_level_gauges(tree, registry)
+        sys.stdout.write(to_prometheus(registry))
+    elif args.format == "json":
+        print(to_json(registry, tree=tree, recorder=recorder))
+    else:
+        print(f"repro {__version__} — engine stats ({args.ops} ops, {args.keys} keys)")
+        print(render_dump(registry, tree))
+    return 0
+
+
+def trace_command(args: argparse.Namespace) -> int:
+    """Record read-path spans and print their stage breakdowns."""
+    _, _, recorder = _instrumented_run(
+        ops=args.ops,
+        keys=args.keys,
+        sampling=args.sampling,
+        trace_capacity=max(args.limit, 1),
+    )
+    spans = recorder.spans(args.limit)
+    stats = recorder.snapshot()
+    print(
+        f"repro {__version__} — read-path traces "
+        f"(sampling={args.sampling}, sampled={stats['sampled']}, "
+        f"dropped={stats['dropped']}, showing {len(spans)})"
+    )
+    if not spans:
+        print("no spans recorded; raise --sampling (0 disables tracing)")
+        return 0
+    rows = []
+    for index, span in enumerate(spans):
+        stages = " ".join(f"{name}={duration:.2e}" for name, duration in span.stages)
+        rows.append(
+            [
+                index,
+                span.name,
+                f"{span.total:.2e}",
+                span.attrs.get("found", ""),
+                span.attrs.get("blocks_read", ""),
+                stages,
+            ]
+        )
+    print(format_table(["#", "op", "total_s", "found", "blocks", "stages"], rows))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("demo", help="the 30-second guided tour (the default)")
+
+    stats = sub.add_parser("stats", help="per-level stats and latency percentiles")
+    stats.add_argument(
+        "--demo",
+        action="store_true",
+        help="use the built-in demo workload (the default data source)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("table", "prometheus", "json"),
+        default="table",
+        help="export surface (default: the human table)",
+    )
+    stats.add_argument("--ops", type=int, default=3000, help="operations to drive")
+    stats.add_argument("--keys", type=int, default=2000, help="keyspace size")
+    stats.add_argument(
+        "--sampling",
+        type=float,
+        default=0.1,
+        help="trace sampling fraction for the json export's trace section",
+    )
+
+    trace = sub.add_parser("trace", help="sampled read-path span breakdowns")
+    trace.add_argument(
+        "--sampling", type=float, default=1.0, help="span sampling fraction in [0, 1]"
+    )
+    trace.add_argument("--ops", type=int, default=500, help="operations to drive")
+    trace.add_argument("--keys", type=int, default=1000, help="keyspace size")
+    trace.add_argument("--limit", type=int, default=10, help="spans to print")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "stats":
+        return stats_command(args)
+    if args.command == "trace":
+        return trace_command(args)
+    return demo()
 
 
 if __name__ == "__main__":
-    sys.exit(demo())
+    sys.exit(main())

@@ -74,15 +74,62 @@ def run_operations(
     tree: LSMTree,
     operations: Iterable[Operation],
     max_scan_entries: Optional[int] = None,
+    registry=None,
 ) -> RunMetrics:
-    """Execute an operation stream, measuring only this phase's deltas."""
+    """Execute an operation stream, measuring only this phase's deltas.
+
+    Args:
+        registry: when given (a :class:`repro.observe.MetricsRegistry`), an
+            observer is attached to the tree for the duration of the run, so
+            the phase reports latency *distributions* (percentiles land in
+            ``metrics.extras["latency"]``), not just per-op means. Any
+            previously attached observer is restored afterwards.
+    """
     metrics = RunMetrics()
+    observer = previous_observer = None
+    if registry is not None:
+        from repro.observe import EngineObserver
+
+        observer = EngineObserver(registry)
+        previous_observer = tree.observer
+        tree.observer = observer
     device_before = tree.device.stats.snapshot()
     cache_before = tree.cache.stats.snapshot()
     probe_before_probes = tree.stats.probe.filter_probes
     probe_before_negatives = tree.stats.probe.filter_negatives
     probe_before_fp = tree.stats.probe.false_positives
 
+    try:
+        _drive_operations(tree, operations, metrics, max_scan_entries)
+    finally:
+        if registry is not None:
+            metrics.extras["latency"] = {
+                "get_wall": observer.get_wall.percentiles(),
+                "get_sim": observer.get_sim.percentiles(),
+                "put_wall": observer.put_wall.percentiles(),
+                "scan_wall": observer.scan_wall.percentiles(),
+            }
+            tree.observer = previous_observer
+
+    device_delta = tree.device.stats.delta(device_before)
+    cache_delta = tree.cache.stats.delta(cache_before)
+    metrics.blocks_read = device_delta.blocks_read
+    metrics.blocks_written = device_delta.blocks_written
+    metrics.simulated_time = device_delta.simulated_time
+    metrics.cache_hits = cache_delta.hits
+    metrics.cache_misses = cache_delta.misses
+    metrics.filter_probes = tree.stats.probe.filter_probes - probe_before_probes
+    metrics.filter_negatives = tree.stats.probe.filter_negatives - probe_before_negatives
+    metrics.false_positives = tree.stats.probe.false_positives - probe_before_fp
+    return metrics
+
+
+def _drive_operations(
+    tree: LSMTree,
+    operations: Iterable[Operation],
+    metrics: RunMetrics,
+    max_scan_entries: Optional[int],
+) -> None:
     for op in operations:
         metrics.operations += 1
         if op.kind == "put":
@@ -106,18 +153,6 @@ def run_operations(
             metrics.deletes += 1
         else:
             raise ValueError(f"unknown operation kind {op.kind!r}")
-
-    device_delta = tree.device.stats.delta(device_before)
-    cache_delta = tree.cache.stats.delta(cache_before)
-    metrics.blocks_read = device_delta.blocks_read
-    metrics.blocks_written = device_delta.blocks_written
-    metrics.simulated_time = device_delta.simulated_time
-    metrics.cache_hits = cache_delta.hits
-    metrics.cache_misses = cache_delta.misses
-    metrics.filter_probes = tree.stats.probe.filter_probes - probe_before_probes
-    metrics.filter_negatives = tree.stats.probe.filter_negatives - probe_before_negatives
-    metrics.false_positives = tree.stats.probe.false_positives - probe_before_fp
-    return metrics
 
 
 # -- concurrent driving (the service layer's workloads) ------------------------
@@ -150,6 +185,8 @@ def run_concurrent_workload(
     value_size: int = 40,
     seed: int = 7,
     sample_interval_s: float = 0.001,
+    registry=None,
+    sampling: float = 0.0,
 ) -> ConcurrentRunMetrics:
     """Drive N writer and M reader threads through a DBService.
 
@@ -158,7 +195,16 @@ def run_concurrent_workload(
     samples the tree's flush backlog so stall behavior is observable (the
     quantity backpressure is supposed to bound). Exceptions raised inside
     client threads are captured into ``errors`` rather than lost.
+
+    Args:
+        registry: when given, ``service.attach_observability(registry,
+            sampling)`` is called before the workload starts, so the run
+            reports client-observed latency percentiles, queue-depth
+            gauges, and stall histograms — not just means.
+        sampling: read-path trace sampling fraction passed through.
     """
+    if registry is not None and hasattr(service, "attach_observability"):
+        service.attach_observability(registry, sampling=sampling)
     metrics = ConcurrentRunMetrics()
     lock = threading.Lock()
     start_barrier = threading.Barrier(n_writers + n_readers + 1)

@@ -41,6 +41,18 @@ class CacheStats:
             **{name: getattr(self, name) - getattr(since, name) for name in self.__dict__}
         )
 
+    def as_dict(self) -> dict:
+        """Flat snapshot including the derived rates (for engine exports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class BlockCache:
     """A byte-budgeted object cache for parsed blocks.

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
@@ -129,6 +130,12 @@ class LSMTree:
         self.config = config
         self.device = device or BlockDevice(block_size=config.block_size)
         self.stats = LSMStats()
+        # Observability hooks (repro.observe): an EngineObserver feeding a
+        # metrics registry, and a TraceRecorder sampling read-path spans.
+        # Both default to None so the unobserved hot paths pay one attribute
+        # check; attach via repro.observe.observe_tree().
+        self.observer = None
+        self.tracer = None
         self.cache = BlockCache(config.cache_bytes, policy=config.cache_policy)
         self._memtable = make_memtable(config.memtable)
         self._immutables: List[ImmutableMemtable] = []
@@ -176,6 +183,9 @@ class LSMTree:
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or update a key (out-of-place: a new versioned entry)."""
         self._check_open()
+        obs = self.observer
+        if obs is not None:
+            wall0 = time.perf_counter()
         with self._mutex:
             self._seqno += 1
             self.stats.puts += 1
@@ -195,6 +205,8 @@ class LSMTree:
                     f"or enable kv_separation (the value log spans blocks)"
                 )
             self._buffer_entry(entry)
+        if obs is not None:
+            obs.record_put(time.perf_counter() - wall0)
 
     def delete(self, key: bytes) -> None:
         """Delete a key by buffering a tombstone."""
@@ -308,7 +320,13 @@ class LSMTree:
         Safe to call without the tree mutex: the sealed entries are
         immutable and the new file is invisible until installed.
         """
-        return self._build_run(iter(sealed.entries), level=1)
+        obs = self.observer
+        if obs is not None:
+            wall0 = time.perf_counter()
+        run = self._build_run(iter(sealed.entries), level=1)
+        if obs is not None:
+            obs.record_flush_build(time.perf_counter() - wall0)
+        return run
 
     def install_flush(self, sealed: ImmutableMemtable, run: Optional[Run]) -> None:
         """Atomically publish a built flush and retire its WAL segment.
@@ -327,7 +345,7 @@ class LSMTree:
             self.stats.flushes += 1
             if run is not None:
                 self._arrive(run, level=1)
-                self.stats.record_event(
+                self._note_event(
                     CompactionEvent("flush", 0, 1, 0, run.size_bytes, self.stats.flushes)
                 )
             self._immutables.remove(sealed)
@@ -376,17 +394,47 @@ class LSMTree:
     # ------------------------------------------------------------------- reads
 
     def get(self, key: bytes) -> GetResult:
-        """Point lookup, youngest to oldest, stopping at the first match."""
+        """Point lookup, youngest to oldest, stopping at the first match.
+
+        When an observer is attached the lookup also feeds latency
+        histograms (wall + simulated) and per-level probe accounting; when
+        the tracer samples this operation, a :class:`~repro.observe.Span`
+        records the stage breakdown (memtable probe, each level's probe,
+        value fetch). Unobserved lookups pay two attribute checks.
+        """
         self._check_open()
+        obs = self.observer
+        tracer = self.tracer
+        span = (
+            tracer.start("get")
+            if tracer is not None and tracer.should_sample()
+            else None
+        )
+        timed = obs is not None or span is not None
+        if timed:
+            wall0 = time.perf_counter()
+            sim0 = self.device.stats.simulated_time
         self.stats.gets += 1
         result = GetResult()
         probe = ProbeStats()
 
+        if span is not None:
+            stage0 = time.perf_counter()
         entry = self.probe_memory(key)
+        if span is not None:
+            span.add_stage("memtable_probe", time.perf_counter() - stage0)
         digest: Optional[int] = None
         share = self.config.shared_hashing and self.config.filter_kind != "none"
         if entry is None:
             for level_no, runs in enumerate(self._levels, start=1):
+                if timed:
+                    before = (
+                        probe.filter_probes, probe.filter_negatives,
+                        probe.false_positives, probe.blocks_read,
+                        probe.cache_hits, probe.index_probes,
+                    )
+                    if span is not None:
+                        stage0 = time.perf_counter()
                 for run in runs:
                     result.runs_probed += 1
                     if share and digest is None and run.min_key <= key <= run.max_key:
@@ -398,6 +446,33 @@ class LSMTree:
                     if entry is not None:
                         result.source_level = level_no
                         break
+                if timed:
+                    served = entry is not None
+                    filter_probes = probe.filter_probes - before[0]
+                    negatives = probe.filter_negatives - before[1]
+                    false_pos = probe.false_positives - before[2]
+                    blocks = probe.blocks_read - before[3]
+                    cache_hits = probe.cache_hits - before[4]
+                    index_probes = probe.index_probes - before[5]
+                    if obs is not None:
+                        obs.record_level_probe(
+                            level_no, filter_probes, negatives, false_pos,
+                            blocks, cache_hits, index_probes, served,
+                        )
+                    if span is not None:
+                        span.add_stage(
+                            f"level_{level_no}", time.perf_counter() - stage0
+                        )
+                        span.event(
+                            "level_probe", level=level_no,
+                            filter_probes=filter_probes,
+                            filter_negatives=negatives,
+                            false_positives=false_pos,
+                            block_accesses=blocks,
+                            cache_hits=cache_hits,
+                            index_probes=index_probes,
+                            served=served,
+                        )
                 if entry is not None:
                     break
         if not self.config.shared_hashing:
@@ -411,7 +486,28 @@ class LSMTree:
 
         if entry is not None and not entry.is_tombstone:
             result.found = True
+            if span is not None:
+                stage0 = time.perf_counter()
             result.value = self._decode_value(entry.value)
+            if span is not None:
+                span.add_stage("value_fetch", time.perf_counter() - stage0)
+        if obs is not None:
+            obs.record_get(
+                time.perf_counter() - wall0,
+                self.device.stats.simulated_time - sim0,
+                result.found,
+                probe.blocks_read,
+            )
+        if span is not None:
+            tracer.finish(
+                span,
+                op="get",
+                found=result.found,
+                source_level=result.source_level,
+                blocks_read=probe.blocks_read,
+                cache_hits=probe.cache_hits,
+                sim_time=self.device.stats.simulated_time - sim0,
+            )
         return result
 
     def scan(
@@ -424,6 +520,7 @@ class LSMTree:
         exhausted or closed.
         """
         self._check_open()
+        obs = self.observer
         self.stats.scans += 1
         snapshot = self.snapshot()
         probe = ProbeStats()
@@ -437,6 +534,7 @@ class LSMTree:
                 yield entry
 
         def generator() -> Iterator[Tuple[bytes, bytes]]:
+            wall0 = time.perf_counter() if obs is not None else 0.0
             try:
                 streams = [buffered()]
                 for run in snapshot.runs:
@@ -454,6 +552,8 @@ class LSMTree:
             finally:
                 self.stats.probe.merge(probe)
                 snapshot.close()
+                if obs is not None:
+                    obs.record_scan(time.perf_counter() - wall0)
 
         return generator()
 
@@ -560,7 +660,7 @@ class LSMTree:
         if run is not None:
             self._arrive(run, target)
             self.stats.bulk_ingested += len(entries)
-            self.stats.record_event(
+            self._note_event(
                 CompactionEvent("ingest", 0, target, 0, run.size_bytes, self.stats.flushes)
             )
         if not self.config.lazy_compaction:
@@ -858,6 +958,33 @@ class LSMTree:
     def total_runs(self) -> int:
         return sum(len(runs) for runs in self._levels)
 
+    def metrics_snapshot(self) -> dict:
+        """The full engine-level metrics snapshot, flat and JSON-able.
+
+        One call that surfaces everything dashboards need: the tree's
+        counters (:meth:`LSMStats.as_dict`), the block cache's hit/miss/
+        eviction accounting (``cache_*`` keys — callers no longer reach
+        into ``tree.cache.stats``), the device's I/O totals (``device_*``),
+        and the current structure shape.
+        """
+        snap = self.stats.as_dict()
+        for name, value in self.cache.stats.as_dict().items():
+            snap[f"cache_{name}"] = value
+        device = self.device.stats
+        snap.update(
+            device_blocks_read=device.blocks_read,
+            device_blocks_written=device.blocks_written,
+            device_bytes_read=device.bytes_read,
+            device_bytes_written=device.bytes_written,
+            device_simulated_time=device.simulated_time,
+            levels=self.num_levels,
+            runs=self.total_runs,
+            memtable_entries=self.memtable_entries,
+            immutable_memtables=self.immutable_memtables,
+            write_amplification=self.write_amplification,
+        )
+        return snap
+
     def level_summary(self) -> List[dict]:
         """Per-level shape: run/file counts, bytes, capacity (for examples)."""
         summary = []
@@ -921,6 +1048,13 @@ class LSMTree:
     def _check_open(self) -> None:
         if self._closed:
             raise ClosedError("operation on a closed LSMTree")
+
+    def _note_event(self, event: CompactionEvent) -> None:
+        """Record a re-organization event in stats and, if attached, the observer."""
+        self.stats.record_event(event)
+        obs = self.observer
+        if obs is not None:
+            obs.record_event(event)
 
     def _buffer_entry(self, entry: Entry) -> None:
         self._memtable.put(entry)
@@ -1191,7 +1325,13 @@ class LSMTree:
         """
         if plan.trivial or plan.partial:
             return None
-        return self._merge_runs(plan.inputs, plan.dest, plan.purge)
+        obs = self.observer
+        if obs is not None:
+            wall0 = time.perf_counter()
+        merged = self._merge_runs(plan.inputs, plan.dest, plan.purge)
+        if obs is not None:
+            obs.record_compaction(time.perf_counter() - wall0)
+        return merged
 
     def install_compaction(self, plan: CompactionPlan, merged: Optional[Run]) -> None:
         """Atomically swap a finished compaction into the level structure.
@@ -1222,7 +1362,7 @@ class LSMTree:
                 self._unpin(run)  # the plan's pin
                 self._unpin(run)  # the old level-membership pin (transferred)
                 self.stats.trivial_moves += 1
-                self.stats.record_event(
+                self._note_event(
                     CompactionEvent(
                         "trivial_move", plan.level, plan.dest, 0, 0, self.stats.flushes
                     )
@@ -1231,7 +1371,7 @@ class LSMTree:
                 if merged is not None:
                     self._arrive(merged, plan.dest)
                 self.stats.compactions += 1
-                self.stats.record_event(
+                self._note_event(
                     CompactionEvent(
                         "full", plan.level, plan.dest, plan.bytes_in,
                         merged.size_bytes if merged is not None else 0,
@@ -1312,13 +1452,16 @@ class LSMTree:
             self._remove_table_from_level(level, run, victim, keep_alive=True)
             self._add_tables_to_level(level + 1, [victim], drop_temp_pin=True)
             self.stats.trivial_moves += 1
-            self.stats.record_event(
+            self._note_event(
                 CompactionEvent("trivial_move", level, level + 1, 0, 0, self.stats.flushes)
             )
             return
 
         # The merge consumes the victim's and overlapping files' entries
         # eagerly, so the old files may be retired right after.
+        obs = self.observer
+        if obs is not None:
+            wall0 = time.perf_counter()
         streams = [victim.iter_entries()] + [table.iter_entries() for table in overlapping]
         purge = (level + 1) >= self._deepest_data_level()
         in_bytes = victim.size_bytes + sum(t.size_bytes for t in overlapping)
@@ -1341,9 +1484,11 @@ class LSMTree:
         self.stats.compaction_bytes_out += out_bytes
         out_tombstones = sum(t.tombstone_count for t in new_tables)
         self.stats.tombstones_purged += max(0, in_tombstones - out_tombstones)
-        self.stats.record_event(
+        self._note_event(
             CompactionEvent("partial", level, level + 1, in_bytes, out_bytes, self.stats.flushes)
         )
+        if obs is not None:
+            obs.record_compaction(time.perf_counter() - wall0)
         if self._elastic is not None:
             self._elastic.rebalance()
 

@@ -96,6 +96,11 @@ class LSMStats:
         """Average data blocks touched per point lookup."""
         return self.probe.blocks_read / self.gets if self.gets else 0.0
 
+    @property
+    def entries_per_scan(self) -> float:
+        """Average live entries produced per range scan."""
+        return self.scan_entries / self.scans if self.scans else 0.0
+
     def as_dict(self) -> dict:
         """Flat metrics snapshot (for dashboards and experiment logs)."""
         return {
@@ -114,6 +119,9 @@ class LSMStats:
             "value_log_fetches": self.value_log_fetches,
             "write_stalls": self.write_stalls,
             "stall_time": self.stall_time,
+            "filtered_by_compaction": self.filtered_by_compaction,
+            "bulk_ingested": self.bulk_ingested,
+            "entries_per_scan": self.entries_per_scan,
             "batches_committed": self.batches_committed,
             "batched_records": self.batched_records,
             "stall_slowdowns": self.stall_slowdowns,

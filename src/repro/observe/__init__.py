@@ -1,0 +1,64 @@
+"""repro.observe — metrics, tracing, per-level stats, and exporters.
+
+The observability layer every perf claim in this repo reports through:
+
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  log-bucketed :class:`Histogram` (p50/p90/p99/p99.9, mergeable across
+  shards, bounded memory);
+* :class:`TraceRecorder` + :class:`Span` — sampled read-path tracing with a
+  ring buffer, near-free when sampling is off;
+* :func:`level_stats` / :func:`format_level_table` — the RocksDB-style
+  per-level stats table;
+* :func:`to_prometheus` / :func:`to_json` / :func:`render_dump` — the
+  export surfaces (``python -m repro stats --format ...``).
+
+Attach to an engine with :func:`observe_tree` (or
+``DBService.attach_observability`` for the concurrent service layer).
+"""
+
+from repro.observe.engine import EngineObserver, LevelIOStats, observe_tree
+from repro.observe.export import (
+    latency_rows,
+    parse_prometheus,
+    render_dump,
+    to_json,
+    to_prometheus,
+)
+from repro.observe.levels import (
+    LEVEL_COLUMNS,
+    export_level_gauges,
+    format_level_table,
+    level_stats,
+)
+from repro.observe.metrics import (
+    DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.observe.tracing import Span, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_registries",
+    "DEFAULT_QUANTILES",
+    "EngineObserver",
+    "LevelIOStats",
+    "observe_tree",
+    "Span",
+    "TraceRecorder",
+    "level_stats",
+    "format_level_table",
+    "export_level_gauges",
+    "LEVEL_COLUMNS",
+    "to_prometheus",
+    "parse_prometheus",
+    "to_json",
+    "render_dump",
+    "latency_rows",
+]

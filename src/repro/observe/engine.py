@@ -1,0 +1,205 @@
+"""The engine-side observer: feeds a registry from LSMTree hot paths.
+
+One :class:`EngineObserver` instance binds one tree (or shard) to one
+:class:`~repro.observe.metrics.MetricsRegistry`. The tree calls the
+``record_*`` hooks from its get/put/scan/flush/compaction paths; each hook
+is a couple of histogram/counter updates, and none are called at all when no
+observer is attached (the hot paths check one attribute).
+
+Latency is recorded on two clocks:
+
+* **simulated device time** — the block device's latency model, the unit
+  every experiment in ``benchmarks/`` reports; and
+* **wall-clock seconds** — what a client of the concurrent service layer
+  actually waits, including lock waits, group-commit linger, and stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.observe.metrics import MetricsRegistry
+
+#: Wall-clock histograms: 1 microsecond floor, <=20% relative error.
+WALL_MIN = 1e-6
+#: Simulated-time histograms: the unit is one sequential block read.
+SIM_MIN = 1e-3
+
+
+class LevelIOStats:
+    """Per-level read/write accounting accumulated by the observer."""
+
+    __slots__ = (
+        "gets_probed", "gets_served", "filter_probes", "filter_negatives",
+        "false_positives", "block_accesses", "cache_hits", "index_probes",
+        "bytes_written", "bytes_compacted_in",
+    )
+
+    def __init__(self) -> None:
+        self.gets_probed = 0  # point lookups that reached this level
+        self.gets_served = 0  # point lookups answered by this level
+        self.filter_probes = 0
+        self.filter_negatives = 0
+        self.false_positives = 0
+        self.block_accesses = 0  # data blocks touched (cache hits included)
+        self.cache_hits = 0
+        self.index_probes = 0
+        self.bytes_written = 0  # flush/compaction output landing here
+        self.bytes_compacted_in = 0  # bytes read out of this level by merges
+
+    @property
+    def filter_fpr(self) -> float:
+        absent = self.false_positives + self.filter_negatives
+        return self.false_positives / absent if absent else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.block_accesses if self.block_accesses else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "gets_probed": self.gets_probed,
+            "gets_served": self.gets_served,
+            "filter_probes": self.filter_probes,
+            "filter_negatives": self.filter_negatives,
+            "false_positives": self.false_positives,
+            "filter_fpr": self.filter_fpr,
+            "block_accesses": self.block_accesses,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "index_probes": self.index_probes,
+            "bytes_written": self.bytes_written,
+            "bytes_compacted_in": self.bytes_compacted_in,
+        }
+
+
+class EngineObserver:
+    """Registry-backed instrumentation for one :class:`~repro.core.lsm_tree.LSMTree`.
+
+    Args:
+        registry: the registry to report into (a private one by default).
+        labels: optional labels stamped on every series this observer owns
+            (the sharded store labels each shard's observer).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
+        reg = self.registry
+
+        def hist(name, help, min_value):
+            return reg.histogram(name, help, min_value=min_value, labels=self.labels)
+
+        self.get_wall = hist(
+            "get_latency_wall_seconds", "point-lookup wall-clock latency", WALL_MIN
+        )
+        self.get_sim = hist(
+            "get_latency_sim", "point-lookup simulated device time", SIM_MIN
+        )
+        self.put_wall = hist(
+            "put_latency_wall_seconds", "write wall-clock latency", WALL_MIN
+        )
+        self.scan_wall = hist(
+            "scan_latency_wall_seconds", "full-scan wall-clock latency", WALL_MIN
+        )
+        self.flush_wall = hist(
+            "flush_build_wall_seconds", "memtable-flush build wall time", WALL_MIN
+        )
+        self.compaction_wall = hist(
+            "compaction_merge_wall_seconds", "compaction merge wall time", WALL_MIN
+        )
+        self.get_blocks = hist(
+            "get_blocks_touched", "data blocks touched per point lookup", SIM_MIN
+        )
+        self.gets_total = reg.counter("gets_total", "point lookups", self.labels)
+        self.gets_found = reg.counter(
+            "gets_found_total", "point lookups that found a value", self.labels
+        )
+        self.levels: Dict[int, LevelIOStats] = {}
+
+    # -- hooks called from the engine hot paths ------------------------------
+
+    def record_get(self, wall_s: float, sim_time: float, found: bool, blocks: int) -> None:
+        self.get_wall.record(wall_s)
+        self.get_sim.record(sim_time)
+        self.get_blocks.record(blocks)
+        self.gets_total.inc()
+        if found:
+            self.gets_found.inc()
+
+    def record_put(self, wall_s: float) -> None:
+        self.put_wall.record(wall_s)
+
+    def record_scan(self, wall_s: float) -> None:
+        self.scan_wall.record(wall_s)
+
+    def record_flush_build(self, wall_s: float) -> None:
+        self.flush_wall.record(wall_s)
+
+    def record_compaction(self, wall_s: float) -> None:
+        self.compaction_wall.record(wall_s)
+
+    def level(self, level_no: int) -> LevelIOStats:
+        stats = self.levels.get(level_no)
+        if stats is None:
+            stats = self.levels[level_no] = LevelIOStats()
+        return stats
+
+    def record_level_probe(
+        self,
+        level_no: int,
+        probes: int,
+        negatives: int,
+        false_positives: int,
+        block_accesses: int,
+        cache_hits: int,
+        index_probes: int,
+        served: bool,
+    ) -> None:
+        """One point lookup's footprint at one level (called per level probed)."""
+        stats = self.level(level_no)
+        stats.gets_probed += 1
+        stats.filter_probes += probes
+        stats.filter_negatives += negatives
+        stats.false_positives += false_positives
+        stats.block_accesses += block_accesses
+        stats.cache_hits += cache_hits
+        stats.index_probes += index_probes
+        if served:
+            stats.gets_served += 1
+
+    def record_event(self, event) -> None:
+        """Per-level write accounting from a CompactionEvent."""
+        if event.bytes_out:
+            self.level(event.dest).bytes_written += event.bytes_out
+        if event.bytes_in:
+            self.level(event.level).bytes_compacted_in += event.bytes_in
+
+    # -- reading --------------------------------------------------------------
+
+    def level_io(self) -> Dict[int, dict]:
+        return {no: stats.as_dict() for no, stats in sorted(self.levels.items())}
+
+
+def observe_tree(tree, registry=None, sampling: float = 0.0, trace_capacity: int = 256):
+    """Attach metrics and tracing to a tree in one call.
+
+    Returns:
+        ``(observer, recorder)``. A recorder is always created — with
+        ``sampling=0.0`` it never fires, but the knob can be raised later
+        without re-wiring the tree.
+    """
+    from repro.observe.tracing import TraceRecorder
+
+    observer = EngineObserver(registry)
+    recorder = TraceRecorder(capacity=trace_capacity, sampling=sampling)
+    tree.observer = observer
+    tree.tracer = recorder
+    return observer, recorder
+
+
+__all__ = ["EngineObserver", "LevelIOStats", "observe_tree", "WALL_MIN", "SIM_MIN"]

@@ -1,0 +1,115 @@
+"""RocksDB-style per-level statistics, derived live from a tree.
+
+``level_stats(tree)`` joins two sources: the tree's current *shape*
+(runs/files/bytes/capacity per level, always available) and the attached
+:class:`~repro.observe.engine.EngineObserver`'s per-level I/O accounting
+(reads, filter FPR, cache hit rate, compaction bytes — zeros when no
+observer is attached). The result renders as the classic ``compaction
+stats`` dump and exports as labeled gauges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.report import format_table
+from repro.observe.metrics import MetricsRegistry
+
+#: Column order of the rendered table (and the per-level dict keys).
+LEVEL_COLUMNS = [
+    "level", "runs", "files", "bytes", "capacity", "entries",
+    "gets_probed", "gets_served", "filter_fpr", "cache_hit_rate",
+    "block_accesses", "bytes_written", "bytes_compacted_in",
+]
+
+
+def level_stats(tree) -> List[dict]:
+    """One dict per storage level, combining shape and I/O accounting."""
+    observer = getattr(tree, "observer", None)
+    rows: List[dict] = []
+    known_levels = set()
+    for summary in tree.level_summary():
+        level_no = summary["level"]
+        known_levels.add(level_no)
+        row = {
+            "level": level_no,
+            "runs": summary["runs"],
+            "files": summary["files"],
+            "bytes": summary["bytes"],
+            "capacity": summary["capacity"],
+            "entries": summary["entries"],
+            "gets_probed": 0,
+            "gets_served": 0,
+            "filter_fpr": 0.0,
+            "cache_hit_rate": 0.0,
+            "block_accesses": 0,
+            "bytes_written": 0,
+            "bytes_compacted_in": 0,
+        }
+        if observer is not None and level_no in observer.levels:
+            io = observer.levels[level_no]
+            row.update(
+                gets_probed=io.gets_probed,
+                gets_served=io.gets_served,
+                filter_fpr=io.filter_fpr,
+                cache_hit_rate=io.cache_hit_rate,
+                block_accesses=io.block_accesses,
+                bytes_written=io.bytes_written,
+                bytes_compacted_in=io.bytes_compacted_in,
+            )
+        rows.append(row)
+    if observer is not None:
+        # Levels that held data earlier but are empty now still have history.
+        for level_no in sorted(observer.levels):
+            if level_no in known_levels:
+                continue
+            io = observer.levels[level_no]
+            rows.append(
+                {
+                    "level": level_no,
+                    "runs": 0,
+                    "files": 0,
+                    "bytes": 0,
+                    "capacity": tree.config.level_capacity(level_no),
+                    "entries": 0,
+                    "gets_probed": io.gets_probed,
+                    "gets_served": io.gets_served,
+                    "filter_fpr": io.filter_fpr,
+                    "cache_hit_rate": io.cache_hit_rate,
+                    "block_accesses": io.block_accesses,
+                    "bytes_written": io.bytes_written,
+                    "bytes_compacted_in": io.bytes_compacted_in,
+                }
+            )
+        rows.sort(key=lambda row: row["level"])
+    return rows
+
+
+def format_level_table(tree) -> str:
+    """The per-level stats table as aligned ASCII (RocksDB's dump shape)."""
+    rows = level_stats(tree)
+    return format_table(
+        LEVEL_COLUMNS,
+        [[row[column] for column in LEVEL_COLUMNS] for row in rows],
+    )
+
+
+def export_level_gauges(tree, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Publish the per-level table into ``registry`` as labeled gauges.
+
+    Each column becomes ``level_<column>{level="N"}``; calling again
+    refreshes the same series. Uses the tree observer's registry when none
+    is given (and a fresh one when the tree is unobserved).
+    """
+    if registry is None:
+        observer = getattr(tree, "observer", None)
+        registry = observer.registry if observer is not None else MetricsRegistry()
+    for row in level_stats(tree):
+        labels = {"level": str(row["level"])}
+        for column in LEVEL_COLUMNS:
+            if column == "level":
+                continue
+            registry.gauge(
+                f"level_{column}", f"per-level {column}", labels=labels
+            ).set(float(row[column]))
+    return registry

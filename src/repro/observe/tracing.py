@@ -1,0 +1,152 @@
+"""Read-path tracing: per-operation spans with a sampled ring buffer.
+
+A :class:`Span` records how one operation's time divides across the read
+path's stages (memtable probe, per-level storage probes, value-log fetch)
+plus structured events (one per storage level touched, carrying filter /
+fence / cache / block counters). The :class:`TraceRecorder` keeps the most
+recent spans in a bounded ring buffer and owns the sampling decision, so the
+instrumented hot path costs a single attribute check and one comparison when
+sampling is off — no span is ever allocated for an unsampled operation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One traced operation: named stages, events, and attributes.
+
+    ``total`` is defined as the sum of the recorded stage durations; when
+    :meth:`finish` observes wall time beyond the explicit stages it appends
+    a final ``"other"`` stage for the remainder, so the stage breakdown
+    always partitions the span's total exactly.
+    """
+
+    __slots__ = ("name", "started_at", "stages", "events", "attrs", "total", "_wall0")
+
+    def __init__(self, name: str, clock: float) -> None:
+        self.name = name
+        self.started_at = clock
+        self._wall0 = clock
+        self.stages: List[Tuple[str, float]] = []
+        self.events: List[Dict[str, object]] = []
+        self.attrs: Dict[str, object] = {}
+        self.total = 0.0
+
+    def add_stage(self, name: str, duration: float) -> None:
+        """Record one stage's duration (seconds)."""
+        self.stages.append((name, duration))
+
+    def event(self, kind: str, **fields) -> None:
+        """Record a structured event (e.g. one storage level's probe)."""
+        record: Dict[str, object] = {"kind": kind}
+        record.update(fields)
+        self.events.append(record)
+
+    def finish(self, clock: float, **attrs) -> None:
+        """Close the span: absorb unattributed time, fix ``total``, tag attrs."""
+        self.attrs.update(attrs)
+        elapsed = clock - self._wall0
+        explicit = sum(duration for _, duration in self.stages)
+        if elapsed > explicit:
+            self.stages.append(("other", elapsed - explicit))
+        # Definitionally: total is the stage sum, so the breakdown always
+        # adds up to exactly what the span reports.
+        self.total = sum(duration for _, duration in self.stages)
+
+    def stage_dict(self) -> Dict[str, float]:
+        """Stage durations keyed by name (repeated names accumulate)."""
+        out: Dict[str, float] = {}
+        for name, duration in self.stages:
+            out[name] = out.get(name, 0.0) + duration
+        return out
+
+    def as_dict(self) -> dict:
+        """A JSON-able rendering (the trace schema the docs describe)."""
+        return {
+            "name": self.name,
+            "total": self.total,
+            "stages": [[name, duration] for name, duration in self.stages],
+            "events": list(self.events),
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"Span({self.name!r}, total={self.total:.6f}, stages={len(self.stages)})"
+
+
+class TraceRecorder:
+    """A bounded ring buffer of sampled spans.
+
+    Args:
+        capacity: how many finished spans to retain (oldest evicted first).
+        sampling: fraction of operations to trace in [0, 1]. 0 disables
+            tracing entirely — :meth:`should_sample` returns False before
+            any allocation happens; 1 traces everything.
+        seed: seeds the sampling RNG so traced runs are reproducible.
+    """
+
+    def __init__(self, capacity: int = 256, sampling: float = 0.0, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0.0 <= sampling <= 1.0:
+            raise ValueError("sampling must be within [0, 1]")
+        self.capacity = capacity
+        self.sampling = sampling
+        self._rng = random.Random(seed)
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.sampled = 0  # spans recorded since construction
+        self.dropped = 0  # spans evicted by the ring bound
+        self.clock = time.perf_counter
+
+    # -- the hot-path contract ------------------------------------------------
+
+    def should_sample(self) -> bool:
+        """The per-operation sampling decision; the only cost when off."""
+        sampling = self.sampling
+        if sampling <= 0.0:
+            return False
+        if sampling >= 1.0:
+            return True
+        return self._rng.random() < sampling
+
+    def start(self, name: str) -> Span:
+        """Allocate a span; callers must have consulted :meth:`should_sample`."""
+        return Span(name, self.clock())
+
+    def finish(self, span: Span, **attrs) -> None:
+        """Close ``span`` and append it to the ring buffer."""
+        span.finish(self.clock(), **attrs)
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+        self.sampled += 1
+
+    # -- reading ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self, n: Optional[int] = None) -> List[Span]:
+        """The most recent ``n`` spans (all retained spans when None), oldest first."""
+        items = list(self._spans)
+        if n is not None:
+            items = items[-n:] if n > 0 else []
+        return items
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-able: sampling settings plus every retained span."""
+        return {
+            "sampling": self.sampling,
+            "capacity": self.capacity,
+            "sampled": self.sampled,
+            "dropped": self.dropped,
+            "spans": [span.as_dict() for span in self._spans],
+        }

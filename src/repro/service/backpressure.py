@@ -42,6 +42,9 @@ class BackpressureController:
         self._config = config
         self._scheduler = scheduler
         self._cv = threading.Condition()
+        # Optional observability hook: a Histogram recording each stalled
+        # write's wall-clock delay (DBService.attach_observability sets it).
+        self.stall_histogram = None
         if scheduler is not None:
             scheduler.add_listener(self._on_progress)
 
@@ -92,7 +95,11 @@ class BackpressureController:
                     if remaining <= 0:
                         break  # safety valve: never wedge a writer forever
                     self._cv.wait(remaining)
-        stats.stall_time_wall += time.monotonic() - began
+        stalled = time.monotonic() - began
+        stats.stall_time_wall += stalled
+        histogram = self.stall_histogram
+        if histogram is not None:
+            histogram.record(stalled)
 
     def _on_progress(self) -> None:
         with self._cv:

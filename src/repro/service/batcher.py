@@ -76,6 +76,11 @@ class WriteBatcher:
         self._closed = False
         self.stats = BatcherStats()
 
+    @property
+    def queue_depth(self) -> int:
+        """Writes currently parked in the commit queue (a gauge, racy read)."""
+        return len(self._queue)
+
     def submit(self, op: WriteOp) -> None:
         """Enqueue one write and block until it is committed.
 

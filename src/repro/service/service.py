@@ -16,6 +16,7 @@ write path. This facade restores the shape production stores actually have:
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Optional, Tuple
 
 from repro.common.entry import GetResult
@@ -74,6 +75,78 @@ class DBService:
             max_wait_s=self.config.max_batch_wait_s,
         )
         self._closed = False
+        # Observability (repro.observe), wired by attach_observability().
+        self.observer = None
+        self.recorder = None
+        self._write_wall = None
+        self._get_wall = None
+        self._batch_hist = None
+
+    # -- observability ------------------------------------------------------
+
+    def attach_observability(
+        self,
+        registry=None,
+        sampling: float = 0.0,
+        trace_capacity: int = 256,
+    ):
+        """Thread a metrics registry (and sampled tracing) through the stack.
+
+        Instruments the tree (engine latency histograms, per-level probe
+        accounting, sampled read-path spans), the service's client-observed
+        wall-clock latencies (queueing + group commit included), the
+        group-commit batch-size distribution, the backpressure stall
+        histogram, and live gauges for the write queue depth, flush
+        backlog, and pending background jobs.
+
+        Args:
+            registry: report into this registry (a fresh one by default).
+            sampling: read-path trace sampling fraction in [0, 1].
+            trace_capacity: spans retained in the trace ring buffer.
+
+        Returns:
+            The attached :class:`~repro.observe.EngineObserver` (its
+            ``registry`` and the service's ``recorder`` hold everything).
+        """
+        from repro.observe import EngineObserver, MetricsRegistry, TraceRecorder
+
+        if registry is None:
+            registry = MetricsRegistry()
+        self.observer = EngineObserver(registry)
+        self.recorder = TraceRecorder(capacity=trace_capacity, sampling=sampling)
+        self.tree.observer = self.observer
+        self.tree.tracer = self.recorder
+        self._write_wall = registry.histogram(
+            "service_write_wall_seconds",
+            "client-observed write latency (stall + queueing + group commit)",
+            min_value=1e-6,
+        )
+        self._get_wall = registry.histogram(
+            "service_get_wall_seconds",
+            "client-observed point-lookup latency",
+            min_value=1e-6,
+        )
+        self._batch_hist = registry.histogram(
+            "service_batch_records",
+            "records per group commit",
+            growth=1.5,
+            min_value=0.5,
+        )
+        self.backpressure.stall_histogram = registry.histogram(
+            "service_stall_wall_seconds",
+            "per-write stall delay (slowdown sleeps and hard stops)",
+            min_value=1e-6,
+        )
+        registry.gauge(
+            "service_write_queue_depth", "writes parked in the commit queue"
+        ).set_function(lambda: self._batcher.queue_depth)
+        registry.gauge(
+            "service_flush_backlog", "sealed memtables + level-1 runs"
+        ).set_function(self.tree.flush_backlog)
+        registry.gauge(
+            "service_pending_jobs", "queued + in-flight background jobs"
+        ).set_function(lambda: self.scheduler.pending_jobs)
+        return self.observer
 
     # -- writes -------------------------------------------------------------
 
@@ -87,13 +160,20 @@ class DBService:
 
     def _submit(self, op: WriteOp) -> None:
         self._check_open()
+        histogram = self._write_wall
+        if histogram is not None:
+            wall0 = time.perf_counter()
         self.backpressure.gate()
         self._batcher.submit(op)
+        if histogram is not None:
+            histogram.record(time.perf_counter() - wall0)
 
     def _apply_batch(self, ops) -> None:
         self.tree.write_batch(ops)
         self.tree.stats.batches_committed += 1
         self.tree.stats.batched_records += len(ops)
+        if self._batch_hist is not None:
+            self._batch_hist.record(len(ops))
 
     # -- reads --------------------------------------------------------------
 
@@ -106,6 +186,9 @@ class DBService:
         this lookup is reading.
         """
         self._check_open()
+        histogram = self._get_wall
+        if histogram is not None:
+            wall0 = time.perf_counter()
         tree = self.tree
         with tree.mutex:
             tree.stats.gets += 1
@@ -120,6 +203,8 @@ class DBService:
         if entry is not None and not entry.is_tombstone:
             result.found = True
             result.value = tree._decode_value(entry.value)
+        if histogram is not None:
+            histogram.record(time.perf_counter() - wall0)
         return result
 
     def scan(

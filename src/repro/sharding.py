@@ -59,6 +59,8 @@ class ShardedStore:
         if scheduler is not None:
             for shard in self.shards:
                 scheduler.register(shard)
+        self.observers: list = []  # per-shard EngineObservers (observability)
+        self.recorders: list = []  # per-shard TraceRecorders
 
     # -- routing -------------------------------------------------------------
 
@@ -104,6 +106,36 @@ class ShardedStore:
     def compact_all(self) -> None:
         for shard in self.shards:
             shard.compact_all()
+
+    # -- observability -----------------------------------------------------------
+
+    def attach_observability(self, sampling: float = 0.0, trace_capacity: int = 128):
+        """Give every shard its own observer and trace recorder.
+
+        Each shard records into a private registry (no cross-shard lock
+        contention on the hot paths); :meth:`merged_registry` folds them
+        into one store-wide view on demand. Returns the observer list.
+        """
+        from repro.observe import observe_tree
+
+        self.observers = []
+        self.recorders = []
+        for shard in self.shards:
+            observer, recorder = observe_tree(
+                shard, sampling=sampling, trace_capacity=trace_capacity
+            )
+            self.observers.append(observer)
+            self.recorders.append(recorder)
+        return self.observers
+
+    def merged_registry(self):
+        """One registry summing every shard's: counters add, histograms
+        merge bucket-wise (exact — shards share the bucket layout), gauges
+        sum. The store-wide percentile view a dashboard scrapes.
+        """
+        from repro.observe import merge_registries
+
+        return merge_registries([observer.registry for observer in self.observers])
 
     # -- introspection -----------------------------------------------------------
 

@@ -44,6 +44,7 @@ class ProbeStats:
     false_positives: int = 0
     index_probes: int = 0
     blocks_read: int = 0
+    cache_hits: int = 0  # block accesses served from the block cache
 
     def merge(self, other: "ProbeStats") -> None:
         self.filter_probes += other.filter_probes
@@ -51,6 +52,7 @@ class ProbeStats:
         self.false_positives += other.false_positives
         self.index_probes += other.index_probes
         self.blocks_read += other.blocks_read
+        self.cache_hits += other.cache_hits
 
 
 class DataBlock:
@@ -315,7 +317,10 @@ class SSTable:
             return DataBlock(parse_block(payload), self._hash_index), len(payload)
 
         if cache is not None:
-            return cache.get_or_load((self.file_id, block_no), loader)
+            key = (self.file_id, block_no)
+            if stats is not None and cache.contains(key):
+                stats.cache_hits += 1
+            return cache.get_or_load(key, loader)
         return loader()[0]
 
 

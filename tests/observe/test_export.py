@@ -1,0 +1,131 @@
+"""Export surfaces: Prometheus round-trip, JSON snapshots, the CLI."""
+
+import json
+
+from repro.__main__ import main
+from repro.observe import (
+    MetricsRegistry,
+    export_level_gauges,
+    format_level_table,
+    level_stats,
+    observe_tree,
+    parse_prometheus,
+    render_dump,
+    to_json,
+    to_prometheus,
+)
+from repro.bench.harness import preload_tree
+from tests.conftest import make_tree
+
+
+def _observed_tree(n_keys=500, n_gets=200):
+    tree = make_tree()
+    registry = MetricsRegistry()
+    observer, recorder = observe_tree(tree, registry, sampling=1.0, trace_capacity=32)
+    preload_tree(tree, n_keys, value_size=32)
+    from repro.common.encoding import encode_uint_key
+
+    for i in range(n_gets):
+        tree.get(encode_uint_key((i * 17) % n_keys))
+    return tree, registry, recorder
+
+
+class TestPrometheus:
+    def test_round_trip(self):
+        """Exposition text parses back to the values the registry holds."""
+        tree, registry, _ = _observed_tree()
+        export_level_gauges(tree, registry)
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples["repro_gets_total"] == 200
+        hist = registry.histogram("get_latency_wall_seconds", "")
+        assert samples["repro_get_latency_wall_seconds_count"] == hist.count
+        assert samples["repro_get_latency_wall_seconds_sum"] == hist.total
+        # Cumulative bucket series end at the total count on the +Inf bound.
+        assert samples['repro_get_latency_wall_seconds_bucket{le="+Inf"}'] == hist.count
+        # Per-level gauges carry their level label through the round trip.
+        assert 'repro_level_runs{level="1"}' in samples
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "l")
+        for value in (0.001, 0.01, 0.1):
+            hist.record(value)
+        samples = parse_prometheus(to_prometheus(registry))
+        bucket_counts = [
+            value for series, value in samples.items() if "_bucket" in series
+        ]
+        assert sorted(bucket_counts) == bucket_counts  # monotone
+        assert bucket_counts[-1] == 3
+
+
+class TestJSON:
+    def test_full_snapshot_sections(self):
+        tree, registry, recorder = _observed_tree()
+        payload = json.loads(to_json(registry, tree=tree, recorder=recorder))
+        assert set(payload) == {"metrics", "engine", "levels", "traces"}
+        assert payload["metrics"]["counters"]["gets_total"] == 200
+        assert payload["engine"]["gets"] == 200
+        assert any(key.startswith("cache_") for key in payload["engine"])
+        assert payload["levels"], "flushed tree must report at least one level"
+        assert payload["traces"]["spans"]
+        span = payload["traces"]["spans"][0]
+        assert abs(sum(d for _, d in span["stages"]) - span["total"]) < 1e-12
+
+    def test_registry_only(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", "help").inc(3)
+        payload = json.loads(to_json(registry))
+        assert set(payload) == {"metrics"}
+
+
+class TestLevelTable:
+    def test_rows_match_tree_shape(self):
+        tree, _, _ = _observed_tree()
+        rows = level_stats(tree)
+        summary = {row["level"]: row for row in tree.level_summary()}
+        assert {row["level"] for row in rows} >= set(summary)
+        for row in rows:
+            if row["level"] in summary:
+                assert row["entries"] == summary[row["level"]]["entries"]
+            assert row["gets_probed"] >= row["gets_served"]
+
+    def test_format_renders_header(self):
+        tree, _, _ = _observed_tree()
+        text = format_level_table(tree)
+        assert "filter_fpr" in text and "cache_hit_rate" in text
+
+
+class TestRenderDump:
+    def test_sections_present(self):
+        tree, registry, _ = _observed_tree()
+        dump = render_dump(registry, tree)
+        assert "latency distributions" in dump
+        assert "per-level stats" in dump
+        assert "p99.9" in dump
+
+
+class TestCLI:
+    def test_stats_json_parses(self, capsys):
+        assert main(["stats", "--demo", "--format", "json",
+                     "--ops", "300", "--keys", "300"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {"metrics", "engine", "levels", "traces"} <= set(payload)
+
+    def test_stats_prometheus_parses(self, capsys):
+        assert main(["stats", "--format", "prometheus",
+                     "--ops", "300", "--keys", "300"]) == 0
+        samples = parse_prometheus(capsys.readouterr().out)
+        assert samples["repro_gets_total"] > 0
+
+    def test_stats_table_prints_percentiles_and_levels(self, capsys):
+        assert main(["stats", "--ops", "300", "--keys", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "get_latency_wall_seconds" in out
+        assert "get_latency_sim" in out
+        assert "p99.9" in out
+        assert "filter_fpr" in out  # the per-level table
+
+    def test_trace_prints_stage_breakdown(self, capsys):
+        assert main(["trace", "--ops", "100", "--keys", "200", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "memtable_probe=" in out

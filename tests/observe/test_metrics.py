@@ -1,0 +1,157 @@
+"""Properties of the metrics primitives: counters, gauges, histograms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observe import Counter, Gauge, Histogram, MetricsRegistry, merge_registries
+
+
+def exact_quantile(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a = Counter("ops", "help")
+        b = Counter("ops", "help")
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("ops", "help")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("depth", "help")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_callback_sampled_at_read(self):
+        state = {"v": 1}
+        gauge = Gauge("depth", "help")
+        gauge.set_function(lambda: state["v"])
+        assert gauge.value == 1
+        state["v"] = 9
+        assert gauge.value == 9
+
+
+class TestHistogramBasics:
+    def test_empty(self):
+        h = Histogram("lat", "help")
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_capped_at_observed_max(self):
+        h = Histogram("lat", "help", min_value=1e-6)
+        h.record(1.0)
+        assert h.quantile(0.999) == 1.0
+
+    def test_bounded_memory(self):
+        # Millions of distinct values, bounded bucket count (log-bucketed).
+        h = Histogram("lat", "help", min_value=1e-6, growth=1.2)
+        for i in range(1, 10_000):
+            h.record(i * 1e-5)
+        assert len(h.buckets()) < 200
+        assert h.count == 9_999
+
+
+# Samples at/above min_value so relative-error bounds apply cleanly.
+positive_samples = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestHistogramProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(samples=positive_samples, q=st.sampled_from([0.5, 0.9, 0.99, 0.999]))
+    def test_quantile_within_one_bucket_relative_error(self, samples, q):
+        """Estimated quantile is within one bucket's relative error of exact.
+
+        The estimate is the upper bound of the bucket holding the exact
+        quantile sample (capped at the observed max), so it can only
+        overshoot, and by at most the bucket's growth factor.
+        """
+        growth = 1.2
+        h = Histogram("lat", "help", min_value=1e-6, growth=growth)
+        for sample in samples:
+            h.record(sample)
+        exact = exact_quantile(samples, q)
+        estimate = h.quantile(q)
+        assert exact <= estimate * (1 + 1e-9)
+        assert estimate <= exact * growth * (1 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=st.lists(positive_samples, min_size=2, max_size=4))
+    def test_merge_equals_concatenation(self, shards):
+        """merge() of shard histograms equals one histogram of all samples."""
+        merged = Histogram("lat", "help", min_value=1e-6)
+        for shard_samples in shards:
+            shard = Histogram("lat", "help", min_value=1e-6)
+            for sample in shard_samples:
+                shard.record(sample)
+            merged.merge(shard)
+        combined = Histogram("lat", "help", min_value=1e-6)
+        for sample in [s for shard_samples in shards for s in shard_samples]:
+            combined.record(sample)
+        assert merged.buckets() == combined.buckets()  # exact, bucket-wise
+        assert merged.count == combined.count
+        assert math.isclose(merged.total, combined.total, rel_tol=1e-9)
+        assert merged.max == combined.max
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert merged.quantile(q) == combined.quantile(q)
+
+    def test_merge_layout_mismatch_rejected(self):
+        a = Histogram("lat", "help", growth=1.2)
+        b = Histogram("lat", "help", growth=2.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("ops", "help") is registry.counter("ops", "help")
+        assert registry.histogram("lat", "help") is registry.histogram("lat", "help")
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", "help", labels={"level": "1"})
+        b = registry.counter("ops", "help", labels={"level": "2"})
+        assert a is not b
+
+    def test_merge_registries(self):
+        registries = []
+        for value in (3, 4):
+            registry = MetricsRegistry()
+            registry.counter("ops", "help").inc(value)
+            registry.histogram("lat", "help").record(0.01)
+            registry.gauge("depth", "help").set(value)
+            registries.append(registry)
+        merged = merge_registries(registries)
+        assert merged.counter("ops", "help").value == 7
+        assert merged.histogram("lat", "help").count == 2
+        assert merged.gauge("depth", "help").value == 7
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", "help").inc()
+        registry.histogram("lat", "help").record(0.5)
+        snap = registry.snapshot()
+        assert set(snap) == {"namespace", "counters", "gauges", "histograms"}
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 1
+        assert {"p50", "p90", "p99", "p99_9"} <= set(hist)

@@ -1,0 +1,82 @@
+"""Read-path tracing: sampling contract and exact stage accounting."""
+
+from repro.observe import MetricsRegistry, TraceRecorder, observe_tree
+from repro.workloads.spec import OperationMix, uniform_spec
+from tests.conftest import make_tree
+
+from repro.bench.harness import preload_tree
+
+
+def _drive_gets(tree, n_keys=400, n_ops=300):
+    preload_tree(tree, n_keys, value_size=32)
+    spec = uniform_spec(n_keys, OperationMix(get=1.0), value_size=32, seed=5)
+    for op in spec.operations(n_ops):
+        tree.get(op.key)
+
+
+class TestSamplingOff:
+    def test_zero_sampling_records_no_spans(self):
+        """sampling=0 → the recorder stays empty, but metrics still advance."""
+        tree = make_tree()
+        registry = MetricsRegistry()
+        observer, recorder = observe_tree(tree, registry, sampling=0.0)
+        _drive_gets(tree)
+        assert len(recorder) == 0
+        assert recorder.sampled == 0
+        assert recorder.should_sample() is False
+        # The metrics pipeline is independent of tracing: counters advanced.
+        assert observer.registry.counter("gets_total", "").value == 300
+        assert observer.get_wall.count == 300
+
+    def test_detached_tree_pays_nothing(self):
+        tree = make_tree()
+        assert tree.observer is None and tree.tracer is None
+        _drive_gets(tree, n_ops=50)  # no spans, no registries, no errors
+
+
+class TestSamplingOn:
+    def test_full_sampling_stage_sum_equals_total(self):
+        """sampling=1.0 → every get traced; stage durations sum to total."""
+        tree = make_tree()
+        _, recorder = observe_tree(tree, sampling=1.0, trace_capacity=64)
+        _drive_gets(tree, n_ops=200)
+        assert recorder.sampled == 200
+        spans = recorder.spans()
+        assert 0 < len(spans) <= 64
+        for span in spans:
+            assert span.name == "get"
+            assert span.total == sum(duration for _, duration in span.stages)
+            assert span.total > 0
+            assert "memtable_probe" in span.stage_dict()
+            assert "found" in span.attrs
+
+    def test_level_events_carry_probe_counters(self):
+        tree = make_tree()
+        _, recorder = observe_tree(tree, sampling=1.0)
+        _drive_gets(tree)
+        level_events = [
+            event
+            for span in recorder.spans()
+            for event in span.events
+            if event["kind"] == "level_probe"
+        ]
+        assert level_events, "flushed tree lookups must touch storage levels"
+        for event in level_events:
+            assert {"level", "block_accesses", "cache_hits", "served"} <= set(event)
+
+    def test_ring_buffer_bounds_retention(self):
+        tree = make_tree()
+        _, recorder = observe_tree(tree, sampling=1.0, trace_capacity=16)
+        _drive_gets(tree, n_ops=100)
+        assert len(recorder) == 16
+        assert recorder.sampled == 100
+        assert recorder.dropped == 100 - 16
+
+    def test_snapshot_schema(self):
+        tree = make_tree()
+        _, recorder = observe_tree(tree, sampling=1.0, trace_capacity=8)
+        _drive_gets(tree, n_ops=20)
+        snap = recorder.snapshot()
+        assert set(snap) == {"sampling", "capacity", "sampled", "dropped", "spans"}
+        span = snap["spans"][-1]
+        assert set(span) == {"name", "total", "stages", "events", "attrs"}
