@@ -30,14 +30,31 @@ from repro.common.entry import Entry, EntryKind, GetResult
 from repro.core.config import LSMConfig
 from repro.core.lsm_tree import LSMTree
 from repro.core.stats import LSMStats
-from repro.errors import ConfigError, ReproError
+from repro.errors import (
+    ConfigError,
+    CorruptionError,
+    QuarantinedFileError,
+    ReproError,
+    SimulatedCrashError,
+    TransientIOError,
+)
+from repro.faults import (
+    CRASH_POINTS,
+    FaultConfig,
+    FaultStats,
+    FaultyBlockDevice,
+    ReadGuard,
+)
 from repro.observe import MetricsRegistry, TraceRecorder, observe_tree
 from repro.service import DBService, ServiceConfig
 from repro.storage.block_device import BlockDevice, DeviceStats, LatencyModel
 
+from repro.api import open  # noqa: A001 — deliberate: repro.open() is the API
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "open",
     "LSMTree",
     "LSMConfig",
     "LSMStats",
@@ -52,8 +69,17 @@ __all__ = [
     "BlockDevice",
     "DeviceStats",
     "LatencyModel",
+    "CRASH_POINTS",
+    "FaultConfig",
+    "FaultStats",
+    "FaultyBlockDevice",
+    "ReadGuard",
     "ReproError",
     "ConfigError",
+    "CorruptionError",
+    "TransientIOError",
+    "QuarantinedFileError",
+    "SimulatedCrashError",
     "encode_uint_key",
     "decode_uint_key",
     "encode_int_key",

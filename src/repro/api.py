@@ -1,0 +1,128 @@
+"""repro.open(): the one-call front door to a ready-to-use engine.
+
+The engine has grown layers — core tree, concurrent service, observability,
+fault injection — each with its own constructor dance. ``repro.open()``
+assembles them coherently in one call and returns a handle that is already
+a context manager::
+
+    import repro
+
+    with repro.open(config=repro.LSMConfig(wal_enabled=True)) as db:
+        db.put(b"k", b"v")
+
+    # Concurrent service with metrics and fault injection:
+    faults = repro.FaultConfig(read_error_prob=0.01, seed=7)
+    with repro.open(config=cfg, service=True, observe=True, faults=faults) as db:
+        ...
+
+Reopening the same device recovers the durable state (manifest + WAL
+replay) instead of starting fresh, so ``open → crash → open`` is the whole
+recovery story.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.config import LSMConfig
+from repro.core.lsm_tree import LSMTree
+from repro.core.manifest import find_manifest
+from repro.errors import ConfigError
+from repro.faults import FaultConfig, FaultyBlockDevice, ReadGuard
+from repro.service import DBService, ServiceConfig
+from repro.storage.block_device import BlockDevice
+
+
+def open(
+    config: Optional[LSMConfig] = None,
+    *,
+    device: Optional[BlockDevice] = None,
+    service: Union[bool, ServiceConfig] = False,
+    observe: bool = False,
+    faults: Optional[FaultConfig] = None,
+    sampling: float = 0.0,
+    arm_faults: bool = True,
+) -> Union[LSMTree, DBService]:
+    """Open (or recover) an engine, wiring the requested layers together.
+
+    Args:
+        config: tree configuration; defaults to ``LSMConfig(wal_enabled=True)``
+            so the handle is durable out of the box.
+        device: an existing block device to open against — pass the device
+            that survived a (simulated) crash to recover from it. A fresh
+            one is created when omitted: a :class:`FaultyBlockDevice` when
+            ``faults`` is given, a plain :class:`BlockDevice` otherwise.
+        service: ``True`` (or a :class:`ServiceConfig`) fronts the tree with
+            a concurrent :class:`DBService` — group commit, background
+            maintenance, backpressure. The returned service owns the tree:
+            closing it also closes the tree.
+        observe: attach a metrics registry (and a trace recorder); read it
+            back via the handle's ``observer.registry``. Fault, retry,
+            quarantine, and recovery series are included when a read guard
+            is present.
+        faults: a :class:`FaultConfig` enabling fault injection (fresh
+            devices only) and hardened reads: a :class:`ReadGuard` is
+            attached to the device — transient read errors are retried with
+            capped exponential backoff, checksum failures re-read and then
+            quarantine the file, broken filters/indexes degrade to scans.
+        sampling: read-path trace sampling fraction in [0, 1] (with
+            ``observe=True``).
+        arm_faults: arm a freshly created :class:`FaultyBlockDevice` so
+            injection is live immediately; pass ``False`` to schedule crash
+            points or probabilities first and call ``device.arm()`` yourself.
+
+    Returns:
+        A ready :class:`DBService` when ``service`` is requested, else a
+        ready :class:`LSMTree`. Both are context managers whose ``close()``
+        flushes, seals the WAL, and stops background work.
+
+    Raises:
+        ConfigError: on contradictory wiring (e.g. ``faults`` together with
+            an existing non-fault device).
+    """
+    if config is None:
+        config = LSMConfig(wal_enabled=True)
+
+    if device is None:
+        if faults is not None:
+            device = FaultyBlockDevice(
+                block_size=config.block_size,
+                latency=None,
+                faults=faults,
+                armed=arm_faults,
+            )
+        else:
+            device = BlockDevice(block_size=config.block_size)
+    elif faults is not None and not isinstance(device, FaultyBlockDevice):
+        raise ConfigError(
+            "faults= requires a fresh device or a FaultyBlockDevice; "
+            "got an existing plain BlockDevice"
+        )
+    if device.block_size != config.block_size:
+        raise ConfigError(
+            f"device block size {device.block_size} != config.block_size "
+            f"{config.block_size}"
+        )
+
+    if faults is not None and device.guard is None:
+        device.guard = ReadGuard.from_config(faults)
+
+    if config.wal_enabled and find_manifest(device, name=config.name) is not None:
+        tree = LSMTree.recover(config, device)
+    else:
+        tree = LSMTree(config, device=device)
+
+    if not service:
+        if observe:
+            from repro.observe import observe_tree
+
+            observe_tree(tree, sampling=sampling)
+        return tree
+
+    service_config = service if isinstance(service, ServiceConfig) else None
+    handle = DBService(tree, config=service_config, close_tree=True)
+    if observe:
+        observer = handle.attach_observability(sampling=sampling)
+        if device.guard is not None:
+            device.guard.observer = observer
+    return handle

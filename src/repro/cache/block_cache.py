@@ -117,6 +117,24 @@ class BlockCache:
 
     # -- invalidation ----------------------------------------------------------
 
+    def invalidate_block(self, file_id: int, block_no: int) -> None:
+        """Drop any cached copies of one device block.
+
+        Called when a stored block is corrupted in place
+        (``BlockDevice.corrupt_block`` / injected bit rot): a warm clean copy
+        would otherwise mask the damage and the checksum would never be
+        re-verified. Both the plain and value-log-tagged keys are dropped.
+        """
+        with self._lock:
+            for key in ((file_id, block_no), ("vlog", file_id, block_no)):
+                if key in self._entries:
+                    self._remove(key)
+                    self.stats.invalidations += 1
+
+    def subscribe_to_device(self, device) -> None:
+        """Register this cache's block invalidation on a device's corruption events."""
+        device.add_corruption_listener(self.invalidate_block)
+
     def invalidate_file(self, file_id: int) -> List[Hashable]:
         """Drop every cached block of ``file_id``; returns the dropped keys.
 

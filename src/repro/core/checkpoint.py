@@ -53,7 +53,8 @@ def create_checkpoint(tree: LSMTree, target: BlockDevice) -> None:
 
     manifest = ManifestData(
         seqno=tree._seqno,
-        wal_file=None,  # a checkpoint has no log: it is complete as-of flush
+        name=tree.config.name,
+        wal_files=[],  # a checkpoint has no log: it is complete as-of flush
         vlog_files=vlog_files,
         levels=[
             [[table.file_id for table in run.tables] for run in runs]

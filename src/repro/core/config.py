@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Union
 
+from repro.common.config_base import kwonly_dataclass
 from repro.compaction.layout import LayoutPolicy
 from repro.errors import ConfigError
 
@@ -24,11 +25,18 @@ _PICKERS = {"round_robin", "least_overlap", "coldest", "most_tombstones", "oldes
 _LAYOUTS = {"leveling", "tiering", "lazy_leveling", "bush"}
 
 
+@kwonly_dataclass
 @dataclass
 class LSMConfig:
     """Every design decision of the engine, with production-like defaults.
 
+    Keyword-only: positional construction still works for one release behind
+    a DeprecationWarning (field order is not a stable interface).
+
     Attributes:
+        name: the tree's identity on its device; manifests carry it, so
+            several trees (shards) can share one device and each recovers
+            its own structure.
         buffer_bytes: memtable flush threshold (level 0 capacity).
         memtable: buffer implementation ('skiplist', 'vector', 'flodb').
         size_ratio: T — capacity ratio between adjacent levels.
@@ -126,6 +134,9 @@ class LSMConfig:
     stall_penalty: float = 50.0
     compaction_filter: Optional[Callable[[bytes, bytes], bool]] = None
     seed: int = 42
+    # Declared last so legacy positional construction (deprecated) keeps its
+    # original field order.
+    name: str = "db"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -134,6 +145,8 @@ class LSMConfig:
 
     def validate(self) -> None:
         """Check value ranges and knob interactions; raises ConfigError."""
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ConfigError("name must be non-empty and contain no whitespace")
         if self.buffer_bytes <= 0:
             raise ConfigError("buffer_bytes must be positive")
         if self.size_ratio < 2:

@@ -15,7 +15,7 @@ import bisect
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.block_cache import BlockCache
 from repro.cache.leaper import LeaperPrefetcher
@@ -125,7 +125,12 @@ class LSMTree:
             defaults to a fresh device with the configured block size.
     """
 
-    def __init__(self, config: LSMConfig, device: Optional[BlockDevice] = None) -> None:
+    def __init__(
+        self,
+        config: LSMConfig,
+        device: Optional[BlockDevice] = None,
+        _defer_manifest: bool = False,
+    ) -> None:
         config.validate()
         self.config = config
         self.device = device or BlockDevice(block_size=config.block_size)
@@ -137,6 +142,9 @@ class LSMTree:
         self.observer = None
         self.tracer = None
         self.cache = BlockCache(config.cache_bytes, policy=config.cache_policy)
+        # In-place corruption (corrupt_block / injected bit rot) must evict
+        # any warm clean copy, or the damage would never be observed.
+        self.cache.subscribe_to_device(self.device)
         self._memtable = make_memtable(config.memtable)
         self._immutables: List[ImmutableMemtable] = []
         self._mutex = threading.RLock()
@@ -173,9 +181,17 @@ class LSMTree:
             else None
         )
         self._manifest_file: Optional[int] = None
-        if self._wal is not None:
+        # Obsolete run files whose deletion awaits the next manifest write
+        # (delete-after-persist ordering; see _drop_pin).
+        self._pending_deletions: List[int] = []
+        # During recovery: prior-generation WAL files not yet fully replayed;
+        # any manifest written mid-recovery must keep referencing them.
+        self._recovery_wals: List[int] = []
+        if self._wal is not None and not _defer_manifest:
             # Publish the WAL's identity immediately: a crash before the
-            # first flush must still find the log to replay.
+            # first flush must still find the log to replay. (recover()
+            # defers this so a crash mid-recovery cannot leave a fresh empty
+            # manifest shadowing the real one.)
             self._persist_structure()
 
     # ------------------------------------------------------------------ writes
@@ -294,6 +310,13 @@ class LSMTree:
             self._memtable.clear()
             sealed = ImmutableMemtable(entries, sealed_wal, size)
             self._immutables.append(sealed)
+            if self._wal is not None:
+                # Publish both logs: the sealed segment (covering the sealed
+                # entries) and the fresh current one. Without this, a crash
+                # between seal and flush-install would recover from a
+                # manifest that references only one of them and lose
+                # acknowledged writes.
+                self._persist_structure()
             return sealed
 
     def claim_flush(self) -> Optional[ImmutableMemtable]:
@@ -323,6 +346,7 @@ class LSMTree:
         obs = self.observer
         if obs is not None:
             wall0 = time.perf_counter()
+        self.device.crash_hook("flush_build")
         run = self._build_run(iter(sealed.entries), level=1)
         if obs is not None:
             obs.record_flush_build(time.perf_counter() - wall0)
@@ -342,6 +366,7 @@ class LSMTree:
                 self._install_cv.wait()
             if sealed not in self._immutables:
                 return
+            self.device.crash_hook("flush_install")
             self.stats.flushes += 1
             if run is not None:
                 self._arrive(run, level=1)
@@ -354,8 +379,10 @@ class LSMTree:
                 self._maybe_compact()
             if self._wal is not None:
                 # The flushed entries are durable in the new run: persist the
-                # new structure, then drop the log that covered them.
+                # new structure, then drop the log that covered them. A crash
+                # between the two leaves an orphaned (but harmless) log.
                 self._persist_structure()
+                self.device.crash_hook("wal_retire")
                 if sealed.sealed_wal is not None:
                     self._wal.delete(sealed.sealed_wal)
 
@@ -738,6 +765,8 @@ class LSMTree:
         """Flush, then run compactions until no trigger fires (test helper)."""
         self.flush()
         self._maybe_compact()
+        if self._wal is not None:
+            self._persist_structure()  # flush deferred file deletions
 
     def verify_integrity(self) -> dict:
         """Scrub every live run file: checksums, sort order, fence agreement.
@@ -832,26 +861,61 @@ class LSMTree:
         return len(relocations)
 
     def close(self) -> None:
-        """Mark the tree closed; subsequent operations raise ClosedError."""
+        """Flush buffered writes, seal the WAL, persist, and mark closed.
+
+        A closed tree's device holds everything needed to reopen via
+        :meth:`recover`; subsequent operations raise ClosedError. Idempotent.
+        """
+        if self._closed:
+            return
+        if self._wal is not None:
+            with self._mutex:
+                self.flush()
+                self._wal.sync()
+                self._persist_structure()
         self._closed = True
+
+    def __enter__(self) -> "LSMTree":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------ durability
 
     @classmethod
-    def recover(cls, config: LSMConfig, device: BlockDevice) -> "LSMTree":
+    def recover(
+        cls,
+        config: LSMConfig,
+        device: BlockDevice,
+        remove_orphans: bool = True,
+    ) -> "LSMTree":
         """Rebuild a tree from a device after a crash (requires wal_enabled).
 
-        Reads the newest manifest, reconstructs every run's in-memory
-        auxiliary structures from its data blocks, replays the surviving WAL
-        records into the memtable (re-logging them to a fresh WAL), removes
-        orphaned files, and persists a fresh manifest.
+        Reads the newest valid manifest owned by ``config.name``,
+        reconstructs every run's in-memory auxiliary structures from its
+        data blocks, replays every surviving WAL (oldest first) into the
+        memtable (re-logging entries to a fresh WAL), persists a fresh
+        manifest, and only then deletes the prior-generation logs — so a
+        crash at any point *during* recovery loses nothing either.
+
+        Args:
+            remove_orphans: delete unreferenced device files afterwards.
+                Pass False when other trees share the device (their files
+                look like orphans to this tree); :class:`repro.sharding.
+                ShardedStore` cleans up at store level instead.
         """
         if not config.wal_enabled:
             raise ClosedError("recovery requires a config with wal_enabled=True")
-        manifest_id = find_manifest(device)
-        tree = cls(config, device=device)
+        wall0 = time.perf_counter()
+        sim0 = device.stats.simulated_time
+        manifest_id = find_manifest(device, name=config.name)
+        tree = cls(config, device=device, _defer_manifest=True)
+        tree.stats.recoveries += 1
         if manifest_id is None:
             tree._persist_structure()
+            tree.stats.last_recovery_wall = time.perf_counter() - wall0
+            tree.stats.last_recovery_sim = device.stats.simulated_time - sim0
             return tree
         data = read_manifest(device, manifest_id)
         tree._manifest_file = manifest_id
@@ -882,14 +946,43 @@ class LSMTree:
                 if device.file_exists(file_id):
                     tree._value_log._live_bytes.setdefault(file_id, 0)
 
-        if data.wal_file is not None and device.file_exists(data.wal_file):
-            for entry in tree._wal.replay(data.wal_file):
+        # Replay every live log, oldest first. The old files stay on the
+        # device (and stay listed in any manifest written mid-replay, e.g.
+        # by a replay-triggered flush) until the post-replay manifest is
+        # durable: re-applying an already-flushed record is harmless (same
+        # seqno, same content), but losing one is not.
+        #
+        # Logs CAN overlap: replay re-logs records into the fresh WAL, so a
+        # crash after a mid-replay seal leaves both the original log and a
+        # re-logged prefix of it in the manifest. Replaying that prefix
+        # after the original would resurrect stale versions — track the max
+        # seqno applied per key and skip anything not strictly newer.
+        old_wals = [fid for fid in data.wal_files if device.file_exists(fid)]
+        tree._recovery_wals = list(old_wals)
+        torn0 = tree._wal.torn_frames_dropped
+        replayed0 = tree._wal.records_replayed
+        applied: Dict[bytes, int] = {}
+        for wal_file in old_wals:
+            for entry in tree._wal.replay(wal_file):
+                if entry.seqno <= applied.get(entry.key, 0):
+                    continue
+                applied[entry.key] = entry.seqno
                 tree._replay_entry(entry)
-            tree._wal.delete(data.wal_file)
-            tree._wal.sync()
+        tree._wal.sync()
+        tree.stats.wal_replayed_records += tree._wal.records_replayed - replayed0
+        tree.stats.wal_torn_frames += tree._wal.torn_frames_dropped - torn0
 
-        tree._remove_orphans()
+        tree._recovery_wals = []
         tree._persist_structure()
+        for wal_file in old_wals:
+            tree._wal.delete(wal_file)
+        if remove_orphans:
+            tree._remove_orphans()
+        tree.stats.last_recovery_wall = time.perf_counter() - wall0
+        tree.stats.last_recovery_sim = device.stats.simulated_time - sim0
+        obs = tree.observer
+        if obs is not None:
+            obs.record_recovery(tree.stats.last_recovery_wall)
         return tree
 
     def _replay_entry(self, entry: Entry) -> None:
@@ -915,9 +1008,25 @@ class LSMTree:
             vlog_files = sorted(
                 fid for fid in self._value_log._live_bytes if self.device.file_exists(fid)
             )
+        # Every log recovery must replay, oldest first: prior-generation
+        # logs (mid-recovery only), each pending seal's segment, then the
+        # current log.
+        wal_files: List[int] = []
+        if self._wal is not None:
+            candidates = list(self._recovery_wals)
+            candidates.extend(
+                imm.sealed_wal for imm in self._immutables if imm.sealed_wal is not None
+            )
+            candidates.append(self._wal.current_file)
+            seen = set()
+            for fid in candidates:
+                if fid not in seen and self.device.file_exists(fid):
+                    seen.add(fid)
+                    wal_files.append(fid)
         return ManifestData(
             seqno=self._seqno,
-            wal_file=self._wal.current_file if self._wal is not None else None,
+            name=self.config.name,
+            wal_files=wal_files,
             vlog_files=vlog_files,
             levels=[
                 [[table.file_id for table in run.tables] for run in runs]
@@ -926,12 +1035,23 @@ class LSMTree:
         )
 
     def _persist_structure(self) -> None:
-        """Rewrite the manifest to reflect the current file structure."""
+        """Rewrite the manifest, then delete files the old structure retired.
+
+        The delete-after-persist ordering is the crash-safety invariant: a
+        file is removed only once a durable manifest no longer references
+        it, so recovery never chases a deleted file.
+        """
         if self._wal is None:
             return
+        self.device.crash_hook("manifest_install")
         self._manifest_file = write_manifest(
             self.device, self._collect_manifest(), self._manifest_file
         )
+        if self._pending_deletions:
+            pending, self._pending_deletions = self._pending_deletions, []
+            for file_id in pending:
+                if self.device.file_exists(file_id):
+                    self.device.delete_file(file_id)
 
     def _remove_orphans(self) -> None:
         """Delete device files referenced by nothing (post-recovery hygiene)."""
@@ -970,6 +1090,9 @@ class LSMTree:
         snap = self.stats.as_dict()
         for name, value in self.cache.stats.as_dict().items():
             snap[f"cache_{name}"] = value
+        guard = getattr(self.device, "guard", None)
+        if guard is not None:
+            snap.update(guard.as_dict())
         device = self.device.stats
         snap.update(
             device_blocks_read=device.blocks_read,
@@ -1342,11 +1465,13 @@ class LSMTree:
         """
         if plan.partial:
             with self._mutex:
+                self.device.crash_hook("compaction_install")
                 self._compact_partial(plan.level, prefer_oldest=plan.prefer_oldest)
                 self._trim_empty_tail()
                 self._persist_after_background_compaction()
             return
         with self._mutex:
+            self.device.crash_hook("compaction_install")
             source_ids = {id(run) for run in plan.source_runs}
             self._levels[plan.level - 1] = [
                 run for run in self._levels[plan.level - 1] if id(run) not in source_ids
@@ -1608,7 +1733,12 @@ class LSMTree:
                 table.point_filter, ElasticBloomFilter
             ):
                 self._elastic.unregister(table.point_filter)
-            table.delete()
+            if self._wal is not None:
+                # Deletion waits for the next manifest write: until a durable
+                # manifest stops referencing this file, recovery needs it.
+                self._pending_deletions.append(table.file_id)
+            else:
+                table.delete()
 
     def _trim_empty_tail(self) -> None:
         while self._levels and not self._levels[-1]:

@@ -1,20 +1,35 @@
 """Manifest: the persisted description of the tree's file structure.
 
 Like LevelDB/RocksDB's MANIFEST, this records which files make up which run
-at which level, plus the active WAL and value-log files and the last sequence
+at which level, plus the live WAL and value-log files and the last sequence
 number. It is rewritten (as a fresh device file, then the old one deleted)
 after every structure-changing operation, so recovery can rebuild the tree
 from the device alone.
 
-Crash model: the simulation is fail-stop *between client operations* — the
-engine writes the manifest at the end of any operation that changed the file
-structure, so a "crash" (abandoning the LSMTree object) always observes a
-consistent manifest. Mid-compaction crash atomicity (version edits) is out of
-scope and documented in DESIGN.md.
+Crash safety comes from ordering plus validation: the new manifest is fully
+written and sealed *before* the old one is deleted, every manifest carries a
+CRC32 footer, and :func:`find_manifest` ignores torn or corrupt candidates —
+so a crash at any block of a manifest write leaves the previous manifest as
+the newest *valid* one. Several trees (shards) may share one device; each
+manifest names its owner and discovery filters by name.
+
+Format (one text line each)::
+
+    MANIFEST1
+    name <tree name>
+    seqno <last sequence number>
+    wals <file id> <file id> ...      # oldest-first; all logs replay applies
+    vlog <file id> ...
+    level <n> / run <file id> ...     # repeated
+    crc <crc32 of all preceding lines>
+
+The legacy single-WAL ``wal <id>`` tag and CRC-less files are still parsed
+so pre-hardening devices/checkpoints recover cleanly.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -29,15 +44,23 @@ class ManifestData:
     """The parsed content of a manifest."""
 
     seqno: int = 0
-    wal_file: Optional[int] = None
+    name: str = "db"
+    # Live WAL files, oldest first. Recovery replays ALL of them in order:
+    # after a memtable seals, its WAL stays listed until the flush installs,
+    # so a crash between seal and install loses nothing.
+    wal_files: List[int] = field(default_factory=list)
     vlog_files: List[int] = field(default_factory=list)
     # levels[i] = list of runs; each run = list of file ids (min-key order).
     levels: List[List[List[int]]] = field(default_factory=list)
 
+    @property
+    def wal_file(self) -> Optional[int]:
+        """The newest live WAL (legacy single-WAL accessor)."""
+        return self.wal_files[-1] if self.wal_files else None
+
     def referenced_files(self) -> "set[int]":
         refs = set(self.vlog_files)
-        if self.wal_file is not None:
-            refs.add(self.wal_file)
+        refs.update(self.wal_files)
         for level in self.levels:
             for run in level:
                 refs.update(run)
@@ -47,20 +70,25 @@ class ManifestData:
 def write_manifest(device: BlockDevice, data: ManifestData, previous: Optional[int]) -> int:
     """Persist ``data`` as a new manifest file; deletes ``previous``.
 
+    The old manifest is deleted only after the new one is sealed, so the
+    device always holds at least one valid manifest for this tree.
+
     Returns:
         The new manifest's file id.
     """
     lines = [MAGIC.decode().strip()]
+    lines.append(f"name {data.name}")
     lines.append(f"seqno {data.seqno}")
-    if data.wal_file is not None:
-        lines.append(f"wal {data.wal_file}")
+    if data.wal_files:
+        lines.append("wals " + " ".join(str(fid) for fid in data.wal_files))
     if data.vlog_files:
         lines.append("vlog " + " ".join(str(fid) for fid in data.vlog_files))
     for level_no, runs in enumerate(data.levels, start=1):
         lines.append(f"level {level_no}")
         for run in runs:
             lines.append("run " + " ".join(str(fid) for fid in run))
-    payload = ("\n".join(lines) + "\n").encode()
+    body = ("\n".join(lines) + "\n").encode()
+    payload = body + f"crc {zlib.crc32(body) & 0xFFFFFFFF:08x}\n".encode()
 
     file_id = device.create_file()
     for offset in range(0, len(payload), device.block_size):
@@ -71,8 +99,16 @@ def write_manifest(device: BlockDevice, data: ManifestData, previous: Optional[i
     return file_id
 
 
-def find_manifest(device: BlockDevice) -> Optional[int]:
-    """Locate the newest manifest file on the device (None when absent)."""
+def find_manifest(device: BlockDevice, name: Optional[str] = None) -> Optional[int]:
+    """Locate the newest *valid* manifest on the device (None when absent).
+
+    Args:
+        name: restrict to manifests owned by this tree (shards share a
+            device); ``None`` accepts any owner.
+
+    Torn or checksum-corrupt candidates are skipped, never raised: after a
+    crash mid-manifest-write, the previous manifest wins.
+    """
     newest = None
     for file_id in device.live_files:
         if device.num_blocks(file_id) == 0:
@@ -81,41 +117,76 @@ def find_manifest(device: BlockDevice) -> Optional[int]:
             head = device.read_block(file_id, 0)
         except StorageError:
             continue
-        if head.startswith(MAGIC):
-            newest = file_id  # live_files is sorted ascending
+        if not head.startswith(MAGIC):
+            continue
+        try:
+            data = read_manifest(device, file_id)
+        except StorageError:
+            continue  # torn write or bit rot: not a usable manifest
+        if name is not None and data.name != name:
+            continue
+        newest = file_id  # live_files is sorted ascending; ids grow over time
     return newest
 
 
 def read_manifest(device: BlockDevice, file_id: int) -> ManifestData:
-    """Parse a manifest file.
+    """Parse and validate a manifest file.
 
     Raises:
-        StorageError: if the file is not a valid manifest.
+        StorageError: if the file is not a structurally valid manifest or
+            its CRC footer does not match.
     """
     payload = b"".join(
         device.read_block(file_id, block) for block in range(device.num_blocks(file_id))
     )
     if not payload.startswith(MAGIC):
         raise StorageError(f"file {file_id} is not a manifest")
+    try:
+        text = payload.decode()
+    except UnicodeDecodeError:
+        raise StorageError(f"manifest {file_id} is not valid text") from None
+    lines = text.splitlines(keepends=True)
+    if lines and lines[-1].startswith("crc "):
+        body = "".join(lines[:-1]).encode()
+        expected = lines[-1].split()[1].strip()
+        actual = f"{zlib.crc32(body) & 0xFFFFFFFF:08x}"
+        if actual != expected:
+            raise StorageError(
+                f"manifest {file_id} checksum mismatch ({actual} != {expected})"
+            )
+        lines = lines[:-1]
+    elif not text.endswith("\n"):
+        # A CRC-less manifest must at least be complete (legacy format always
+        # ended with a newline); a torn tail fails here.
+        raise StorageError(f"manifest {file_id} is truncated")
+
     data = ManifestData()
     current_level: Optional[List[List[int]]] = None
-    for line in payload.decode().splitlines()[1:]:
+    for line in lines[1:]:
+        line = line.rstrip("\n")
         if not line.strip():
             continue
         tag, _, rest = line.partition(" ")
-        if tag == "seqno":
-            data.seqno = int(rest)
-        elif tag == "wal":
-            data.wal_file = int(rest)
-        elif tag == "vlog":
-            data.vlog_files = [int(part) for part in rest.split()]
-        elif tag == "level":
-            current_level = []
-            data.levels.append(current_level)
-        elif tag == "run":
-            if current_level is None:
-                raise StorageError("manifest run before level")
-            current_level.append([int(part) for part in rest.split()])
-        else:
-            raise StorageError(f"unknown manifest tag {tag!r}")
+        try:
+            if tag == "seqno":
+                data.seqno = int(rest)
+            elif tag == "name":
+                data.name = rest
+            elif tag == "wal":  # legacy single-WAL tag
+                data.wal_files = [int(rest)]
+            elif tag == "wals":
+                data.wal_files = [int(part) for part in rest.split()]
+            elif tag == "vlog":
+                data.vlog_files = [int(part) for part in rest.split()]
+            elif tag == "level":
+                current_level = []
+                data.levels.append(current_level)
+            elif tag == "run":
+                if current_level is None:
+                    raise StorageError("manifest run before level")
+                current_level.append([int(part) for part in rest.split()])
+            else:
+                raise StorageError(f"unknown manifest tag {tag!r}")
+        except ValueError:
+            raise StorageError(f"malformed manifest line {line!r}") from None
     return data

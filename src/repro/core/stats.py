@@ -67,6 +67,12 @@ class LSMStats:
     stall_time_wall: float = 0.0  # wall-clock seconds writers spent gated
     flush_jobs: int = 0  # background flushes executed by the scheduler
     compaction_jobs: int = 0  # background compactions executed by the scheduler
+    # -- crash-recovery counters (repro.faults) --
+    recoveries: int = 0  # times this tree was rebuilt via LSMTree.recover
+    wal_replayed_records: int = 0  # entries re-applied from WALs at recovery
+    wal_torn_frames: int = 0  # incomplete tail frames dropped at recovery
+    last_recovery_wall: float = 0.0  # wall seconds of the last recovery
+    last_recovery_sim: float = 0.0  # simulated time of the last recovery
     # The event log is capped by construction: a deque(maxlen=_HISTORY_CAP)
     # can never overrun, however the events are appended.
     history: Deque[CompactionEvent] = field(
@@ -129,6 +135,11 @@ class LSMStats:
             "stall_time_wall": self.stall_time_wall,
             "flush_jobs": self.flush_jobs,
             "compaction_jobs": self.compaction_jobs,
+            "recoveries": self.recoveries,
+            "wal_replayed_records": self.wal_replayed_records,
+            "wal_torn_frames": self.wal_torn_frames,
+            "last_recovery_wall": self.last_recovery_wall,
+            "last_recovery_sim": self.last_recovery_sim,
             "filter_probes": self.probe.filter_probes,
             "filter_negatives": self.probe.filter_negatives,
             "false_positives": self.probe.false_positives,

@@ -48,6 +48,40 @@ class CorruptionError(StorageError):
         super().__init__(f"corruption detected: {detail}")
 
 
+class TransientIOError(StorageError):
+    """A read failed for a reason a retry may fix (injected by repro.faults).
+
+    The hardened read path (:class:`repro.faults.ReadGuard`) retries these
+    with capped exponential backoff before letting them propagate.
+    """
+
+    def __init__(self, file_id: int, block_no: int) -> None:
+        super().__init__(f"transient I/O error reading block {block_no} of file {file_id}")
+        self.file_id = file_id
+        self.block_no = block_no
+
+
+class QuarantinedFileError(CorruptionError):
+    """A read touched a file already quarantined for persistent corruption."""
+
+    def __init__(self, file_id: int) -> None:
+        super().__init__(f"file {file_id} is quarantined")
+        self.file_id = file_id
+
+
+class SimulatedCrashError(ReproError):
+    """The fault injector killed the engine at a named crash point.
+
+    Carries the crash-point name; the crash harness catches this, abandons
+    the engine object, and reopens from the device via manifest + WAL replay.
+    Never raised unless a :class:`repro.faults.FaultyBlockDevice` is armed.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
 class FilterError(ReproError):
     """Base class for filter construction/probe errors."""
 

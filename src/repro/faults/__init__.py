@@ -1,0 +1,34 @@
+"""repro.faults: deterministic fault injection and the hardened read path.
+
+Pieces:
+
+* :class:`FaultConfig` — every knob of the fault model (seeded).
+* :class:`FaultyBlockDevice` — a drop-in BlockDevice that injects transient
+  read errors, bit rot, torn writes, and crashes at named engine boundaries.
+* :class:`ReadGuard` — retry with capped exponential backoff, quarantine of
+  persistently corrupt files, degraded-read accounting.
+* ``repro.faults.harness`` — the crash/recover harness and the crash-matrix
+  CLI (imported lazily; it depends on the engine, which depends on us).
+"""
+
+from repro.errors import (
+    CorruptionError,
+    QuarantinedFileError,
+    SimulatedCrashError,
+    TransientIOError,
+)
+from repro.faults.config import CRASH_POINTS, FaultConfig
+from repro.faults.device import FaultStats, FaultyBlockDevice
+from repro.faults.guard import ReadGuard
+
+__all__ = [
+    "CRASH_POINTS",
+    "CorruptionError",
+    "FaultConfig",
+    "FaultStats",
+    "FaultyBlockDevice",
+    "QuarantinedFileError",
+    "ReadGuard",
+    "SimulatedCrashError",
+    "TransientIOError",
+]

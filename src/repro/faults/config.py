@@ -1,0 +1,103 @@
+"""FaultConfig: every knob of the fault model, keyword-only and validated.
+
+One object describes both *what goes wrong* (bit rot, transient read errors,
+torn multi-block writes, crashes at named engine boundaries) and *how the
+hardened read path responds* (retry budget, backoff shape, quarantine
+threshold). Determinism is a feature: the same seed and workload reproduce
+the same fault sequence, which is what lets the crash-matrix CI job replay a
+failing seed locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.config_base import kwonly_dataclass
+from repro.errors import ConfigError
+
+#: Named engine boundaries the injector can crash at. The engine calls
+#: ``device.crash_hook(name)`` at each; ``device_append`` is special — it is
+#: a countdown on raw block appends, so it lands mid-flush, mid-WAL-frame, or
+#: mid-manifest write (the torn-write cases).
+CRASH_POINTS = (
+    "wal_sync",
+    "wal_roll",
+    "flush_build",
+    "flush_install",
+    "wal_retire",
+    "compaction_install",
+    "manifest_install",
+    "device_append",
+)
+
+
+@kwonly_dataclass
+@dataclass
+class FaultConfig:
+    """The fault model for a :class:`~repro.faults.FaultyBlockDevice`.
+
+    Attributes:
+        seed: base seed for the injector's private RNG; identical seeds and
+            call sequences reproduce identical faults.
+        read_error_prob: per-block-read probability of raising a
+            :class:`~repro.errors.TransientIOError` (retry fixes it).
+        bit_rot_prob: per-block-write probability that the stored block is
+            silently corrupted in place (persists; only checksums notice).
+        torn_write_prob: when a crash fires during a multi-block payload
+            append, probability the payload is torn (a strict prefix of its
+            blocks lands) rather than cleanly dropped.
+        crash_points: mapping ``point name -> countdown``; the Nth time the
+            engine passes that boundary the device raises
+            :class:`~repro.errors.SimulatedCrashError`. See
+            :data:`CRASH_POINTS` for the vocabulary; ``device_append``
+            counts raw block appends instead of boundary passes.
+        max_read_retries: transient-read retries before the error propagates.
+        backoff_base: simulated-time charge of the first retry backoff;
+            doubles per retry (capped), charged to the device clock.
+        backoff_cap: ceiling on a single retry's backoff charge.
+        quarantine_after: consecutive failed re-reads of a corrupt block
+            before its whole file is quarantined (reads of a quarantined
+            file fail fast with a typed error, never a wrong answer).
+    """
+
+    seed: int = 0
+    read_error_prob: float = 0.0
+    bit_rot_prob: float = 0.0
+    torn_write_prob: float = 0.5
+    crash_points: Dict[str, int] = field(default_factory=dict)
+    max_read_retries: int = 4
+    backoff_base: float = 1.0
+    backoff_cap: float = 32.0
+    quarantine_after: int = 2
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check value ranges; raises ConfigError (never a deep ValueError)."""
+        for name in ("read_error_prob", "bit_rot_prob", "torn_write_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        for name, point in self.crash_points.items():
+            if name not in CRASH_POINTS:
+                raise ConfigError(
+                    f"unknown crash point {name!r}; valid: {', '.join(CRASH_POINTS)}"
+                )
+            if point < 1:
+                raise ConfigError(f"crash point countdown for {name!r} must be >= 1")
+        if self.max_read_retries < 0:
+            raise ConfigError("max_read_retries must be non-negative")
+        if self.backoff_base < 0:
+            raise ConfigError("backoff_base must be non-negative")
+        if self.backoff_cap < self.backoff_base:
+            raise ConfigError("backoff_cap must be >= backoff_base")
+        if self.quarantine_after < 1:
+            raise ConfigError("quarantine_after must be at least 1")
+
+    def replace(self, **changes) -> "FaultConfig":
+        """A copy with some fields changed (mirrors LSMConfig.replace)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

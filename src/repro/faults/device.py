@@ -1,0 +1,154 @@
+"""FaultyBlockDevice: a BlockDevice that injects configured faults.
+
+The injector is a drop-in :class:`~repro.storage.block_device.BlockDevice`
+subclass, so every layer above it (WAL, SSTables, manifest, caches) runs
+unchanged. Three fault families, all driven by one seeded RNG:
+
+* **transient read errors** — ``read_block`` raises
+  :class:`~repro.errors.TransientIOError` with probability
+  ``read_error_prob`` *before* touching media (a retry therefore succeeds
+  unless the block is independently corrupt);
+* **bit rot** — with probability ``bit_rot_prob`` a just-written block is
+  silently corrupted in place (only checksums notice, later);
+* **crashes** — named countdowns: the engine announces boundaries via
+  :meth:`crash_hook` and the Nth pass raises
+  :class:`~repro.errors.SimulatedCrashError`. The pseudo-point
+  ``device_append`` counts raw block appends instead, so it lands *inside*
+  a flush, WAL frame, or manifest write; when that crash interrupts a
+  multi-block payload, ``torn_write_prob`` decides whether the partial
+  prefix survives (torn write) or is dropped whole (atomic sector drop).
+
+Faults only fire while the device is **armed** (:meth:`arm`), letting the
+harness populate a baseline and inspect post-crash state fault-free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulatedCrashError, TransientIOError
+from repro.faults.config import FaultConfig
+from repro.storage.block_device import BlockDevice, LatencyModel
+
+
+@dataclass
+class FaultStats:
+    """Monotone counters of faults the injector has actually fired."""
+
+    transient_errors_injected: int = 0
+    bit_rot_injected: int = 0
+    crashes_injected: int = 0
+    torn_writes: int = 0
+    clean_drops: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class FaultyBlockDevice(BlockDevice):
+    """A block device whose failures are scripted by a :class:`FaultConfig`.
+
+    Args:
+        block_size: as for :class:`BlockDevice`.
+        latency: as for :class:`BlockDevice`.
+        faults: the fault model; its ``crash_points`` countdowns are copied,
+            so one config can drive many devices/runs independently.
+        armed: start with injection live (default waits for :meth:`arm`).
+    """
+
+    def __init__(
+        self,
+        block_size: int = 4096,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultConfig] = None,
+        armed: bool = False,
+    ) -> None:
+        super().__init__(block_size=block_size, latency=latency)
+        self.faults = faults or FaultConfig()
+        self.fault_stats = FaultStats()
+        self._rng = random.Random(self.faults.seed)
+        self._crash_schedule: Dict[str, int] = dict(self.faults.crash_points)
+        self._armed = armed
+        self._payload_depth = 0  # >0 while inside append_payload
+
+    # -- arming --------------------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def arm(self) -> None:
+        """Start injecting faults (crash countdowns tick, probabilities fire)."""
+        self._armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting; pending crash countdowns are kept, not reset."""
+        self._armed = False
+
+    def schedule_crash(self, point: str, countdown: int = 1) -> None:
+        """(Re)arm one crash point: crash on the ``countdown``-th pass."""
+        if countdown < 1:
+            raise ValueError("countdown must be >= 1")
+        self._crash_schedule[point] = countdown
+
+    @property
+    def pending_crash_points(self) -> Dict[str, int]:
+        """Remaining countdowns (a crash point fires once, then clears)."""
+        return dict(self._crash_schedule)
+
+    # -- crash points --------------------------------------------------------
+
+    def crash_hook(self, name: str) -> None:
+        if not self._armed:
+            return
+        remaining = self._crash_schedule.get(name)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._crash_schedule[name] = remaining - 1
+            return
+        del self._crash_schedule[name]
+        self.fault_stats.crashes_injected += 1
+        raise SimulatedCrashError(name)
+
+    # -- faulty I/O ----------------------------------------------------------
+
+    def append_block(self, file_id: int, data: bytes) -> int:
+        if self._armed:
+            self.crash_hook("device_append")
+        block_no = super().append_block(file_id, data)
+        if self._armed and self.faults.bit_rot_prob > 0.0:
+            if self._rng.random() < self.faults.bit_rot_prob:
+                self.fault_stats.bit_rot_injected += 1
+                self.corrupt_block(file_id, block_no, self._rng.randrange(1 << 30))
+        return block_no
+
+    def append_payload(self, file_id: int, payload: bytes) -> "tuple[int, int]":
+        if not self._armed:
+            return super().append_payload(file_id, payload)
+        first = self.num_blocks(file_id)
+        self._payload_depth += 1
+        try:
+            return super().append_payload(file_id, payload)
+        except SimulatedCrashError:
+            # The crash landed mid-payload: decide torn vs atomic drop.
+            written = self.num_blocks(file_id) - first
+            if written > 0:
+                if self._rng.random() < self.faults.torn_write_prob:
+                    self.fault_stats.torn_writes += 1
+                else:
+                    self.fault_stats.clean_drops += 1
+                    with self._lock:
+                        del self._file(file_id).blocks[first:]
+            raise
+        finally:
+            self._payload_depth -= 1
+
+    def read_block(self, file_id: int, block_no: int) -> bytes:
+        if self._armed and self.faults.read_error_prob > 0.0:
+            if self._rng.random() < self.faults.read_error_prob:
+                self.fault_stats.transient_errors_injected += 1
+                raise TransientIOError(file_id, block_no)
+        return super().read_block(file_id, block_no)

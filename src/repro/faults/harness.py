@@ -1,0 +1,443 @@
+"""Crash harness: randomized kill/recover cycles asserting durability.
+
+The harness drives a deterministic workload against an engine on a
+:class:`~repro.faults.device.FaultyBlockDevice`, schedules a randomized
+named crash point each cycle, lets the injected :class:`SimulatedCrashError`
+kill the engine mid-operation, reopens from the surviving device (manifest +
+WAL replay), and checks the durability contract:
+
+* **zero loss of acknowledged writes** — every ``put``/``delete`` that
+  returned to the caller before the crash reads back exactly;
+* **no resurrected deletes** — an acknowledged tombstone never reappears,
+  not even with its pre-delete value;
+* **old-or-new for in-flight writes** — the operation (or group-commit
+  batch) that was racing the crash may land fully or not at all, but each
+  affected key must read as either its previous acknowledged state or the
+  in-flight one — never garbage, never a third value.
+
+Three modes exercise the three deployment shapes: ``tree`` (single-threaded
+:class:`~repro.core.lsm_tree.LSMTree`), ``service`` (concurrent
+:class:`~repro.service.DBService` with group commit and background
+maintenance), and ``sharded`` (:class:`~repro.sharding.ShardedStore` over a
+shared device). Run it from the command line for the CI crash matrix::
+
+    PYTHONPATH=src python -m repro.faults.harness --cycles 50 --seed 1
+
+Fail-stop caveat (service mode): when the crash fires on a background
+worker, in-flight jobs on *other* workers are allowed to complete before
+recovery. That only ever makes more acknowledged data durable — it is
+equivalent to the crash having struck a moment later — so the contract
+checked here is unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.encoding import encode_uint_key
+from repro.core.config import LSMConfig
+from repro.core.lsm_tree import LSMTree
+from repro.errors import SimulatedCrashError
+from repro.faults.config import CRASH_POINTS, FaultConfig
+from repro.faults.device import FaultyBlockDevice
+from repro.faults.guard import ReadGuard
+from repro.storage.block_device import LatencyModel
+
+#: How many times each hook may fire before the scheduled crash triggers.
+#: Frequent hooks get a wide window so the crash lands at a varied depth;
+#: rare hooks get a narrow one so they actually fire within a cycle.
+_POINT_BUDGET = {
+    "wal_sync": 24,
+    "device_append": 48,
+    "wal_roll": 3,
+    "flush_build": 3,
+    "flush_install": 3,
+    "wal_retire": 2,
+    "compaction_install": 2,
+    "manifest_install": 6,
+}
+
+_TOMBSTONE = None  # sentinel in the model: key was deleted (and acked)
+
+
+@dataclass
+class CycleResult:
+    """Outcome of one crash/recover cycle."""
+
+    cycle: int
+    crash_point: str
+    countdown: int
+    fired: bool  # did the scheduled crash actually trigger?
+    ops_acked: int
+    keys_checked: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class HarnessReport:
+    """Aggregate over a harness run; ``ok`` is the CI pass/fail bit."""
+
+    cycles: List[CycleResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cycle.ok for cycle in self.cycles)
+
+    @property
+    def crashes_fired(self) -> int:
+        return sum(1 for c in self.cycles if c.fired)
+
+    @property
+    def violations(self) -> List[str]:
+        return [v for c in self.cycles for v in c.violations]
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.cycles)} cycles, {self.crashes_fired} crashes fired, "
+            f"{sum(c.ops_acked for c in self.cycles)} acked ops, "
+            f"{len(self.violations)} violations"
+        )
+
+
+class CrashHarness:
+    """Drive workload → crash → recover → verify cycles on one device.
+
+    State accumulates across cycles: each cycle continues the workload on
+    the device that survived the previous crash, so late cycles exercise
+    recovery over multi-level trees with real compaction history.
+
+    Args:
+        config: tree configuration (``wal_enabled`` is forced on).
+        faults: fault probabilities; the harness drives ``crash_points``
+            itself, so any passed in are ignored.
+        mode: ``tree``, ``service``, or ``sharded``.
+        seed: master seed; every random choice in the harness derives from
+            it, so a failing run replays exactly.
+        ops_per_cycle: workload operations attempted per cycle.
+        keyspace: distinct keys (collisions create overwrite/delete churn).
+        value_bytes: payload size per put.
+        delete_fraction: fraction of operations that are deletes.
+        crash_points: the crash-point vocabulary to draw from.
+        num_shards: shard count in ``sharded`` mode.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LSMConfig] = None,
+        faults: Optional[FaultConfig] = None,
+        mode: str = "tree",
+        seed: int = 0,
+        ops_per_cycle: int = 300,
+        keyspace: int = 400,
+        value_bytes: int = 48,
+        delete_fraction: float = 0.1,
+        crash_points: Tuple[str, ...] = CRASH_POINTS,
+        num_shards: int = 3,
+    ) -> None:
+        if mode not in ("tree", "service", "sharded"):
+            raise ValueError(f"unknown harness mode {mode!r}")
+        if config is None:
+            config = LSMConfig(
+                buffer_bytes=4 << 10, block_size=512, size_ratio=3, seed=seed
+            )
+        if not config.wal_enabled or config.wal_sync_interval != 1:
+            config = config.replace(wal_enabled=True, wal_sync_interval=1)
+        self.config = config
+        self.faults = faults or FaultConfig(seed=seed)
+        self.mode = mode
+        self.rng = random.Random(seed)
+        self.ops_per_cycle = ops_per_cycle
+        self.keyspace = keyspace
+        self.value_bytes = value_bytes
+        self.delete_fraction = delete_fraction
+        self.crash_points = tuple(crash_points)
+        self.num_shards = num_shards
+        self._boundaries = self._shard_boundaries() if mode == "sharded" else None
+        self.device = FaultyBlockDevice(
+            block_size=config.block_size,
+            latency=None,
+            faults=self.faults.replace(crash_points={}),
+            armed=False,
+        )
+        self.device.guard = ReadGuard.from_config(self.faults)
+        # The model: acknowledged state per key (None = acked tombstone),
+        # plus the keys whose last write was in flight when the crash hit.
+        self.acked: Dict[bytes, Optional[bytes]] = {}
+        self._op_counter = 0
+
+    # -- engine lifecycle ----------------------------------------------------
+
+    def _shard_boundaries(self) -> List[bytes]:
+        from repro.sharding import even_boundaries
+
+        return even_boundaries(self.keyspace, self.num_shards)
+
+    def _open(self, first: bool):
+        """Open (first cycle) or recover (after a crash) the engine."""
+        if self.mode == "sharded":
+            from repro.sharding import ShardedStore
+
+            if first:
+                return ShardedStore(self.config, self._boundaries, device=self.device)
+            return ShardedStore.recover(self.config, self._boundaries, self.device)
+        if first:
+            tree = LSMTree(self.config, device=self.device)
+        else:
+            tree = LSMTree.recover(self.config, self.device)
+        if self.mode == "service":
+            from repro.service import DBService, ServiceConfig
+
+            return DBService(
+                tree, config=ServiceConfig(max_batch_wait_s=0.0005), close_tree=True
+            )
+        return tree
+
+    def _abandon(self, engine) -> None:
+        """Fail-stop: drop the engine without any orderly shutdown."""
+        if self.mode == "service":
+            # Stop the worker pool so no background job races recovery on
+            # the shared device; in-flight jobs may finish (see module doc).
+            engine.scheduler.close(drain=False)
+            engine.tree.set_maintenance_callback(None)
+
+    # -- workload ------------------------------------------------------------
+
+    def _next_op(self) -> Tuple[bytes, Optional[bytes]]:
+        self._op_counter += 1
+        key = encode_uint_key(self.rng.randrange(self.keyspace))
+        if self.rng.random() < self.delete_fraction:
+            return key, _TOMBSTONE
+        value = (b"op%08d:" % self._op_counter) + b"x" * self.value_bytes
+        return key, value
+
+    def _apply(self, engine, key: bytes, value: Optional[bytes]) -> None:
+        if value is _TOMBSTONE:
+            engine.delete(key)
+        else:
+            engine.put(key, value)
+
+    def _crashed_in_background(self, engine) -> bool:
+        return self.mode == "service" and isinstance(
+            engine.scheduler.last_job_error, SimulatedCrashError
+        )
+
+    # -- verification --------------------------------------------------------
+
+    def _verify(self, engine, pending: Dict[bytes, Optional[bytes]], result: CycleResult) -> None:
+        for key, expected in sorted(self.acked.items()):
+            result.keys_checked += 1
+            got = engine.get(key)
+            if key in pending:
+                new = pending[key]
+                old_ok = (got.found and got.value == expected) if expected is not None else not got.found
+                new_ok = (got.found and got.value == new) if new is not None else not got.found
+                if not (old_ok or new_ok):
+                    result.violations.append(
+                        f"key {key.hex()}: in-flight write read back as neither "
+                        f"old nor new state (found={got.found})"
+                    )
+                continue
+            if expected is _TOMBSTONE:
+                if got.found:
+                    result.violations.append(
+                        f"key {key.hex()}: acknowledged delete resurrected "
+                        f"(value {got.value[:16]!r}...)"
+                    )
+            elif not got.found:
+                result.violations.append(f"key {key.hex()}: acknowledged write lost")
+            elif got.value != expected:
+                result.violations.append(
+                    f"key {key.hex()}: acknowledged write read back wrong "
+                    f"({got.value[:16]!r}... != {expected[:16]!r}...)"
+                )
+        for key, new in pending.items():
+            if key in self.acked:
+                continue  # checked above against old state
+            result.keys_checked += 1
+            got = engine.get(key)
+            new_ok = (got.found and got.value == new) if new is not None else not got.found
+            if got.found and not new_ok:
+                result.violations.append(
+                    f"key {key.hex()}: never-acked key read back garbage"
+                )
+
+    # -- the cycle -----------------------------------------------------------
+
+    def run_cycle(self, cycle_no: int, first: bool) -> CycleResult:
+        point = self.crash_points[self.rng.randrange(len(self.crash_points))]
+        countdown = self.rng.randint(1, _POINT_BUDGET.get(point, 4))
+        result = CycleResult(
+            cycle=cycle_no, crash_point=point, countdown=countdown,
+            fired=False, ops_acked=0, keys_checked=0,
+        )
+
+        engine = self._open(first)
+        self.device.schedule_crash(point, countdown)
+        self.device.arm()
+
+        pending: Dict[bytes, Optional[bytes]] = {}
+        batch: Dict[bytes, Optional[bytes]] = {}
+        try:
+            for _ in range(self.ops_per_cycle):
+                key, value = self._next_op()
+                batch = {key: value}
+                self._apply(engine, key, value)
+                self.acked[key] = value
+                result.ops_acked += 1
+                if self._crashed_in_background(engine):
+                    result.fired = True
+                    break
+        except SimulatedCrashError:
+            result.fired = True
+            pending = dict(batch)
+        finally:
+            self.device.disarm()
+            self._abandon(engine)
+
+        recovered = self._open(first=False)
+        self._verify(recovered, pending, result)
+        # Resolve in-flight keys to what actually survived, so the next
+        # cycle's model matches the device.
+        for key in pending:
+            got = recovered.get(key)
+            self.acked[key] = got.value if got.found else _TOMBSTONE
+        if self.mode == "service":
+            recovered.close()
+        elif self.mode == "sharded":
+            recovered.close()
+        # tree mode: leave the tree's durable state; the object is dropped
+        # and the next cycle recovers from the device again.
+        return result
+
+    def run(self, cycles: int) -> HarnessReport:
+        report = HarnessReport()
+        for cycle_no in range(cycles):
+            report.cycles.append(self.run_cycle(cycle_no, first=(cycle_no == 0)))
+        return report
+
+
+# -- crash-matrix CLI --------------------------------------------------------
+
+_LATENCY_MODELS = {
+    "flat": None,  # device default
+    "skewed": dict(sequential_read=1.0, random_read=8.0,
+                   sequential_write=2.0, random_write=12.0),
+}
+
+
+def run_matrix(
+    seeds: List[int],
+    cycles: int,
+    modes: List[str],
+    layouts: List[str],
+    latencies: List[str],
+    crash_points: Optional[List[str]] = None,
+    verbose: bool = False,
+) -> Tuple[bool, List[dict]]:
+    """The CI crash matrix: seed × mode × layout × latency model.
+
+    Returns:
+        ``(ok, failures)`` where each failure dict pins the exact
+        configuration and seed needed to replay it.
+    """
+    failures: List[dict] = []
+    points = tuple(crash_points) if crash_points else CRASH_POINTS
+    total = 0
+    for seed in seeds:
+        for mode in modes:
+            for layout in layouts:
+                for latency_name in latencies:
+                    spec = _LATENCY_MODELS[latency_name]
+                    latency = LatencyModel(**spec) if spec else None
+                    config = LSMConfig(
+                        buffer_bytes=4 << 10,
+                        block_size=512,
+                        size_ratio=3,
+                        layout=layout,
+                        wal_enabled=True,
+                        wal_sync_interval=1,
+                        seed=seed,
+                    )
+                    harness = CrashHarness(
+                        config=config,
+                        faults=FaultConfig(seed=seed, torn_write_prob=0.5),
+                        mode=mode,
+                        seed=seed,
+                        crash_points=points,
+                    )
+                    harness.device.latency = latency or harness.device.latency
+                    report = harness.run(cycles)
+                    total += len(report.cycles)
+                    if verbose:
+                        print(
+                            f"seed={seed} mode={mode} layout={layout} "
+                            f"latency={latency_name}: {report.summary()}"
+                        )
+                    if not report.ok:
+                        failures.append(
+                            {
+                                "seed": seed,
+                                "mode": mode,
+                                "layout": layout,
+                                "latency": latency_name,
+                                "violations": report.violations,
+                            }
+                        )
+    if verbose:
+        print(f"matrix total: {total} cycles, {len(failures)} failing configs")
+    return not failures, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=25, help="cycles per config")
+    parser.add_argument("--seed", type=int, action="append", default=None,
+                        help="seed(s) for the matrix (repeatable)")
+    parser.add_argument("--mode", action="append", default=None,
+                        choices=["tree", "service", "sharded"])
+    parser.add_argument("--layout", action="append", default=None,
+                        choices=["leveling", "tiering", "lazy_leveling"])
+    parser.add_argument("--latency", action="append", default=None,
+                        choices=sorted(_LATENCY_MODELS))
+    parser.add_argument("--crash-point", action="append", default=None,
+                        choices=list(CRASH_POINTS))
+    parser.add_argument("--failures-file", default=None,
+                        help="write failing configurations here as JSON")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    ok, failures = run_matrix(
+        seeds=args.seed or [1, 2],
+        cycles=args.cycles,
+        modes=args.mode or ["tree"],
+        layouts=args.layout or ["leveling"],
+        latencies=args.latency or ["flat"],
+        crash_points=args.crash_point,
+        verbose=not args.quiet,
+    )
+    if args.failures_file and failures:
+        import json
+
+        with open(args.failures_file, "w") as fh:
+            json.dump(failures, fh, indent=2)
+    if not ok:
+        print(f"FAIL: {len(failures)} configuration(s) violated durability",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  replay: --seed {failure['seed']} --mode {failure['mode']} "
+                  f"--layout {failure['layout']} --latency {failure['latency']}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,28 @@ class EngineObserver:
         self.gets_found = reg.counter(
             "gets_found_total", "point lookups that found a value", self.labels
         )
+        # Fault/recovery series (repro.faults): injected-fault handling and
+        # crash-recovery timing. Zero-cost until the hooks fire.
+        self.recovery_wall = hist(
+            "recovery_wall_seconds", "manifest + WAL-replay recovery wall time", WALL_MIN
+        )
+        self.fault_counters = {
+            kind: reg.counter(
+                f"fault_{kind}_total", help_text, self.labels
+            )
+            for kind, help_text in (
+                ("transient", "transient read errors observed by the read guard"),
+                ("corruption", "checksum corruptions detected"),
+                ("retry", "read retries issued after transient errors"),
+                ("degraded", "degraded reads (broken filter/index, fell back to scan)"),
+            )
+        }
+        self.quarantine_total = reg.counter(
+            "quarantine_files_total", "files quarantined as persistently corrupt", self.labels
+        )
+        self.recoveries_total = reg.counter(
+            "recoveries_total", "crash recoveries completed", self.labels
+        )
         self.levels: Dict[int, LevelIOStats] = {}
 
     # -- hooks called from the engine hot paths ------------------------------
@@ -172,6 +194,31 @@ class EngineObserver:
         if served:
             stats.gets_served += 1
 
+    def record_fault(self, kind: str) -> None:
+        """One fault-handling event from the read guard.
+
+        Kinds: ``transient`` (injected read error seen), ``corruption``
+        (checksum mismatch), ``retry`` (a retry attempt issued), and
+        ``degraded`` (filter/index unreadable; fell back to scanning data
+        blocks). Unknown kinds are counted under a lazily created series
+        rather than dropped.
+        """
+        counter = self.fault_counters.get(kind)
+        if counter is None:
+            counter = self.fault_counters[kind] = self.registry.counter(
+                f"fault_{kind}_total", f"fault events of kind {kind}", self.labels
+            )
+        counter.inc()
+
+    def record_quarantine(self) -> None:
+        """A file crossed the corrupt-read threshold and was quarantined."""
+        self.quarantine_total.inc()
+
+    def record_recovery(self, wall_s: float) -> None:
+        """One completed crash recovery (manifest load + WAL replay)."""
+        self.recoveries_total.inc()
+        self.recovery_wall.record(wall_s)
+
     def record_event(self, event) -> None:
         """Per-level write accounting from a CompactionEvent."""
         if event.bytes_out:
@@ -199,6 +246,9 @@ def observe_tree(tree, registry=None, sampling: float = 0.0, trace_capacity: int
     recorder = TraceRecorder(capacity=trace_capacity, sampling=sampling)
     tree.observer = observer
     tree.tracer = recorder
+    guard = getattr(tree.device, "guard", None)
+    if guard is not None:
+        guard.observer = observer  # fault/retry/quarantine events flow in too
     return observer, recorder
 
 

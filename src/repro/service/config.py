@@ -11,12 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.common.config_base import kwonly_dataclass
 from repro.errors import ConfigError
 
 
+@kwonly_dataclass
 @dataclass
 class ServiceConfig:
     """Every knob of the concurrent front-end, with RocksDB-shaped defaults.
+
+    Keyword-only: positional construction still works for one release behind
+    a DeprecationWarning.
 
     Attributes:
         max_batch: group-commit batch cap; a commit leader drains at most

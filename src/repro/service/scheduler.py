@@ -123,6 +123,8 @@ class CompactionScheduler:
         self._inflight = set()  # (kind, id(tree)) pairs being executed
         self._listeners: List[Callable[[], None]] = []
         self._running = True
+        self.job_failures = 0  # jobs that raised; workers survive them
+        self.last_job_error: Optional[BaseException] = None
         self._workers = [
             threading.Thread(target=self._worker, name=f"lsm-maint-{i}", daemon=True)
             for i in range(num_workers)
@@ -180,6 +182,12 @@ class CompactionScheduler:
                     self._run_flush(tree)
                 else:
                     self._run_compaction(tree)
+            except Exception as exc:
+                # A failing job (injected crash, corrupt input, planner bug)
+                # must not kill the worker: the pool would silently shrink
+                # and maintenance would stall forever. Record and move on.
+                self.job_failures += 1
+                self.last_job_error = exc
             finally:
                 with self._cv:
                     self._inflight.discard(token)

@@ -50,11 +50,13 @@ class DBService:
         tree,
         config: Optional[ServiceConfig] = None,
         scheduler: Optional[CompactionScheduler] = None,
+        close_tree: bool = False,
     ) -> None:
         if isinstance(tree, LSMConfig):
             tree = LSMTree(tree)
         self.tree: LSMTree = tree
         self.config = config or ServiceConfig()
+        self._close_tree = close_tree
         self._owns_scheduler = scheduler is None
         if scheduler is None:
             limiter = None
@@ -237,8 +239,10 @@ class DBService:
     def close(self) -> None:
         """Drain and stop: commit queued writes, flush, stop owned workers.
 
-        The underlying tree stays open (inspectable, and still usable
-        single-threaded with inline maintenance restored).
+        By default the underlying tree stays open (inspectable, and still
+        usable single-threaded with inline maintenance restored); a service
+        constructed with ``close_tree=True`` (the ``repro.open()`` path)
+        also closes the tree — flushing, sealing its WAL, and persisting.
         """
         if self._closed:
             return
@@ -250,6 +254,8 @@ class DBService:
         if self._owns_scheduler:
             self.scheduler.close()
         self.tree.set_maintenance_callback(None)
+        if self._close_tree:
+            self.tree.close()
 
     def __enter__(self) -> "DBService":
         return self

@@ -53,7 +53,7 @@ class ShardedStore:
         self._boundaries = boundaries
         self.scheduler = scheduler
         self.shards: List[LSMTree] = [
-            LSMTree(config.replace(seed=config.seed + i), device=self.device)
+            LSMTree(_shard_config(config, i), device=self.device)
             for i in range(len(boundaries) + 1)
         ]
         if scheduler is not None:
@@ -61,6 +61,46 @@ class ShardedStore:
                 scheduler.register(shard)
         self.observers: list = []  # per-shard EngineObservers (observability)
         self.recorders: list = []  # per-shard TraceRecorders
+
+    @classmethod
+    def recover(
+        cls,
+        config: LSMConfig,
+        boundaries: Sequence[bytes],
+        device: BlockDevice,
+        scheduler=None,
+    ) -> "ShardedStore":
+        """Reopen a sharded store from its shared device after a crash.
+
+        Every shard wrote manifests under its own name (``<name>-shard<i>``),
+        so each recovers independently from the newest valid manifest bearing
+        that name. Orphan removal is disabled per shard: one shard's live
+        files look like orphans to every other shard on the shared device.
+
+        Args:
+            config: the same per-shard configuration the store was built with
+                (``wal_enabled=True`` required).
+            boundaries: the same split keys (shard count must match).
+            device: the shared device that survived the crash.
+            scheduler: optional shared scheduler, as in the constructor.
+        """
+        boundaries = list(boundaries)
+        if boundaries != sorted(set(boundaries)):
+            raise ConfigError("shard boundaries must be sorted and unique")
+        store = object.__new__(cls)
+        store.device = device
+        store._boundaries = boundaries
+        store.scheduler = scheduler
+        store.shards = [
+            LSMTree.recover(_shard_config(config, i), device, remove_orphans=False)
+            for i in range(len(boundaries) + 1)
+        ]
+        if scheduler is not None:
+            for shard in store.shards:
+                scheduler.register(shard)
+        store.observers = []
+        store.recorders = []
+        return store
 
     # -- routing -------------------------------------------------------------
 
@@ -106,6 +146,20 @@ class ShardedStore:
     def compact_all(self) -> None:
         for shard in self.shards:
             shard.compact_all()
+
+    def close(self) -> None:
+        """Flush and close every shard (drains a shared scheduler first)."""
+        if self.scheduler is not None:
+            self.scheduler.drain()
+        for shard in self.shards:
+            shard.set_maintenance_callback(None)
+            shard.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- observability -----------------------------------------------------------
 
@@ -164,6 +218,13 @@ class ShardedStore:
             }
             for index, shard in enumerate(self.shards)
         ]
+
+
+def _shard_config(config: LSMConfig, index: int) -> LSMConfig:
+    """Per-shard config: distinct seed and a distinct manifest name."""
+    return config.replace(
+        seed=config.seed + index, name=f"{config.name}-shard{index}"
+    )
 
 
 def even_boundaries(keyspace: int, shards: int, width: int = 8) -> List[bytes]:

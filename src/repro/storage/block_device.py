@@ -112,6 +112,10 @@ class BlockDevice:
         self._last_read: Optional["tuple[int, int]"] = None
         self._last_write: Optional["tuple[int, int]"] = None
         self._lock = threading.RLock()
+        #: Optional repro.faults.ReadGuard; readers route block loads
+        #: through it for retry/quarantine when set.
+        self.guard = None
+        self._corruption_listeners: List = []
 
     # -- file lifecycle ----------------------------------------------------
 
@@ -147,6 +151,10 @@ class BlockDevice:
 
     def file_exists(self, file_id: int) -> bool:
         return file_id in self._files
+
+    def is_sealed(self, file_id: int) -> bool:
+        """Whether the file has been made immutable."""
+        return self._file(file_id).sealed
 
     def num_blocks(self, file_id: int) -> int:
         """Number of blocks currently in the file."""
@@ -243,6 +251,20 @@ class BlockDevice:
 
     # -- fault injection --------------------------------------------------------
 
+    def crash_hook(self, name: str) -> None:
+        """Named engine boundary (flush install, WAL sync, ...) — no-op here.
+
+        :class:`repro.faults.FaultyBlockDevice` overrides this to kill the
+        engine at a configured boundary; the base device never crashes.
+        """
+
+    def add_corruption_listener(self, listener) -> None:
+        """Register ``listener(file_id, block_no)`` called after any in-place
+        corruption of a stored block (explicit or injected bit rot). The
+        block cache subscribes so stale clean copies cannot mask the damage.
+        """
+        self._corruption_listeners.append(listener)
+
     def corrupt_block(self, file_id: int, block_no: int, byte_offset: int = 0) -> None:
         """Flip one byte of a stored block (fault-injection test hook).
 
@@ -258,6 +280,11 @@ class BlockDevice:
         position = byte_offset % len(block)
         block[position] ^= 0xFF
         file.blocks[block_no] = bytes(block)
+        self._notify_corruption(file_id, block_no)
+
+    def _notify_corruption(self, file_id: int, block_no: int) -> None:
+        for listener in self._corruption_listeners:
+            listener(file_id, block_no)
 
     # -- internals -----------------------------------------------------------
 

@@ -31,7 +31,7 @@ from repro.common.encoding import (
     put_length_prefixed,
 )
 from repro.common.entry import Entry, EntryKind
-from repro.errors import CorruptionError
+from repro.errors import CorruptionError, ReproError
 from repro.storage.block_device import BlockDevice
 
 
@@ -228,20 +228,34 @@ class SSTable:
         """
         if not self.contains_key_range(key):
             return None
+        guard = self._device.guard
         if self.point_filter is not None:
             if stats is not None:
                 stats.filter_probes += 1
-            probe_digest = getattr(self.point_filter, "may_contain_digest", None)
-            if digest is not None and probe_digest is not None:
-                positive = probe_digest(digest)
-            else:
-                positive = self.point_filter.may_contain(key)
+            try:
+                probe_digest = getattr(self.point_filter, "may_contain_digest", None)
+                if digest is not None and probe_digest is not None:
+                    positive = probe_digest(digest)
+                else:
+                    positive = self.point_filter.may_contain(key)
+            except ReproError:
+                # Broken filter: its negatives cannot be trusted, so degrade
+                # to probing the data blocks instead of failing the get.
+                positive = True
+                if guard is not None:
+                    guard.note_degraded_read()
             if not positive:
                 if stats is not None:
                     stats.filter_negatives += 1
                 return None
 
-        lo, hi = self._locate_blocks(key, stats)
+        try:
+            lo, hi = self._locate_blocks(key, stats)
+        except ReproError:
+            # Broken index: scan every data block rather than fail the get.
+            lo, hi = 0, self.num_data_blocks - 1
+            if guard is not None:
+                guard.note_degraded_read()
         for block_no in range(lo, hi + 1):
             if key < self._block_first_keys[block_no] or key > self._block_last_keys[block_no]:
                 continue
@@ -311,10 +325,17 @@ class SSTable:
     def _load_block(self, block_no: int, cache, stats: Optional[ProbeStats]) -> DataBlock:
         if stats is not None:
             stats.blocks_read += 1
+        guard = self._device.guard
 
         def loader() -> "tuple[DataBlock, int]":
-            payload = self._device.read_block(self.file_id, block_no)
-            return DataBlock(parse_block(payload), self._hash_index), len(payload)
+            if guard is not None:
+                payload, entries = guard.read_parsed(
+                    self._device, self.file_id, block_no, parse_block
+                )
+            else:
+                payload = self._device.read_block(self.file_id, block_no)
+                entries = parse_block(payload)
+            return DataBlock(entries, self._hash_index), len(payload)
 
         if cache is not None:
             key = (self.file_id, block_no)

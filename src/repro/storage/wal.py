@@ -16,6 +16,7 @@ from typing import Iterator, List
 
 from repro.common.encoding import decode_varint, encode_varint
 from repro.common.entry import Entry
+from repro.errors import CorruptionError
 from repro.storage.block_device import BlockDevice
 from repro.storage.sstable import parse_block, serialize_block
 
@@ -41,6 +42,8 @@ class WriteAheadLog:
         self._pending: List[Entry] = []
         self.records_logged = 0
         self.frames_written = 0  # device appends: the group-commit I/O count
+        self.torn_frames_dropped = 0  # incomplete tail frames skipped by replay
+        self.records_replayed = 0
 
     @property
     def current_file(self) -> int:
@@ -72,6 +75,7 @@ class WriteAheadLog:
         payload = serialize_block(self._pending)
         frame = encode_varint(len(payload)) + payload
         self._device.append_payload(self._file_id, frame)
+        self._device.crash_hook("wal_sync")
         self.frames_written += 1
         self._pending = []
 
@@ -86,10 +90,19 @@ class WriteAheadLog:
         sealed = self._file_id
         self._device.seal_file(sealed)
         self._file_id = self._device.create_file()
+        self._device.crash_hook("wal_roll")
         return sealed
 
     def replay(self, file_id: int = None) -> Iterator[Entry]:
         """Yield logged entries in append order (crash recovery).
+
+        A frame whose span runs past end-of-file is a *torn tail*: the crash
+        interrupted its append, so its records were never fully durable and
+        were never acknowledged — replay drops it (counted in
+        ``torn_frames_dropped``) and stops. A frame that is fully present but
+        fails its checksum is real data loss of acknowledged writes and
+        raises :class:`~repro.errors.CorruptionError` — never silently
+        skipped.
 
         Args:
             file_id: which log file to replay; defaults to the current one.
@@ -102,14 +115,42 @@ class WriteAheadLog:
             if not head:
                 block_no += 1
                 continue
-            length, offset = decode_varint(head)
+            try:
+                length, offset = decode_varint(head)
+            except Exception:
+                raise CorruptionError(
+                    f"WAL {target}: unreadable frame header at block {block_no}"
+                ) from None
             frame_len = offset + length
             span = max(1, math.ceil(frame_len / self._device.block_size))
+            if block_no + span > total:
+                if self._device.is_sealed(target):
+                    # A sealed log was fully synced before sealing; an
+                    # overrunning frame there means a corrupted length, not
+                    # an interrupted append.
+                    raise CorruptionError(
+                        f"WAL {target}: frame at block {block_no} overruns sealed log"
+                    )
+                self.torn_frames_dropped += 1
+                break
             if span == 1:
                 payload = head
             else:
                 payload = self._device.read_payload(target, block_no, span)
-            yield from parse_block(payload[offset : offset + length])
+            try:
+                entries = parse_block(payload[offset : offset + length])
+            except CorruptionError:
+                raise
+            except Exception:
+                # A fully-present frame that cannot even be decoded (flipped
+                # length prefix, truncated field) is corruption, typed as
+                # such — structural decode errors must not leak raw.
+                raise CorruptionError(
+                    f"WAL {target}: malformed frame at block {block_no}"
+                ) from None
+            for entry in entries:
+                self.records_replayed += 1
+                yield entry
             block_no += span
         if target == self._file_id:
             yield from list(self._pending)

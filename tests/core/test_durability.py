@@ -60,7 +60,7 @@ class TestManifest:
     def test_write_find_read_roundtrip(self, device):
         data = ManifestData(
             seqno=42,
-            wal_file=7,
+            wal_files=[7, 9],
             vlog_files=[3, 4],
             levels=[[[10, 11]], [[12], [13, 14]]],
         )
@@ -68,6 +68,7 @@ class TestManifest:
         assert find_manifest(device) == file_id
         parsed = read_manifest(device, file_id)
         assert parsed == data
+        assert parsed.wal_file == 9  # legacy accessor: newest live WAL
 
     def test_rewrite_deletes_previous(self, device):
         first = write_manifest(device, ManifestData(seqno=1), previous=None)

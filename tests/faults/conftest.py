@@ -1,0 +1,31 @@
+"""Fixtures for the fault-injection and crash-recovery suite."""
+
+import pytest
+
+from repro import FaultConfig, FaultyBlockDevice, LSMConfig
+
+
+def durable_config(**overrides) -> LSMConfig:
+    """A small durable tree (WAL on, zero loss window) for crash tests."""
+    base = dict(
+        buffer_bytes=4 << 10,
+        block_size=512,
+        size_ratio=3,
+        wal_enabled=True,
+        wal_sync_interval=1,
+        seed=7,
+    )
+    base.update(overrides)
+    return LSMConfig(**base)
+
+
+def faulty_device(block_size=512, **fault_overrides) -> FaultyBlockDevice:
+    """An unarmed fault device; tests schedule/arm what they need."""
+    return FaultyBlockDevice(
+        block_size=block_size, faults=FaultConfig(**fault_overrides), armed=False
+    )
+
+
+@pytest.fixture
+def device():
+    return faulty_device()

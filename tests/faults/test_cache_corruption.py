@@ -1,0 +1,67 @@
+"""Regression: a warm block cache must not mask on-device corruption.
+
+``BlockDevice.corrupt_block`` previously only rewrote the stored bytes; a
+block already resident in a :class:`BlockCache` kept serving the clean parsed
+copy, so checksum verification never saw the damage. Corruption now notifies
+subscribed caches, which drop the affected block.
+"""
+
+import pytest
+
+from repro import CorruptionError, LSMTree, encode_uint_key
+from repro.cache.block_cache import BlockCache
+
+from tests.faults.conftest import durable_config, faulty_device
+
+
+def test_corrupt_block_invalidates_warm_cache_entry():
+    cache = BlockCache(capacity_bytes=1 << 20)
+    device = faulty_device()
+    cache.subscribe_to_device(device)
+    fid = device.create_file()
+    device.append_block(fid, b"payload")
+    cache.put((fid, 0), "parsed-object", charge=64)
+    assert cache.contains((fid, 0))
+    device.corrupt_block(fid, 0)
+    assert not cache.contains((fid, 0))
+    assert cache.stats.invalidations == 1
+
+
+def test_vlog_tagged_keys_also_invalidated():
+    cache = BlockCache(capacity_bytes=1 << 20)
+    device = faulty_device()
+    cache.subscribe_to_device(device)
+    fid = device.create_file()
+    device.append_block(fid, b"payload")
+    cache.put(("vlog", fid, 0), "parsed", charge=64)
+    device.corrupt_block(fid, 0)
+    assert not cache.contains(("vlog", fid, 0))
+
+
+def test_warm_cache_does_not_mask_corruption_end_to_end():
+    """The original bug, end to end: read (warms cache), corrupt, read again."""
+    device = faulty_device()
+    config = durable_config(wal_enabled=False, cache_bytes=1 << 20,
+                            filter_kind="none")
+    tree = LSMTree(config, device=device)
+    expected = {}
+    for i in range(400):
+        key = encode_uint_key(i)
+        value = b"v%05d" % i
+        tree.put(key, value)
+        expected[key] = value
+    tree.flush()
+
+    probe_key = encode_uint_key(0)  # lives on block 0 of the run file
+    assert tree.get(probe_key).value == expected[probe_key]  # warm the cache
+    hits_before = tree.cache.stats.hits
+    assert tree.get(probe_key).value == expected[probe_key]
+    assert tree.cache.stats.hits > hits_before  # it IS served from cache
+
+    table = tree._levels[-1][0].tables[0]
+    device.corrupt_block(table.file_id, 0)
+    # Without invalidation this get would hit the warm clean copy and hide
+    # the damage; with it, the re-read runs the checksum and surfaces it.
+    with pytest.raises(CorruptionError):
+        tree.get(probe_key)
+    assert tree.cache.stats.invalidations >= 1

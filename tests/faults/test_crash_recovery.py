@@ -1,0 +1,148 @@
+"""Crash at every named point, recover, and verify the durability contract."""
+
+import pytest
+
+from repro import (
+    CRASH_POINTS,
+    LSMTree,
+    SimulatedCrashError,
+    encode_uint_key,
+)
+from repro.faults.harness import CrashHarness
+
+from tests.faults.conftest import durable_config, faulty_device
+
+
+def drive_until_crash(tree, ops=4000, keyspace=300):
+    """Write until the scheduled crash fires; return the acked model.
+
+    Returns:
+        ``(acked, pending, fired)``: acknowledged key states (None = acked
+        tombstone), the single in-flight op if the crash fired, and whether
+        it fired at all.
+    """
+    acked = {}
+    for i in range(ops):
+        key = encode_uint_key((i * 733) % keyspace)
+        tombstone = i % 9 == 8
+        value = None if tombstone else b"val-%06d" % i
+        try:
+            if tombstone:
+                tree.delete(key)
+            else:
+                tree.put(key, value)
+        except SimulatedCrashError:
+            return acked, {key: value}, True
+        acked[key] = value
+    return acked, {}, False
+
+
+def verify_contract(recovered, acked, pending):
+    for key, expected in acked.items():
+        got = recovered.get(key)
+        if key in pending:
+            new = pending[key]
+            old_ok = (got.found and got.value == expected) if expected is not None else not got.found
+            new_ok = (got.found and got.value == new) if new is not None else not got.found
+            assert old_ok or new_ok, f"in-flight key {key!r} read back garbage"
+        elif expected is None:
+            assert not got.found, f"acked delete of {key!r} resurrected"
+        else:
+            assert got.found and got.value == expected, f"acked write {key!r} lost"
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_recovery_after_crash_at_each_point(point):
+    config = durable_config()
+    device = faulty_device(torn_write_prob=0.5, seed=13)
+    tree = LSMTree(config, device=device)
+    # Generous countdown on frequent hooks so the crash lands deep enough
+    # for flushes/compactions to have happened.
+    countdown = {"wal_sync": 40, "device_append": 120}.get(point, 2)
+    device.schedule_crash(point, countdown)
+    device.arm()
+    acked, pending, fired = drive_until_crash(tree, ops=4000)
+    assert fired, f"crash point {point} never fired — hook unwired?"
+    device.disarm()
+
+    recovered = LSMTree.recover(config, device)
+    assert recovered.stats.recoveries == 1
+    verify_contract(recovered, acked, pending)
+    # The recovered tree keeps working and survives a second recovery.
+    recovered.put(b"post", b"crash")
+    recovered.flush()
+    twice = LSMTree.recover(config, recovered.device)
+    assert twice.get(b"post").value == b"crash"
+
+
+@pytest.mark.parametrize("point", ["manifest_install", "flush_install", "wal_retire"])
+def test_crash_during_recovery_is_survivable(point):
+    """A crash *while recovering* must leave the device recoverable again."""
+    # Workload never flushes; recovery reopens with a smaller buffer, so WAL
+    # replay itself overflows the memtable and flushes mid-recovery — putting
+    # flush_install/wal_retire (not just manifest_install) on the recovery path.
+    config = durable_config(buffer_bytes=1 << 20)
+    recover_config = durable_config(buffer_bytes=2 << 10)
+    device = faulty_device(torn_write_prob=0.5, seed=21)
+    tree = LSMTree(config, device=device)
+    acked = {}
+    for i in range(1500):
+        key = encode_uint_key(i % 200)
+        value = b"v%05d" % i
+        tree.put(key, value)
+        acked[key] = value
+    # First crash: mid-workload.
+    device.schedule_crash("wal_sync", 1)
+    device.arm()
+    pending = {}
+    try:
+        tree.put(b"inflight", b"x")
+        acked[b"inflight"] = b"x"
+    except SimulatedCrashError:
+        pending = {b"inflight": b"x"}
+    # Second crash: during the recovery attempt itself.
+    device.schedule_crash(point, 1)
+    with pytest.raises(SimulatedCrashError):
+        LSMTree.recover(recover_config, device)
+    device.disarm()
+    recovered = LSMTree.recover(recover_config, device)
+    verify_contract(recovered, acked, pending)
+
+
+def test_wal_replay_counts_recorded():
+    config = durable_config(buffer_bytes=1 << 20)  # nothing flushes
+    device = faulty_device()
+    tree = LSMTree(config, device=device)
+    for i in range(120):
+        tree.put(encode_uint_key(i), b"v")
+    recovered = LSMTree.recover(config, device)
+    assert recovered.stats.wal_replayed_records == 120
+    assert recovered.stats.last_recovery_wall > 0.0
+    snap = recovered.metrics_snapshot()
+    assert snap["wal_replayed_records"] == 120
+    assert snap["recoveries"] == 1
+
+
+class TestHarness:
+    def test_tree_mode(self):
+        harness = CrashHarness(seed=101, ops_per_cycle=150)
+        report = harness.run(6)
+        assert report.ok, report.violations
+        assert report.crashes_fired > 0
+        assert sum(c.keys_checked for c in report.cycles) > 0
+
+    def test_service_mode(self):
+        harness = CrashHarness(seed=102, mode="service", ops_per_cycle=120)
+        report = harness.run(3)
+        assert report.ok, report.violations
+
+    def test_sharded_mode(self):
+        harness = CrashHarness(seed=103, mode="sharded", ops_per_cycle=150)
+        report = harness.run(3)
+        assert report.ok, report.violations
+        assert harness.device.guard is not None
+
+    def test_report_summary_mentions_violations(self):
+        harness = CrashHarness(seed=104, ops_per_cycle=60)
+        report = harness.run(2)
+        assert "violations" in report.summary()
