@@ -11,6 +11,7 @@ ordering as EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 import sys
@@ -20,8 +21,42 @@ RESULTS = pathlib.Path(__file__).parent / "results"
 ORDER = [
     "e1_", "e2_", "e3_", "e4_", "e5_", "e6_cache", "e6_leaper", "e7_partial.",
     "e7_partial_vs", "e8_", "e9_", "e10_", "e11_", "e12_", "e13_", "e14_",
-    "e15_", "e16_", "e17_", "e18_", "a1_", "a2_", "a3_",
+    "e15_", "e16_", "e17_", "e18_", "e22_", "a1_", "a2_", "a3_",
 ]
+
+#: Candidate locations of the perf-smoke JSON (CI writes to the repo root).
+PERF_JSON_PATHS = [
+    RESULTS / "BENCH_perf.json",
+    pathlib.Path(__file__).parent.parent / "BENCH_perf.json",
+]
+
+
+def render_perf_json() -> str:
+    """Flatten the newest BENCH_perf.json into a report section.
+
+    The perf smoke (``bench_e22_parallel.py``) emits nested JSON rather than
+    a table; merge every candidate file (newest wins) and render the leaf
+    metrics as ``section.key = value`` lines.
+    """
+    merged: dict = {}
+    for path in sorted(
+        (p for p in PERF_JSON_PATHS if p.is_file()),
+        key=lambda p: p.stat().st_mtime,
+    ):
+        try:
+            merged.update(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            continue
+    if not merged:
+        return ""
+    lines = ["== E22 — perf smoke (BENCH_perf.json) =="]
+    for section, values in merged.items():
+        if isinstance(values, dict):
+            for key, value in values.items():
+                lines.append(f"{section}.{key} = {value}")
+        else:
+            lines.append(f"{section} = {values}")
+    return "\n".join(lines)
 
 
 def sort_key(path: pathlib.Path) -> "tuple[int, str]":
@@ -46,6 +81,10 @@ def main() -> int:
     for path in tables:
         print()
         print(path.read_text().rstrip())
+    perf = render_perf_json()
+    if perf:
+        print()
+        print(perf)
     experiments = {re.match(r"([ea]\d+)", p.name).group(1)
                    for p in tables if re.match(r"([ea]\d+)", p.name)}
     print()

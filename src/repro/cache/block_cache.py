@@ -24,6 +24,7 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     invalidations: int = 0
+    single_flight_waits: int = 0  # lookups that waited on another thread's load
 
     @property
     def lookups(self) -> int:
@@ -49,6 +50,7 @@ class CacheStats:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "single_flight_waits": self.single_flight_waits,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
@@ -75,6 +77,7 @@ class BlockCache:
         else:
             self._policy = policy
         self._entries: Dict[Hashable, Tuple[object, int]] = {}
+        self._loading: Dict[Hashable, threading.Event] = {}
         self._used = 0
         self.stats = CacheStats()
         self.access_counts: Dict[Hashable, int] = {}
@@ -87,9 +90,54 @@ class BlockCache:
     def get_or_load(self, key: Hashable, loader: Callable[[], Tuple[object, int]]):
         """Return the cached object or load, insert, and return it.
 
-        ``loader`` returns ``(object, charge_bytes)`` and is only invoked on a
-        miss — its cost (a device block read) is therefore paid exactly when a
-        real engine would pay it.
+        ``loader`` returns ``(object, charge_bytes)`` and runs outside the
+        lock, so its cost (a device block read) is paid exactly when a real
+        engine would pay it. Loads are **single-flight** per key: concurrent
+        misses on the same key elect one leader to run ``loader`` while the
+        rest wait for it to finish and then re-check the cache, so a hot
+        block is read from the device once rather than once per thread. A
+        waiter that finds the leader failed (or the value uncacheable)
+        becomes the new leader and loads for itself.
+        """
+        first_touch = True
+        while True:
+            with self._lock:
+                if first_touch:
+                    self.access_counts[key] = self.access_counts.get(key, 0) + 1
+                    first_touch = False
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.stats.hits += 1
+                    self._policy.on_access(key)
+                    return cached[0]
+                leader = self._loading.get(key)
+                if leader is None:
+                    self.stats.misses += 1
+                    event = threading.Event()
+                    self._loading[key] = event
+                    break
+                self.stats.single_flight_waits += 1
+            leader.wait()
+        try:
+            value, charge = loader()
+        except BaseException:
+            with self._lock:
+                self._loading.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            if key not in self._entries:
+                self._insert(key, value, charge)
+            self._loading.pop(key, None)
+        event.set()
+        return value
+
+    def get(self, key: Hashable):
+        """Return the cached object or None, with full hit/miss accounting.
+
+        The coalescing reader uses this instead of :meth:`get_or_load`: on a
+        miss it fetches a whole multi-block span from the device and inserts
+        each block with :meth:`put`.
         """
         with self._lock:
             cached = self._entries.get(key)
@@ -99,11 +147,7 @@ class BlockCache:
                 self._policy.on_access(key)
                 return cached[0]
             self.stats.misses += 1
-        value, charge = loader()  # the device read happens outside the lock
-        with self._lock:
-            if key not in self._entries:
-                self._insert(key, value, charge)
-        return value
+            return None
 
     def contains(self, key: Hashable) -> bool:
         return key in self._entries

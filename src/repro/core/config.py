@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional, Sequence, Union
 from repro.common.config_base import kwonly_dataclass
 from repro.compaction.layout import LayoutPolicy
 from repro.errors import ConfigError
+from repro.parallel.config import ParallelConfig
 
 _FILTER_KINDS = {
     "none", "bloom", "blocked_bloom", "partitioned", "elastic", "cuckoo", "xor", "quotient",
@@ -96,6 +97,11 @@ class LSMConfig:
             filter; the standard TTL-expiry mechanism). Must be
             deterministic; dropped entries simply cease to exist. With
             kv_separation the stored value is the tagged pointer/inline form.
+        parallel: optional :class:`~repro.parallel.config.ParallelConfig`
+            enabling key-range subcompactions and coalesced multi-block
+            device reads. Results-invariant: only wall-clock time, simulated
+            time, and seek counts change. None keeps the fully serial,
+            one-block-at-a-time engine.
         seed: base seed for hashes, skiplists, and any randomized choice.
     """
 
@@ -133,6 +139,7 @@ class LSMConfig:
     slowdown_debt: Optional[float] = None
     stall_penalty: float = 50.0
     compaction_filter: Optional[Callable[[bytes, bytes], bool]] = None
+    parallel: Optional[ParallelConfig] = None
     seed: int = 42
     # Declared last so legacy positional construction (deprecated) keeps its
     # original field order.
@@ -194,6 +201,8 @@ class LSMConfig:
             raise ConfigError("slowdown_debt must be non-negative")
         if self.stall_penalty < 0:
             raise ConfigError("stall_penalty must be non-negative")
+        if self.parallel is not None:
+            self.parallel.validate()
         if isinstance(self.bits_per_key, (int, float)):
             if self.bits_per_key < 0:
                 raise ConfigError("bits_per_key must be non-negative")

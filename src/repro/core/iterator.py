@@ -4,14 +4,23 @@ Used by both the scan path (tombstones dropped, one live entry per key) and
 the compaction path (tombstones kept unless compacting into the bottom of the
 tree). Sequence numbers are globally unique, so precedence needs no run-order
 tie-breaking.
+
+The merge rides :func:`heapq.merge` — the C-implemented streaming k-way
+merge — keyed by ``(key, -seqno)``: each input stream is sorted by key with
+at most one entry per key, so it is equally sorted under that key, and the
+merged stream presents every key's versions newest-first. One pass then
+keeps the first (newest) version per key and applies tombstone policy.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, Optional
+from operator import methodcaller
+from typing import Iterable, Iterator
 
 from repro.common.entry import Entry
+
+_sort_key = methodcaller("sort_key")
 
 
 def merge_entries(
@@ -28,23 +37,17 @@ def merge_entries(
     Yields:
         One entry per distinct key, newest (highest seqno) version.
     """
-    heap: "list[tuple[bytes, int, int, Entry, Iterator[Entry]]]" = []
-    for idx, stream in enumerate(streams):
-        first = next(stream, None)
-        if first is not None:
-            heap.append((first.key, -first.seqno, idx, first, stream))
-    heapq.heapify(heap)
-
-    current: Optional[Entry] = None
-    while heap:
-        key, _, idx, entry, stream = heapq.heappop(heap)
-        nxt = next(stream, None)
-        if nxt is not None:
-            heapq.heappush(heap, (nxt.key, -nxt.seqno, idx, nxt, stream))
-        if current is not None and key == current.key:
-            continue  # an older version of the key we already emitted
-        if current is not None and not (drop_tombstones and current.is_tombstone):
-            yield current
-        current = entry
-    if current is not None and not (drop_tombstones and current.is_tombstone):
-        yield current
+    previous_key = None
+    if drop_tombstones:
+        for entry in heapq.merge(*streams, key=_sort_key):
+            if entry.key == previous_key:
+                continue  # an older version of a key already resolved
+            previous_key = entry.key
+            if not entry.is_tombstone:
+                yield entry
+    else:
+        for entry in heapq.merge(*streams, key=_sort_key):
+            if entry.key == previous_key:
+                continue
+            previous_key = entry.key
+            yield entry

@@ -12,6 +12,7 @@ separation).
 from __future__ import annotations
 
 import bisect
+import concurrent.futures
 import threading
 import time
 from dataclasses import dataclass, field
@@ -43,6 +44,7 @@ from repro.errors import ClosedError, ConfigError, StorageError
 from repro.filters.elastic import ElasticBloomFilter, ElasticFilterManager
 from repro.filters.hashing import hash64
 from repro.memtable import make_memtable
+from repro.parallel.subcompaction import run_subcompactions, split_key_ranges
 from repro.storage.block_device import BlockDevice
 from repro.storage.run import Run
 from repro.storage.sstable import (
@@ -148,6 +150,17 @@ class LSMTree:
         self._memtable = make_memtable(config.memtable)
         self._immutables: List[ImmutableMemtable] = []
         self._mutex = threading.RLock()
+        # Counters touched by lock-free read paths (get/scan/multi_get run
+        # outside the tree mutex in service mode) are guarded by this
+        # dedicated lock so concurrent readers never lose increments; the
+        # write path keeps mutating stats under the tree mutex as before.
+        self._stats_lock = threading.Lock()
+        # Worker pool for key-range subcompactions; created lazily on the
+        # first parallel merge and shut down in close() — unless a service
+        # scheduler shared its own pool (set_subcompaction_executor), which
+        # the tree borrows and never shuts down.
+        self._subcompaction_pool: Optional[concurrent.futures.Executor] = None
+        self._subcompaction_pool_shared = False
         self._install_cv = threading.Condition(self._mutex)
         self._maintenance_cb: Optional[Callable[[], None]] = None
         self._levels: List[List[Run]] = []
@@ -441,9 +454,9 @@ class LSMTree:
         if timed:
             wall0 = time.perf_counter()
             sim0 = self.device.stats.simulated_time
-        self.stats.gets += 1
         result = GetResult()
         probe = ProbeStats()
+        hash_evals = 0
 
         if span is not None:
             stage0 = time.perf_counter()
@@ -468,7 +481,7 @@ class LSMTree:
                         # Lazily compute the one digest this lookup shares
                         # across every run's filter (tutorial §II-B.2).
                         digest = hash64(key, self.config.seed)
-                        self.stats.get_hash_evaluations += 1
+                        hash_evals += 1
                     entry = run.get(key, stats=probe, cache=self.cache, digest=digest)
                     if entry is not None:
                         result.source_level = level_no
@@ -504,12 +517,15 @@ class LSMTree:
                     break
         if not self.config.shared_hashing:
             # Without sharing, every filter probe computes its own digest.
-            self.stats.get_hash_evaluations += probe.filter_probes
+            hash_evals += probe.filter_probes
 
         result.blocks_read = probe.blocks_read
         result.filter_negatives = probe.filter_negatives
         result.false_positives = probe.false_positives
-        self.stats.probe.merge(probe)
+        with self._stats_lock:
+            self.stats.gets += 1
+            self.stats.get_hash_evaluations += hash_evals
+            self.stats.probe.merge(probe)
 
         if entry is not None and not entry.is_tombstone:
             result.found = True
@@ -548,9 +564,12 @@ class LSMTree:
         """
         self._check_open()
         obs = self.observer
-        self.stats.scans += 1
+        with self._stats_lock:
+            self.stats.scans += 1
         snapshot = self.snapshot()
         probe = ProbeStats()
+        parallel = self.config.parallel
+        readahead = parallel.scan_readahead_blocks if parallel is not None else 1
 
         def buffered() -> Iterator[Entry]:
             for entry in snapshot.memtable_entries:
@@ -562,6 +581,7 @@ class LSMTree:
 
         def generator() -> Iterator[Tuple[bytes, bytes]]:
             wall0 = time.perf_counter() if obs is not None else 0.0
+            produced = 0
             try:
                 streams = [buffered()]
                 for run in snapshot.runs:
@@ -571,13 +591,18 @@ class LSMTree:
                         if not run.may_contain_range(start, end):
                             continue  # range filter saved the whole seek
                     streams.append(
-                        run.iter_entries(start=start, end=end, cache=self.cache, stats=probe)
+                        run.iter_entries(
+                            start=start, end=end, cache=self.cache, stats=probe,
+                            readahead=readahead,
+                        )
                     )
                 for entry in merge_entries(streams, drop_tombstones=True):
-                    self.stats.scan_entries += 1
+                    produced += 1
                     yield entry.key, self._decode_value(entry.value)
             finally:
-                self.stats.probe.merge(probe)
+                with self._stats_lock:
+                    self.stats.scan_entries += produced
+                    self.stats.probe.merge(probe)
                 snapshot.close()
                 if obs is not None:
                     obs.record_scan(time.perf_counter() - wall0)
@@ -587,11 +612,70 @@ class LSMTree:
     def multi_get(self, keys) -> "dict[bytes, GetResult]":
         """Batched point lookups (RocksDB's MultiGet).
 
-        Probes in sorted key order so consecutive keys hit the same cached
-        blocks and the device sees sequential access where possible.
+        Keys are deduplicated and probed in sorted order. With point-read
+        coalescing enabled (``config.parallel.coalesce_point_reads``) the
+        whole batch resolves level by level: every still-pending key is
+        filter/fence-checked first (no I/O), then each run's needed blocks
+        are loaded with adjacent blocks grouped into single multi-block
+        device requests — consecutive keys share one seek instead of paying
+        one each. Values and ``found``/``source_level``/``runs_probed``
+        match per-key :meth:`get` calls exactly; the batch's I/O provenance
+        (blocks read, filter outcomes) is aggregated into ``stats.probe``
+        rather than split across per-key results.
         """
         self._check_open()
-        return {key: self.get(key) for key in sorted(set(keys))}
+        unique = sorted(set(keys))
+        parallel = self.config.parallel
+        if parallel is None or not parallel.coalesce_point_reads or not unique:
+            return {key: self.get(key) for key in unique}
+
+        probe = ProbeStats()
+        entries: Dict[bytes, Entry] = {}
+        source_levels: Dict[bytes, int] = {}
+        runs_probed: Dict[bytes, int] = {}
+        pending: List[bytes] = []
+        for key in unique:
+            runs_probed[key] = 0
+            entry = self.probe_memory(key)
+            if entry is not None:
+                entries[key] = entry
+            else:
+                pending.append(key)
+
+        for level_no, runs in enumerate(self._levels, start=1):
+            if not pending:
+                break
+            for run in runs:
+                if not pending:
+                    break
+                for key in pending:
+                    runs_probed[key] += 1
+                found = run.get_many(pending, stats=probe, cache=self.cache)
+                if found:
+                    for key, entry in found.items():
+                        entries[key] = entry
+                        source_levels[key] = level_no
+                    pending = [key for key in pending if key not in found]
+
+        results: Dict[bytes, GetResult] = {}
+        for key in unique:
+            result = GetResult()
+            result.runs_probed = runs_probed[key]
+            result.source_level = source_levels.get(key)
+            entry = entries.get(key)
+            if entry is not None and not entry.is_tombstone:
+                result.found = True
+                result.value = self._decode_value(entry.value)
+            results[key] = result
+
+        with self._stats_lock:
+            self.stats.gets += len(unique)
+            self.stats.multi_gets += 1
+            self.stats.multi_get_keys += len(unique)
+            self.stats.probe.merge(probe)
+            if not self.config.shared_hashing:
+                self.stats.get_hash_evaluations += probe.filter_probes
+        return results
 
     def delete_range(self, start: bytes, end: bytes) -> int:
         """Delete every live key in the closed range [start, end].
@@ -874,6 +958,11 @@ class LSMTree:
                 self._wal.sync()
                 self._persist_structure()
         self._closed = True
+        pool = self._subcompaction_pool
+        if pool is not None:
+            self._subcompaction_pool = None
+            if not self._subcompaction_pool_shared:
+                pool.shutdown(wait=True)
 
     def __enter__(self) -> "LSMTree":
         return self
@@ -1099,6 +1188,13 @@ class LSMTree:
             device_blocks_written=device.blocks_written,
             device_bytes_read=device.bytes_read,
             device_bytes_written=device.bytes_written,
+            device_sequential_reads=device.sequential_reads,
+            device_random_reads=device.random_reads,
+            device_seeks=device.seeks,
+            device_coalesced_reads=device.coalesced_reads,
+            device_coalesced_blocks=device.coalesced_blocks,
+            device_coalesced_writes=device.coalesced_writes,
+            device_coalesced_write_blocks=device.coalesced_write_blocks,
             device_simulated_time=device.simulated_time,
             levels=self.num_levels,
             runs=self.total_runs,
@@ -1223,7 +1319,8 @@ class LSMTree:
         if tag == _INLINE_TAG:
             return payload
         if tag == _POINTER_TAG:
-            self.stats.value_log_fetches += 1
+            with self._stats_lock:
+                self.stats.value_log_fetches += 1
             return self._value_log.get(ValuePointer.decode(payload), cache=self.cache)
         raise ValueError(f"corrupt value tag {tag!r}")
 
@@ -1262,6 +1359,8 @@ class LSMTree:
         builder: Optional[SSTableBuilder] = None
         written = 0
         limit = self.config.file_bytes
+        parallel = self.config.parallel
+        write_buffer = parallel.write_buffer_blocks if parallel is not None else 1
         for entry in entries:
             if builder is None:
                 builder = SSTableBuilder(
@@ -1271,6 +1370,7 @@ class LSMTree:
                     filter_factory=filter_factory,
                     range_filter_factory=range_factory,
                     hash_index=self.config.hash_index_blocks,
+                    write_buffer_blocks=write_buffer,
                 )
                 written = 0
             builder.add(entry)
@@ -1633,19 +1733,121 @@ class LSMTree:
         return filtered()
 
     def _merge_runs(self, inputs: List[Run], dest_level: int, purge: bool) -> Optional[Run]:
-        streams = [run.iter_entries() for run in inputs]
-        self.stats.compaction_bytes_in += sum(run.size_bytes for run in inputs)
+        parallel = self.config.parallel
+        readahead = parallel.merge_readahead_blocks if parallel is not None else 1
+        if parallel is not None and parallel.max_subcompactions > 1:
+            ranges = split_key_ranges(
+                inputs, parallel.max_subcompactions, parallel.min_subcompaction_blocks
+            )
+            if len(ranges) > 1:
+                return self._merge_runs_parallel(
+                    inputs, dest_level, purge, ranges, readahead
+                )
+        streams = [run.iter_entries(readahead=readahead) for run in inputs]
+        with self._stats_lock:
+            self.stats.compaction_bytes_in += sum(run.size_bytes for run in inputs)
         in_tombstones = sum(run.tombstone_count for run in inputs)
         merged = self._build_run(
             self._apply_compaction_filter(merge_entries(streams, drop_tombstones=purge)),
             dest_level,
         )
-        if merged is not None:
-            self.stats.compaction_bytes_out += merged.size_bytes
-            self.stats.tombstones_purged += max(0, in_tombstones - merged.tombstone_count)
-        else:
-            self.stats.tombstones_purged += in_tombstones
+        self._note_merge_output(merged, in_tombstones)
         return merged
+
+    def _merge_runs_parallel(
+        self,
+        inputs: List[Run],
+        dest_level: int,
+        purge: bool,
+        ranges,
+        readahead: int,
+    ) -> Optional[Run]:
+        """Execute one merge as key-range subcompactions on the worker pool.
+
+        Workers only read pinned inputs and write brand-new files — they
+        never touch levels, pins, stats, or filter registration, so no tree
+        lock is needed until the coordinator (this thread) resumes. The
+        concatenated per-range outputs form the same logical run a serial
+        merge produces (identical entry sequence; only file/block packing
+        may differ at range seams).
+        """
+        filter_factory = self._factory.filter_factory(dest_level)
+        range_factory = self._factory.range_filter_factory()
+        index_factory = self._factory.index_factory()
+
+        def builder_factory() -> SSTableBuilder:
+            return SSTableBuilder(
+                self.device,
+                block_size=self.config.block_size,
+                index_factory=index_factory,
+                filter_factory=filter_factory,
+                range_filter_factory=range_factory,
+                hash_index=self.config.hash_index_blocks,
+                write_buffer_blocks=self.config.parallel.write_buffer_blocks,
+            )
+
+        in_bytes = sum(run.size_bytes for run in inputs)
+        in_tombstones = sum(run.tombstone_count for run in inputs)
+        tables, filtered = run_subcompactions(
+            inputs,
+            ranges,
+            purge,
+            builder_factory,
+            self.config.file_bytes,
+            keep=self.config.compaction_filter,
+            readahead=readahead,
+            executor=self._subcompaction_executor(),
+        )
+        with self._stats_lock:
+            self.stats.compaction_bytes_in += in_bytes
+            self.stats.filtered_by_compaction += filtered
+            self.stats.parallel_compactions += 1
+            self.stats.subcompactions += len(ranges)
+        for table in tables:
+            self._register_table(table)
+        merged = Run(tables) if tables else None
+        self._note_merge_output(merged, in_tombstones)
+        obs = self.observer
+        if obs is not None:
+            obs.record_subcompaction(len(ranges))
+        return merged
+
+    def _note_merge_output(self, merged: Optional[Run], in_tombstones: int) -> None:
+        with self._stats_lock:
+            if merged is not None:
+                self.stats.compaction_bytes_out += merged.size_bytes
+                self.stats.tombstones_purged += max(
+                    0, in_tombstones - merged.tombstone_count
+                )
+            else:
+                self.stats.tombstones_purged += in_tombstones
+
+    def set_subcompaction_executor(self, executor) -> None:
+        """Borrow an externally owned worker pool for subcompactions.
+
+        A service scheduler shares one pool across every tree it serves so
+        N shards do not each spin up ``max_subcompactions`` threads. The
+        owner shuts the pool down; :meth:`close` leaves it alone. Pass None
+        to return to a private lazily created pool.
+        """
+        with self._stats_lock:
+            previous = self._subcompaction_pool
+            owned = not self._subcompaction_pool_shared
+            self._subcompaction_pool = executor
+            self._subcompaction_pool_shared = executor is not None
+        if previous is not None and owned:
+            previous.shutdown(wait=True)
+
+    def _subcompaction_executor(self) -> concurrent.futures.Executor:
+        """The tree's subcompaction worker pool (shared or lazily created)."""
+        with self._stats_lock:
+            if self._subcompaction_pool is None:
+                self._subcompaction_pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.config.parallel.max_subcompactions,
+                    thread_name_prefix=f"{self.config.name}-subcompact",
+                )
+                self._subcompaction_pool_shared = False
+            return self._subcompaction_pool
 
     def _purge_allowed(self, dest: int, inputs: List[Run]) -> bool:
         """Tombstones may be dropped iff nothing older lives at or below dest."""

@@ -57,6 +57,11 @@ class LSMStats:
     stall_time: float = 0.0  # simulated time spent stalled
     filtered_by_compaction: int = 0  # entries dropped by the compaction filter
     bulk_ingested: int = 0  # entries loaded via ingest_external
+    multi_gets: int = 0  # multi_get batch calls
+    multi_get_keys: int = 0  # distinct keys those batches resolved
+    # -- parallel execution counters (repro.parallel) --
+    parallel_compactions: int = 0  # merges executed as key-range subcompactions
+    subcompactions: int = 0  # total subcompaction worker jobs run
     probe: ProbeStats = field(default_factory=ProbeStats)
     get_hash_evaluations: int = 0  # digests computed on the get path
     # -- service-layer counters (repro.service) --
@@ -127,6 +132,10 @@ class LSMStats:
             "stall_time": self.stall_time,
             "filtered_by_compaction": self.filtered_by_compaction,
             "bulk_ingested": self.bulk_ingested,
+            "multi_gets": self.multi_gets,
+            "multi_get_keys": self.multi_get_keys,
+            "parallel_compactions": self.parallel_compactions,
+            "subcompactions": self.subcompactions,
             "entries_per_scan": self.entries_per_scan,
             "batches_committed": self.batches_committed,
             "batched_records": self.batched_records,

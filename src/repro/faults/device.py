@@ -146,9 +146,27 @@ class FaultyBlockDevice(BlockDevice):
         finally:
             self._payload_depth -= 1
 
+    def append_blocks(self, file_id: int, payloads):
+        # A coalesced span must fault like the per-block appends it
+        # replaces: route through append_block so crash hooks and bit-rot
+        # injection fire per block (a crash mid-span leaves a torn tail).
+        if self._armed:
+            return [self.append_block(file_id, data) for data in payloads]
+        return super().append_blocks(file_id, payloads)
+
     def read_block(self, file_id: int, block_no: int) -> bytes:
         if self._armed and self.faults.read_error_prob > 0.0:
             if self._rng.random() < self.faults.read_error_prob:
                 self.fault_stats.transient_errors_injected += 1
                 raise TransientIOError(file_id, block_no)
         return super().read_block(file_id, block_no)
+
+    def read_blocks(self, file_id: int, first_block: int, count: int):
+        # A coalesced span fails like a span: each covered block rolls the
+        # same per-block transient probability it would have rolled alone.
+        if self._armed and self.faults.read_error_prob > 0.0:
+            for offset in range(count):
+                if self._rng.random() < self.faults.read_error_prob:
+                    self.fault_stats.transient_errors_injected += 1
+                    raise TransientIOError(file_id, first_block + offset)
+        return super().read_blocks(file_id, first_block, count)

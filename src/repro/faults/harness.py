@@ -127,6 +127,10 @@ class CrashHarness:
         delete_fraction: fraction of operations that are deletes.
         crash_points: the crash-point vocabulary to draw from.
         num_shards: shard count in ``sharded`` mode.
+        parallel: run compactions as key-range subcompactions (a small
+            :class:`~repro.parallel.ParallelConfig` tuned so the harness's
+            tiny trees actually split), so crashes land inside parallel
+            merges and during multi-file installs.
     """
 
     def __init__(
@@ -141,6 +145,7 @@ class CrashHarness:
         delete_fraction: float = 0.1,
         crash_points: Tuple[str, ...] = CRASH_POINTS,
         num_shards: int = 3,
+        parallel: bool = False,
     ) -> None:
         if mode not in ("tree", "service", "sharded"):
             raise ValueError(f"unknown harness mode {mode!r}")
@@ -150,6 +155,14 @@ class CrashHarness:
             )
         if not config.wal_enabled or config.wal_sync_interval != 1:
             config = config.replace(wal_enabled=True, wal_sync_interval=1)
+        if parallel and config.parallel is None:
+            from repro.parallel import ParallelConfig
+
+            config = config.replace(
+                parallel=ParallelConfig(
+                    max_subcompactions=3, min_subcompaction_blocks=2
+                )
+            )
         self.config = config
         self.faults = faults or FaultConfig(seed=seed)
         self.mode = mode
@@ -340,6 +353,7 @@ def run_matrix(
     layouts: List[str],
     latencies: List[str],
     crash_points: Optional[List[str]] = None,
+    parallel: bool = False,
     verbose: bool = False,
 ) -> Tuple[bool, List[dict]]:
     """The CI crash matrix: seed × mode × layout × latency model.
@@ -372,6 +386,7 @@ def run_matrix(
                         mode=mode,
                         seed=seed,
                         crash_points=points,
+                        parallel=parallel,
                     )
                     harness.device.latency = latency or harness.device.latency
                     report = harness.run(cycles)
@@ -388,6 +403,7 @@ def run_matrix(
                                 "mode": mode,
                                 "layout": layout,
                                 "latency": latency_name,
+                                "parallel": parallel,
                                 "violations": report.violations,
                             }
                         )
@@ -409,6 +425,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=sorted(_LATENCY_MODELS))
     parser.add_argument("--crash-point", action="append", default=None,
                         choices=list(CRASH_POINTS))
+    parser.add_argument("--parallel", action="store_true",
+                        help="run compactions as key-range subcompactions")
     parser.add_argument("--failures-file", default=None,
                         help="write failing configurations here as JSON")
     parser.add_argument("--quiet", action="store_true")
@@ -421,6 +439,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         layouts=args.layout or ["leveling"],
         latencies=args.latency or ["flat"],
         crash_points=args.crash_point,
+        parallel=args.parallel,
         verbose=not args.quiet,
     )
     if args.failures_file and failures:

@@ -138,6 +138,15 @@ class EngineObserver:
         self.quarantine_total = reg.counter(
             "quarantine_files_total", "files quarantined as persistently corrupt", self.labels
         )
+        # Parallel-execution series (repro.parallel): key-range subcompactions.
+        self.parallel_compactions_total = reg.counter(
+            "parallel_compactions_total",
+            "compactions executed as key-range subcompactions",
+            self.labels,
+        )
+        self.subcompactions_total = reg.counter(
+            "subcompactions_total", "subcompaction worker jobs run", self.labels
+        )
         self.recoveries_total = reg.counter(
             "recoveries_total", "crash recoveries completed", self.labels
         )
@@ -164,6 +173,11 @@ class EngineObserver:
 
     def record_compaction(self, wall_s: float) -> None:
         self.compaction_wall.record(wall_s)
+
+    def record_subcompaction(self, ranges: int) -> None:
+        """One merge just ran as ``ranges`` parallel key-range subcompactions."""
+        self.parallel_compactions_total.inc()
+        self.subcompactions_total.inc(ranges)
 
     def level(self, level_no: int) -> LevelIOStats:
         stats = self.levels.get(level_no)

@@ -1,0 +1,72 @@
+"""ParallelConfig: the execution-speed knobs of the design space.
+
+The tutorial costs every design decision in I/O counts; this config governs
+how fast those I/Os are *executed*: how many key-range subcompactions a
+merge is split into, how aggressively merge iterators and scans read ahead,
+and whether batched point reads coalesce adjacent blocks. None of these
+knobs change any answer the engine returns — only wall-clock time, simulated
+time, and seek counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config_base import kwonly_dataclass
+from repro.errors import ConfigError
+
+
+@kwonly_dataclass
+@dataclass
+class ParallelConfig:
+    """Parallelism and I/O-coalescing knobs (all results-invariant).
+
+    Attributes:
+        max_subcompactions: upper bound on the key-range partitions one
+            compaction job is split into; each partition merges on its own
+            worker thread (RocksDB's ``max_subcompactions``). 1 disables
+            splitting (the serial merge path).
+        min_subcompaction_blocks: an input key-range must span at least this
+            many data blocks per subcompaction before a split is worth its
+            coordination overhead; small merges stay serial.
+        merge_readahead_blocks: blocks fetched per coalesced device request
+            by compaction/flush merge iterators (1 disables readahead).
+        scan_readahead_blocks: blocks fetched per coalesced device request
+            by range-scan iterators (1 disables readahead).
+        coalesce_point_reads: batch ``multi_get``'s block loads so adjacent
+            candidate blocks in the same file are read with one seek.
+        write_buffer_blocks: finished data blocks a merge's output builder
+            holds back and appends as one coalesced span (1 disables
+            buffering). Essential under parallel subcompactions: without
+            it, workers interleaving appends to one shared device turn
+            nearly every output block into a random write.
+    """
+
+    max_subcompactions: int = 4
+    min_subcompaction_blocks: int = 8
+    merge_readahead_blocks: int = 8
+    scan_readahead_blocks: int = 8
+    coalesce_point_reads: bool = True
+    write_buffer_blocks: int = 8
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check value ranges; raises ConfigError."""
+        if self.max_subcompactions < 1:
+            raise ConfigError("max_subcompactions must be at least 1")
+        if self.min_subcompaction_blocks < 1:
+            raise ConfigError("min_subcompaction_blocks must be at least 1")
+        if self.merge_readahead_blocks < 1:
+            raise ConfigError("merge_readahead_blocks must be at least 1")
+        if self.scan_readahead_blocks < 1:
+            raise ConfigError("scan_readahead_blocks must be at least 1")
+        if self.write_buffer_blocks < 1:
+            raise ConfigError("write_buffer_blocks must be at least 1")
+
+    def replace(self, **changes) -> "ParallelConfig":
+        """A copy with some fields changed (convenience for sweeps)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

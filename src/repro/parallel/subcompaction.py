@@ -1,0 +1,220 @@
+"""Key-range subcompactions: one merge job, N disjoint ranges, N workers.
+
+A compaction's inputs are sorted runs, so the merged key space can be cut at
+any key into contiguous pieces that merge independently: worker *i* merges
+the half-open range ``[boundary_i, boundary_i+1)`` of every input and writes
+its own output files. Because the pieces partition the key space, the
+concatenation of the per-range outputs (in range order) is exactly the run a
+serial merge would have produced, entry for entry — only file/block packing
+boundaries may differ at the seams. This is RocksDB's ``max_subcompactions``
+mechanism.
+
+Boundaries come from the inputs' fence pointers (:attr:`SSTable.fence_keys`):
+every fence key marks one data block, so picking boundaries at equal
+fence-count quantiles balances *blocks read* per worker — the unit the
+device actually charges — not key counts.
+
+The module is deliberately engine-agnostic: :func:`run_subcompactions` sees
+input runs, a builder factory, and the compaction-filter callable. The tree
+(:meth:`LSMTree._merge_runs`) stays the only place that touches levels,
+pins, stats, or filter registration — all of which remain under its mutex.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.entry import Entry
+from repro.core.iterator import merge_entries
+from repro.errors import SimulatedCrashError
+from repro.storage.run import Run
+from repro.storage.sstable import SSTable, SSTableBuilder
+
+#: A half-open key range ``[lo, hi)``; None means unbounded on that side.
+KeyRange = Tuple[Optional[bytes], Optional[bytes]]
+
+
+def split_key_ranges(
+    inputs: Sequence[Run],
+    max_subcompactions: int,
+    min_blocks: int,
+) -> List[KeyRange]:
+    """Cut the merged key space of ``inputs`` into balanced half-open ranges.
+
+    Returns ``[(None, None)]`` (run serially) when splitting is off, the job
+    is too small (< 2 * ``min_blocks`` data blocks), or every candidate
+    boundary collapses onto the smallest key. Otherwise returns up to
+    ``max_subcompactions`` ranges whose boundaries sit at equal quantiles of
+    the combined fence-pointer list, so each range covers roughly the same
+    number of data blocks.
+    """
+    serial = [(None, None)]
+    if max_subcompactions <= 1:
+        return serial
+    fences: List[bytes] = []
+    for run in inputs:
+        for table in run.tables:
+            fences.extend(table.fence_keys)
+    fences.sort()
+    total = len(fences)
+    if total < 2 * min_blocks:
+        return serial
+    pieces = min(max_subcompactions, total // min_blocks)
+    if pieces <= 1:
+        return serial
+    boundaries: List[bytes] = []
+    for j in range(1, pieces):
+        candidate = fences[(j * total) // pieces]
+        if candidate > fences[0] and (not boundaries or candidate > boundaries[-1]):
+            boundaries.append(candidate)
+    if not boundaries:
+        return serial
+    ranges: List[KeyRange] = []
+    lo: Optional[bytes] = None
+    for boundary in boundaries:
+        ranges.append((lo, boundary))
+        lo = boundary
+    ranges.append((lo, None))
+    return ranges
+
+
+class SubcompactionError(RuntimeError):
+    """A subcompaction worker failed; all partial outputs were deleted."""
+
+
+def merge_range(
+    inputs: Sequence[Run],
+    lo: Optional[bytes],
+    hi: Optional[bytes],
+    purge: bool,
+    readahead: int = 1,
+) -> Iterator[Entry]:
+    """Merge one half-open range ``[lo, hi)`` of every input run.
+
+    ``hi`` is passed to the input iterators as an *inclusive* cap (fence
+    pruning needs an inclusive bound), and entries whose key equals ``hi``
+    are dropped here — they belong to the next range.
+    """
+    streams = [
+        run.iter_entries(start=lo, end=hi, readahead=readahead) for run in inputs
+    ]
+    for entry in merge_entries(streams, drop_tombstones=purge):
+        if hi is not None and entry.key >= hi:
+            return
+        yield entry
+
+
+def _build_range(
+    inputs: Sequence[Run],
+    key_range: KeyRange,
+    purge: bool,
+    builder_factory: Callable[[], SSTableBuilder],
+    file_limit: Optional[int],
+    keep: Optional[Callable[[bytes, bytes], bool]],
+    readahead: int,
+) -> "tuple[List[SSTable], int]":
+    """One worker's job: merge a range into output files.
+
+    Returns ``(tables, filtered_count)``. Mirrors the serial build loop
+    (same file-size rollover) but keeps the compaction-filter count local —
+    the coordinator folds it into tree stats under the stats lock.
+    """
+    lo, hi = key_range
+    tables: List[SSTable] = []
+    builder: Optional[SSTableBuilder] = None
+    written = 0
+    filtered = 0
+    try:
+        for entry in merge_range(inputs, lo, hi, purge, readahead):
+            if keep is not None and not entry.is_tombstone and not keep(entry.key, entry.value):
+                filtered += 1
+                continue
+            if builder is None:
+                builder = builder_factory()
+                written = 0
+            builder.add(entry)
+            written += entry.approximate_size
+            if file_limit is not None and written >= file_limit:
+                tables.append(builder.finish())
+                builder = None
+        if builder is not None:
+            tables.append(builder.finish())
+            builder = None
+        return tables, filtered
+    except SimulatedCrashError:
+        # A crash freezes the device as-is: partial outputs stay behind as
+        # orphan files, exactly what recovery must cope with. No cleanup.
+        raise
+    except BaseException:
+        if builder is not None:
+            builder.abandon()
+        for table in tables:
+            table.delete()
+        raise
+
+
+def run_subcompactions(
+    inputs: Sequence[Run],
+    ranges: Sequence[KeyRange],
+    purge: bool,
+    builder_factory: Callable[[], SSTableBuilder],
+    file_limit: Optional[int],
+    keep: Optional[Callable[[bytes, bytes], bool]] = None,
+    readahead: int = 1,
+    executor: Optional[concurrent.futures.Executor] = None,
+) -> "tuple[List[SSTable], int]":
+    """Execute a compaction's merge as parallel key-range subcompactions.
+
+    Every range is submitted to ``executor`` (or a private thread pool sized
+    to the range count); the returned table list is the per-range outputs
+    concatenated in range order — a valid sorted, non-overlapping run.
+
+    Returns ``(tables, filtered_count)``. On any worker failure every output
+    file (finished or partial, from every range) is deleted and
+    :class:`SubcompactionError` is raised — install never sees a torn
+    output set.
+    """
+    own_pool = executor is None
+    pool = executor or concurrent.futures.ThreadPoolExecutor(
+        max_workers=len(ranges), thread_name_prefix="subcompact"
+    )
+    futures = [
+        pool.submit(
+            _build_range,
+            inputs, key_range, purge, builder_factory, file_limit, keep, readahead,
+        )
+        for key_range in ranges
+    ]
+    try:
+        results = []
+        failure: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # keep draining: collect survivors
+                results.append(None)
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            if isinstance(failure, SimulatedCrashError):
+                # Crash semantics: the device is frozen mid-job. Completed
+                # ranges' files remain as orphans for recovery to sweep;
+                # re-raise the crash itself so harnesses see it unwrapped.
+                raise failure
+            for result in results:
+                if result is not None:
+                    for table in result[0]:
+                        table.delete()
+            raise SubcompactionError(
+                f"subcompaction worker failed: {failure!r}"
+            ) from failure
+        tables: List[SSTable] = []
+        filtered = 0
+        for range_tables, range_filtered in results:
+            tables.extend(range_tables)
+            filtered += range_filtered
+        return tables, filtered
+    finally:
+        if own_pool:
+            pool.shutdown(wait=True)

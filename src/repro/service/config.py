@@ -47,6 +47,11 @@ class ServiceConfig:
         stop_timeout_s: safety valve — the longest a hard stall may block
             one write before letting it through (prevents deadlock if
             maintenance cannot make progress).
+        subcompaction_workers: when set, the scheduler owns one shared
+            thread pool of this size that serves every registered tree's
+            key-range subcompactions (see
+            :class:`repro.parallel.ParallelConfig`); None lets each tree
+            lazily create a private pool on first parallel merge.
     """
 
     max_batch: int = 64
@@ -60,6 +65,7 @@ class ServiceConfig:
     debt_stop: Optional[float] = None
     slowdown_delay_s: float = 0.001
     stop_timeout_s: float = 10.0
+    subcompaction_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -88,3 +94,5 @@ class ServiceConfig:
             raise ConfigError("slowdown_delay_s must be non-negative")
         if self.stop_timeout_s <= 0:
             raise ConfigError("stop_timeout_s must be positive")
+        if self.subcompaction_workers is not None and self.subcompaction_workers < 1:
+            raise ConfigError("subcompaction_workers must be at least 1")

@@ -10,6 +10,7 @@ saturating the device under foreground reads.
 
 from __future__ import annotations
 
+import concurrent.futures
 import heapq
 import itertools
 import threading
@@ -106,16 +107,31 @@ class CompactionScheduler:
         num_workers: worker thread count.
         rate_limiter: optional shared token bucket charged with each
             compaction's input bytes before the merge runs.
+        subcompaction_workers: when set, one shared worker pool of this
+            size serves every registered tree's key-range subcompactions
+            (instead of each tree lazily creating its own); the scheduler
+            owns and shuts down the pool. Only meaningful for trees with
+            ``config.parallel`` set.
     """
 
     def __init__(
         self,
         num_workers: int = 2,
         rate_limiter: Optional[RateLimiter] = None,
+        subcompaction_workers: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
+        if subcompaction_workers is not None and subcompaction_workers < 1:
+            raise ValueError("subcompaction_workers must be at least 1")
         self.rate_limiter = rate_limiter
+        self.subcompaction_pool = (
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=subcompaction_workers, thread_name_prefix="subcompact"
+            )
+            if subcompaction_workers is not None
+            else None
+        )
         self._cv = threading.Condition()
         self._queue: List[tuple] = []  # heap of (priority, seq, kind, tree)
         self._seq = itertools.count()
@@ -137,6 +153,8 @@ class CompactionScheduler:
     def register(self, tree: LSMTree) -> None:
         """Take over a tree's maintenance: seals trigger background flushes."""
         tree.set_maintenance_callback(lambda: self.request_flush(tree))
+        if self.subcompaction_pool is not None:
+            tree.set_subcompaction_executor(self.subcompaction_pool)
 
     def add_listener(self, callback: Callable[[], None]) -> None:
         """Invoke ``callback`` after every completed job (backpressure hook)."""
@@ -265,6 +283,8 @@ class CompactionScheduler:
             self._cv.notify_all()
         for worker in self._workers:
             worker.join(timeout=5.0)
+        if self.subcompaction_pool is not None:
+            self.subcompaction_pool.shutdown(wait=True)
 
     @property
     def pending_jobs(self) -> int:

@@ -66,7 +66,9 @@ class DBService:
                     self.config.compaction_burst_bytes,
                 )
             scheduler = CompactionScheduler(
-                num_workers=self.config.num_workers, rate_limiter=limiter
+                num_workers=self.config.num_workers,
+                rate_limiter=limiter,
+                subcompaction_workers=self.config.subcompaction_workers,
             )
         self.scheduler = scheduler
         self.scheduler.register(tree)

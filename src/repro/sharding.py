@@ -116,6 +116,22 @@ class ShardedStore:
     def get(self, key: bytes):
         return self.shard_for(key).get(key)
 
+    def multi_get(self, keys: Sequence[bytes]):
+        """Batched lookup: route keys to shards, one ``multi_get`` per shard.
+
+        Returns ``{key: GetResult}`` over the distinct requested keys. Each
+        shard sees its keys as one batch, so coalesced point reads (see
+        :class:`repro.parallel.ParallelConfig`) apply per shard.
+        """
+        grouped: dict = {}
+        for key in set(keys):
+            index = bisect.bisect_right(self._boundaries, key)
+            grouped.setdefault(index, []).append(key)
+        results: dict = {}
+        for index, shard_keys in grouped.items():
+            results.update(self.shards[index].multi_get(shard_keys))
+        return results
+
     def delete(self, key: bytes) -> None:
         self.shard_for(key).delete(key)
 

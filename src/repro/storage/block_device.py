@@ -10,8 +10,9 @@ writes, so experiments can report both I/O counts and simulated time.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import (
     BlockNotFoundError,
@@ -59,6 +60,10 @@ class DeviceStats:
     files_created: int = 0
     files_deleted: int = 0
     simulated_time: float = 0.0
+    coalesced_reads: int = 0  # multi-block read_blocks calls issued
+    coalesced_blocks: int = 0  # blocks served by those coalesced calls
+    coalesced_writes: int = 0  # multi-block append_blocks calls issued
+    coalesced_write_blocks: int = 0  # blocks landed by those coalesced calls
 
     def snapshot(self) -> "DeviceStats":
         """Return a copy of the current counters."""
@@ -73,6 +78,11 @@ class DeviceStats:
     @property
     def total_ios(self) -> int:
         return self.blocks_read + self.blocks_written
+
+    @property
+    def seeks(self) -> int:
+        """Head repositionings: every random access is one seek."""
+        return self.random_reads + self.random_writes
 
 
 class _File:
@@ -98,14 +108,28 @@ class BlockDevice:
         block_size: logical block size in bytes; callers may write shorter
             payloads (the tail block of a file) but never longer ones.
         latency: simulated cost model; defaults to an SSD-like profile.
+        wall_latency_scale: when positive, every access also *sleeps* for
+            ``simulated_cost * wall_latency_scale`` wall seconds (outside
+            the device lock), so concurrent readers/compaction workers
+            genuinely overlap their I/O waits — the knob the parallelism
+            benchmarks use to measure real wall-clock speedups against
+            simulated hardware. 0 (the default) costs one float compare.
     """
 
-    def __init__(self, block_size: int = 4096, latency: Optional[LatencyModel] = None) -> None:
+    def __init__(
+        self,
+        block_size: int = 4096,
+        latency: Optional[LatencyModel] = None,
+        wall_latency_scale: float = 0.0,
+    ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
+        if wall_latency_scale < 0:
+            raise ValueError("wall_latency_scale must be non-negative")
         self.block_size = block_size
         self.latency = latency or LatencyModel()
         self.latency.validate()
+        self.wall_latency_scale = wall_latency_scale
         self.stats = DeviceStats()
         self._files: Dict[int, _File] = {}
         self._next_file_id = 1
@@ -200,12 +224,14 @@ class BlockDevice:
             self.stats.bytes_written += len(data)
             if sequential:
                 self.stats.sequential_writes += 1
-                self.stats.simulated_time += self.latency.sequential_write
+                cost = self.latency.sequential_write
             else:
                 self.stats.random_writes += 1
-                self.stats.simulated_time += self.latency.random_write
+                cost = self.latency.random_write
+            self.stats.simulated_time += cost
             self._last_write = (file_id, block_no)
-            return block_no
+        self._wall_charge(cost)
+        return block_no
 
     def append_payload(self, file_id: int, payload: bytes) -> "tuple[int, int]":
         """Append a payload of any size, split across consecutive blocks.
@@ -223,6 +249,59 @@ class BlockDevice:
             self.append_block(file_id, b"")
             count = 1
         return first, count
+
+    def append_blocks(self, file_id: int, payloads: "Sequence[bytes]") -> "List[int]":
+        """Append several one-block payloads as one coalesced device request.
+
+        The write-side mirror of :meth:`read_blocks`: the whole span lands
+        under a single lock acquisition and at most the *first* block pays
+        the random-write cost (only when the write head is not already at
+        the file's tail); every subsequent block is sequential. Builders
+        that buffer finished blocks use this so interleaved writers
+        (parallel subcompactions sharing one device) do not turn every
+        append into a head switch.
+
+        Returns:
+            The block numbers assigned, in payload order.
+        """
+        if not payloads:
+            return []
+        with self._lock:
+            file = self._file(file_id)
+            if file.sealed:
+                raise ImmutableWriteError(f"file {file_id} is sealed")
+            for data in payloads:
+                if len(data) > self.block_size:
+                    raise ValueError(
+                        f"block payload {len(data)}B exceeds block size "
+                        f"{self.block_size}B"
+                    )
+            cost = 0.0
+            block_nos: List[int] = []
+            for data in payloads:
+                block_no = len(file.blocks)
+                file.blocks.append(data)
+                sequential = (
+                    bool(block_nos)
+                    or self._last_write == (file_id, block_no - 1)
+                    or block_no == 0
+                )
+                self.stats.blocks_written += 1
+                self.stats.bytes_written += len(data)
+                if sequential:
+                    self.stats.sequential_writes += 1
+                    cost += self.latency.sequential_write
+                else:
+                    self.stats.random_writes += 1
+                    cost += self.latency.random_write
+                block_nos.append(block_no)
+            self.stats.simulated_time += cost
+            if len(payloads) > 1:
+                self.stats.coalesced_writes += 1
+                self.stats.coalesced_write_blocks += len(payloads)
+            self._last_write = (file_id, block_nos[-1])
+        self._wall_charge(cost)
+        return block_nos
 
     def read_payload(self, file_id: int, first_block: int, num_blocks: int) -> bytes:
         """Read back a payload written by :meth:`append_payload`."""
@@ -242,12 +321,59 @@ class BlockDevice:
             self.stats.bytes_read += len(file.blocks[block_no])
             if sequential:
                 self.stats.sequential_reads += 1
-                self.stats.simulated_time += self.latency.sequential_read
+                cost = self.latency.sequential_read
             else:
                 self.stats.random_reads += 1
-                self.stats.simulated_time += self.latency.random_read
+                cost = self.latency.random_read
+            self.stats.simulated_time += cost
             self._last_read = (file_id, block_no)
-            return file.blocks[block_no]
+            data = file.blocks[block_no]
+        self._wall_charge(cost)
+        return data
+
+    def read_blocks(self, file_id: int, first_block: int, count: int) -> List[bytes]:
+        """Read ``count`` consecutive blocks as one coalesced device request.
+
+        The whole span is admitted under a single lock acquisition and
+        charged as *one* seek plus sequential transfers: at most the first
+        block pays the random-read cost (and only when the head is not
+        already positioned there); every subsequent block is sequential.
+        Interleaved readers therefore cannot break a span's sequentiality,
+        which is exactly why parallel subcompactions and readahead use this
+        instead of per-block :meth:`read_block` loops.
+        """
+        if count < 1:
+            raise ValueError("read_blocks needs count >= 1")
+        with self._lock:
+            file = self._file(file_id)
+            if not 0 <= first_block <= first_block + count - 1 < len(file.blocks):
+                raise BlockNotFoundError(file_id, first_block + count - 1)
+            blocks = file.blocks[first_block : first_block + count]
+            sequential = self._last_read == (file_id, first_block - 1)
+            cost = 0.0
+            if sequential:
+                self.stats.sequential_reads += 1
+                cost += self.latency.sequential_read
+            else:
+                self.stats.random_reads += 1
+                cost += self.latency.random_read
+            if count > 1:
+                self.stats.sequential_reads += count - 1
+                cost += self.latency.sequential_read * (count - 1)
+            self.stats.blocks_read += count
+            self.stats.bytes_read += sum(len(block) for block in blocks)
+            if count > 1:
+                self.stats.coalesced_reads += 1
+                self.stats.coalesced_blocks += count
+            self.stats.simulated_time += cost
+            self._last_read = (file_id, first_block + count - 1)
+        self._wall_charge(cost)
+        return blocks
+
+    def _wall_charge(self, cost: float) -> None:
+        """Optionally convert a simulated charge into real wall time."""
+        if self.wall_latency_scale > 0.0 and cost > 0.0:
+            time.sleep(cost * self.wall_latency_scale)
 
     # -- fault injection --------------------------------------------------------
 

@@ -90,12 +90,37 @@ class Run:
             table.hotness += 1
         return entry
 
+    def get_many(
+        self,
+        keys: Sequence[bytes],
+        stats: Optional[ProbeStats] = None,
+        cache=None,
+        span: int = 8,
+    ) -> "dict[bytes, Entry]":
+        """Batched point lookup: group keys by owning file, coalesce I/O per file.
+
+        Returns ``key -> Entry`` (tombstones included) for keys present in
+        this run; same per-key accounting as :meth:`get`.
+        """
+        grouped: "dict[int, tuple[SSTable, List[bytes]]]" = {}
+        for key in keys:
+            table = self._table_for(key)
+            if table is not None:
+                grouped.setdefault(table.file_id, (table, []))[1].append(key)
+        out: "dict[bytes, Entry]" = {}
+        for table, table_keys in grouped.values():
+            found = table.get_many(table_keys, stats=stats, cache=cache, span=span)
+            table.hotness += len(found)
+            out.update(found)
+        return out
+
     def iter_entries(
         self,
         start: Optional[bytes] = None,
         end: Optional[bytes] = None,
         cache=None,
         stats: Optional[ProbeStats] = None,
+        readahead: int = 1,
     ) -> Iterator[Entry]:
         """Yield entries in key order across all files in the run."""
         for table in self.tables:
@@ -103,7 +128,9 @@ class Run:
                 continue
             if end is not None and table.min_key > end:
                 return
-            yield from table.iter_entries(start=start, end=end, cache=cache, stats=stats)
+            yield from table.iter_entries(
+                start=start, end=end, cache=cache, stats=stats, readahead=readahead
+            )
 
     def may_contain_range(self, lo: bytes, hi: bytes) -> bool:
         """Consult range filters: can any file contain a key in [lo, hi]?

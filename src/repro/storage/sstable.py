@@ -58,20 +58,28 @@ class ProbeStats:
 class DataBlock:
     """A parsed data block: sorted entries plus an optional hash index."""
 
-    __slots__ = ("entries", "hash_index")
+    __slots__ = ("entries", "hash_index", "_keys")
 
     def __init__(self, entries: List[Entry], build_hash_index: bool = False) -> None:
         self.entries = entries
         self.hash_index = (
             {entry.key: i for i, entry in enumerate(entries)} if build_hash_index else None
         )
+        self._keys: Optional[List[bytes]] = None  # built on first binary search
 
     def find(self, key: bytes) -> Optional[Entry]:
-        """Locate ``key`` via the hash index when present, else binary search."""
+        """Locate ``key`` via the hash index when present, else binary search.
+
+        The key list the search bisects is decoded once per block (cached
+        blocks are probed many times; rebuilding it per lookup dominated the
+        point-read profile).
+        """
         if self.hash_index is not None:
             idx = self.hash_index.get(key)
             return self.entries[idx] if idx is not None else None
-        keys = [entry.key for entry in self.entries]
+        keys = self._keys
+        if keys is None:
+            keys = self._keys = [entry.key for entry in self.entries]
         idx = bisect.bisect_left(keys, key)
         if idx < len(self.entries) and self.entries[idx].key == key:
             return self.entries[idx]
@@ -179,6 +187,16 @@ class SSTable:
     # -- metadata ------------------------------------------------------------
 
     @property
+    def fence_keys(self) -> List[bytes]:
+        """The decoded fence-pointer array: first key of each data block.
+
+        Cached in memory for the table's lifetime (decoded once at build or
+        recovery). Subcompaction planning bisects these to split a
+        compaction's key space into block-aligned ranges.
+        """
+        return self._block_first_keys
+
+    @property
     def min_key(self) -> bytes:
         return self._block_first_keys[0]
 
@@ -273,24 +291,132 @@ class SSTable:
         end: Optional[bytes] = None,
         cache=None,
         stats: Optional[ProbeStats] = None,
+        readahead: int = 1,
     ) -> Iterator[Entry]:
         """Yield entries with ``start <= key <= end`` in key order.
 
         Blocks are fetched lazily so a consumer that stops early does not pay
-        for the rest of the file; reads of consecutive blocks are charged at
-        the sequential rate by the device.
+        for the rest of the file. With ``readahead > 1`` (and no read guard
+        installed) uncached blocks are fetched in coalesced spans of up to
+        that many blocks per device request — one seek buys the whole span
+        even when other threads interleave their own reads.
         """
         first_block = 0 if start is None else self._first_block_for(start)
-        for block_no in range(first_block, self.num_data_blocks):
-            if end is not None and self._block_first_keys[block_no] > end:
-                return
-            block = self._load_block(block_no, cache, stats)
+        last_block = self.num_data_blocks - 1
+        if end is not None:
+            # Blocks whose first key exceeds ``end`` cannot contribute.
+            last_block = bisect.bisect_right(self._block_first_keys, end) - 1
+        if last_block < first_block:
+            return
+        if readahead > 1 and self._device.guard is None:
+            from repro.parallel.coalesce import CoalescingReader
+
+            reader = CoalescingReader(
+                self._device,
+                self.file_id,
+                span=readahead,
+                cache=cache,
+                stats=stats,
+                hash_index=self._hash_index,
+            )
+            blocks = reader.iter_blocks(first_block, last_block)
+        else:
+            blocks = (
+                self._load_block(block_no, cache, stats)
+                for block_no in range(first_block, last_block + 1)
+            )
+        for block in blocks:
             for entry in block.entries:
                 if start is not None and entry.key < start:
                     continue
                 if end is not None and entry.key > end:
                     return
                 yield entry
+
+    def get_many(
+        self,
+        keys: Sequence[bytes],
+        stats: Optional[ProbeStats] = None,
+        cache=None,
+        span: int = 8,
+    ) -> "dict[bytes, Entry]":
+        """Batched point lookup: resolve many keys with coalesced block I/O.
+
+        Phase one consults filters and fence pointers for every key without
+        touching the device; phase two loads the union of candidate blocks,
+        grouping adjacent ones into multi-block device requests; phase three
+        resolves each key against its loaded blocks. Per-key filter/index
+        accounting matches what per-key :meth:`get` calls would record.
+
+        Returns a dict of ``key -> Entry`` (tombstones included) for the
+        keys present in this table; absent keys are simply omitted. Falls
+        back to per-key :meth:`get` when a read guard is installed, so
+        retry/quarantine semantics stay per block.
+        """
+        if self._device.guard is not None or span < 2:
+            out = {}
+            for key in keys:
+                entry = self.get(key, stats, cache)
+                if entry is not None:
+                    out[key] = entry
+            return out
+
+        candidates: "List[tuple[bytes, List[int]]]" = []
+        needed: "set[int]" = set()
+        for key in keys:
+            if not self.contains_key_range(key):
+                continue
+            if self.point_filter is not None:
+                if stats is not None:
+                    stats.filter_probes += 1
+                try:
+                    positive = self.point_filter.may_contain(key)
+                except ReproError:
+                    positive = True  # broken filter: degrade to probing
+                if not positive:
+                    if stats is not None:
+                        stats.filter_negatives += 1
+                    continue
+            try:
+                lo, hi = self._locate_blocks(key, stats)
+            except ReproError:
+                lo, hi = 0, self.num_data_blocks - 1
+            blocks = [
+                block_no
+                for block_no in range(lo, hi + 1)
+                if self._block_first_keys[block_no] <= key <= self._block_last_keys[block_no]
+            ]
+            if not blocks:
+                if stats is not None and self.point_filter is not None:
+                    stats.false_positives += 1
+                continue
+            candidates.append((key, blocks))
+            needed.update(blocks)
+        if not candidates:
+            return {}
+
+        from repro.parallel.coalesce import CoalescingReader
+
+        reader = CoalescingReader(
+            self._device,
+            self.file_id,
+            span=span,
+            cache=cache,
+            stats=stats,
+            hash_index=self._hash_index,
+        )
+        loaded = reader.load_many(sorted(needed))
+        out = {}
+        for key, blocks in candidates:
+            for block_no in blocks:
+                entry = loaded[block_no].find(key)
+                if entry is not None:
+                    out[key] = entry
+                    break
+            else:
+                if stats is not None and self.point_filter is not None:
+                    stats.false_positives += 1
+        return out
 
     def keys(self) -> Iterator[bytes]:
         """Yield every key in the table (used by filter rebuilds and tests)."""
@@ -423,6 +549,11 @@ class SSTableBuilder:
         filter_factory: builds the point filter from the key list.
         range_filter_factory: builds the range filter from the key list.
         hash_index: attach a per-block hash map for O(1) in-block search.
+        write_buffer_blocks: finished data blocks held back and appended as
+            one coalesced span (:meth:`BlockDevice.append_blocks`); 1 (the
+            default) appends each block immediately. Parallel subcompaction
+            workers buffer so their interleaved appends to one shared
+            device stay sequential instead of paying a head switch each.
     """
 
     def __init__(
@@ -433,6 +564,7 @@ class SSTableBuilder:
         filter_factory: Optional[FilterFactory] = None,
         range_filter_factory: Optional[FilterFactory] = None,
         hash_index: bool = False,
+        write_buffer_blocks: int = 1,
     ) -> None:
         self._device = device
         self._block_size = block_size or device.block_size
@@ -442,6 +574,10 @@ class SSTableBuilder:
         self._filter_factory = filter_factory
         self._range_filter_factory = range_filter_factory
         self._hash_index = hash_index
+        if write_buffer_blocks < 1:
+            raise ValueError("write_buffer_blocks must be at least 1")
+        self._write_buffer_blocks = write_buffer_blocks
+        self._write_buffer: List[bytes] = []
 
         self._file_id = device.create_file()
         self._pending: List[Entry] = []
@@ -500,6 +636,7 @@ class SSTableBuilder:
             raise ValueError("cannot build an empty SSTable")
         if self._pending:
             self._flush_block()
+        self._drain_writes()
         self._finished = True
 
         search_index = (
@@ -543,11 +680,21 @@ class SSTableBuilder:
 
     def _flush_block(self) -> None:
         payload = serialize_block(self._pending)
-        self._device.append_block(self._file_id, payload)
+        if self._write_buffer_blocks > 1:
+            self._write_buffer.append(payload)
+            if len(self._write_buffer) >= self._write_buffer_blocks:
+                self._drain_writes()
+        else:
+            self._device.append_block(self._file_id, payload)
         self._block_first_keys.append(self._pending[0].key)
         self._block_last_keys.append(self._pending[-1].key)
         self._pending = []
         self._pending_size = len(encode_varint(0))
+
+    def _drain_writes(self) -> None:
+        if self._write_buffer:
+            self._device.append_blocks(self._file_id, self._write_buffer)
+            self._write_buffer = []
 
     def _write_aux_blocks(self, search_index, point_filter, range_filter) -> int:
         """Persist index/filter payload sizes as trailing blocks.

@@ -1,0 +1,70 @@
+"""Single-flight loading: one miss per key, however many threads race it."""
+
+import threading
+
+import pytest
+
+from repro.cache.block_cache import BlockCache
+
+
+class SlowLoader:
+    """A loader that blocks until released, counting invocations."""
+
+    def __init__(self, value=b"payload"):
+        self.calls = 0
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self._value = value
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            self.calls += 1
+        self.entered.set()
+        self.release.wait(timeout=5.0)
+        return self._value, len(self._value)
+
+
+def test_concurrent_misses_load_once():
+    cache = BlockCache(1 << 16)
+    loader = SlowLoader()
+    results = []
+
+    def worker():
+        results.append(cache.get_or_load("k", loader))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    threads[0].start()
+    assert loader.entered.wait(timeout=5.0)  # leader is inside the loader
+    for t in threads[1:]:
+        t.start()
+    loader.release.set()
+    for t in threads:
+        t.join(timeout=5.0)
+    assert loader.calls == 1
+    assert results == [b"payload"] * 8
+    stats = cache.stats
+    assert stats.misses == 1
+    assert stats.hits >= 0
+    assert stats.single_flight_waits >= 1  # at least one follower parked
+
+
+def test_leader_failure_releases_followers_and_allows_retry():
+    cache = BlockCache(1 << 16)
+
+    fail = {"on": True}
+
+    def loader():
+        if fail["on"]:
+            raise RuntimeError("device error")
+        return b"ok", 2
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_load("k", loader)
+    fail["on"] = False
+    assert cache.get_or_load("k", loader) == b"ok"  # key not poisoned
+
+
+def test_single_flight_counter_exported():
+    cache = BlockCache(1 << 16)
+    assert "single_flight_waits" in cache.stats.as_dict()

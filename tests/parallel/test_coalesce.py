@@ -1,0 +1,146 @@
+"""Coalesced device I/O: fewer seeks, same bytes, same answers."""
+
+import pytest
+
+from repro.cache.block_cache import BlockCache
+from repro.common.encoding import encode_uint_key
+from repro.common.entry import Entry
+from repro.parallel import CoalescingReader, ParallelConfig
+from repro.storage.block_device import BlockDevice
+from repro.storage.sstable import SSTableBuilder
+
+from tests.conftest import make_tree
+
+
+def build_table(device, n=400):
+    builder = SSTableBuilder(device)
+    for i in range(n):
+        builder.add(Entry(encode_uint_key(i), i + 1, value=b"v%05d" % i))
+    return builder.finish()
+
+
+def fill(tree, n=4000, keyspace=800):
+    for i in range(n):
+        tree.put(encode_uint_key((i * 31) % keyspace), b"v%07d" % i)
+    tree.flush()
+    tree.compact_all()
+
+
+class TestCoalescingReader:
+    def test_iter_blocks_charges_one_seek_per_span(self, device):
+        table = build_table(device)
+        nblocks = len(table.fence_keys)
+        assert nblocks >= 8
+        reader = CoalescingReader(device, table.file_id, span=8)
+        before = device.stats.snapshot()
+        blocks = list(reader.iter_blocks(0, nblocks - 1))
+        delta = device.stats.delta(before)
+        assert len(blocks) == nblocks
+        assert delta.coalesced_reads > 0
+        assert delta.coalesced_blocks == nblocks
+        # At most one random access per 8-block span (vs one per block).
+        assert delta.random_reads <= -(-nblocks // 8)
+
+    def test_interleaved_readers_fewer_seeks_same_bytes(self, device):
+        # Two readers alternating over two files: per-block reads bounce the
+        # head on every access; span reads pay one seek per 8-block stretch.
+        table_a, table_b = build_table(device), build_table(device)
+        nblocks = min(len(table_a.fence_keys), len(table_b.fence_keys))
+
+        def interleave(span):
+            readers = [
+                iter(CoalescingReader(device, t.file_id, span=span)
+                     .iter_blocks(0, nblocks - 1))
+                for t in (table_a, table_b)
+            ]
+            before = device.stats.snapshot()
+            for _ in range(nblocks):
+                for reader in readers:
+                    next(reader)
+            return device.stats.delta(before)
+
+        serial = interleave(span=1)
+        coalesced = interleave(span=8)
+        assert coalesced.bytes_read == serial.bytes_read
+        assert coalesced.seeks * 3 <= serial.seeks
+
+    def test_iter_blocks_serves_cached_blocks_without_io(self, device):
+        table = build_table(device)
+        nblocks = len(table.fence_keys)
+        cache = BlockCache(1 << 20)
+        reader = CoalescingReader(device, table.file_id, span=8, cache=cache)
+        list(reader.iter_blocks(0, nblocks - 1))
+        before = device.stats.snapshot()
+        list(reader.iter_blocks(0, nblocks - 1))
+        assert device.stats.delta(before).blocks_read == 0
+
+    def test_load_many_groups_adjacent_blocks(self, device):
+        table = build_table(device)
+        reader = CoalescingReader(device, table.file_id, span=8)
+        before = device.stats.snapshot()
+        blocks = reader.load_many([0, 1, 2, 3, 10, 11, 20])
+        delta = device.stats.delta(before)
+        assert sorted(blocks) == [0, 1, 2, 3, 10, 11, 20]
+        # Three adjacency groups -> at most three random positionings.
+        assert delta.random_reads <= 3
+        assert delta.blocks_read == 7
+
+    def test_span_validation(self, device):
+        with pytest.raises(ValueError):
+            CoalescingReader(device, 0, span=0)
+
+
+class TestScanReadahead:
+    def test_long_scan_seeks_reduced_3x_same_bytes(self):
+        serial = make_tree(bits_per_key=0.0)
+        parallel = make_tree(
+            bits_per_key=0.0,
+            parallel=ParallelConfig(max_subcompactions=1, scan_readahead_blocks=8),
+        )
+        fill(serial)
+        fill(parallel)
+        before_s = serial.device.stats.snapshot()
+        out_serial = list(serial.scan())
+        delta_s = serial.device.stats.delta(before_s)
+        before_p = parallel.device.stats.snapshot()
+        out_parallel = list(parallel.scan())
+        delta_p = parallel.device.stats.delta(before_p)
+        assert out_parallel == out_serial
+        assert delta_p.bytes_read == delta_s.bytes_read
+        assert delta_p.seeks * 3 <= delta_s.seeks
+
+
+class TestMultiGetCoalescing:
+    def test_multi_get_matches_individual_gets(self):
+        tree = make_tree(
+            parallel=ParallelConfig(max_subcompactions=1, coalesce_point_reads=True)
+        )
+        fill(tree)
+        keys = [encode_uint_key(i) for i in range(0, 800, 7)]
+        keys.append(encode_uint_key(10_000))  # absent key
+        batched = tree.multi_get(keys)
+        for key in keys:
+            got = tree.get(key)
+            assert batched[key].found == got.found
+            assert batched[key].value == got.value
+            assert batched[key].source_level == got.source_level
+
+    def test_multi_get_coalesces_adjacent_candidates(self):
+        tree = make_tree(
+            bits_per_key=0.0,  # no filters: every run probes its blocks
+            parallel=ParallelConfig(max_subcompactions=1, coalesce_point_reads=True),
+        )
+        fill(tree)
+        dense = [encode_uint_key(i) for i in range(100, 200)]
+        before = tree.device.stats.snapshot()
+        tree.multi_get(dense)
+        batched = tree.device.stats.delta(before)
+        assert batched.coalesced_reads > 0
+        assert tree.stats.multi_gets == 1
+        assert tree.stats.multi_get_keys == len(dense)
+        # The batch needs far fewer seeks than one-at-a-time lookups.
+        before = tree.device.stats.snapshot()
+        for key in dense:
+            tree.get(key)
+        single = tree.device.stats.delta(before)
+        assert batched.seeks * 2 <= max(1, single.seeks)
