@@ -7,7 +7,13 @@ Subcommands:
   per-level table plus latency percentiles (``--format table|prometheus|
   json`` selects the export surface);
 * ``trace`` — run with read-path tracing enabled and print the recorded
-  spans with their per-stage latency breakdowns.
+  spans with their per-stage latency breakdowns;
+* ``serve`` — run the framed-protocol network server (``repro.server``)
+  over a concurrent, observed engine; ``--smoke-test`` runs a built-in
+  multi-tenant load against it and exits, for CI.
+
+Every subcommand exits non-zero with a one-line ``error: ...`` message on
+failure — no tracebacks for expected error classes.
 """
 
 from __future__ import annotations
@@ -159,6 +165,113 @@ def trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def serve_command(args: argparse.Namespace) -> int:
+    """Serve the framed protocol over TCP; ``--smoke-test`` drives itself.
+
+    The server fronts a concurrent, observed :class:`~repro.service.DBService`
+    (group commit, background maintenance, backpressure) and exports every
+    engine and ``server_*`` metric through the stats frame.
+    """
+    import json as _json
+    import signal
+    import threading
+
+    import repro
+    from repro.server import LSMServer, ServerConfig, TenantLoad, run_load
+
+    service = repro.open(service=True, observe=True)
+    registry = service.observer.registry
+    server_config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        tenant_ops_per_second=args.tenant_rate,
+        tenant_burst_ops=args.tenant_burst,
+    )
+    server = LSMServer(
+        service, server_config, registry=registry, close_service=True
+    )
+    server.start()
+    host, port = server.address
+    print(f"repro {__version__} — serving on {host}:{port}", flush=True)
+    if server_config.tenant_ops_per_second:
+        print(
+            f"fair-share admission: {server_config.tenant_ops_per_second:g} "
+            "ops/s per tenant",
+            flush=True,
+        )
+
+    if args.smoke_test:
+        try:
+            from repro.observe import MetricsRegistry
+            from repro.workloads.spec import OperationMix
+
+            client_registry = MetricsRegistry()
+            tenants = [
+                TenantLoad(
+                    tenant=f"smoke{i}",
+                    clients=args.clients,
+                    ops_per_client=args.ops,
+                    mix=OperationMix(put=0.4, get=0.5, scan=0.1),
+                    keyspace=500,
+                    seed=11 + i,
+                )
+                for i in range(args.tenant_count)
+            ]
+            results = run_load(host, port, tenants, registry=client_registry)
+            snapshot = server.stats_snapshot()
+            if args.metrics_out:
+                with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                    _json.dump(snapshot, fh, indent=2, sort_keys=True, default=str)
+                print(f"metrics snapshot written to {args.metrics_out}")
+            total_ops = sum(r.operations for r in results.values())
+            protocol_errors = sum(r.protocol_errors for r in results.values())
+            remote_errors = sum(r.remote_errors for r in results.values())
+            fatal = [e for r in results.values() for e in r.errors]
+            for result in results.values():
+                p99 = result.latency.get("p99", 0.0)
+                print(
+                    f"  {result.tenant}: {result.operations} ops "
+                    f"({result.ops_per_second:.0f} ops/s, p99 {p99 * 1e3:.2f} ms)"
+                )
+            print(
+                f"smoke test: {total_ops} ops, "
+                f"{protocol_errors} protocol errors, "
+                f"{remote_errors} remote errors"
+            )
+            expected = args.tenant_count * args.clients * args.ops
+            ok = (
+                protocol_errors == 0
+                and remote_errors == 0
+                and not fatal
+                and total_ops == expected
+            )
+            if not ok:
+                for line in fatal[:8]:
+                    print(f"  fatal: {line}", file=sys.stderr)
+                print(
+                    f"error: smoke test failed ({total_ops}/{expected} ops ok)",
+                    file=sys.stderr,
+                )
+            return 0 if ok else 1
+        finally:
+            server.shutdown()
+
+    stop = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:
+        pass  # not the main thread (tests drive this path)
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    except KeyboardInterrupt:
+        print("\nshutting down...", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -198,16 +311,67 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--ops", type=int, default=500, help="operations to drive")
     trace.add_argument("--keys", type=int, default=1000, help="keyspace size")
     trace.add_argument("--limit", type=int, default=10, help="spans to print")
+
+    serve = sub.add_parser(
+        "serve", help="run the framed-protocol network server (repro.server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=64, help="concurrent connection cap"
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="fair-share admission: ops/s granted to each tenant (default: off)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        help="admission burst allowance in ops (default: one second of rate)",
+    )
+    serve.add_argument(
+        "--smoke-test",
+        action="store_true",
+        help="start, drive a multi-tenant load against yourself, report, exit",
+    )
+    serve.add_argument(
+        "--tenant-count", type=int, default=2, help="smoke test: tenants to drive"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=2, help="smoke test: connections per tenant"
+    )
+    serve.add_argument(
+        "--ops", type=int, default=150, help="smoke test: operations per connection"
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="smoke test: write the server's JSON stats snapshot here",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "stats":
-        return stats_command(args)
-    if args.command == "trace":
-        return trace_command(args)
-    return demo()
+    from repro.errors import ReproError
+
+    try:
+        if args.command == "stats":
+            return stats_command(args)
+        if args.command == "trace":
+            return trace_command(args)
+        if args.command == "serve":
+            return serve_command(args)
+        return demo()
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -264,3 +264,38 @@ def run_concurrent_workload(
     metrics.max_flush_backlog = max(metrics.max_flush_backlog, tree.flush_backlog())
     metrics.wall_seconds = time.monotonic() - began
     return metrics
+
+
+# -- networked driving (the server layer's workloads) --------------------------
+
+
+def run_server_workload(
+    service,
+    tenants,
+    server_config=None,
+    registry=None,
+):
+    """Front ``service`` with an :class:`~repro.server.LSMServer` and drive it.
+
+    The networked sibling of :func:`run_concurrent_workload`: spins up the
+    framed-protocol server on an ephemeral port, runs the multi-tenant
+    closed-loop load generator over real TCP connections, shuts the server
+    down, and returns ``(results, stats_snapshot)`` — per-tenant
+    :class:`~repro.server.TenantRunResult` plus the server's final stats
+    frame (admission counters included). Client-observed latency lands in
+    ``registry`` (a fresh one by default) under ``client_op_wall_seconds``.
+    """
+    from repro.observe import MetricsRegistry
+    from repro.server import LSMServer, run_load
+
+    if registry is None:
+        registry = MetricsRegistry()
+    server = LSMServer(service, server_config)
+    server.start()
+    try:
+        host, port = server.address
+        results = run_load(host, port, tenants, registry=registry)
+        snapshot = server.stats_snapshot()
+    finally:
+        server.shutdown()
+    return results, snapshot

@@ -173,6 +173,7 @@ class LSMTree:
         self._factory = AuxFactory(config)
         self._seqno = 0
         self._closed = False
+        self._opened_monotonic = time.monotonic()
         self._value_log = (
             ValueLog(self.device, segment_blocks=config.vlog_segment_blocks)
             if config.kv_separation
@@ -1167,6 +1168,12 @@ class LSMTree:
     def total_runs(self) -> int:
         return sum(len(runs) for runs in self._levels)
 
+    @property
+    def uptime_seconds(self) -> float:
+        """Wall-clock seconds since this engine instance was constructed
+        (a recovered tree's uptime restarts — it is a new instance)."""
+        return time.monotonic() - self._opened_monotonic
+
     def metrics_snapshot(self) -> dict:
         """The full engine-level metrics snapshot, flat and JSON-able.
 
@@ -1196,6 +1203,7 @@ class LSMTree:
             device_coalesced_writes=device.coalesced_writes,
             device_coalesced_write_blocks=device.coalesced_write_blocks,
             device_simulated_time=device.simulated_time,
+            uptime_seconds=self.uptime_seconds,
             levels=self.num_levels,
             runs=self.total_runs,
             memtable_entries=self.memtable_entries,

@@ -1,0 +1,190 @@
+"""LSMClient: a blocking client for the framed protocol.
+
+One socket, one request in flight at a time (responses carry no ids; the
+protocol is strictly request/response per connection — open more clients
+for parallelism, which is exactly what the load generator does). The
+client mirrors the :class:`~repro.service.service.DBService` surface so
+code can swap an in-process handle for a network one.
+
+Pass a :class:`~repro.observe.MetricsRegistry` to record client-observed
+latency — the full round trip including admission delay, which is the
+number a tenant actually experiences — into ``client_op_wall_seconds``
+histograms labelled by op and tenant.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.entry import GetResult
+from repro.errors import ReproError
+from repro.server.protocol import (
+    BatchRequest,
+    DeleteRequest,
+    ErrorResponse,
+    FrameDecoder,
+    GetRequest,
+    GetResponse,
+    Message,
+    MultiGetRequest,
+    MultiGetResponse,
+    OkResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    PutRequest,
+    RemoteError,
+    ScanRequest,
+    ScanResponse,
+    StatsRequest,
+    StatsResponse,
+    recv_message,
+    send_message,
+)
+
+
+class LSMClient:
+    """A blocking connection to an :class:`~repro.server.server.LSMServer`.
+
+    Args:
+        host, port: the server's address (from ``server.address``).
+        tenant: namespace every request is issued under.
+        timeout_s: socket timeout for connect/send/recv.
+        registry: optional metrics registry for client-observed latency.
+        max_payload_bytes: frame decode limit (mirror the server's).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "",
+        timeout_s: float = 10.0,
+        registry=None,
+        max_payload_bytes: Optional[int] = None,
+    ) -> None:
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        kwargs = {}
+        if max_payload_bytes is not None:
+            kwargs["max_payload"] = max_payload_bytes
+        self._decoder = FrameDecoder(**kwargs)
+        self._registry = registry
+        self._closed = False
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _call(self, op: str, request: Message, expect: type) -> Message:
+        if self._closed:
+            raise ReproError("operation on a closed LSMClient")
+        wall0 = time.perf_counter()
+        send_message(self._sock, request)
+        response = recv_message(self._sock, self._decoder)
+        if self._registry is not None:
+            self._registry.histogram(
+                "client_op_wall_seconds",
+                "client-observed round-trip latency",
+                min_value=1e-6,
+                labels={"op": op, "tenant": self.tenant or "default"},
+            ).record(time.perf_counter() - wall0)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if isinstance(response, ErrorResponse):
+            raise RemoteError(response.code, response.message)
+        if not isinstance(response, expect):
+            raise ProtocolError(
+                f"expected {expect.__name__}, got {type(response).__name__}"
+            )
+        return response
+
+    # -- the API ---------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness: server and engine uptime, as reported by the server."""
+        pong = self._call("ping", PingRequest(tenant=self.tenant), PongResponse)
+        return {
+            "ok": True,
+            "server_uptime_seconds": pong.server_uptime_s,
+            "engine_uptime_seconds": pong.engine_uptime_s,
+        }
+
+    def stats(self) -> dict:
+        """The server's full stats snapshot (parsed JSON)."""
+        reply = self._call("stats", StatsRequest(tenant=self.tenant), StatsResponse)
+        return json.loads(reply.payload_json)
+
+    def get(self, key: bytes) -> GetResult:
+        reply = self._call("get", GetRequest(tenant=self.tenant, key=key), GetResponse)
+        result = GetResult()
+        if reply.found:
+            result.found = True
+            result.value = reply.value
+        return result
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._call("put", PutRequest(tenant=self.tenant, key=key, value=value), OkResponse)
+
+    def delete(self, key: bytes) -> None:
+        self._call("delete", DeleteRequest(tenant=self.tenant, key=key), OkResponse)
+
+    def multi_get(self, keys: Sequence[bytes]) -> Dict[bytes, GetResult]:
+        reply = self._call(
+            "multi_get",
+            MultiGetRequest(tenant=self.tenant, keys=tuple(keys)),
+            MultiGetResponse,
+        )
+        out: Dict[bytes, GetResult] = {}
+        for key, found, value in reply.entries:
+            result = GetResult()
+            if found:
+                result.found = True
+                result.value = value
+            out[key] = result
+        return out
+
+    def scan(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        limit: int = 1000,
+    ) -> List[Tuple[bytes, bytes]]:
+        """Up to ``limit`` (key, value) pairs from the inclusive range.
+
+        Use :attr:`last_scan_truncated` to detect a limit-cut range (and
+        re-issue from past the last key to page through).
+        """
+        reply = self._call(
+            "scan",
+            ScanRequest(tenant=self.tenant, start=start, end=end, limit=limit),
+            ScanResponse,
+        )
+        self.last_scan_truncated = reply.truncated
+        return list(reply.items)
+
+    def batch(self, ops: Sequence[Tuple[str, bytes, bytes]]) -> int:
+        """Apply ``(kind, key, value)`` writes in order; returns the count."""
+        reply = self._call(
+            "batch", BatchRequest(tenant=self.tenant, ops=tuple(ops)), OkResponse
+        )
+        return reply.count
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "LSMClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,87 @@
+"""Server-side knobs: transport limits, tenancy, admission, drain.
+
+Separate from :class:`~repro.service.config.ServiceConfig` for the same
+reason that is separate from :class:`~repro.core.config.LSMConfig`: the
+tree's knobs shape the structure, the service's shape threading, and the
+server's shape the *wire* — connection limits, frame limits, and the
+per-tenant QoS contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.config_base import kwonly_dataclass
+from repro.errors import ConfigError
+from repro.server.protocol import DEFAULT_MAX_PAYLOAD
+
+
+@kwonly_dataclass
+@dataclass
+class ServerConfig:
+    """Every knob of the network front end.
+
+    Attributes:
+        host: bind address (loopback by default; this is a simulator).
+        port: bind port; 0 asks the OS for an ephemeral port (read the
+            actual one back from ``LSMServer.address`` after ``start()``).
+        max_connections: concurrent client connections admitted; further
+            accepts are answered with a ``busy`` error frame and closed.
+        max_payload_bytes: per-frame payload ceiling enforced on decode.
+        recv_bytes: socket recv chunk size.
+        idle_poll_s: how often blocked accepts/recvs wake to check for
+            shutdown (bounds drain latency; not a request timeout).
+        drain_timeout_s: graceful-shutdown budget — in-flight requests get
+            this long to finish before their sockets are force-closed.
+        default_tenant: namespace applied when a request carries an empty
+            tenant id.
+        tenant_ops_per_second: fair-share admission budget per weight-1.0
+            tenant (ops/second); None disables admission control.
+        tenant_burst_ops: admission bucket capacity (defaults to one
+            second of refill).
+        tenant_weights: optional per-tenant share multipliers.
+        scan_limit_max: server-side clamp on one scan reply's entry count
+            (a client asking for more gets ``truncated=True`` replies).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_connections: int = 64
+    max_payload_bytes: int = DEFAULT_MAX_PAYLOAD
+    recv_bytes: int = 64 << 10
+    idle_poll_s: float = 0.05
+    drain_timeout_s: float = 5.0
+    default_tenant: str = "default"
+    tenant_ops_per_second: Optional[float] = None
+    tenant_burst_ops: Optional[float] = None
+    tenant_weights: Optional[Dict[str, float]] = None
+    scan_limit_max: int = 10_000
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ConfigError("port must be in [0, 65535]")
+        if self.max_connections < 1:
+            raise ConfigError("max_connections must be at least 1")
+        if self.max_payload_bytes < 1 << 10:
+            raise ConfigError("max_payload_bytes must be at least 1 KiB")
+        if self.recv_bytes < 1:
+            raise ConfigError("recv_bytes must be positive")
+        if self.idle_poll_s <= 0:
+            raise ConfigError("idle_poll_s must be positive")
+        if self.drain_timeout_s <= 0:
+            raise ConfigError("drain_timeout_s must be positive")
+        if not self.default_tenant:
+            raise ConfigError("default_tenant must be non-empty")
+        if self.tenant_ops_per_second is not None and self.tenant_ops_per_second <= 0:
+            raise ConfigError("tenant_ops_per_second must be positive")
+        if self.tenant_burst_ops is not None and self.tenant_burst_ops <= 0:
+            raise ConfigError("tenant_burst_ops must be positive")
+        for tenant, weight in (self.tenant_weights or {}).items():
+            if weight <= 0:
+                raise ConfigError(f"tenant {tenant!r} weight must be positive")
+        if self.scan_limit_max < 1:
+            raise ConfigError("scan_limit_max must be at least 1")

@@ -1,0 +1,683 @@
+"""The framed binary wire protocol spoken between LSMClient and LSMServer.
+
+Every message travels in one length-prefixed, CRC-checked frame:
+
+====== ===== =========================================================
+offset bytes field
+====== ===== =========================================================
+0      2     magic ``0x4C53`` (``b"LS"``, big-endian)
+2      1     protocol version (currently 1)
+3      1     message type (see the ``*Request``/``*Response`` classes)
+4      4     payload length ``N`` (big-endian u32)
+8      N     payload (typed encoding below)
+8+N    4     CRC32 over bytes ``[0, 8+N)`` — header *and* payload
+====== ===== =========================================================
+
+Payloads reuse the :mod:`repro.common.encoding` conventions: unsigned
+LEB128 varints for counts and lengths, varint-length-prefixed byte
+strings for keys/values/tenant ids. Floats are fixed 8-byte IEEE-754
+big-endian. A decoder rejects (``ProtocolError``) any frame with a bad
+magic, unknown version or type, an over-limit length, a CRC mismatch, or
+payload bytes left over after the typed decode — so corruption anywhere
+in a frame is detected, never silently accepted.
+
+The module is transport-agnostic: :func:`encode_frame` /
+:class:`FrameDecoder` work on byte strings; :func:`send_message` /
+:func:`recv_message` adapt them to a blocking socket.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.common.encoding import (
+    decode_varint,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+from repro.errors import ReproError
+
+MAGIC = 0x4C53  # b"LS"
+VERSION = 1
+#: Hard ceiling on a frame's payload; guards the server against a client
+#: (or line noise) declaring a multi-gigabyte allocation.
+DEFAULT_MAX_PAYLOAD = 8 << 20
+
+_HEADER = struct.Struct(">HBBI")  # magic, version, type, payload length
+_CRC = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+HEADER_SIZE = _HEADER.size
+TRAILER_SIZE = _CRC.size
+
+
+class ProtocolError(ReproError):
+    """A frame or payload violated the wire format (corrupt, truncated, unknown)."""
+
+
+class RemoteError(ReproError):
+    """The server answered with an :class:`ErrorResponse` (code + message)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.remote_message = message
+
+
+# -- payload primitives -------------------------------------------------------
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    put_length_prefixed(out, text.encode("utf-8"))
+
+
+def _get_str(buf: bytes, offset: int) -> Tuple[str, int]:
+    raw, offset = get_length_prefixed(buf, offset)
+    try:
+        return raw.decode("utf-8"), offset
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"invalid utf-8 in string field: {exc}") from None
+
+
+def _put_bool(out: bytearray, flag: bool) -> None:
+    out.append(1 if flag else 0)
+
+
+def _get_bool(buf: bytes, offset: int) -> Tuple[bool, int]:
+    if offset >= len(buf):
+        raise ProtocolError("truncated boolean field")
+    byte = buf[offset]
+    if byte not in (0, 1):
+        raise ProtocolError(f"boolean field holds {byte}, expected 0 or 1")
+    return bool(byte), offset + 1
+
+
+def _put_optional_bytes(out: bytearray, data: Optional[bytes]) -> None:
+    _put_bool(out, data is not None)
+    if data is not None:
+        put_length_prefixed(out, data)
+
+
+def _get_optional_bytes(buf: bytes, offset: int) -> Tuple[Optional[bytes], int]:
+    present, offset = _get_bool(buf, offset)
+    if not present:
+        return None, offset
+    data, offset = get_length_prefixed(buf, offset)
+    return bytes(data), offset
+
+
+# -- message classes ----------------------------------------------------------
+
+_MESSAGE_TYPES: Dict[int, Type["Message"]] = {}
+
+
+def _register(cls: Type["Message"]) -> Type["Message"]:
+    if cls.TYPE in _MESSAGE_TYPES:  # pragma: no cover - module definition bug
+        raise ValueError(f"duplicate message type 0x{cls.TYPE:02x}")
+    _MESSAGE_TYPES[cls.TYPE] = cls
+    return cls
+
+
+class Message:
+    """Base class: every frame body is one typed, round-trippable message."""
+
+    TYPE = -1
+
+    def encode_payload(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "Message":
+        raise NotImplementedError
+
+
+@_register
+@dataclass(frozen=True)
+class PingRequest(Message):
+    """Liveness probe; answered by :class:`PongResponse`."""
+
+    TYPE = 0x01
+    tenant: str = ""
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "PingRequest":
+        tenant, offset = _get_str(buf, 0)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant)
+
+
+@_register
+@dataclass(frozen=True)
+class StatsRequest(Message):
+    """Request the server's JSON stats snapshot (metrics + engine + tenants)."""
+
+    TYPE = 0x02
+    tenant: str = ""
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "StatsRequest":
+        tenant, offset = _get_str(buf, 0)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant)
+
+
+@_register
+@dataclass(frozen=True)
+class GetRequest(Message):
+    TYPE = 0x03
+    tenant: str
+    key: bytes
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        put_length_prefixed(out, self.key)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "GetRequest":
+        tenant, offset = _get_str(buf, 0)
+        key, offset = get_length_prefixed(buf, offset)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, key=bytes(key))
+
+
+@_register
+@dataclass(frozen=True)
+class PutRequest(Message):
+    TYPE = 0x04
+    tenant: str
+    key: bytes
+    value: bytes
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        put_length_prefixed(out, self.key)
+        put_length_prefixed(out, self.value)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "PutRequest":
+        tenant, offset = _get_str(buf, 0)
+        key, offset = get_length_prefixed(buf, offset)
+        value, offset = get_length_prefixed(buf, offset)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, key=bytes(key), value=bytes(value))
+
+
+@_register
+@dataclass(frozen=True)
+class DeleteRequest(Message):
+    TYPE = 0x05
+    tenant: str
+    key: bytes
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        put_length_prefixed(out, self.key)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "DeleteRequest":
+        tenant, offset = _get_str(buf, 0)
+        key, offset = get_length_prefixed(buf, offset)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, key=bytes(key))
+
+
+@_register
+@dataclass(frozen=True)
+class MultiGetRequest(Message):
+    TYPE = 0x06
+    tenant: str
+    keys: Tuple[bytes, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(bytes(k) for k in self.keys))
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        out.extend(encode_varint(len(self.keys)))
+        for key in self.keys:
+            put_length_prefixed(out, key)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "MultiGetRequest":
+        tenant, offset = _get_str(buf, 0)
+        count, offset = decode_varint(buf, offset)
+        keys = []
+        for _ in range(count):
+            key, offset = get_length_prefixed(buf, offset)
+            keys.append(bytes(key))
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, keys=tuple(keys))
+
+
+@_register
+@dataclass(frozen=True)
+class ScanRequest(Message):
+    """Range scan; ``start``/``end`` are inclusive bounds (None = unbounded),
+    mirroring :meth:`LSMTree.scan`. ``limit`` caps the reply's entry count
+    (the server clamps it to its own ``scan_limit_max``)."""
+
+    TYPE = 0x07
+    tenant: str
+    start: Optional[bytes] = None
+    end: Optional[bytes] = None
+    limit: int = 1000
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        _put_optional_bytes(out, self.start)
+        _put_optional_bytes(out, self.end)
+        out.extend(encode_varint(self.limit))
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "ScanRequest":
+        tenant, offset = _get_str(buf, 0)
+        start, offset = _get_optional_bytes(buf, offset)
+        end, offset = _get_optional_bytes(buf, offset)
+        limit, offset = decode_varint(buf, offset)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, start=start, end=end, limit=limit)
+
+
+@_register
+@dataclass(frozen=True)
+class BatchRequest(Message):
+    """Atomically ordered writes: ``ops`` is ``(kind, key, value)`` triples
+    with kind ``"put"`` or ``"delete"`` (value ignored for deletes)."""
+
+    TYPE = 0x08
+    tenant: str
+    ops: Tuple[Tuple[str, bytes, bytes], ...] = ()
+
+    _KINDS = ("put", "delete")
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for kind, key, value in self.ops:
+            if kind not in self._KINDS:
+                raise ValueError(f"batch op kind must be put|delete, got {kind!r}")
+            normalized.append((kind, bytes(key), bytes(value)))
+        object.__setattr__(self, "ops", tuple(normalized))
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        out.extend(encode_varint(len(self.ops)))
+        for kind, key, value in self.ops:
+            out.append(self._KINDS.index(kind))
+            put_length_prefixed(out, key)
+            put_length_prefixed(out, value)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "BatchRequest":
+        tenant, offset = _get_str(buf, 0)
+        count, offset = decode_varint(buf, offset)
+        ops = []
+        for _ in range(count):
+            if offset >= len(buf):
+                raise ProtocolError("truncated batch op")
+            kind_byte = buf[offset]
+            offset += 1
+            if kind_byte >= len(cls._KINDS):
+                raise ProtocolError(f"unknown batch op kind {kind_byte}")
+            key, offset = get_length_prefixed(buf, offset)
+            value, offset = get_length_prefixed(buf, offset)
+            ops.append((cls._KINDS[kind_byte], bytes(key), bytes(value)))
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, ops=tuple(ops))
+
+
+@_register
+@dataclass(frozen=True)
+class PongResponse(Message):
+    TYPE = 0x81
+    server_uptime_s: float = 0.0
+    engine_uptime_s: float = 0.0
+
+    def encode_payload(self) -> bytes:
+        return _F64.pack(self.server_uptime_s) + _F64.pack(self.engine_uptime_s)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "PongResponse":
+        if len(buf) != 2 * _F64.size:
+            raise ProtocolError(f"pong payload must be 16 bytes, got {len(buf)}")
+        return cls(
+            server_uptime_s=_F64.unpack_from(buf, 0)[0],
+            engine_uptime_s=_F64.unpack_from(buf, _F64.size)[0],
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class StatsResponse(Message):
+    """The server's stats snapshot as a JSON document (UTF-8)."""
+
+    TYPE = 0x82
+    payload_json: str = "{}"
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.payload_json)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "StatsResponse":
+        text, offset = _get_str(buf, 0)
+        _expect_end(buf, offset)
+        return cls(payload_json=text)
+
+
+@_register
+@dataclass(frozen=True)
+class GetResponse(Message):
+    TYPE = 0x83
+    found: bool = False
+    value: bytes = b""
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_bool(out, self.found)
+        put_length_prefixed(out, self.value)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "GetResponse":
+        found, offset = _get_bool(buf, 0)
+        value, offset = get_length_prefixed(buf, offset)
+        _expect_end(buf, offset)
+        return cls(found=found, value=bytes(value))
+
+
+@_register
+@dataclass(frozen=True)
+class OkResponse(Message):
+    """Acknowledges a write; ``count`` is the records applied (batch size)."""
+
+    TYPE = 0x84
+    count: int = 1
+
+    def encode_payload(self) -> bytes:
+        return encode_varint(self.count)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "OkResponse":
+        count, offset = decode_varint(buf, 0)
+        _expect_end(buf, offset)
+        return cls(count=count)
+
+
+@_register
+@dataclass(frozen=True)
+class MultiGetResponse(Message):
+    """Per-key results, in the request's key order: ``(key, found, value)``."""
+
+    TYPE = 0x85
+    entries: Tuple[Tuple[bytes, bool, bytes], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "entries",
+            tuple((bytes(k), bool(f), bytes(v)) for k, f, v in self.entries),
+        )
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        out.extend(encode_varint(len(self.entries)))
+        for key, found, value in self.entries:
+            put_length_prefixed(out, key)
+            _put_bool(out, found)
+            put_length_prefixed(out, value)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "MultiGetResponse":
+        count, offset = decode_varint(buf, 0)
+        entries = []
+        for _ in range(count):
+            key, offset = get_length_prefixed(buf, offset)
+            found, offset = _get_bool(buf, offset)
+            value, offset = get_length_prefixed(buf, offset)
+            entries.append((bytes(key), found, bytes(value)))
+        _expect_end(buf, offset)
+        return cls(entries=tuple(entries))
+
+
+@_register
+@dataclass(frozen=True)
+class ScanResponse(Message):
+    """Scan results; ``truncated`` signals the limit cut the range short."""
+
+    TYPE = 0x86
+    items: Tuple[Tuple[bytes, bytes], ...] = ()
+    truncated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "items", tuple((bytes(k), bytes(v)) for k, v in self.items)
+        )
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_bool(out, self.truncated)
+        out.extend(encode_varint(len(self.items)))
+        for key, value in self.items:
+            put_length_prefixed(out, key)
+            put_length_prefixed(out, value)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "ScanResponse":
+        truncated, offset = _get_bool(buf, 0)
+        count, offset = decode_varint(buf, offset)
+        items = []
+        for _ in range(count):
+            key, offset = get_length_prefixed(buf, offset)
+            value, offset = get_length_prefixed(buf, offset)
+            items.append((bytes(key), bytes(value)))
+        _expect_end(buf, offset)
+        return cls(items=tuple(items), truncated=truncated)
+
+
+@_register
+@dataclass(frozen=True)
+class ErrorResponse(Message):
+    """A failed request. ``code`` is machine-readable (``bad_request``,
+    ``throttled``, ``engine``, ``internal``, ``shutting_down``, ``busy``)."""
+
+    TYPE = 0x8F
+    code: str = "internal"
+    message: str = ""
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.code)
+        _put_str(out, self.message)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "ErrorResponse":
+        code, offset = _get_str(buf, 0)
+        message, offset = _get_str(buf, offset)
+        _expect_end(buf, offset)
+        return cls(code=code, message=message)
+
+
+REQUEST_TYPES = (
+    PingRequest, StatsRequest, GetRequest, PutRequest,
+    DeleteRequest, MultiGetRequest, ScanRequest, BatchRequest,
+)
+RESPONSE_TYPES = (
+    PongResponse, StatsResponse, GetResponse, OkResponse,
+    MultiGetResponse, ScanResponse, ErrorResponse,
+)
+
+
+def _expect_end(buf: bytes, offset: int) -> None:
+    if offset != len(buf):
+        raise ProtocolError(
+            f"{len(buf) - offset} trailing byte(s) after payload decode"
+        )
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_frame(message: Message) -> bytes:
+    """Serialize one message into a complete CRC-trailed frame."""
+    payload = message.encode_payload()
+    header = _HEADER.pack(MAGIC, VERSION, message.TYPE, len(payload))
+    body = header + payload
+    return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def try_decode_frame(
+    buf: bytes, offset: int = 0, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> Optional[Tuple[Message, int]]:
+    """Decode one frame at ``offset`` if fully buffered.
+
+    Returns:
+        ``(message, next_offset)``, or None when more bytes are needed.
+
+    Raises:
+        ProtocolError: on a structurally invalid frame (bad magic/version/
+            type/length/CRC, or a payload that does not decode exactly).
+    """
+    available = len(buf) - offset
+    if available < HEADER_SIZE:
+        return None
+    magic, version, msg_type, length = _HEADER.unpack_from(buf, offset)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:04x} (expected 0x{MAGIC:04x})")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if length > max_payload:
+        raise ProtocolError(f"frame payload {length} exceeds limit {max_payload}")
+    total = HEADER_SIZE + length + TRAILER_SIZE
+    if available < total:
+        return None
+    body_end = offset + HEADER_SIZE + length
+    (expected_crc,) = _CRC.unpack_from(buf, body_end)
+    actual_crc = zlib.crc32(bytes(buf[offset:body_end])) & 0xFFFFFFFF
+    if actual_crc != expected_crc:
+        raise ProtocolError(
+            f"frame CRC mismatch (stored 0x{expected_crc:08x}, "
+            f"computed 0x{actual_crc:08x})"
+        )
+    cls = _MESSAGE_TYPES.get(msg_type)
+    if cls is None:
+        raise ProtocolError(f"unknown message type 0x{msg_type:02x}")
+    payload = bytes(buf[offset + HEADER_SIZE : body_end])
+    try:
+        message = cls.decode_payload(payload)
+    except ProtocolError:
+        raise
+    except (ValueError, struct.error) as exc:
+        raise ProtocolError(f"malformed {cls.__name__} payload: {exc}") from None
+    return message, offset + total
+
+
+def decode_frame(
+    buf: bytes, offset: int = 0, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> Tuple[Message, int]:
+    """Like :func:`try_decode_frame` but truncation is an error."""
+    decoded = try_decode_frame(buf, offset, max_payload)
+    if decoded is None:
+        raise ProtocolError("truncated frame")
+    return decoded
+
+
+@dataclass
+class FrameDecoder:
+    """A streaming frame accumulator for a byte-oriented transport.
+
+    Feed it arbitrary chunks; it returns every newly completed message (and
+    also queues them for :meth:`next_message`), keeping the unconsumed tail
+    buffered. A :class:`ProtocolError` raised by :meth:`feed` poisons the
+    stream (resynchronizing inside a corrupt byte stream is not safe for a
+    length-prefixed format).
+    """
+
+    max_payload: int = DEFAULT_MAX_PAYLOAD
+    _buffer: bytearray = field(default_factory=bytearray)
+    _ready: "deque" = field(default_factory=deque)
+
+    def feed(self, data: bytes) -> List[Message]:
+        self._buffer.extend(data)
+        messages: List[Message] = []
+        offset = 0
+        while True:
+            decoded = try_decode_frame(self._buffer, offset, self.max_payload)
+            if decoded is None:
+                break
+            message, offset = decoded
+            messages.append(message)
+        if offset:
+            del self._buffer[:offset]
+        self._ready.extend(messages)
+        return messages
+
+    def next_message(self) -> Optional[Message]:
+        """Pop one already-decoded message, or None if none is queued."""
+        return self._ready.popleft() if self._ready else None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+# -- socket adapters ----------------------------------------------------------
+
+
+def send_message(sock, message: Message) -> None:
+    """Write one message as a frame to a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_message(
+    sock, decoder: FrameDecoder, recv_bytes: int = 64 << 10
+) -> Optional[Message]:
+    """Read exactly one message from a blocking socket.
+
+    Frames already buffered in ``decoder`` (a previous recv may have pulled
+    several) are drained before the socket is read again. Returns None on a
+    clean EOF at a frame boundary.
+
+    Raises:
+        ProtocolError: on EOF inside a frame or on a corrupt frame.
+    """
+    while True:
+        queued = decoder.next_message()
+        if queued is not None:
+            return queued
+        chunk = sock.recv(recv_bytes)
+        if not chunk:
+            if decoder.pending_bytes:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        decoder.feed(chunk)

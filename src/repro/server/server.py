@@ -1,0 +1,459 @@
+"""LSMServer: a threaded socket front end over the concurrent service layer.
+
+One accept loop plus one handler thread per connection — the classic
+thread-per-connection shape, which maps cleanly onto the engine's own
+concurrency model: :class:`~repro.service.service.DBService` is thread-safe,
+writes group-commit across connections, and every read runs against a
+pinned :class:`~repro.core.version.Version` snapshot, so a compaction
+installing mid-request never invalidates an in-flight lookup or scan.
+
+QoS before the engine: each request is charged to its tenant's fair-share
+token bucket (:class:`~repro.server.tenancy.FairShareAdmission`) *before*
+it executes, on its own connection thread — a hot tenant queues in its own
+bucket while everyone else's requests flow. Every stage is measured into a
+:class:`~repro.observe.MetricsRegistry` (``server_*`` series), so the
+Prometheus/JSON exporters show connections, in-flight requests, per-op
+latency, and per-tenant throttling with no extra wiring.
+
+Shutdown is a graceful drain: stop accepting, let every handler finish its
+in-flight request, then close sockets — bounded by ``drain_timeout_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Optional, Set
+
+from repro.common.entry import GetResult
+from repro.errors import ReproError
+from repro.observe import MetricsRegistry
+from repro.server.config import ServerConfig
+from repro.server.protocol import (
+    BatchRequest,
+    DeleteRequest,
+    ErrorResponse,
+    FrameDecoder,
+    GetRequest,
+    GetResponse,
+    Message,
+    MultiGetRequest,
+    MultiGetResponse,
+    OkResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    PutRequest,
+    ScanRequest,
+    ScanResponse,
+    StatsRequest,
+    StatsResponse,
+    send_message,
+)
+from repro.server.tenancy import (
+    FairShareAdmission,
+    namespaced_key,
+    strip_namespace,
+    tenant_range,
+    validate_tenant,
+)
+
+
+class LSMServer:
+    """Serves the framed protocol over TCP, fronting a DBService (or any
+    backend with ``get``/``put``/``delete``/``multi_get``/``scan``).
+
+    Args:
+        service: the engine front door — typically a
+            :class:`~repro.service.service.DBService`; a
+            :class:`~repro.sharding.ShardedStore` works too (pair it with
+            :func:`~repro.server.tenancy.tenant_boundaries` for a
+            tree-per-tenant deployment).
+        config: transport + tenancy knobs.
+        registry: report ``server_*`` metrics here (a fresh registry by
+            default; pass the service's registry for one merged export).
+        close_service: also close the backend on :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        service,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        close_service: bool = False,
+    ) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._close_service = close_service
+        self.admission: Optional[FairShareAdmission] = None
+        if self.config.tenant_ops_per_second is not None:
+            self.admission = FairShareAdmission(
+                self.config.tenant_ops_per_second,
+                burst_ops=self.config.tenant_burst_ops,
+                weights=self.config.tenant_weights,
+            )
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: Set[threading.Thread] = set()
+        self._conn_sockets: Set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started_monotonic: Optional[float] = None
+        self.address: Optional[tuple] = None
+
+        registry = self.registry
+        self._connections_total = registry.counter(
+            "server_connections_total", "client connections accepted"
+        )
+        self._connections_rejected = registry.counter(
+            "server_connections_rejected_total",
+            "connections refused at the max_connections cap",
+        )
+        self._requests_total = registry.counter(
+            "server_requests_total", "requests served (all types)"
+        )
+        self._protocol_errors = registry.counter(
+            "server_protocol_errors_total",
+            "malformed/corrupt frames received (connection dropped)",
+        )
+        self._request_errors = registry.counter(
+            "server_request_errors_total",
+            "requests answered with an error frame",
+        )
+        self._in_flight = registry.gauge(
+            "server_in_flight_requests", "requests currently executing"
+        )
+        registry.gauge(
+            "server_connections_active", "currently open client connections"
+        ).set_function(lambda: len(self._conn_sockets))
+        registry.gauge(
+            "server_uptime_seconds", "seconds since the server started"
+        ).set_function(lambda: self.uptime_seconds)
+        self._request_wall = {
+            op: registry.histogram(
+                "server_request_wall_seconds",
+                "server-side request latency (admission + engine + encode)",
+                min_value=1e-6,
+                labels={"op": op},
+            )
+            for op in ("ping", "stats", "get", "put", "delete",
+                       "multi_get", "scan", "batch")
+        }
+        self._admission_wait = registry.histogram(
+            "server_admission_wait_seconds",
+            "delay injected by fair-share admission",
+            min_value=1e-6,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def start(self) -> tuple:
+        """Bind, listen, and start the accept loop. Returns ``(host, port)``."""
+        if self._listener is not None:
+            raise ReproError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(min(self.config.max_connections, 128))
+        listener.settimeout(self.config.idle_poll_s)
+        self._listener = listener
+        self.address = listener.getsockname()
+        self._started_monotonic = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="lsm-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, close.
+
+        Connections idle between requests close immediately; a handler
+        mid-request gets until the drain budget expires, after which its
+        socket is force-closed (the client sees a reset, never a half
+        response — frames are written with one ``sendall``).
+        """
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        budget = (
+            drain_timeout_s
+            if drain_timeout_s is not None
+            else self.config.drain_timeout_s
+        )
+        deadline = time.monotonic() + budget
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=budget)
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler.join(timeout=max(0.0, deadline - time.monotonic()))
+        with self._lock:
+            stragglers = list(self._conn_sockets)
+        for sock in stragglers:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for handler in handlers:
+            handler.join(timeout=1.0)
+        if self._close_service:
+            self.service.close()
+
+    def __enter__(self) -> "LSMServer":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- accept / connection loops -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by shutdown()
+            if self._stop.is_set():
+                self._refuse(conn, "shutting_down", "server is draining")
+                continue
+            with self._lock:
+                if len(self._conn_sockets) >= self.config.max_connections:
+                    admit = False
+                else:
+                    admit = True
+                    self._conn_sockets.add(conn)
+            if not admit:
+                self._connections_rejected.inc()
+                self._refuse(conn, "busy", "connection limit reached")
+                continue
+            self._connections_total.inc()
+            handler = threading.Thread(
+                target=self._handle_connection,
+                args=(conn, addr),
+                name=f"lsm-server-conn-{addr[1]}",
+                daemon=True,
+            )
+            with self._lock:
+                self._handlers.add(handler)
+            handler.start()
+
+    def _refuse(self, conn: socket.socket, code: str, message: str) -> None:
+        try:
+            send_message(conn, ErrorResponse(code=code, message=message))
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_connection(self, conn: socket.socket, addr) -> None:
+        decoder = FrameDecoder(max_payload=self.config.max_payload_bytes)
+        conn.settimeout(self.config.idle_poll_s)
+        try:
+            while True:
+                request = decoder.next_message()
+                if request is not None:
+                    self._serve_request(conn, request)
+                    continue
+                if self._stop.is_set():
+                    return  # drained: no buffered request, none in flight
+                try:
+                    chunk = conn.recv(self.config.recv_bytes)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                if not chunk:
+                    if decoder.pending_bytes:
+                        self._protocol_errors.inc()
+                    return
+                try:
+                    decoder.feed(chunk)
+                except ProtocolError as exc:
+                    self._protocol_errors.inc()
+                    self._try_send(
+                        conn, ErrorResponse(code="bad_frame", message=str(exc))
+                    )
+                    return  # the stream is unsynchronized; drop it
+        finally:
+            with self._lock:
+                self._conn_sockets.discard(conn)
+                self._handlers.discard(threading.current_thread())
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _try_send(self, conn: socket.socket, message: Message) -> None:
+        try:
+            send_message(conn, message)
+        except OSError:
+            pass
+
+    # -- request dispatch ------------------------------------------------------
+
+    _OP_NAMES = {
+        PingRequest: "ping",
+        StatsRequest: "stats",
+        GetRequest: "get",
+        PutRequest: "put",
+        DeleteRequest: "delete",
+        MultiGetRequest: "multi_get",
+        ScanRequest: "scan",
+        BatchRequest: "batch",
+    }
+
+    def _serve_request(self, conn: socket.socket, request: Message) -> None:
+        op = self._OP_NAMES.get(type(request))
+        if op is None:
+            self._protocol_errors.inc()
+            self._try_send(
+                conn,
+                ErrorResponse(
+                    code="bad_request",
+                    message=f"unexpected message {type(request).__name__}",
+                ),
+            )
+            return
+        self._requests_total.inc()
+        self._in_flight.add(1.0)
+        wall0 = time.perf_counter()
+        try:
+            response = self._execute(op, request)
+        except ProtocolError as exc:
+            self._request_errors.inc()
+            response = ErrorResponse(code="bad_request", message=str(exc))
+        except ReproError as exc:
+            self._request_errors.inc()
+            response = ErrorResponse(
+                code="engine", message=f"{type(exc).__name__}: {exc}"
+            )
+        except Exception as exc:  # noqa: BLE001 - a handler must not die
+            self._request_errors.inc()
+            response = ErrorResponse(
+                code="internal", message=f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._in_flight.add(-1.0)
+        self._request_wall[op].record(time.perf_counter() - wall0)
+        self._try_send(conn, response)
+
+    def _resolve_tenant(self, request: Message) -> str:
+        tenant = getattr(request, "tenant", "") or self.config.default_tenant
+        validate_tenant(tenant)
+        return tenant
+
+    def _admit(self, tenant: str, cost: int) -> None:
+        if self.admission is None:
+            return
+        waited = self.admission.admit(tenant, cost)
+        self.registry.counter(
+            "server_tenant_ops_total",
+            "operations admitted per tenant",
+            labels={"tenant": tenant},
+        ).inc(cost)
+        if waited > 0:
+            self._admission_wait.record(waited)
+            self.registry.counter(
+                "server_tenant_throttle_waits_total",
+                "admission waits per tenant (fair-share throttling engaged)",
+                labels={"tenant": tenant},
+            ).inc()
+
+    def _execute(self, op: str, request: Message) -> Message:
+        tenant = self._resolve_tenant(request)
+        service = self.service
+        if op == "ping":
+            info = service.ping() if hasattr(service, "ping") else {}
+            return PongResponse(
+                server_uptime_s=self.uptime_seconds,
+                engine_uptime_s=info.get("engine_uptime_seconds", 0.0),
+            )
+        if op == "stats":
+            return StatsResponse(payload_json=json.dumps(self.stats_snapshot()))
+        if op == "get":
+            self._admit(tenant, 1)
+            result = service.get(namespaced_key(tenant, request.key))
+            return GetResponse(found=result.found, value=result.value or b"")
+        if op == "put":
+            self._admit(tenant, 1)
+            service.put(namespaced_key(tenant, request.key), request.value)
+            return OkResponse(count=1)
+        if op == "delete":
+            self._admit(tenant, 1)
+            service.delete(namespaced_key(tenant, request.key))
+            return OkResponse(count=1)
+        if op == "multi_get":
+            self._admit(tenant, len(request.keys))
+            stored = [namespaced_key(tenant, key) for key in request.keys]
+            results = service.multi_get(stored)
+            entries = []
+            for user_key, stored_key in zip(request.keys, stored):
+                result = results.get(stored_key, GetResult())
+                entries.append((user_key, result.found, result.value or b""))
+            return MultiGetResponse(entries=tuple(entries))
+        if op == "scan":
+            self._admit(tenant, 1)
+            limit = min(max(1, request.limit), self.config.scan_limit_max)
+            lo, hi = tenant_range(tenant, request.start, request.end)
+            items = []
+            truncated = False
+            for stored_key, value in service.scan(lo, hi):
+                if len(items) >= limit:
+                    truncated = True
+                    break
+                items.append((strip_namespace(tenant, stored_key), value))
+            return ScanResponse(items=tuple(items), truncated=truncated)
+        if op == "batch":
+            self._admit(tenant, len(request.ops))
+            for kind, key, value in request.ops:
+                stored = namespaced_key(tenant, key)
+                if kind == "put":
+                    service.put(stored, value)
+                else:
+                    service.delete(stored)
+            return OkResponse(count=len(request.ops))
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Everything the ``stats`` frame reports, as one JSON-able dict."""
+        service = self.service
+        payload = {
+            "server": {
+                "address": list(self.address) if self.address else None,
+                "uptime_seconds": self.uptime_seconds,
+                "draining": self._stop.is_set(),
+                "connections_active": len(self._conn_sockets),
+            },
+            "metrics": self.registry.snapshot(),
+        }
+        if hasattr(service, "ping"):
+            payload["health"] = service.ping()
+        if hasattr(service, "metrics_snapshot"):
+            payload["engine"] = service.metrics_snapshot()
+        if self.admission is not None:
+            payload["tenants"] = self.admission.snapshot()
+        return payload

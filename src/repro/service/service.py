@@ -79,6 +79,7 @@ class DBService:
             max_wait_s=self.config.max_batch_wait_s,
         )
         self._closed = False
+        self._started_monotonic = time.monotonic()
         # Observability (repro.observe), wired by attach_observability().
         self.observer = None
         self.recorder = None
@@ -150,6 +151,12 @@ class DBService:
         registry.gauge(
             "service_pending_jobs", "queued + in-flight background jobs"
         ).set_function(lambda: self.scheduler.pending_jobs)
+        registry.gauge(
+            "service_uptime_seconds", "seconds since the service started"
+        ).set_function(lambda: self.uptime_seconds)
+        registry.gauge(
+            "engine_uptime_seconds", "seconds since the engine instance opened"
+        ).set_function(lambda: self.tree.uptime_seconds)
         return self.observer
 
     # -- writes -------------------------------------------------------------
@@ -270,6 +277,34 @@ class DBService:
     @property
     def stats(self):
         return self.tree.stats
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Wall-clock seconds since this service instance was constructed."""
+        return time.monotonic() - self._started_monotonic
+
+    def ping(self) -> dict:
+        """Cheap liveness probe: no I/O, safe to call from health checks.
+
+        Reports whether the service is open, how long the service and the
+        underlying engine have been up (a recovered tree restarts its
+        clock — it is a new instance), and the background-job backlog.
+        """
+        return {
+            "ok": not self._closed,
+            "service_uptime_seconds": self.uptime_seconds,
+            "engine_uptime_seconds": self.tree.uptime_seconds,
+            "pending_jobs": self.scheduler.pending_jobs,
+            "write_queue_depth": self._batcher.queue_depth,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The engine's metrics snapshot plus service-level uptime/backlog."""
+        snapshot = self.tree.metrics_snapshot()
+        snapshot["service_uptime_seconds"] = self.uptime_seconds
+        snapshot["pending_jobs"] = self.scheduler.pending_jobs
+        snapshot["write_queue_depth"] = self._batcher.queue_depth
+        return snapshot
 
     def _check_open(self) -> None:
         if self._closed:

@@ -1,0 +1,55 @@
+"""CLI contract: exit codes, clean errors, and the serve smoke test."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestErrorHandling:
+    def test_unknown_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["definitely-not-a-command"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_option_value_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "--format", "nope"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_failed_subcommand_returns_one_with_clean_error(self, capsys):
+        # An out-of-range port fails config validation inside the command:
+        # one `error: ...` line on stderr, no traceback.
+        assert main(["serve", "--port", "-5"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_tenant_rate_is_clean_too(self, capsys):
+        assert main(["serve", "--tenant-rate", "-1"]) == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+
+class TestServeSmokeTest:
+    def test_smoke_test_runs_and_writes_metrics(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "serve",
+                "--smoke-test",
+                "--tenant-count", "2",
+                "--clients", "1",
+                "--ops", "40",
+                "--metrics-out", str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "0 protocol errors" in captured.out
+        snapshot = json.loads(out.read_text())
+        assert snapshot["health"]["ok"] is True
+        assert snapshot["metrics"]["counters"]["server_requests_total"] >= 80

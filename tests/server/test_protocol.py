@@ -1,0 +1,250 @@
+"""Wire protocol properties: round-trips, truncation, and corruption."""
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    HEADER_SIZE,
+    MAGIC,
+    TRAILER_SIZE,
+    VERSION,
+    BatchRequest,
+    DeleteRequest,
+    ErrorResponse,
+    FrameDecoder,
+    GetRequest,
+    GetResponse,
+    MultiGetRequest,
+    MultiGetResponse,
+    OkResponse,
+    PingRequest,
+    PongResponse,
+    ProtocolError,
+    PutRequest,
+    REQUEST_TYPES,
+    RESPONSE_TYPES,
+    ScanRequest,
+    ScanResponse,
+    StatsRequest,
+    StatsResponse,
+    decode_frame,
+    encode_frame,
+    try_decode_frame,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+_text = st.text(max_size=24)
+_key = st.binary(max_size=48)
+_value = st.binary(max_size=48)
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_limit = st.integers(min_value=0, max_value=2**32)
+
+_requests = st.one_of(
+    st.builds(PingRequest, tenant=_text),
+    st.builds(StatsRequest, tenant=_text),
+    st.builds(GetRequest, tenant=_text, key=_key),
+    st.builds(PutRequest, tenant=_text, key=_key, value=_value),
+    st.builds(DeleteRequest, tenant=_text, key=_key),
+    st.builds(
+        MultiGetRequest,
+        tenant=_text,
+        keys=st.lists(_key, max_size=6).map(tuple),
+    ),
+    st.builds(
+        ScanRequest,
+        tenant=_text,
+        start=st.none() | _key,
+        end=st.none() | _key,
+        limit=_limit,
+    ),
+    st.builds(
+        BatchRequest,
+        tenant=_text,
+        ops=st.lists(
+            st.tuples(st.sampled_from(["put", "delete"]), _key, _value),
+            max_size=6,
+        ).map(tuple),
+    ),
+)
+
+_responses = st.one_of(
+    st.builds(PongResponse, server_uptime_s=_floats, engine_uptime_s=_floats),
+    st.builds(StatsResponse, payload_json=_text),
+    st.builds(GetResponse, found=st.booleans(), value=_value),
+    st.builds(OkResponse, count=st.integers(min_value=0, max_value=2**40)),
+    st.builds(
+        MultiGetResponse,
+        entries=st.lists(
+            st.tuples(_key, st.booleans(), _value), max_size=6
+        ).map(tuple),
+    ),
+    st.builds(
+        ScanResponse,
+        items=st.lists(st.tuples(_key, _value), max_size=6).map(tuple),
+        truncated=st.booleans(),
+    ),
+    st.builds(ErrorResponse, code=_text, message=_text),
+)
+
+_messages = st.one_of(_requests, _responses)
+
+
+# -- round trips ---------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(_messages)
+    def test_every_frame_round_trips(self, message):
+        frame = encode_frame(message)
+        decoded, end = decode_frame(frame)
+        assert decoded == message
+        assert end == len(frame)
+
+    @given(_messages, st.integers(min_value=1, max_value=7))
+    def test_streaming_decoder_any_chunking(self, message, chunk):
+        frame = encode_frame(message)
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(0, len(frame), chunk):
+            seen.extend(decoder.feed(frame[i : i + chunk]))
+        assert seen == [message]
+        assert decoder.pending_bytes == 0
+
+    @given(st.lists(_messages, min_size=2, max_size=4))
+    def test_back_to_back_frames_decode_in_order(self, messages):
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        assert decoder.feed(stream) == messages
+        # next_message drains the same queue
+        decoder2 = FrameDecoder()
+        decoder2.feed(stream)
+        drained = []
+        while (msg := decoder2.next_message()) is not None:
+            drained.append(msg)
+        assert drained == messages
+
+    def test_all_registered_types_covered(self):
+        # The strategies above must exercise every type the protocol exports.
+        assert len(REQUEST_TYPES) == 8
+        assert len(RESPONSE_TYPES) == 7
+        types = {cls.TYPE for cls in REQUEST_TYPES + RESPONSE_TYPES}
+        assert len(types) == 15
+
+
+# -- truncation ----------------------------------------------------------------
+
+
+class TestTruncation:
+    @given(_messages, st.data())
+    def test_any_strict_prefix_is_incomplete_not_corrupt(self, message, data):
+        frame = encode_frame(message)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        assert try_decode_frame(frame[:cut]) is None
+
+    @given(_messages)
+    def test_decode_frame_raises_on_truncation(self, message):
+        frame = encode_frame(message)
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[: len(frame) - 1])
+
+    def test_mid_frame_eof_detected_by_socket_reader(self):
+        # recv_message raises when the peer dies inside a frame.
+        from repro.server.protocol import recv_message
+
+        frame = encode_frame(PingRequest(tenant="t"))
+
+        class HalfSocket:
+            def __init__(self):
+                self.chunks = [frame[: len(frame) // 2], b""]
+
+            def recv(self, n):
+                return self.chunks.pop(0)
+
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_message(HalfSocket(), FrameDecoder())
+
+
+# -- corruption ----------------------------------------------------------------
+
+
+class TestCorruption:
+    @settings(max_examples=200)
+    @given(_messages, st.data())
+    def test_single_byte_corruption_never_yields_a_message(self, message, data):
+        frame = bytearray(encode_frame(message))
+        pos = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        frame[pos] ^= flip
+        try:
+            decoded = try_decode_frame(bytes(frame))
+        except ProtocolError:
+            return  # rejected loudly: the property holds
+        # A grown length field can make the frame look incomplete — also
+        # acceptable. What must never happen is a silently decoded message.
+        assert decoded is None
+
+    def _frame(self, msg_type, payload, magic=MAGIC, version=VERSION, crc=None):
+        header = struct.pack(">HBBI", magic, version, msg_type, len(payload))
+        body = header + payload
+        if crc is None:
+            crc = zlib.crc32(body) & 0xFFFFFFFF
+        return body + struct.pack(">I", crc)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            try_decode_frame(self._frame(0x01, b"\x00", magic=0xDEAD))
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            try_decode_frame(self._frame(0x01, b"\x00", version=9))
+
+    def test_unknown_message_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            try_decode_frame(self._frame(0x7F, b""))
+
+    def test_crc_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="CRC"):
+            try_decode_frame(self._frame(0x01, b"\x00", crc=0))
+
+    def test_over_limit_payload_rejected_before_buffering(self):
+        header = struct.pack(
+            ">HBBI", MAGIC, VERSION, 0x01, DEFAULT_MAX_PAYLOAD + 1
+        )
+        with pytest.raises(ProtocolError, match="exceeds limit"):
+            try_decode_frame(header)
+
+    def test_trailing_payload_bytes_rejected(self):
+        # A structurally valid frame whose payload has junk after the
+        # typed fields must not decode (every decoder calls _expect_end).
+        payload = PingRequest(tenant="t").encode_payload() + b"\xff"
+        with pytest.raises(ProtocolError, match="trailing"):
+            try_decode_frame(self._frame(PingRequest.TYPE, payload))
+
+    def test_bad_bool_byte_rejected(self):
+        payload = b"\x07" + GetResponse(found=True, value=b"x").encode_payload()[1:]
+        with pytest.raises(ProtocolError, match="boolean"):
+            try_decode_frame(self._frame(GetResponse.TYPE, payload))
+
+    def test_invalid_utf8_tenant_rejected(self):
+        payload = b"\x02\xff\xfe"  # length-2 string that is not utf-8
+        with pytest.raises(ProtocolError, match="utf-8"):
+            try_decode_frame(self._frame(PingRequest.TYPE, payload))
+
+    def test_unknown_batch_kind_rejected(self):
+        out = bytearray()
+        out.append(0)  # empty tenant string
+        out.append(1)  # one op
+        out.append(9)  # kind byte out of range
+        with pytest.raises(ProtocolError, match="batch op kind"):
+            try_decode_frame(self._frame(BatchRequest.TYPE, bytes(out)))
+
+    def test_header_and_trailer_sizes_documented(self):
+        frame = encode_frame(OkResponse(count=1))
+        payload = OkResponse(count=1).encode_payload()
+        assert len(frame) == HEADER_SIZE + len(payload) + TRAILER_SIZE

@@ -1,0 +1,159 @@
+"""Tenant namespaces and fair-share admission (deterministic clock)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.server.protocol import ProtocolError
+from repro.server.tenancy import (
+    TENANT_SEP,
+    FairShareAdmission,
+    namespaced_key,
+    strip_namespace,
+    tenant_boundaries,
+    tenant_prefix,
+    tenant_range,
+    validate_tenant,
+)
+
+_tenant_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-",
+    min_size=1,
+    max_size=64,
+)
+
+
+class TestNamespacing:
+    @given(_tenant_ids, st.binary(max_size=32))
+    def test_namespace_round_trips(self, tenant, key):
+        stored = namespaced_key(tenant, key)
+        assert strip_namespace(tenant, stored) == key
+
+    @given(_tenant_ids, _tenant_ids, st.binary(max_size=16), st.binary(max_size=16))
+    def test_distinct_tenants_never_collide(self, a, b, key_a, key_b):
+        if a != b:
+            assert namespaced_key(a, key_a) != namespaced_key(b, key_b)
+
+    @given(_tenant_ids, st.binary(max_size=32))
+    def test_every_key_falls_inside_the_tenant_range(self, tenant, key):
+        lo, hi = tenant_range(tenant, None, None)
+        assert lo <= namespaced_key(tenant, key) <= hi
+
+    @given(_tenant_ids, _tenant_ids, st.binary(max_size=16))
+    def test_ranges_of_distinct_tenants_do_not_overlap(self, a, b, key):
+        if a == b:
+            return
+        lo, hi = tenant_range(a, None, None)
+        stored = namespaced_key(b, key)
+        assert not (lo <= stored <= hi)
+
+    def test_bounded_range_uses_inclusive_ends(self):
+        lo, hi = tenant_range("t", b"b", b"d")
+        assert lo == b"t" + TENANT_SEP + b"b"
+        assert hi == b"t" + TENANT_SEP + b"d"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a" * 65, "no spaces", "semi;colon", "t\x00null", "café"]
+    )
+    def test_invalid_ids_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            validate_tenant(bad)
+
+    def test_boundaries_sorted_for_sharding(self):
+        bounds = tenant_boundaries(["zeta", "alpha", "mid"])
+        assert bounds == sorted(bounds)
+        assert bounds[0] == tenant_prefix("alpha")
+
+
+class FakeClock:
+    """A manual clock whose sleep() advances it — no real waiting."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.slept = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+        self.slept += seconds
+
+
+class TestFairShareAdmission:
+    def test_compliant_tenant_never_waits(self):
+        clock = FakeClock()
+        admission = FairShareAdmission(100.0, clock=clock, sleep=clock.sleep)
+        for _ in range(50):
+            assert admission.admit("calm") == 0.0
+            clock.now += 0.02  # 50 ops/s offered against a 100 ops/s share
+        snap = admission.snapshot()["calm"]
+        assert snap["throttle_waits"] == 0
+        assert snap["ops_admitted"] == 50
+
+    def test_hot_tenant_is_throttled_to_its_share(self):
+        clock = FakeClock()
+        admission = FairShareAdmission(
+            100.0, burst_ops=10.0, clock=clock, sleep=clock.sleep
+        )
+        began = clock.now
+        for _ in range(510):  # flat out: only the limiter advances the clock
+            admission.admit("hot")
+        elapsed = clock.now - began
+        achieved = 510 / elapsed
+        # Deficit bucket: rate converges to the share once the burst drains.
+        assert achieved == pytest.approx(100.0, rel=0.05)
+        assert admission.snapshot()["hot"]["throttle_waits"] > 0
+
+    def test_hot_tenant_does_not_consume_a_compliant_tenants_share(self):
+        """The fairness contract: buckets are independent, so a tenant
+        driving 4x its share only ever delays itself."""
+        clock = FakeClock()
+        admission = FairShareAdmission(
+            100.0, burst_ops=5.0, clock=clock, sleep=clock.sleep
+        )
+        completed = {"hot": 0, "calm": 0}
+        calm_next = 0.0
+        deadline = 2.0
+        # Interleave: calm offers 80 ops/s (under its share); hot offers
+        # everything the clock allows (4x+ its share).
+        while clock.now < deadline:
+            if clock.now >= calm_next:
+                assert admission.admit("calm") == 0.0  # never throttled
+                completed["calm"] += 1
+                calm_next += 1.0 / 80.0
+            admission.admit("hot")
+            completed["hot"] += 1
+        snap = admission.snapshot()
+        # Calm got its full offered rate, within tolerance.
+        expected_calm = 80.0 * deadline
+        assert completed["calm"] >= expected_calm * 0.95
+        assert snap["calm"]["throttle_waits"] == 0
+        # Hot was held near its fair share, not its offered rate.
+        assert completed["hot"] <= 100.0 * deadline + 5.0 + 2
+        assert snap["hot"]["throttle_wait_seconds"] > 0
+
+    def test_weights_scale_shares(self):
+        clock = FakeClock()
+        admission = FairShareAdmission(
+            100.0,
+            burst_ops=1.0,
+            weights={"gold": 3.0},
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        snap_rate = lambda t: admission.snapshot()[t]["share_ops_per_second"]
+        admission.admit("gold")
+        admission.admit("bronze")
+        assert snap_rate("gold") == 300.0
+        assert snap_rate("bronze") == 100.0
+
+    def test_invalid_configs_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            FairShareAdmission(0.0)
+        with pytest.raises(ConfigError):
+            FairShareAdmission(10.0, burst_ops=-1.0)
+        with pytest.raises(ConfigError):
+            FairShareAdmission(10.0, weights={"t": 0.0})
