@@ -5,7 +5,10 @@ Subcommands:
 * ``demo`` (the default) — the 30-second guided tour of the design space;
 * ``stats`` — run an instrumented workload and print the RocksDB-style
   per-level table plus latency percentiles (``--format table|prometheus|
-  json`` selects the export surface);
+  json`` selects the export surface); ``--live`` instead renders a
+  redrawing time-series dashboard, either over a local demo workload or —
+  with ``--connect HOST:PORT`` — from a running server's ``stats_history``
+  frames;
 * ``trace`` — run with read-path tracing enabled and print the recorded
   spans with their per-stage latency breakdowns;
 * ``serve`` — run the framed-protocol network server (``repro.server``)
@@ -111,10 +114,162 @@ def _instrumented_run(
     return tree, registry, recorder
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 30) -> str:
+    vals = list(values)[-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_BLOCKS[0] * len(vals)
+    scale = (len(_SPARK_BLOCKS) - 1) / (hi - lo)
+    return "".join(_SPARK_BLOCKS[int((v - lo) * scale)] for v in vals)
+
+
+def _render_history_frame(payload: dict, max_rows: int = 18) -> str:
+    """One dashboard frame from a ``TimeSeriesSampler.as_dict()`` payload."""
+    series = payload.get("series", {})
+    rows = []
+    for name in sorted(series):
+        data = series[name]
+        ts, vals = data.get("t", []), data.get("v", [])
+        if data.get("kind") == "cumulative":
+            # Differentiate on read: show the per-second rate, not the total.
+            rates = [
+                (v1 - v0) / (t1 - t0)
+                for (t0, v0), (t1, v1) in zip(zip(ts, vals), zip(ts[1:], vals[1:]))
+                if t1 > t0
+            ]
+            if not rates:
+                continue
+            rows.append((f"{name}/s", rates))
+        elif vals:
+            rows.append((name, vals))
+
+    def _priority(row) -> int:
+        label = row[0]
+        for rank, prefix in enumerate(
+            ("cache_hit_ratio", "stall_fraction", "read_fraction",
+             "engine_gets", "engine_puts", "level", "server_requests")
+        ):
+            if label.startswith(prefix):
+                return rank
+        return 99
+
+    rows.sort(key=lambda row: (_priority(row), row[0]))
+    lines = [
+        f"repro {__version__} — live series "
+        f"(samples={payload.get('samples', 0)}, "
+        f"series={len(series)}, showing {min(len(rows), max_rows)})"
+    ]
+    for label, vals in rows[:max_rows]:
+        lines.append(f"  {label:<34} {vals[-1]:>12.4g}  {_sparkline(vals)}")
+    return "\n".join(lines)
+
+
+def _emit_live_frame(frame: str) -> None:
+    if sys.stdout.isatty():
+        # Redraw in place (home + clear-to-end); no curses dependency.
+        sys.stdout.write("\x1b[H\x1b[J" + frame + "\n")
+    else:
+        sys.stdout.write(frame + "\n" + "-" * 72 + "\n")
+    sys.stdout.flush()
+
+
+def stats_live_command(args: argparse.Namespace) -> int:
+    """Live dashboard: scrape-and-redraw loop, local or over the wire."""
+    import json as _json
+    import threading
+    import time as _time
+
+    frames = max(1, int(round(args.duration / args.interval)))
+    payload = None
+
+    if args.connect:
+        from repro.server.client import LSMClient
+
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+                  file=sys.stderr)
+            return 1
+        client = LSMClient(host, int(port))
+        try:
+            for _ in range(frames):
+                payload = client.stats_history()
+                _emit_live_frame(_render_history_frame(payload))
+                _time.sleep(args.interval)
+        finally:
+            client.close()
+    else:
+        from repro.observe import (
+            MetricsRegistry,
+            TimeSeriesSampler,
+            attach_engine_source,
+            export_level_gauges,
+            observe_tree,
+        )
+
+        tree = LSMTree(
+            LSMConfig(
+                buffer_bytes=8 << 10, block_size=512, size_ratio=4,
+                layout="leveling", bits_per_key=10.0, cache_bytes=64 << 10, seed=1,
+            )
+        )
+        preload_tree(tree, args.keys, value_size=40)
+        registry = MetricsRegistry()
+        observe_tree(tree, registry, sampling=0.0)
+        export_level_gauges(tree, registry)
+        sampler = TimeSeriesSampler(registry)
+        attach_engine_source(sampler, tree)
+        stop = threading.Event()
+
+        def drive() -> None:
+            round_no = 0
+            while not stop.is_set():
+                spec = uniform_spec(
+                    args.keys, OperationMix(put=0.30, get=0.65, scan=0.05),
+                    value_size=40, seed=2 + round_no, scan_length=16,
+                )
+                for op in spec.operations(500):
+                    if stop.is_set():
+                        return
+                    if op.kind == "put":
+                        tree.put(op.key, op.value)
+                    elif op.kind == "get":
+                        tree.get(op.key)
+                    elif op.kind == "scan":
+                        for _ in tree.scan(op.key, op.end_key):
+                            pass
+                round_no += 1
+
+        worker = threading.Thread(target=drive, name="stats-live-load", daemon=True)
+        worker.start()
+        try:
+            for _ in range(frames):
+                _time.sleep(args.interval)
+                sampler.scrape()
+                payload = sampler.as_dict()
+                _emit_live_frame(_render_history_frame(payload))
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+
+    if args.history_out and payload is not None:
+        with open(args.history_out, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"time-series history written to {args.history_out}")
+    return 0
+
+
 def stats_command(args: argparse.Namespace) -> int:
     """Per-level stats table and latency percentiles for a demo workload."""
     from repro.observe import export_level_gauges, render_dump, to_json, to_prometheus
 
+    if args.live:
+        return stats_live_command(args)
     sampling = args.sampling if args.format == "json" else 0.0
     tree, registry, recorder = _instrumented_run(
         ops=args.ops, keys=args.keys, sampling=sampling
@@ -181,12 +336,21 @@ def serve_command(args: argparse.Namespace) -> int:
 
     service = repro.open(service=True, observe=True)
     registry = service.observer.registry
+    if args.trace_sampling:
+        # Swap in a roomier recorder so smoke runs keep every span of every
+        # joined trace (the default ring is sized for steady-state serving).
+        from repro.observe import TraceRecorder
+
+        recorder = TraceRecorder(capacity=8192, sampling=args.trace_sampling)
+        service.recorder = recorder
+        service.tree.tracer = recorder
     server_config = ServerConfig(
         host=args.host,
         port=args.port,
         max_connections=args.max_connections,
         tenant_ops_per_second=args.tenant_rate,
         tenant_burst_ops=args.tenant_burst,
+        trace_sampling=args.trace_sampling,
     )
     server = LSMServer(
         service, server_config, registry=registry, close_service=True
@@ -203,10 +367,15 @@ def serve_command(args: argparse.Namespace) -> int:
 
     if args.smoke_test:
         try:
-            from repro.observe import MetricsRegistry
+            from repro.observe import MetricsRegistry, TraceRecorder
             from repro.workloads.spec import OperationMix
 
             client_registry = MetricsRegistry()
+            client_recorder = None
+            if args.trace_sampling:
+                client_recorder = TraceRecorder(
+                    capacity=8192, sampling=args.trace_sampling
+                )
             tenants = [
                 TenantLoad(
                     tenant=f"smoke{i}",
@@ -215,15 +384,27 @@ def serve_command(args: argparse.Namespace) -> int:
                     mix=OperationMix(put=0.4, get=0.5, scan=0.1),
                     keyspace=500,
                     seed=11 + i,
+                    trace_sampling=args.trace_sampling or 0.0,
                 )
                 for i in range(args.tenant_count)
             ]
-            results = run_load(host, port, tenants, registry=client_registry)
+            results = run_load(
+                host, port, tenants,
+                registry=client_registry, trace_recorder=client_recorder,
+            )
             snapshot = server.stats_snapshot()
             if args.metrics_out:
                 with open(args.metrics_out, "w", encoding="utf-8") as fh:
                     _json.dump(snapshot, fh, indent=2, sort_keys=True, default=str)
                 print(f"metrics snapshot written to {args.metrics_out}")
+            if args.journal_out:
+                written = server.journal.write_jsonl(args.journal_out)
+                print(f"event journal ({written} events) written to {args.journal_out}")
+            if args.history_out:
+                server.sampler.scrape()
+                with open(args.history_out, "w", encoding="utf-8") as fh:
+                    _json.dump(server.sampler.as_dict(), fh, indent=2, sort_keys=True)
+                print(f"time-series history written to {args.history_out}")
             total_ops = sum(r.operations for r in results.values())
             protocol_errors = sum(r.protocol_errors for r in results.values())
             remote_errors = sum(r.remote_errors for r in results.values())
@@ -246,6 +427,42 @@ def serve_command(args: argparse.Namespace) -> int:
                 and not fatal
                 and total_ops == expected
             )
+            if client_recorder is not None:
+                # A joined trace = one trace id with spans on BOTH sides of
+                # the socket; an orphan = a child span whose parent id does
+                # not resolve anywhere within its own trace.
+                client_spans = client_recorder.spans()
+                server_spans = server.recorder.spans()
+                joined = {s.trace_id for s in client_spans} & {
+                    s.trace_id for s in server_spans
+                }
+                span_ids_by_trace = {}
+                for span in client_spans + server_spans:
+                    span_ids_by_trace.setdefault(span.trace_id, set()).add(
+                        span.span_id
+                    )
+                orphans = [
+                    span
+                    for span in client_spans + server_spans
+                    if span.parent_id
+                    and span.parent_id
+                    not in span_ids_by_trace.get(span.trace_id, set())
+                ]
+                print(
+                    f"tracing: {len(client_spans)} client spans, "
+                    f"{len(server_spans)} server+engine spans, "
+                    f"{len(joined)} joined traces, {len(orphans)} orphan spans"
+                )
+                if not joined:
+                    print("error: no cross-process trace joined up",
+                          file=sys.stderr)
+                if orphans:
+                    print(
+                        f"error: {len(orphans)} orphan spans "
+                        f"(first: {orphans[0].as_dict()})",
+                        file=sys.stderr,
+                    )
+                ok = ok and bool(joined) and not orphans
             if not ok:
                 for line in fatal[:8]:
                     print(f"  fatal: {line}", file=sys.stderr)
@@ -303,6 +520,32 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="trace sampling fraction for the json export's trace section",
     )
+    stats.add_argument(
+        "--live",
+        action="store_true",
+        help="render a redrawing time-series dashboard instead of one table",
+    )
+    stats.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="live mode: poll a running server's stats_history frames "
+        "instead of driving a local demo workload",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=1.0,
+        help="live mode: seconds between frames",
+    )
+    stats.add_argument(
+        "--duration", type=float, default=10.0,
+        help="live mode: total seconds to run",
+    )
+    stats.add_argument(
+        "--history-out",
+        default=None,
+        metavar="FILE",
+        help="live mode: write the final time-series history as JSON",
+    )
 
     trace = sub.add_parser("trace", help="sampled read-path span breakdowns")
     trace.add_argument(
@@ -353,6 +596,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="smoke test: write the server's JSON stats snapshot here",
+    )
+    serve.add_argument(
+        "--trace-sampling",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="trace this fraction of requests end to end (client spans in "
+        "the smoke test propagate over the wire and join the server's)",
+    )
+    serve.add_argument(
+        "--journal-out",
+        default=None,
+        metavar="FILE",
+        help="smoke test: write the structured event journal as JSONL",
+    )
+    serve.add_argument(
+        "--history-out",
+        default=None,
+        metavar="FILE",
+        help="smoke test: write the time-series history as JSON",
     )
     return parser
 

@@ -446,11 +446,11 @@ class LSMTree:
         self._check_open()
         obs = self.observer
         tracer = self.tracer
-        span = (
-            tracer.start("get")
-            if tracer is not None and tracer.should_sample()
-            else None
-        )
+        # maybe_start inherits the request's active trace context when one is
+        # installed (server/service path) and only rolls the sampling dice
+        # itself when this get *is* the outermost span — the decision is made
+        # once per request, never per engine call.
+        span = tracer.maybe_start("get") if tracer is not None else None
         timed = obs is not None or span is not None
         if timed:
             wall0 = time.perf_counter()
@@ -628,7 +628,22 @@ class LSMTree:
         unique = sorted(set(keys))
         parallel = self.config.parallel
         if parallel is None or not parallel.coalesce_point_reads or not unique:
-            return {key: self.get(key) for key in unique}
+            tracer = self.tracer
+            if tracer is None or tracer.active() is not None:
+                return {key: self.get(key) for key in unique}
+            # Outermost span: decide the batch's sampling fate once, so the
+            # per-key gets are all traced under one parent or none are.
+            span = tracer.maybe_start("multi_get")
+            from repro.observe.tracing import TraceContext
+
+            ctx = span.context() if span is not None else TraceContext("", sampled=False)
+            token = tracer.activate(ctx)
+            try:
+                return {key: self.get(key) for key in unique}
+            finally:
+                tracer.deactivate(token)
+                if span is not None:
+                    tracer.finish(span, op="multi_get", keys=len(unique))
 
         probe = ProbeStats()
         entries: Dict[bytes, Entry] = {}
@@ -1558,6 +1573,9 @@ class LSMTree:
             return None
         obs = self.observer
         if obs is not None:
+            obs.record_compaction_start(
+                plan.level, plan.dest, plan.bytes_in, runs=len(plan.inputs)
+            )
             wall0 = time.perf_counter()
         merged = self._merge_runs(plan.inputs, plan.dest, plan.purge)
         if obs is not None:
@@ -1694,6 +1712,11 @@ class LSMTree:
         # eagerly, so the old files may be retired right after.
         obs = self.observer
         if obs is not None:
+            obs.record_compaction_start(
+                level, level + 1,
+                victim.size_bytes + sum(t.size_bytes for t in overlapping),
+                runs=1 + len(overlapping),
+            )
             wall0 = time.perf_counter()
         streams = [victim.iter_entries()] + [table.iter_entries() for table in overlapping]
         purge = (level + 1) >= self._deepest_data_level()

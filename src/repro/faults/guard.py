@@ -90,7 +90,7 @@ class ReadGuard:
                 self._quarantined.add(file_id)
                 obs = self.observer
                 if obs is not None:
-                    obs.record_quarantine()
+                    obs.record_quarantine(file_id)
 
     def release(self, file_id: int) -> None:
         """Lift a quarantine (after the file is rebuilt or deleted)."""

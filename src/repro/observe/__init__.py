@@ -5,8 +5,15 @@ The observability layer every perf claim in this repo reports through:
 * :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
   log-bucketed :class:`Histogram` (p50/p90/p99/p99.9, mergeable across
   shards, bounded memory);
-* :class:`TraceRecorder` + :class:`Span` — sampled read-path tracing with a
-  ring buffer, near-free when sampling is off;
+* :class:`TraceRecorder` + :class:`Span` + :class:`TraceContext` — sampled
+  request tracing with a ring buffer, near-free when sampling is off, joined
+  across processes via the wire-propagated context; :class:`SlowOpLog` for
+  the always-on slow-request breakdowns;
+* :class:`EventJournal` — the bounded, thread-safe journal of typed engine
+  events (flush/compaction/stall/quarantine/throttle) with JSONL export;
+* :class:`TimeSeriesSampler` + :class:`RingSeries` — fixed-interval scrapes
+  of any registry into bounded history with delta/rate derivation (the
+  ``stats_history`` frame and ``python -m repro stats --live``);
 * :func:`level_stats` / :func:`format_level_table` — the RocksDB-style
   per-level stats table;
 * :func:`to_prometheus` / :func:`to_json` / :func:`render_dump` — the
@@ -17,6 +24,7 @@ Attach to an engine with :func:`observe_tree` (or
 """
 
 from repro.observe.engine import EngineObserver, LevelIOStats, observe_tree
+from repro.observe.journal import EVENT_KINDS, EventJournal, JournalEvent
 from repro.observe.export import (
     latency_rows,
     parse_prometheus,
@@ -38,7 +46,20 @@ from repro.observe.metrics import (
     MetricsRegistry,
     merge_registries,
 )
-from repro.observe.tracing import Span, TraceRecorder
+from repro.observe.timeseries import (
+    EngineSource,
+    RingSeries,
+    TimeSeriesSampler,
+    attach_engine_source,
+)
+from repro.observe.tracing import (
+    SlowOpLog,
+    Span,
+    TraceContext,
+    TraceRecorder,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "Counter",
@@ -52,6 +73,17 @@ __all__ = [
     "observe_tree",
     "Span",
     "TraceRecorder",
+    "TraceContext",
+    "SlowOpLog",
+    "new_trace_id",
+    "new_span_id",
+    "EventJournal",
+    "JournalEvent",
+    "EVENT_KINDS",
+    "RingSeries",
+    "TimeSeriesSampler",
+    "EngineSource",
+    "attach_engine_source",
     "level_stats",
     "format_level_table",
     "export_level_gauges",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.observe.journal import EventJournal
 from repro.observe.metrics import MetricsRegistry
 
 #: Wall-clock histograms: 1 microsecond floor, <=20% relative error.
@@ -80,15 +81,22 @@ class EngineObserver:
         registry: the registry to report into (a private one by default).
         labels: optional labels stamped on every series this observer owns
             (the sharded store labels each shard's observer).
+        journal: the structured event journal maintenance events feed into
+            (a private bounded one by default; share one across components
+            to interleave engine, backpressure, and server events).
+        journal_capacity: ring bound for the default journal.
     """
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         labels: Optional[Dict[str, str]] = None,
+        journal: Optional[EventJournal] = None,
+        journal_capacity: int = 4096,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.labels = dict(labels or {})
+        self.journal = journal if journal is not None else EventJournal(journal_capacity)
         reg = self.registry
 
         def hist(name, help, min_value):
@@ -174,6 +182,12 @@ class EngineObserver:
     def record_compaction(self, wall_s: float) -> None:
         self.compaction_wall.record(wall_s)
 
+    def record_compaction_start(self, level: int, dest: int, bytes_in: int,
+                                runs: int = 0) -> None:
+        """A merge was picked and is about to execute (journal only)."""
+        self.journal.emit("compaction_start", level=level, dest=dest,
+                          bytes_in=bytes_in, runs=runs)
+
     def record_subcompaction(self, ranges: int) -> None:
         """One merge just ran as ``ranges`` parallel key-range subcompactions."""
         self.parallel_compactions_total.inc()
@@ -224,21 +238,33 @@ class EngineObserver:
             )
         counter.inc()
 
-    def record_quarantine(self) -> None:
+    def record_quarantine(self, file_id: Optional[int] = None) -> None:
         """A file crossed the corrupt-read threshold and was quarantined."""
         self.quarantine_total.inc()
+        self.journal.emit("quarantine", file_id=file_id)
 
     def record_recovery(self, wall_s: float) -> None:
         """One completed crash recovery (manifest load + WAL replay)."""
         self.recoveries_total.inc()
         self.recovery_wall.record(wall_s)
+        self.journal.emit("recovery", wall_s=wall_s)
 
     def record_event(self, event) -> None:
-        """Per-level write accounting from a CompactionEvent."""
+        """Per-level write accounting + journal entry from a CompactionEvent."""
         if event.bytes_out:
             self.level(event.dest).bytes_written += event.bytes_out
         if event.bytes_in:
             self.level(event.level).bytes_compacted_in += event.bytes_in
+        kind = event.kind
+        if kind == "flush":
+            journal_kind = "flush"
+        elif kind == "ingest":
+            journal_kind = "ingest"
+        else:  # full / partial / trivial_move merges
+            journal_kind = "compaction_finish"
+        self.journal.emit(journal_kind, compaction=kind, level=event.level,
+                          dest=event.dest, bytes_in=event.bytes_in,
+                          bytes_out=event.bytes_out, tick=event.tick)
 
     # -- reading --------------------------------------------------------------
 

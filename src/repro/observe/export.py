@@ -52,6 +52,7 @@ def _metric_name(registry: MetricsRegistry, metric) -> str:
 
 def to_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format (version 0.0.4)."""
+    registry.refresh()  # pushed gauges re-derive before the scrape reads them
     lines: List[str] = []
     seen_headers = set()
 
@@ -159,6 +160,7 @@ def render_dump(registry: MetricsRegistry, tree=None) -> str:
     """The human-readable dump: latency table, counters, per-level table."""
     from repro.observe.levels import format_level_table
 
+    registry.refresh()
     sections: List[str] = []
     histograms = registry.histograms()
     if histograms:

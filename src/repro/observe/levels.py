@@ -94,16 +94,7 @@ def format_level_table(tree) -> str:
     )
 
 
-def export_level_gauges(tree, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
-    """Publish the per-level table into ``registry`` as labeled gauges.
-
-    Each column becomes ``level_<column>{level="N"}``; calling again
-    refreshes the same series. Uses the tree observer's registry when none
-    is given (and a fresh one when the tree is unobserved).
-    """
-    if registry is None:
-        observer = getattr(tree, "observer", None)
-        registry = observer.registry if observer is not None else MetricsRegistry()
+def _export_level_gauges_once(tree, registry: MetricsRegistry) -> None:
     for row in level_stats(tree):
         labels = {"level": str(row["level"])}
         for column in LEVEL_COLUMNS:
@@ -112,4 +103,30 @@ def export_level_gauges(tree, registry: Optional[MetricsRegistry] = None) -> Met
             registry.gauge(
                 f"level_{column}", f"per-level {column}", labels=labels
             ).set(float(row[column]))
+
+
+def export_level_gauges(
+    tree, registry: Optional[MetricsRegistry] = None, live: bool = True
+) -> MetricsRegistry:
+    """Publish the per-level table into ``registry`` as labeled gauges.
+
+    Each column becomes ``level_<column>{level="N"}``; calling again
+    refreshes the same series. Uses the tree observer's registry when none
+    is given (and a fresh one when the tree is unobserved).
+
+    With ``live=True`` (the default) a refresh hook is also registered on the
+    registry, so every later ``snapshot()``/export re-derives the gauges from
+    the tree's *current* shape — an idle process no longer reports the level
+    sizes frozen at the last explicit export. Re-attaching for the same tree
+    replaces the previous hook.
+    """
+    if registry is None:
+        observer = getattr(tree, "observer", None)
+        registry = observer.registry if observer is not None else MetricsRegistry()
+    _export_level_gauges_once(tree, registry)
+    if live:
+        registry.add_refresh_hook(
+            lambda: _export_level_gauges_once(tree, registry),
+            key=("level_gauges", id(tree)),
+        )
     return registry

@@ -276,7 +276,31 @@ class MetricsRegistry:
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
         self._metrics: Dict[tuple, object] = {}
+        self._refresh_hooks: Dict[object, Callable[[], None]] = {}
         self._lock = threading.Lock()
+
+    # -- refresh hooks ---------------------------------------------------------
+
+    def add_refresh_hook(self, fn: Callable[[], None], key: Optional[object] = None) -> None:
+        """Register ``fn`` to run before every snapshot/export.
+
+        Components whose gauges are *pushed* (``.set()``) rather than
+        function-backed register a hook so an idle process still reports
+        current values at read time. Passing the same ``key`` again replaces
+        the previous hook (idempotent re-attachment).
+        """
+        with self._lock:
+            self._refresh_hooks[key if key is not None else fn] = fn
+
+    def refresh(self) -> None:
+        """Run every refresh hook (errors swallowed: exports must not die)."""
+        with self._lock:
+            hooks = list(self._refresh_hooks.values())
+        for fn in hooks:
+            try:
+                fn()
+            except Exception:
+                continue
 
     def _get_or_create(self, kind: str, key: tuple, factory):
         with self._lock:
@@ -332,7 +356,8 @@ class MetricsRegistry:
             return list(self._metrics.values())
 
     def snapshot(self) -> dict:
-        """A JSON-able snapshot of every registered series."""
+        """A JSON-able snapshot of every registered series (refreshed first)."""
+        self.refresh()
 
         def series_key(metric) -> str:
             if not metric.labels:

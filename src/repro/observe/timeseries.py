@@ -1,0 +1,407 @@
+"""Time-series layer: fixed-capacity ring-buffer series scraped on an interval.
+
+The :class:`TimeSeriesSampler` turns the point-in-time observability surfaces
+(a :class:`~repro.observe.metrics.MetricsRegistry`, an engine's
+``metrics_snapshot()``) into *history*: each :meth:`~TimeSeriesSampler.scrape`
+appends one ``(t, value)`` point per series into a bounded :class:`RingSeries`,
+so dashboards (``python -m repro stats --live``), the ``stats_history`` server
+frame, and ROADMAP item 2's tuning daemon can all read rates and trends
+instead of raw monotone totals.
+
+Series come in two kinds. ``cumulative`` series (registry counters, histogram
+``_count``/``_sum``, engine op totals) are stored raw and differentiated on
+read — :meth:`RingSeries.deltas` / :meth:`RingSeries.rates`. ``level`` series
+(gauges, derived ratios like cache hit ratio or stall fraction) are
+point-in-time values read back as-is.
+
+The scrape clock is injectable: pass the engine's simulated clock for
+deterministic tests, or leave the wall default and call :meth:`start` for a
+background thread that scrapes on a fixed wall interval.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+
+class RingSeries:
+    """One named series: a bounded ring of ``(timestamp, value)`` points.
+
+    Args:
+        name: the series key (registry series name, or a derived metric).
+        capacity: points retained; appending past it evicts the oldest.
+        kind: ``"cumulative"`` for monotone totals (rates derived on read)
+            or ``"level"`` for point-in-time values.
+    """
+
+    __slots__ = ("name", "capacity", "kind", "_points")
+
+    def __init__(self, name: str, capacity: int = 240, kind: str = "level") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if kind not in ("cumulative", "level"):
+            raise ValueError("kind must be 'cumulative' or 'level'")
+        self.name = name
+        self.capacity = capacity
+        self.kind = kind
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, t: float, value: float) -> None:
+        self._points.append((float(t), float(value)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """All retained ``(t, v)`` points, oldest first."""
+        return list(self._points)
+
+    def timestamps(self) -> List[float]:
+        return [t for t, _ in self._points]
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._points]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if self._points else None
+
+    def deltas(self) -> List[Tuple[float, float]]:
+        """Successive differences: ``(t_i, v_i - v_{i-1})`` — length n-1."""
+        pts = self.points()
+        return [(t1, v1 - v0) for (_, v0), (t1, v1) in zip(pts, pts[1:])]
+
+    def rates(self) -> List[Tuple[float, float]]:
+        """Per-second rates ``(t_i, dv/dt)``; zero-dt intervals are skipped."""
+        pts = self.points()
+        out: List[Tuple[float, float]] = []
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            dt = t1 - t0
+            if dt > 0.0:
+                out.append((t1, (v1 - v0) / dt))
+        return out
+
+    def last_rate(self) -> Optional[float]:
+        rates = self.rates()
+        return rates[-1][1] if rates else None
+
+    def merge(self, other: "RingSeries") -> "RingSeries":
+        """A new series holding both point sets, time-ordered, same bound.
+
+        Points are sorted by ``(t, v)`` so the merge is deterministic and
+        commutative; appending the sorted union through the ring keeps the
+        *newest* points when the union exceeds capacity.
+        """
+        merged = RingSeries(self.name, capacity=self.capacity, kind=self.kind)
+        for t, v in sorted(self.points() + other.points()):
+            merged.append(t, v)
+        return merged
+
+    def as_dict(self, last_n: Optional[int] = None) -> dict:
+        pts = self.points()
+        if last_n is not None:
+            pts = pts[-last_n:] if last_n > 0 else []
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "capacity": self.capacity,
+            "t": [t for t, _ in pts],
+            "v": [v for _, v in pts],
+        }
+
+
+class TimeSeriesSampler:
+    """Scrapes a registry (and pluggable sources) into :class:`RingSeries`.
+
+    Every :meth:`scrape` reads, under one timestamp:
+
+    * registry **counters** → cumulative series (per labeled series key);
+    * registry **gauges** → level series (function-backed gauges and refresh
+      hooks run at scrape time, so an idle process reports truthful values);
+    * registry **histograms** → ``<key>_count`` / ``<key>_sum`` cumulative
+      series (rate of ``_sum``/rate of ``_count`` = rolling mean latency);
+    * every **source** callable registered via :meth:`add_source` — a plain
+      ``fn() -> {name: value}`` (see :class:`EngineSource` for the engine's
+      derived per-level/cache/stall view).
+
+    Args:
+        registry: the registry to scrape (optional — sources alone work).
+        capacity: ring capacity for every series created by this sampler.
+        clock: timestamp source (wall by default; inject simulated time).
+    """
+
+    def __init__(self, registry=None, capacity: int = 240,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.registry = registry
+        self.capacity = capacity
+        self.clock = clock
+        self._series: Dict[str, RingSeries] = {}
+        self._sources: List[Tuple[Callable[[], Dict[str, float]], bool]] = []
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.samples = 0
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_source(self, fn: Callable[[], Dict[str, float]],
+                   cumulative: bool = False) -> None:
+        """Register ``fn() -> {series_name: value}`` scraped on every sample.
+
+        ``cumulative=True`` marks every series the source emits as a monotone
+        total (rates derived on read); the default treats them as level
+        values. A source that raises is skipped for that scrape.
+        """
+        self._sources.append((fn, cumulative))
+
+    # -- sampling --------------------------------------------------------------
+
+    def _record(self, name: str, t: float, value, cumulative: bool) -> None:
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            return
+        if value != value:  # skip NaN (dead function gauges)
+            return
+        series = self._series.get(name)
+        if series is None:
+            series = RingSeries(
+                name, capacity=self.capacity,
+                kind="cumulative" if cumulative else "level",
+            )
+            self._series[name] = series
+        series.append(t, value)
+
+    def scrape(self) -> Dict[str, float]:
+        """Take one sample of everything; returns the flat values recorded."""
+        t = self.clock()
+        flat: Dict[str, Tuple[float, bool]] = {}
+        registry = self.registry
+        if registry is not None:
+            snap = registry.snapshot()  # runs refresh hooks + function gauges
+            for key, value in snap.get("counters", {}).items():
+                flat[key] = (value, True)
+            for key, value in snap.get("gauges", {}).items():
+                flat[key] = (value, False)
+            for key, hist in snap.get("histograms", {}).items():
+                flat[f"{key}_count"] = (hist.get("count", 0), True)
+                flat[f"{key}_sum"] = (hist.get("sum", 0.0), True)
+        for fn, cumulative in self._sources:
+            try:
+                emitted = fn()
+            except Exception:
+                continue
+            for key, value in (emitted or {}).items():
+                flat[key] = (value, cumulative)
+        with self._lock:
+            for name, (value, cumulative) in flat.items():
+                self._record(name, t, value, cumulative)
+            self.samples += 1
+        return {name: value for name, (value, _) in flat.items()}
+
+    # -- background scraping ---------------------------------------------------
+
+    def start(self, interval_s: float) -> None:
+        """Scrape every ``interval_s`` seconds on a daemon thread."""
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be positive")
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.scrape()
+                except Exception:
+                    continue  # a scrape must never kill the sampler
+
+        self._thread = threading.Thread(target=loop, name="timeseries-sampler",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    # -- reading ---------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, name: str) -> Optional[RingSeries]:
+        with self._lock:
+            return self._series.get(name)
+
+    def last(self, name: str) -> Optional[float]:
+        series = self.series(name)
+        point = series.last() if series is not None else None
+        return point[1] if point is not None else None
+
+    def rate(self, name: str) -> Optional[float]:
+        """Latest per-second rate of a cumulative series (None if <2 points)."""
+        series = self.series(name)
+        return series.last_rate() if series is not None else None
+
+    def as_dict(self, last_n: Optional[int] = None) -> dict:
+        """The full history, JSON-able (the ``stats_history`` frame payload)."""
+        with self._lock:
+            series = {name: rs.as_dict(last_n=last_n)
+                      for name, rs in sorted(self._series.items())}
+        return {
+            "samples": self.samples,
+            "capacity": self.capacity,
+            "series": series,
+        }
+
+
+class EngineSource:
+    """A sampler source deriving the engine's headline ratios per interval.
+
+    Wraps anything with ``metrics_snapshot()`` (an ``LSMTree``, a
+    ``DBService``) and, when an :class:`~repro.observe.engine.EngineObserver`
+    is attached, its per-level I/O accounting. Each call emits:
+
+    * cumulative totals: ``engine_gets`` / ``engine_puts`` / ``engine_deletes``
+      / ``engine_cache_lookups`` / ``engine_stall_wall_seconds`` /
+      ``level<N>_gets_probed`` / ``level<N>_filter_probes``;
+    * interval-derived level values (computed against the previous call):
+      ``cache_hit_ratio``, ``stall_fraction``, ``read_fraction`` (the
+      read/write mix), ``level<N>_fpr``, ``level<N>_probes_per_s``;
+    * shape gauges: ``engine_levels`` / ``engine_runs`` /
+      ``engine_memtable_entries``.
+
+    Register with ``sampler.add_source(EngineSource(service))`` — the emitted
+    dict mixes kinds, so cumulative names are declared via
+    :attr:`CUMULATIVE_PREFIXES` and the source registers itself as level data;
+    the cumulative members are *also* re-emitted by a companion source. To
+    keep wiring one-line, use :func:`attach_engine_source`.
+    """
+
+    CUMULATIVE_PREFIXES = ("engine_gets", "engine_puts", "engine_deletes",
+                           "engine_cache_lookups", "engine_stall_wall_seconds")
+
+    def __init__(self, target, clock: Callable[[], float] = time.monotonic) -> None:
+        self._target = target
+        self._clock = clock
+        self._prev: Dict[str, float] = {}
+        self._prev_t: Optional[float] = None
+
+    @staticmethod
+    def _tree_of(target):
+        return getattr(target, "tree", target)
+
+    def __call__(self) -> Dict[str, float]:
+        target = self._target
+        snap = target.metrics_snapshot()
+        t = self._clock()
+        out: Dict[str, float] = {}
+
+        gets = float(snap.get("gets", 0))
+        puts = float(snap.get("puts", 0))
+        deletes = float(snap.get("deletes", 0))
+        hits = float(snap.get("cache_hits", 0))
+        lookups = float(snap.get("cache_lookups", 0))
+        stall_wall = float(snap.get("stall_time_wall", 0.0))
+
+        prev, prev_t = self._prev, self._prev_t
+
+        def delta(name: str, value: float) -> float:
+            return value - prev.get(name, 0.0)
+
+        d_reads = delta("gets", gets)
+        d_writes = delta("puts", puts) + delta("deletes", deletes)
+        d_hits = delta("cache_hits", hits)
+        d_lookups = delta("cache_lookups", lookups)
+        d_stall = delta("stall_wall", stall_wall)
+        dt = (t - prev_t) if prev_t is not None else 0.0
+
+        out["cache_hit_ratio"] = (d_hits / d_lookups) if d_lookups > 0 else (
+            hits / lookups if lookups > 0 else 0.0)
+        out["stall_fraction"] = min(1.0, d_stall / dt) if dt > 0 else 0.0
+        d_ops = d_reads + d_writes
+        out["read_fraction"] = (d_reads / d_ops) if d_ops > 0 else 0.0
+
+        out["engine_gets"] = gets
+        out["engine_puts"] = puts
+        out["engine_deletes"] = deletes
+        out["engine_cache_lookups"] = lookups
+        out["engine_stall_wall_seconds"] = stall_wall
+        out["engine_levels"] = float(snap.get("levels", 0))
+        out["engine_runs"] = float(snap.get("runs", 0))
+        out["engine_memtable_entries"] = float(snap.get("memtable_entries", 0))
+
+        observer = getattr(self._tree_of(target), "observer", None)
+        if observer is not None:
+            for level_no in sorted(observer.levels):
+                io = observer.levels[level_no]
+                probed = float(io.gets_probed)
+                fps = float(io.false_positives)
+                negs = float(io.filter_negatives)
+                d_probed = delta(f"l{level_no}_probed", probed)
+                d_fps = delta(f"l{level_no}_fps", fps)
+                d_absent = d_fps + delta(f"l{level_no}_negs", negs)
+                absent_total = fps + negs
+                out[f"level{level_no}_fpr"] = (
+                    d_fps / d_absent if d_absent > 0
+                    else (fps / absent_total if absent_total > 0 else 0.0))
+                out[f"level{level_no}_probes_per_s"] = (
+                    d_probed / dt if dt > 0 else 0.0)
+                out[f"level{level_no}_gets_probed"] = probed
+                out[f"level{level_no}_filter_probes"] = float(io.filter_probes)
+                prev[f"l{level_no}_probed"] = probed
+                prev[f"l{level_no}_fps"] = fps
+                prev[f"l{level_no}_negs"] = negs
+
+        prev.update(gets=gets, puts=puts, deletes=deletes,
+                    cache_hits=hits, cache_lookups=lookups,
+                    stall_wall=stall_wall)
+        self._prev_t = t
+        return out
+
+
+def attach_engine_source(sampler: TimeSeriesSampler, target) -> EngineSource:
+    """Wire an :class:`EngineSource` for ``target`` into ``sampler``.
+
+    The derived ratios/gauges register as level series; the monotone
+    ``engine_*`` totals and per-level probe counters register as cumulative
+    so :meth:`RingSeries.rates` works on them.
+    """
+    source = EngineSource(target, clock=sampler.clock)
+
+    cumulative_exact = set(EngineSource.CUMULATIVE_PREFIXES)
+
+    def level_part() -> Dict[str, float]:
+        emitted = source()
+        return {k: v for k, v in emitted.items()
+                if k not in cumulative_exact and not k.endswith(("_gets_probed", "_filter_probes"))}
+
+    def cumulative_part() -> Dict[str, float]:
+        # Reuses the totals cached by the level part's call in the same
+        # scrape (sources run in registration order) — no second snapshot.
+        prev = source._prev
+        out = {
+            "engine_gets": prev.get("gets", 0.0),
+            "engine_puts": prev.get("puts", 0.0),
+            "engine_deletes": prev.get("deletes", 0.0),
+            "engine_cache_lookups": prev.get("cache_lookups", 0.0),
+            "engine_stall_wall_seconds": prev.get("stall_wall", 0.0),
+        }
+        for key, value in prev.items():
+            if key.startswith("l") and key.endswith("_probed"):
+                level_no = key[1:-len("_probed")]
+                out[f"level{level_no}_gets_probed"] = value
+        return out
+
+    sampler.add_source(level_part, cumulative=False)
+    sampler.add_source(cumulative_part, cumulative=True)
+    return source

@@ -14,6 +14,7 @@ histograms labelled by op and tenant.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 import time
@@ -21,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.entry import GetResult
 from repro.errors import ReproError
+from repro.observe import TraceRecorder
 from repro.server.protocol import (
     BatchRequest,
     DeleteRequest,
@@ -39,6 +41,8 @@ from repro.server.protocol import (
     RemoteError,
     ScanRequest,
     ScanResponse,
+    StatsHistoryRequest,
+    StatsHistoryResponse,
     StatsRequest,
     StatsResponse,
     recv_message,
@@ -55,6 +59,12 @@ class LSMClient:
         timeout_s: socket timeout for connect/send/recv.
         registry: optional metrics registry for client-observed latency.
         max_payload_bytes: frame decode limit (mirror the server's).
+        trace_sampling: fraction of requests to trace end to end. A sampled
+            request opens a ``client:<op>`` root span and sends its context
+            on the wire, so the server's and engine's spans join it under
+            one trace id.
+        trace_recorder: record spans here instead of a private recorder
+            (share one across clients to read the whole fleet's traces).
     """
 
     def __init__(
@@ -65,6 +75,8 @@ class LSMClient:
         timeout_s: float = 10.0,
         registry=None,
         max_payload_bytes: Optional[int] = None,
+        trace_sampling: float = 0.0,
+        trace_recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.tenant = tenant
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
@@ -74,6 +86,11 @@ class LSMClient:
             kwargs["max_payload"] = max_payload_bytes
         self._decoder = FrameDecoder(**kwargs)
         self._registry = registry
+        self.recorder = trace_recorder
+        if self.recorder is None and trace_sampling > 0.0:
+            self.recorder = TraceRecorder(sampling=trace_sampling)
+        elif self.recorder is not None and trace_sampling > 0.0:
+            self.recorder.sampling = trace_sampling
         self._closed = False
 
     # -- plumbing --------------------------------------------------------------
@@ -81,16 +98,30 @@ class LSMClient:
     def _call(self, op: str, request: Message, expect: type) -> Message:
         if self._closed:
             raise ReproError("operation on a closed LSMClient")
+        recorder = self.recorder
+        span = None
+        if recorder is not None and recorder.should_sample():
+            # The client is the outermost span: its root decision rides the
+            # wire inside the request, and the server span it spawns links
+            # back here via parent_id.
+            span = recorder.start(f"client:{op}")
+            request = dataclasses.replace(request, trace=span.context())
         wall0 = time.perf_counter()
         send_message(self._sock, request)
+        if span is not None:
+            span.add_stage("send", time.perf_counter() - wall0)
         response = recv_message(self._sock, self._decoder)
+        total = time.perf_counter() - wall0
+        if span is not None:
+            span.add_stage("await_reply", total - span.stage_dict()["send"])
+            recorder.finish(span, op=op, tenant=self.tenant or "default")
         if self._registry is not None:
             self._registry.histogram(
                 "client_op_wall_seconds",
                 "client-observed round-trip latency",
                 min_value=1e-6,
                 labels={"op": op, "tenant": self.tenant or "default"},
-            ).record(time.perf_counter() - wall0)
+            ).record(total)
         if response is None:
             raise ProtocolError("server closed the connection")
         if isinstance(response, ErrorResponse):
@@ -115,6 +146,20 @@ class LSMClient:
     def stats(self) -> dict:
         """The server's full stats snapshot (parsed JSON)."""
         reply = self._call("stats", StatsRequest(tenant=self.tenant), StatsResponse)
+        return json.loads(reply.payload_json)
+
+    def stats_history(self, last_n: int = 0) -> dict:
+        """The server's time-series history (parsed JSON).
+
+        ``last_n`` limits each series to its newest ``n`` points; 0 returns
+        everything the server retains. The shape is
+        ``{"samples", "capacity", "series": {name: {kind, t, v, ...}}}``.
+        """
+        reply = self._call(
+            "stats_history",
+            StatsHistoryRequest(tenant=self.tenant, last_n=last_n),
+            StatsHistoryResponse,
+        )
         return json.loads(reply.payload_json)
 
     def get(self, key: bytes) -> GetResult:

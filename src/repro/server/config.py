@@ -43,6 +43,21 @@ class ServerConfig:
         tenant_weights: optional per-tenant share multipliers.
         scan_limit_max: server-side clamp on one scan reply's entry count
             (a client asking for more gets ``truncated=True`` replies).
+        trace_sampling: root sampling fraction for requests that arrive
+            *without* a client trace context; None leaves the attached
+            recorder's own rate untouched. A request carrying a context
+            inherits the client's decision instead.
+        trace_capacity: spans retained when the server creates its own
+            recorder (a service-attached recorder is reused as-is).
+        slow_op_threshold_s: requests slower than this land in the slow-op
+            log with their full stage breakdown, sampled or not; None
+            disables the log.
+        slow_op_capacity: slow-op records retained.
+        stats_interval_s: background time-series scrape interval; 0
+            disables the sampler thread (``stats_history`` then serves
+            whatever on-demand scrapes produced).
+        history_capacity: ring capacity (points per series) of the
+            time-series sampler.
     """
 
     host: str = "127.0.0.1"
@@ -57,6 +72,12 @@ class ServerConfig:
     tenant_burst_ops: Optional[float] = None
     tenant_weights: Optional[Dict[str, float]] = None
     scan_limit_max: int = 10_000
+    trace_sampling: Optional[float] = None
+    trace_capacity: int = 512
+    slow_op_threshold_s: Optional[float] = 0.25
+    slow_op_capacity: int = 128
+    stats_interval_s: float = 1.0
+    history_capacity: int = 240
 
     def __post_init__(self) -> None:
         self.validate()
@@ -85,3 +106,15 @@ class ServerConfig:
                 raise ConfigError(f"tenant {tenant!r} weight must be positive")
         if self.scan_limit_max < 1:
             raise ConfigError("scan_limit_max must be at least 1")
+        if self.trace_sampling is not None and not 0.0 <= self.trace_sampling <= 1.0:
+            raise ConfigError("trace_sampling must be in [0, 1]")
+        if self.trace_capacity < 1:
+            raise ConfigError("trace_capacity must be at least 1")
+        if self.slow_op_threshold_s is not None and self.slow_op_threshold_s < 0:
+            raise ConfigError("slow_op_threshold_s must be non-negative")
+        if self.slow_op_capacity < 1:
+            raise ConfigError("slow_op_capacity must be at least 1")
+        if self.stats_interval_s < 0:
+            raise ConfigError("stats_interval_s must be non-negative")
+        if self.history_capacity < 1:
+            raise ConfigError("history_capacity must be at least 1")

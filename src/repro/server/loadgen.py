@@ -44,6 +44,8 @@ class TenantLoad:
         scan_length: keys spanned per scan.
         scan_limit: reply-size cap sent with each scan.
         seed: workload RNG seed (each client derives its own).
+        trace_sampling: fraction of this tenant's requests traced end to
+            end (client root span + wire-propagated context); 0 disables.
     """
 
     tenant: str
@@ -58,6 +60,7 @@ class TenantLoad:
     scan_length: int = 16
     scan_limit: int = 64
     seed: int = 7
+    trace_sampling: float = 0.0
 
     def spec_for_client(self, index: int) -> WorkloadSpec:
         return uniform_spec(
@@ -97,6 +100,7 @@ def run_load(
     tenants: Sequence[TenantLoad],
     registry: Optional[MetricsRegistry] = None,
     timeout_s: float = 30.0,
+    trace_recorder=None,
 ) -> Dict[str, TenantRunResult]:
     """Drive every tenant's clients concurrently; returns per-tenant results.
 
@@ -108,6 +112,9 @@ def run_load(
     Errors never kill the run: a remote error frame or protocol error is
     counted and the client moves on (reconnecting once on protocol errors,
     whose streams are poisoned by design).
+
+    Pass ``trace_recorder`` to collect the client-side spans of every
+    tenant whose load sets ``trace_sampling > 0`` in one shared ring.
     """
     if registry is None:
         registry = MetricsRegistry()
@@ -124,11 +131,17 @@ def run_load(
         local = TenantRunResult(tenant=load.tenant)
         client = None
         started = False
-        try:
-            client = LSMClient(
+
+        def make_client() -> LSMClient:
+            return LSMClient(
                 host, port, tenant=load.tenant,
                 timeout_s=timeout_s, registry=registry,
+                trace_sampling=load.trace_sampling,
+                trace_recorder=trace_recorder if load.trace_sampling > 0 else None,
             )
+
+        try:
+            client = make_client()
             spec = load.spec_for_client(index)
             barrier.wait()
             started = True
@@ -163,10 +176,7 @@ def run_load(
                     if len(local.errors) < 8:
                         local.errors.append(f"{load.tenant}#{index}: {exc!r}")
                     client.close()
-                    client = LSMClient(
-                        host, port, tenant=load.tenant,
-                        timeout_s=timeout_s, registry=registry,
-                    )
+                    client = make_client()
         except Exception as exc:  # noqa: BLE001 - surfaced via errors list
             with lock:
                 result.errors.append(f"{load.tenant}#{index}: fatal {exc!r}")

@@ -41,6 +41,7 @@ from repro.common.encoding import (
     put_length_prefixed,
 )
 from repro.errors import ReproError
+from repro.observe.tracing import TraceContext
 
 MAGIC = 0x4C53  # b"LS"
 VERSION = 1
@@ -110,6 +111,36 @@ def _get_optional_bytes(buf: bytes, offset: int) -> Tuple[Optional[bytes], int]:
     return bytes(data), offset
 
 
+def _put_trace(out: bytearray, trace: Optional[TraceContext]) -> None:
+    """Optional trailing trace-context block (see :func:`_get_trace`)."""
+    if trace is None:
+        return
+    _put_bool(out, True)
+    _put_str(out, trace.trace_id)
+    _put_str(out, trace.span_id)
+    _put_bool(out, trace.sampled)
+
+
+def _get_trace(buf: bytes, offset: int) -> Tuple[Optional[TraceContext], int]:
+    """Decode the optional trace context at the end of a request payload.
+
+    The block is strictly trailing: a payload that simply ends (the pre-trace
+    wire image, or a tracing-unaware client) decodes as no context, while a
+    present block is a flag byte + trace_id + parent span_id + sampled flag.
+    This keeps every pre-existing frame byte-for-byte valid — the CRC covers
+    the block when present, and ``_expect_end`` still rejects trailing junk.
+    """
+    if offset == len(buf):
+        return None, offset
+    present, offset = _get_bool(buf, offset)
+    if not present:
+        return None, offset
+    trace_id, offset = _get_str(buf, offset)
+    span_id, offset = _get_str(buf, offset)
+    sampled, offset = _get_bool(buf, offset)
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled), offset
+
+
 # -- message classes ----------------------------------------------------------
 
 _MESSAGE_TYPES: Dict[int, Type["Message"]] = {}
@@ -142,17 +173,20 @@ class PingRequest(Message):
 
     TYPE = 0x01
     tenant: str = ""
+    trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
     def decode_payload(cls, buf: bytes) -> "PingRequest":
         tenant, offset = _get_str(buf, 0)
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant)
+        return cls(tenant=tenant, trace=trace)
 
 
 @_register
@@ -162,17 +196,20 @@ class StatsRequest(Message):
 
     TYPE = 0x02
     tenant: str = ""
+    trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
     def decode_payload(cls, buf: bytes) -> "StatsRequest":
         tenant, offset = _get_str(buf, 0)
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant)
+        return cls(tenant=tenant, trace=trace)
 
 
 @_register
@@ -181,19 +218,22 @@ class GetRequest(Message):
     TYPE = 0x03
     tenant: str
     key: bytes
+    trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
         put_length_prefixed(out, self.key)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
     def decode_payload(cls, buf: bytes) -> "GetRequest":
         tenant, offset = _get_str(buf, 0)
         key, offset = get_length_prefixed(buf, offset)
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, key=bytes(key))
+        return cls(tenant=tenant, key=bytes(key), trace=trace)
 
 
 @_register
@@ -203,12 +243,14 @@ class PutRequest(Message):
     tenant: str
     key: bytes
     value: bytes
+    trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
         put_length_prefixed(out, self.key)
         put_length_prefixed(out, self.value)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
@@ -216,8 +258,9 @@ class PutRequest(Message):
         tenant, offset = _get_str(buf, 0)
         key, offset = get_length_prefixed(buf, offset)
         value, offset = get_length_prefixed(buf, offset)
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, key=bytes(key), value=bytes(value))
+        return cls(tenant=tenant, key=bytes(key), value=bytes(value), trace=trace)
 
 
 @_register
@@ -226,19 +269,22 @@ class DeleteRequest(Message):
     TYPE = 0x05
     tenant: str
     key: bytes
+    trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
         put_length_prefixed(out, self.key)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
     def decode_payload(cls, buf: bytes) -> "DeleteRequest":
         tenant, offset = _get_str(buf, 0)
         key, offset = get_length_prefixed(buf, offset)
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, key=bytes(key))
+        return cls(tenant=tenant, key=bytes(key), trace=trace)
 
 
 @_register
@@ -247,6 +293,7 @@ class MultiGetRequest(Message):
     TYPE = 0x06
     tenant: str
     keys: Tuple[bytes, ...] = ()
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "keys", tuple(bytes(k) for k in self.keys))
@@ -257,6 +304,7 @@ class MultiGetRequest(Message):
         out.extend(encode_varint(len(self.keys)))
         for key in self.keys:
             put_length_prefixed(out, key)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
@@ -267,8 +315,9 @@ class MultiGetRequest(Message):
         for _ in range(count):
             key, offset = get_length_prefixed(buf, offset)
             keys.append(bytes(key))
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, keys=tuple(keys))
+        return cls(tenant=tenant, keys=tuple(keys), trace=trace)
 
 
 @_register
@@ -283,6 +332,7 @@ class ScanRequest(Message):
     start: Optional[bytes] = None
     end: Optional[bytes] = None
     limit: int = 1000
+    trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
@@ -290,6 +340,7 @@ class ScanRequest(Message):
         _put_optional_bytes(out, self.start)
         _put_optional_bytes(out, self.end)
         out.extend(encode_varint(self.limit))
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
@@ -298,8 +349,9 @@ class ScanRequest(Message):
         start, offset = _get_optional_bytes(buf, offset)
         end, offset = _get_optional_bytes(buf, offset)
         limit, offset = decode_varint(buf, offset)
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, start=start, end=end, limit=limit)
+        return cls(tenant=tenant, start=start, end=end, limit=limit, trace=trace)
 
 
 @_register
@@ -311,6 +363,7 @@ class BatchRequest(Message):
     TYPE = 0x08
     tenant: str
     ops: Tuple[Tuple[str, bytes, bytes], ...] = ()
+    trace: Optional[TraceContext] = None
 
     _KINDS = ("put", "delete")
 
@@ -330,6 +383,7 @@ class BatchRequest(Message):
             out.append(self._KINDS.index(kind))
             put_length_prefixed(out, key)
             put_length_prefixed(out, value)
+        _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
@@ -347,8 +401,39 @@ class BatchRequest(Message):
             key, offset = get_length_prefixed(buf, offset)
             value, offset = get_length_prefixed(buf, offset)
             ops.append((cls._KINDS[kind_byte], bytes(key), bytes(value)))
+        trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, ops=tuple(ops))
+        return cls(tenant=tenant, ops=tuple(ops), trace=trace)
+
+
+@_register
+@dataclass(frozen=True)
+class StatsHistoryRequest(Message):
+    """Request the server's time-series history (the sampler's ring buffers).
+
+    ``last_n`` limits each series to its most recent N points (0 = all
+    retained points).
+    """
+
+    TYPE = 0x09
+    tenant: str = ""
+    last_n: int = 0
+    trace: Optional[TraceContext] = None
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        out.extend(encode_varint(self.last_n))
+        _put_trace(out, self.trace)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "StatsHistoryRequest":
+        tenant, offset = _get_str(buf, 0)
+        last_n, offset = decode_varint(buf, offset)
+        trace, offset = _get_trace(buf, offset)
+        _expect_end(buf, offset)
+        return cls(tenant=tenant, last_n=last_n, trace=trace)
 
 
 @_register
@@ -527,13 +612,39 @@ class ErrorResponse(Message):
         return cls(code=code, message=message)
 
 
+@_register
+@dataclass(frozen=True)
+class StatsHistoryResponse(Message):
+    """The sampler's ring-buffer series as a JSON document (UTF-8).
+
+    Shape: ``{"samples": n, "capacity": c, "series": {name: {"kind":
+    "cumulative"|"level", "t": [...], "v": [...]}}}`` — the direct rendering
+    of :meth:`~repro.observe.TimeSeriesSampler.as_dict`.
+    """
+
+    TYPE = 0x87
+    payload_json: str = "{}"
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.payload_json)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "StatsHistoryResponse":
+        text, offset = _get_str(buf, 0)
+        _expect_end(buf, offset)
+        return cls(payload_json=text)
+
+
 REQUEST_TYPES = (
     PingRequest, StatsRequest, GetRequest, PutRequest,
     DeleteRequest, MultiGetRequest, ScanRequest, BatchRequest,
+    StatsHistoryRequest,
 )
 RESPONSE_TYPES = (
     PongResponse, StatsResponse, GetResponse, OkResponse,
-    MultiGetResponse, ScanResponse, ErrorResponse,
+    MultiGetResponse, ScanResponse, ErrorResponse, StatsHistoryResponse,
 )
 
 

@@ -29,7 +29,15 @@ from typing import Optional, Set
 
 from repro.common.entry import GetResult
 from repro.errors import ReproError
-from repro.observe import MetricsRegistry
+from repro.observe import (
+    EventJournal,
+    MetricsRegistry,
+    SlowOpLog,
+    TimeSeriesSampler,
+    TraceRecorder,
+    attach_engine_source,
+)
+from repro.observe.tracing import TraceContext, new_trace_id
 from repro.server.config import ServerConfig
 from repro.server.protocol import (
     BatchRequest,
@@ -48,8 +56,11 @@ from repro.server.protocol import (
     PutRequest,
     ScanRequest,
     ScanResponse,
+    StatsHistoryRequest,
+    StatsHistoryResponse,
     StatsRequest,
     StatsResponse,
+    encode_frame,
     send_message,
 )
 from repro.server.tenancy import (
@@ -104,6 +115,29 @@ class LSMServer:
         self._started_monotonic: Optional[float] = None
         self.address: Optional[tuple] = None
 
+        # Observability: reuse the service's recorder/journal when it has
+        # them (attach_observability wired one shared set) so engine spans
+        # and server spans land in the same ring, and engine maintenance
+        # events interleave with server-side tenant_throttle events.
+        cfg = self.config
+        recorder = getattr(service, "recorder", None)
+        if recorder is None:
+            recorder = TraceRecorder(capacity=cfg.trace_capacity)
+        if cfg.trace_sampling is not None:
+            recorder.sampling = cfg.trace_sampling
+        self.recorder = recorder
+        observer = getattr(service, "observer", None)
+        self.journal = observer.journal if observer is not None else EventJournal()
+        self.slow_ops: Optional[SlowOpLog] = None
+        if cfg.slow_op_threshold_s is not None:
+            self.slow_ops = SlowOpLog(
+                threshold_s=cfg.slow_op_threshold_s,
+                capacity=cfg.slow_op_capacity,
+            )
+        self.sampler = TimeSeriesSampler(self.registry, capacity=cfg.history_capacity)
+        if hasattr(service, "metrics_snapshot"):
+            attach_engine_source(self.sampler, service)
+
         registry = self.registry
         self._connections_total = registry.counter(
             "server_connections_total", "client connections accepted"
@@ -139,8 +173,8 @@ class LSMServer:
                 min_value=1e-6,
                 labels={"op": op},
             )
-            for op in ("ping", "stats", "get", "put", "delete",
-                       "multi_get", "scan", "batch")
+            for op in ("ping", "stats", "stats_history", "get", "put",
+                       "delete", "multi_get", "scan", "batch")
         }
         self._admission_wait = registry.histogram(
             "server_admission_wait_seconds",
@@ -172,6 +206,9 @@ class LSMServer:
             target=self._accept_loop, name="lsm-server-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.config.stats_interval_s > 0:
+            self.sampler.scrape()  # point zero, so history is never empty
+            self.sampler.start(self.config.stats_interval_s)
         return self.address
 
     def shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
@@ -185,6 +222,7 @@ class LSMServer:
         if self._stop.is_set():
             return
         self._stop.set()
+        self.sampler.stop()
         budget = (
             drain_timeout_s
             if drain_timeout_s is not None
@@ -270,11 +308,15 @@ class LSMServer:
     def _handle_connection(self, conn: socket.socket, addr) -> None:
         decoder = FrameDecoder(max_payload=self.config.max_payload_bytes)
         conn.settimeout(self.config.idle_poll_s)
+        # Frame-decode CPU time accumulates here and is attributed to the
+        # next request served — the "wire_decode" stage of its breakdown.
+        decode_s = 0.0
         try:
             while True:
                 request = decoder.next_message()
                 if request is not None:
-                    self._serve_request(conn, request)
+                    self._serve_request(conn, request, wire_decode_s=decode_s)
+                    decode_s = 0.0
                     continue
                 if self._stop.is_set():
                     return  # drained: no buffered request, none in flight
@@ -288,8 +330,10 @@ class LSMServer:
                     if decoder.pending_bytes:
                         self._protocol_errors.inc()
                     return
+                feed0 = time.perf_counter()
                 try:
                     decoder.feed(chunk)
+                    decode_s += time.perf_counter() - feed0
                 except ProtocolError as exc:
                     self._protocol_errors.inc()
                     self._try_send(
@@ -316,6 +360,7 @@ class LSMServer:
     _OP_NAMES = {
         PingRequest: "ping",
         StatsRequest: "stats",
+        StatsHistoryRequest: "stats_history",
         GetRequest: "get",
         PutRequest: "put",
         DeleteRequest: "delete",
@@ -324,7 +369,9 @@ class LSMServer:
         BatchRequest: "batch",
     }
 
-    def _serve_request(self, conn: socket.socket, request: Message) -> None:
+    def _serve_request(
+        self, conn: socket.socket, request: Message, wire_decode_s: float = 0.0
+    ) -> None:
         op = self._OP_NAMES.get(type(request))
         if op is None:
             self._protocol_errors.inc()
@@ -339,8 +386,32 @@ class LSMServer:
         self._requests_total.inc()
         self._in_flight.add(1.0)
         wall0 = time.perf_counter()
+        stages: dict = {}
+        if wire_decode_s > 0.0:
+            stages["wire_decode"] = wire_decode_s
+        recorder = self.recorder
+        ctx = getattr(request, "trace", None)
+        span = None
+        token = None
+        if recorder is not None:
+            if ctx is None:
+                # No client context — this request's outermost span is here,
+                # so the server makes the root sampling decision, once.
+                ctx = TraceContext(new_trace_id(), "", recorder.should_sample())
+            if ctx.sampled:
+                span = recorder.start(f"server:{op}", parent=ctx)
+            # Activate the decision — positive or negative — so every
+            # maybe_start() below (service, engine) inherits it rather
+            # than rolling its own dice mid-request.
+            active = (
+                span.context()
+                if span is not None
+                else TraceContext(ctx.trace_id, ctx.span_id, False)
+            )
+            token = recorder.activate(active)
+        exec0 = time.perf_counter()
         try:
-            response = self._execute(op, request)
+            response = self._execute(op, request, stages)
         except ProtocolError as exc:
             self._request_errors.inc()
             response = ErrorResponse(code="bad_request", message=str(exc))
@@ -356,18 +427,48 @@ class LSMServer:
             )
         finally:
             self._in_flight.add(-1.0)
-        self._request_wall[op].record(time.perf_counter() - wall0)
-        self._try_send(conn, response)
+            if recorder is not None:
+                recorder.deactivate(token)
+        exec_s = time.perf_counter() - exec0
+        stages["engine"] = max(0.0, exec_s - stages.get("admission", 0.0))
+        encode0 = time.perf_counter()
+        frame = encode_frame(response)
+        stages["reply_encode"] = time.perf_counter() - encode0
+        total = (time.perf_counter() - wall0) + wire_decode_s
+        self._request_wall[op].record(total)
+        tenant = getattr(request, "tenant", "") or self.config.default_tenant
+        # Close the books *before* the reply hits the wire, so a client that
+        # reads its response is guaranteed to find the full span/slow-op
+        # record already published (no racing with the handler thread).
+        if span is not None:
+            for name in ("wire_decode", "admission", "engine", "reply_encode"):
+                if name in stages:
+                    span.add_stage(name, stages[name])
+            recorder.finish(
+                span, op=op, tenant=tenant,
+                error=isinstance(response, ErrorResponse),
+            )
+        if self.slow_ops is not None:
+            attrs = {"tenant": tenant}
+            if span is not None:
+                attrs["trace_id"] = span.trace_id
+            self.slow_ops.observe(op, total, stages, **attrs)
+        try:
+            conn.sendall(frame)
+        except OSError:
+            pass
 
     def _resolve_tenant(self, request: Message) -> str:
         tenant = getattr(request, "tenant", "") or self.config.default_tenant
         validate_tenant(tenant)
         return tenant
 
-    def _admit(self, tenant: str, cost: int) -> None:
+    def _admit(self, tenant: str, cost: int, stages: Optional[dict] = None) -> None:
         if self.admission is None:
             return
         waited = self.admission.admit(tenant, cost)
+        if stages is not None:
+            stages["admission"] = stages.get("admission", 0.0) + waited
         self.registry.counter(
             "server_tenant_ops_total",
             "operations admitted per tenant",
@@ -380,8 +481,11 @@ class LSMServer:
                 "admission waits per tenant (fair-share throttling engaged)",
                 labels={"tenant": tenant},
             ).inc()
+            self.journal.emit(
+                "tenant_throttle", tenant=tenant, waited_s=waited, cost=cost
+            )
 
-    def _execute(self, op: str, request: Message) -> Message:
+    def _execute(self, op: str, request: Message, stages: dict) -> Message:
         tenant = self._resolve_tenant(request)
         service = self.service
         if op == "ping":
@@ -392,20 +496,24 @@ class LSMServer:
             )
         if op == "stats":
             return StatsResponse(payload_json=json.dumps(self.stats_snapshot()))
+        if op == "stats_history":
+            self.sampler.scrape()  # serve a fresh tail even between intervals
+            payload = self.sampler.as_dict(last_n=request.last_n or None)
+            return StatsHistoryResponse(payload_json=json.dumps(payload))
         if op == "get":
-            self._admit(tenant, 1)
+            self._admit(tenant, 1, stages)
             result = service.get(namespaced_key(tenant, request.key))
             return GetResponse(found=result.found, value=result.value or b"")
         if op == "put":
-            self._admit(tenant, 1)
+            self._admit(tenant, 1, stages)
             service.put(namespaced_key(tenant, request.key), request.value)
             return OkResponse(count=1)
         if op == "delete":
-            self._admit(tenant, 1)
+            self._admit(tenant, 1, stages)
             service.delete(namespaced_key(tenant, request.key))
             return OkResponse(count=1)
         if op == "multi_get":
-            self._admit(tenant, len(request.keys))
+            self._admit(tenant, len(request.keys), stages)
             stored = [namespaced_key(tenant, key) for key in request.keys]
             results = service.multi_get(stored)
             entries = []
@@ -414,7 +522,7 @@ class LSMServer:
                 entries.append((user_key, result.found, result.value or b""))
             return MultiGetResponse(entries=tuple(entries))
         if op == "scan":
-            self._admit(tenant, 1)
+            self._admit(tenant, 1, stages)
             limit = min(max(1, request.limit), self.config.scan_limit_max)
             lo, hi = tenant_range(tenant, request.start, request.end)
             items = []
@@ -426,7 +534,7 @@ class LSMServer:
                 items.append((strip_namespace(tenant, stored_key), value))
             return ScanResponse(items=tuple(items), truncated=truncated)
         if op == "batch":
-            self._admit(tenant, len(request.ops))
+            self._admit(tenant, len(request.ops), stages)
             for kind, key, value in request.ops:
                 stored = namespaced_key(tenant, key)
                 if kind == "put":
@@ -456,4 +564,22 @@ class LSMServer:
             payload["engine"] = service.metrics_snapshot()
         if self.admission is not None:
             payload["tenants"] = self.admission.snapshot()
+        payload["journal"] = {
+            "capacity": self.journal.capacity,
+            "emitted": self.journal.emitted,
+            "evicted": self.journal.evicted,
+            "counts": self.journal.counts_by_kind(),
+            "recent": [e.as_dict() for e in self.journal.events(20)],
+        }
+        payload["traces"] = {
+            "sampling": self.recorder.sampling,
+            "sampled": self.recorder.sampled,
+            "retained": len(self.recorder),
+        }
+        if self.slow_ops is not None:
+            payload["slow_ops"] = self.slow_ops.snapshot()
+        payload["history"] = {
+            "samples": self.sampler.samples,
+            "series": len(self.sampler.names()),
+        }
         return payload

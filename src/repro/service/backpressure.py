@@ -42,9 +42,13 @@ class BackpressureController:
         self._config = config
         self._scheduler = scheduler
         self._cv = threading.Condition()
-        # Optional observability hook: a Histogram recording each stalled
-        # write's wall-clock delay (DBService.attach_observability sets it).
+        # Optional observability hooks: a Histogram recording each stalled
+        # write's wall-clock delay, and an EventJournal receiving
+        # stall_enter/stall_exit + state-transition events
+        # (DBService.attach_observability sets both).
         self.stall_histogram = None
+        self.journal = None
+        self._last_state = STATE_OK
         if scheduler is not None:
             scheduler.add_listener(self._on_progress)
 
@@ -72,11 +76,26 @@ class BackpressureController:
 
     # -- the writer-side gate ----------------------------------------------
 
+    def _note_transition(self, state: str) -> None:
+        """Journal ok/slowdown/stop edges (cheap: only fires on change)."""
+        if state == self._last_state:
+            return
+        journal = self.journal
+        if journal is not None:
+            journal.emit("backpressure", previous=self._last_state, state=state,
+                         backlog=self._tree.flush_backlog())
+        self._last_state = state
+
     def gate(self) -> None:
         """Called per write *before* it enqueues; delays or blocks it."""
         state = self.state()
+        self._note_transition(state)
         if state == STATE_OK:
             return
+        journal = self.journal
+        if journal is not None:
+            journal.emit("stall_enter", state=state,
+                         backlog=self._tree.flush_backlog())
         stats = self._tree.stats
         began = time.monotonic()
         if state == STATE_SLOWDOWN:
@@ -100,6 +119,8 @@ class BackpressureController:
         histogram = self.stall_histogram
         if histogram is not None:
             histogram.record(stalled)
+        if journal is not None:
+            journal.emit("stall_exit", state=state, stalled_s=stalled)
 
     def _on_progress(self) -> None:
         with self._cv:

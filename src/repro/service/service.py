@@ -23,6 +23,7 @@ from repro.common.entry import GetResult
 from repro.core.config import LSMConfig
 from repro.core.lsm_tree import LSMTree
 from repro.errors import ClosedError
+from repro.observe.tracing import TraceContext
 from repro.service.backpressure import BackpressureController
 from repro.service.batcher import WriteBatcher, WriteOp
 from repro.service.config import ServiceConfig
@@ -121,6 +122,9 @@ class DBService:
         self.recorder = TraceRecorder(capacity=trace_capacity, sampling=sampling)
         self.tree.observer = self.observer
         self.tree.tracer = self.recorder
+        # One shared journal: engine flush/compaction events (via the
+        # observer) interleave with backpressure stall/transition events.
+        self.backpressure.journal = self.observer.journal
         self._write_wall = registry.histogram(
             "service_write_wall_seconds",
             "client-observed write latency (stall + queueing + group commit)",
@@ -172,10 +176,18 @@ class DBService:
     def _submit(self, op: WriteOp) -> None:
         self._check_open()
         histogram = self._write_wall
-        if histogram is not None:
+        recorder = self.recorder
+        span = recorder.maybe_start("service:write") if recorder is not None else None
+        if histogram is not None or span is not None:
             wall0 = time.perf_counter()
         self.backpressure.gate()
+        if span is not None:
+            gated = time.perf_counter()
+            span.add_stage("backpressure_gate", gated - wall0)
         self._batcher.submit(op)
+        if span is not None:
+            span.add_stage("group_commit", time.perf_counter() - gated)
+            recorder.finish(span, op=op.kind, key_bytes=len(op.key))
         if histogram is not None:
             histogram.record(time.perf_counter() - wall0)
 
@@ -198,22 +210,33 @@ class DBService:
         """
         self._check_open()
         histogram = self._get_wall
-        if histogram is not None:
+        recorder = self.recorder
+        span = recorder.maybe_start("service:get") if recorder is not None else None
+        if histogram is not None or span is not None:
             wall0 = time.perf_counter()
         tree = self.tree
         with tree.mutex:
             tree.stats.gets += 1
             entry = tree.probe_memory(key)
             version = tree.pin_runs() if entry is None else None
+        if span is not None:
+            probed = time.perf_counter()
+            span.add_stage("memtable_probe", probed - wall0)
         if version is not None:
             try:
                 entry = version.get(key, cache=tree.cache)
             finally:
                 version.close()
+            if span is not None:
+                walked = time.perf_counter()
+                span.add_stage("storage_probe", walked - probed)
         result = GetResult()
         if entry is not None and not entry.is_tombstone:
             result.found = True
             result.value = tree._decode_value(entry.value)
+        if span is not None:
+            recorder.finish(span, op="get", found=result.found,
+                            from_memtable=version is None)
         if histogram is not None:
             histogram.record(time.perf_counter() - wall0)
         return result
@@ -226,8 +249,25 @@ class DBService:
         return self.tree.scan(start, end)
 
     def multi_get(self, keys) -> "dict[bytes, GetResult]":
-        """Batched point lookups in sorted key order."""
-        return {key: self.get(key) for key in sorted(set(keys))}
+        """Batched point lookups in sorted key order.
+
+        When this call is the outermost span (no active trace context), the
+        sampling decision is made once here and inherited by every per-key
+        lookup — a batch is fully traced under one ``service:multi_get``
+        parent or not traced at all, never half-traced.
+        """
+        recorder = self.recorder
+        if recorder is None or recorder.active() is not None:
+            return {key: self.get(key) for key in sorted(set(keys))}
+        span = recorder.maybe_start("service:multi_get")
+        ctx = span.context() if span is not None else TraceContext("", sampled=False)
+        token = recorder.activate(ctx)
+        try:
+            return {key: self.get(key) for key in sorted(set(keys))}
+        finally:
+            recorder.deactivate(token)
+            if span is not None:
+                recorder.finish(span, op="multi_get", keys=len(set(keys)))
 
     # -- maintenance --------------------------------------------------------
 

@@ -1,0 +1,107 @@
+"""The structured event journal: typed events, bounds, export, producers."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import EVENT_KINDS, EventJournal, MetricsRegistry, observe_tree
+from tests.conftest import make_tree
+
+
+class TestJournalContract:
+    def test_emit_assigns_monotonic_seq_and_typed_fields(self):
+        journal = EventJournal(clock=lambda: 123.0)
+        a = journal.emit("flush", level=0, bytes_out=512)
+        b = journal.emit("compaction_start", level=1, dest=2, bytes_in=2048)
+        assert (a.seq, b.seq) == (1, 2)
+        assert a.ts == 123.0
+        assert a.kind == "flush" and a.fields == {"level": 0, "bytes_out": 512}
+        assert journal.emitted == 2
+
+    def test_unknown_kind_rejected(self):
+        journal = EventJournal()
+        with pytest.raises(ValueError, match="unknown journal event kind"):
+            journal.emit("made_up_kind", x=1)
+        # The vocabulary itself stays closed and documented.
+        assert "flush" in EVENT_KINDS and "tenant_throttle" in EVENT_KINDS
+
+    def test_ring_bound_evicts_oldest_and_counts_honestly(self):
+        journal = EventJournal(capacity=4)
+        for i in range(10):
+            journal.emit("note", i=i)
+        assert len(journal) == 4
+        assert journal.emitted == 10
+        assert journal.evicted == 6
+        assert [e.fields["i"] for e in journal.events()] == [6, 7, 8, 9]
+
+    def test_filtering_by_kind_seq_and_count(self):
+        journal = EventJournal()
+        journal.emit("flush", level=0)
+        journal.emit("stall_enter", state="stop")
+        journal.emit("flush", level=0)
+        journal.emit("stall_exit", stalled_s=0.1)
+        flushes = journal.events(kind="flush")
+        assert [e.kind for e in flushes] == ["flush", "flush"]
+        assert [e.seq for e in journal.events(since_seq=2)] == [3, 4]
+        assert len(journal.events(n=1)) == 1
+        assert journal.counts_by_kind() == {
+            "flush": 2, "stall_enter": 1, "stall_exit": 1,
+        }
+
+    def test_jsonl_round_trip(self, tmp_path):
+        journal = EventJournal(clock=lambda: 5.0)
+        journal.emit("quarantine", file_id=7)
+        journal.emit("recovery", wall_s=0.25)
+        lines = journal.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0] == {"seq": 1, "ts": 5.0, "kind": "quarantine", "file_id": 7}
+        path = tmp_path / "journal.jsonl"
+        written = journal.write_jsonl(str(path))
+        assert written == 2
+        assert [json.loads(l) for l in path.read_text().splitlines()] == parsed
+
+    def test_snapshot_is_jsonable(self):
+        journal = EventJournal(capacity=8)
+        journal.emit("backpressure", previous="ok", state="slowdown", backlog=3)
+        snap = journal.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["emitted"] == 1 and snap["counts"] == {"backpressure": 1}
+        assert snap["events"][0]["state"] == "slowdown"
+
+    def test_concurrent_emitters_never_lose_or_duplicate_seq(self):
+        journal = EventJournal(capacity=10_000)
+
+        def worker():
+            for _ in range(200):
+                journal.emit("note", thread=threading.get_ident())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert journal.emitted == 1600
+        seqs = [e.seq for e in journal.events()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestEngineProducers:
+    def test_flush_and_compaction_events_flow_from_an_observed_tree(self):
+        tree = make_tree(buffer_bytes=2 << 10)
+        observer, _ = observe_tree(tree, MetricsRegistry(), sampling=0.0)
+        journal = observer.journal
+        for i in range(400):
+            tree.put(f"key{i:05d}".encode(), b"v" * 64)
+        counts = journal.counts_by_kind()
+        assert counts.get("flush", 0) > 0, counts
+        for event in journal.events(kind="flush"):
+            assert {"compaction", "level", "dest", "bytes_in",
+                    "bytes_out", "tick"} <= set(event.fields)
+        # Compactions log their start before their finish, in seq order.
+        starts = journal.events(kind="compaction_start")
+        finishes = journal.events(kind="compaction_finish")
+        if finishes:
+            assert starts, "a finish without any start was journaled"
+            assert starts[0].seq < finishes[-1].seq
+            assert starts[0].fields["bytes_in"] > 0

@@ -79,4 +79,7 @@ class TestSamplingOn:
         snap = recorder.snapshot()
         assert set(snap) == {"sampling", "capacity", "sampled", "dropped", "spans"}
         span = snap["spans"][-1]
-        assert set(span) == {"name", "total", "stages", "events", "attrs"}
+        assert set(span) == {"name", "total", "stages", "events", "attrs",
+                             "trace_id", "span_id", "parent_id"}
+        assert span["trace_id"] and span["span_id"]
+        assert span["parent_id"] == ""  # a bare engine get is a root span

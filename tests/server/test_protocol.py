@@ -30,8 +30,11 @@ from repro.server.protocol import (
     RESPONSE_TYPES,
     ScanRequest,
     ScanResponse,
+    StatsHistoryRequest,
+    StatsHistoryResponse,
     StatsRequest,
     StatsResponse,
+    TraceContext,
     decode_frame,
     encode_frame,
     try_decode_frame,
@@ -44,17 +47,22 @@ _key = st.binary(max_size=48)
 _value = st.binary(max_size=48)
 _floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
 _limit = st.integers(min_value=0, max_value=2**32)
+# Every request may carry the optional trailing trace-context block.
+_trace = st.none() | st.builds(
+    TraceContext, trace_id=_text, span_id=_text, sampled=st.booleans()
+)
 
 _requests = st.one_of(
-    st.builds(PingRequest, tenant=_text),
-    st.builds(StatsRequest, tenant=_text),
-    st.builds(GetRequest, tenant=_text, key=_key),
-    st.builds(PutRequest, tenant=_text, key=_key, value=_value),
-    st.builds(DeleteRequest, tenant=_text, key=_key),
+    st.builds(PingRequest, tenant=_text, trace=_trace),
+    st.builds(StatsRequest, tenant=_text, trace=_trace),
+    st.builds(GetRequest, tenant=_text, key=_key, trace=_trace),
+    st.builds(PutRequest, tenant=_text, key=_key, value=_value, trace=_trace),
+    st.builds(DeleteRequest, tenant=_text, key=_key, trace=_trace),
     st.builds(
         MultiGetRequest,
         tenant=_text,
         keys=st.lists(_key, max_size=6).map(tuple),
+        trace=_trace,
     ),
     st.builds(
         ScanRequest,
@@ -62,6 +70,7 @@ _requests = st.one_of(
         start=st.none() | _key,
         end=st.none() | _key,
         limit=_limit,
+        trace=_trace,
     ),
     st.builds(
         BatchRequest,
@@ -70,6 +79,13 @@ _requests = st.one_of(
             st.tuples(st.sampled_from(["put", "delete"]), _key, _value),
             max_size=6,
         ).map(tuple),
+        trace=_trace,
+    ),
+    st.builds(
+        StatsHistoryRequest,
+        tenant=_text,
+        last_n=st.integers(min_value=0, max_value=2**20),
+        trace=_trace,
     ),
 )
 
@@ -90,6 +106,7 @@ _responses = st.one_of(
         truncated=st.booleans(),
     ),
     st.builds(ErrorResponse, code=_text, message=_text),
+    st.builds(StatsHistoryResponse, payload_json=_text),
 )
 
 _messages = st.one_of(_requests, _responses)
@@ -131,10 +148,10 @@ class TestRoundTrip:
 
     def test_all_registered_types_covered(self):
         # The strategies above must exercise every type the protocol exports.
-        assert len(REQUEST_TYPES) == 8
-        assert len(RESPONSE_TYPES) == 7
+        assert len(REQUEST_TYPES) == 9
+        assert len(RESPONSE_TYPES) == 8
         types = {cls.TYPE for cls in REQUEST_TYPES + RESPONSE_TYPES}
-        assert len(types) == 15
+        assert len(types) == 17
 
 
 # -- truncation ----------------------------------------------------------------
@@ -222,9 +239,28 @@ class TestCorruption:
     def test_trailing_payload_bytes_rejected(self):
         # A structurally valid frame whose payload has junk after the
         # typed fields must not decode (every decoder calls _expect_end).
-        payload = PingRequest(tenant="t").encode_payload() + b"\xff"
+        # b"\x00" decodes as "no trace context"; the 0xff after it is junk.
+        payload = PingRequest(tenant="t").encode_payload() + b"\x00\xff"
         with pytest.raises(ProtocolError, match="trailing"):
             try_decode_frame(self._frame(PingRequest.TYPE, payload))
+
+    def test_bad_trace_flag_byte_rejected(self):
+        # A trailing byte that is neither a valid trace block nor absent.
+        payload = PingRequest(tenant="t").encode_payload() + b"\xff"
+        with pytest.raises(ProtocolError, match="boolean"):
+            try_decode_frame(self._frame(PingRequest.TYPE, payload))
+
+    def test_trace_block_round_trips_and_is_optional_on_the_wire(self):
+        bare = GetRequest(tenant="t", key=b"k")
+        traced = GetRequest(
+            tenant="t", key=b"k",
+            trace=TraceContext(trace_id="abc123", span_id="d4", sampled=True),
+        )
+        # The traceless payload is byte-identical to the pre-trace format.
+        assert bare.encode_payload() == b"\x01t\x01k"
+        for message in (bare, traced):
+            decoded, _ = decode_frame(encode_frame(message))
+            assert decoded == message
 
     def test_bad_bool_byte_rejected(self):
         payload = b"\x07" + GetResponse(found=True, value=b"x").encode_payload()[1:]
