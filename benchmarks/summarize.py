@@ -21,8 +21,8 @@ RESULTS = pathlib.Path(__file__).parent / "results"
 ORDER = [
     "e1_", "e2_", "e3_", "e4_", "e5_", "e6_cache", "e6_leaper", "e7_partial.",
     "e7_partial_vs", "e8_", "e9_", "e10_", "e11_", "e12_", "e13_", "e14_",
-    "e15_", "e16_", "e17_", "e18_", "e22_", "e23_", "e24_", "a1_", "a2_",
-    "a3_",
+    "e15_", "e16_", "e17_", "e18_", "e22_", "e23_", "e24_", "e25_", "a1_",
+    "a2_", "a3_",
 ]
 
 #: Candidate locations of the perf-smoke JSON (CI writes to the repo root).
@@ -36,7 +36,7 @@ def render_perf_json() -> str:
     """Flatten the newest BENCH_perf.json into a report section.
 
     The perf smokes (``bench_e22_parallel.py``, ``bench_e23_server.py``,
-    ``bench_e24_tracing.py``)
+    ``bench_e24_tracing.py``, ``bench_e25_txn.py``)
     emit nested JSON rather than a table; merge every candidate file (newest
     wins) and render the leaf metrics as ``section.key = value`` lines.
     """

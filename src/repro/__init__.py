@@ -32,8 +32,10 @@ from repro.core.lsm_tree import LSMTree
 from repro.core.stats import LSMStats
 from repro.errors import (
     ConfigError,
+    ConflictError,
     CorruptionError,
     QuarantinedFileError,
+    MergeError,
     ReproError,
     SimulatedCrashError,
     TransientIOError,
@@ -45,16 +47,36 @@ from repro.faults import (
     FaultyBlockDevice,
     ReadGuard,
 )
+from repro.core.lsm_tree import Snapshot
 from repro.observe import MetricsRegistry, TraceRecorder, observe_tree
 from repro.service import DBService, ServiceConfig
 from repro.storage.block_device import BlockDevice, DeviceStats, LatencyModel
 
-from repro.api import open  # noqa: A001 — deliberate: repro.open() is the API
+from repro.sharding import ShardedStore
+from repro.txn import (
+    AppendSet,
+    Counter,
+    MergeOperator,
+    Transaction,
+    WriteBatch,
+)
+
+from repro.api import KVStore, open  # noqa: A001 — deliberate: repro.open() is the API
 
 __version__ = "1.0.0"
 
 __all__ = [
     "open",
+    "KVStore",
+    "Snapshot",
+    "ShardedStore",
+    "Transaction",
+    "WriteBatch",
+    "MergeOperator",
+    "Counter",
+    "AppendSet",
+    "ConflictError",
+    "MergeError",
     "LSMTree",
     "LSMConfig",
     "LSMStats",

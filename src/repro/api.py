@@ -22,8 +22,18 @@ recovery story.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import (
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
+from repro.common.entry import GetResult
 from repro.core.config import LSMConfig
 from repro.core.lsm_tree import LSMTree
 from repro.core.manifest import find_manifest
@@ -33,16 +43,66 @@ from repro.service import DBService, ServiceConfig
 from repro.storage.block_device import BlockDevice
 
 
+@runtime_checkable
+class KVStore(Protocol):
+    """The one store surface every handle speaks.
+
+    :class:`~repro.core.lsm_tree.LSMTree` (embedded),
+    :class:`~repro.service.service.DBService` (concurrent service),
+    :class:`~repro.sharding.ShardedStore` (range-sharded), and
+    :class:`~repro.server.client.LSMClient` (over the wire) all satisfy
+    this protocol, so application code — and :class:`repro.txn.Transaction`
+    — runs unchanged against any of them. Structural (PEP 544): no handle
+    inherits from this class; ``isinstance(handle, KVStore)`` checks method
+    presence at runtime.
+
+    Semantics that the conformance suite
+    (``tests/api/test_kvstore_conformance.py``) pins across handles:
+
+    * ``get`` returns a :class:`~repro.common.entry.GetResult` whose
+      ``seqno`` fingerprints the newest observed version (0 when absent) —
+      the token optimistic transactions validate against;
+    * ``multi_get`` returns ``{key: GetResult}`` over the *distinct*
+      requested keys, iterating in sorted key order;
+    * ``write`` applies a :class:`repro.txn.WriteBatch` (or op-tuple
+      iterable) atomically — one WAL frame (per shard, when sharded);
+    * ``merge`` enqueues an operand for a registered merge operator;
+    * ``put`` with ``ttl=`` stamps an expiry deadline in simulated seconds;
+    * ``snapshot`` returns a consistent read view with ``get`` /
+      ``multi_get`` / ``scan`` / ``close`` (context-manager capable).
+    """
+
+    def get(self, key: bytes) -> GetResult: ...
+
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None: ...
+
+    def delete(self, key: bytes) -> None: ...
+
+    def multi_get(self, keys: Sequence[bytes]) -> Dict[bytes, GetResult]: ...
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]: ...
+
+    def write(self, batch) -> None: ...
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> None: ...
+
+    def snapshot(self): ...
+
+
 def open(
     config: Optional[LSMConfig] = None,
     *,
     device: Optional[BlockDevice] = None,
     service: Union[bool, ServiceConfig] = False,
+    server: object = False,
+    sharding: Optional[Sequence[bytes]] = None,
     observe: bool = False,
     faults: Optional[FaultConfig] = None,
     sampling: float = 0.0,
     arm_faults: bool = True,
-) -> Union[LSMTree, DBService]:
+):
     """Open (or recover) an engine, wiring the requested layers together.
 
     Args:
@@ -56,6 +116,18 @@ def open(
             a concurrent :class:`DBService` — group commit, background
             maintenance, backpressure. The returned service owns the tree:
             closing it also closes the tree.
+        server: ``True`` (or a :class:`repro.server.ServerConfig`) starts a
+            framed-protocol :class:`~repro.server.LSMServer` over the handle
+            and returns the *server* (its ``address`` is ready; connect with
+            :class:`~repro.server.LSMClient`). An unsharded backend is
+            automatically fronted by a :class:`DBService` (the wire needs a
+            thread-safe backend); shutting the server down closes the whole
+            stack.
+        sharding: split keys for a range-sharded deployment — returns (or
+            serves, with ``server=``) a :class:`~repro.sharding.ShardedStore`
+            of ``len(sharding) + 1`` trees over one shared device instead of
+            a single tree. Mutually exclusive with ``service=`` (shards run
+            their own maintenance).
         observe: attach a metrics registry (and a trace recorder); read it
             back via the handle's ``observer.registry``. Fault, retry,
             quarantine, and recovery series are included when a read guard
@@ -72,9 +144,12 @@ def open(
             points or probabilities first and call ``device.arm()`` yourself.
 
     Returns:
-        A ready :class:`DBService` when ``service`` is requested, else a
-        ready :class:`LSMTree`. Both are context managers whose ``close()``
-        flushes, seals the WAL, and stops background work.
+        A started :class:`~repro.server.LSMServer` when ``server`` is
+        requested; else a :class:`~repro.sharding.ShardedStore` when
+        ``sharding`` is given; else a ready :class:`DBService` when
+        ``service`` is requested; else a ready :class:`LSMTree`. All are
+        context managers whose exit flushes, seals WALs, and stops
+        background work.
 
     Raises:
         ConfigError: on contradictory wiring (e.g. ``faults`` together with
@@ -107,22 +182,48 @@ def open(
     if faults is not None and device.guard is None:
         device.guard = ReadGuard.from_config(faults)
 
-    if config.wal_enabled and find_manifest(device, name=config.name) is not None:
-        tree = LSMTree.recover(config, device)
-    else:
-        tree = LSMTree(config, device=device)
+    if sharding is not None:
+        if service:
+            raise ConfigError(
+                "service= and sharding= are mutually exclusive; shards run "
+                "their own maintenance (front them with server= if needed)"
+            )
+        from repro.sharding import ShardedStore
 
-    if not service:
+        boundaries = list(sharding)
+        shard0 = f"{config.name}-shard0"
+        if config.wal_enabled and find_manifest(device, name=shard0) is not None:
+            handle = ShardedStore.recover(config, boundaries, device)
+        else:
+            handle = ShardedStore(config, boundaries, device=device)
         if observe:
-            from repro.observe import observe_tree
+            handle.attach_observability(sampling=sampling)
+    else:
+        if config.wal_enabled and find_manifest(device, name=config.name) is not None:
+            tree = LSMTree.recover(config, device)
+        else:
+            tree = LSMTree(config, device=device)
 
-            observe_tree(tree, sampling=sampling)
-        return tree
+        if not service and not server:
+            if observe:
+                from repro.observe import observe_tree
 
-    service_config = service if isinstance(service, ServiceConfig) else None
-    handle = DBService(tree, config=service_config, close_tree=True)
-    if observe:
-        observer = handle.attach_observability(sampling=sampling)
-        if device.guard is not None:
-            device.guard.observer = observer
-    return handle
+                observe_tree(tree, sampling=sampling)
+            return tree
+
+        service_config = service if isinstance(service, ServiceConfig) else None
+        handle = DBService(tree, config=service_config, close_tree=True)
+        if observe:
+            observer = handle.attach_observability(sampling=sampling)
+            if device.guard is not None:
+                device.guard.observer = observer
+
+    if not server:
+        return handle
+
+    from repro.server import LSMServer, ServerConfig
+
+    server_config = server if isinstance(server, ServerConfig) else None
+    lsm_server = LSMServer(handle, config=server_config, close_service=True)
+    lsm_server.start()
+    return lsm_server

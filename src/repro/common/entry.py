@@ -16,7 +16,10 @@ access, and ~60% less memory per record (a frozen dataclass cannot carry
 from __future__ import annotations
 
 import enum
-from typing import Optional
+import struct
+from typing import Optional, Tuple
+
+from repro.common.encoding import get_length_prefixed, put_length_prefixed
 
 
 class EntryKind(enum.IntEnum):
@@ -24,6 +27,41 @@ class EntryKind(enum.IntEnum):
 
     PUT = 0
     DELETE = 1
+    #: A merge operand (RocksDB's Merge): the value holds an operator name
+    #: and an operand blob (see :func:`encode_merge_value`), resolved lazily
+    #: against the key's older versions at read time and during compaction.
+    MERGE = 2
+    #: A PUT whose value is prefixed with an absolute expiry deadline on the
+    #: simulated clock (see :func:`encode_ttl_value`); once the clock reaches
+    #: the deadline the entry reads as deleted and compaction reclaims it.
+    PUT_TTL = 3
+
+
+_TTL_DEADLINE = struct.Struct(">d")
+
+
+def encode_merge_value(operator: str, operand: bytes) -> bytes:
+    """Pack a merge entry's value: length-prefixed operator name + operand."""
+    body = bytearray()
+    put_length_prefixed(body, operator.encode("utf-8"))
+    body.extend(operand)
+    return bytes(body)
+
+
+def decode_merge_value(value: bytes) -> Tuple[str, bytes]:
+    """Inverse of :func:`encode_merge_value` → ``(operator, operand)``."""
+    name, pos = get_length_prefixed(value, 0)
+    return name.decode("utf-8"), value[pos:]
+
+
+def encode_ttl_value(deadline: float, payload: bytes) -> bytes:
+    """Pack a PUT_TTL entry's value: 8-byte deadline prefix + stored payload."""
+    return _TTL_DEADLINE.pack(deadline) + payload
+
+
+def decode_ttl_value(value: bytes) -> Tuple[float, bytes]:
+    """Inverse of :func:`encode_ttl_value` → ``(deadline, payload)``."""
+    return _TTL_DEADLINE.unpack_from(value)[0], value[_TTL_DEADLINE.size:]
 
 
 class Entry:
@@ -84,6 +122,18 @@ class Entry:
         """True when the entry logically deletes its key."""
         return self.kind is EntryKind.DELETE
 
+    @property
+    def is_merge(self) -> bool:
+        """True when the entry is a merge operand (not a full value)."""
+        return self.kind is EntryKind.MERGE
+
+    def expired(self, now: float) -> bool:
+        """True when this PUT_TTL entry's deadline has passed (``now`` may
+        equal the deadline: a key is invisible at exactly its deadline)."""
+        if self.kind is not EntryKind.PUT_TTL:
+            return False
+        return now >= _TTL_DEADLINE.unpack_from(self.value)[0]
+
     def shadows(self, other: "Entry") -> bool:
         """True when this entry supersedes ``other`` for the same key."""
         return self.key == other.key and self.seqno >= other.seqno
@@ -113,11 +163,15 @@ class GetResult:
         filter_negatives: probes skipped thanks to a negative filter answer.
         false_positives: filter said maybe but the run did not hold the key.
         source_level: level that served the hit (None for misses/memtable).
+        seqno: sequence number of the newest raw version observed for the
+            key (0 when no version exists at all). Set even for tombstoned
+            or expired keys — optimistic transactions record it as the
+            read-set fingerprint validated at commit.
     """
 
     __slots__ = (
         "value", "found", "runs_probed", "blocks_read",
-        "filter_negatives", "false_positives", "source_level",
+        "filter_negatives", "false_positives", "source_level", "seqno",
     )
 
     def __init__(
@@ -129,6 +183,7 @@ class GetResult:
         filter_negatives: int = 0,
         false_positives: int = 0,
         source_level: Optional[int] = None,
+        seqno: int = 0,
     ) -> None:
         self.value = value
         self.found = found
@@ -137,6 +192,7 @@ class GetResult:
         self.filter_negatives = filter_negatives
         self.false_positives = false_positives
         self.source_level = source_level
+        self.seqno = seqno
 
     def __repr__(self) -> str:
         return (

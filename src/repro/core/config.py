@@ -102,6 +102,9 @@ class LSMConfig:
             device reads. Results-invariant: only wall-clock time, simulated
             time, and seek counts change. None keeps the fully serial,
             one-block-at-a-time engine.
+        merge_operators: extra :class:`~repro.txn.MergeOperator` instances to
+            register on the tree (the built-in ``counter`` and
+            ``append_set`` are always available).
         seed: base seed for hashes, skiplists, and any randomized choice.
     """
 
@@ -143,6 +146,7 @@ class LSMConfig:
     seed: int = 42
     # Declared last so legacy positional construction (deprecated) keeps its
     # original field order.
+    merge_operators: Sequence = ()
     name: str = "db"
 
     def __post_init__(self) -> None:

@@ -51,3 +51,24 @@ def merge_entries(
                 continue
             previous_key = entry.key
             yield entry
+
+
+def merge_entry_versions(
+    streams: Iterable[Iterator[Entry]],
+) -> Iterator["list[Entry]"]:
+    """Merge sorted entry streams, yielding ALL versions per key.
+
+    The generalization :func:`merge_entries` is the newest-only special case
+    of: each yielded list holds one key's versions newest-first, so a caller
+    can fold merge-operand chains or apply TTL policy with the full history
+    in hand. Used by the scan read path and by compactions once merge
+    entries exist (a plain newest-wins pass would discard operands).
+    """
+    group: "list[Entry]" = []
+    for entry in heapq.merge(*streams, key=_sort_key):
+        if group and entry.key != group[0].key:
+            yield group
+            group = []
+        group.append(entry)
+    if group:
+        yield group

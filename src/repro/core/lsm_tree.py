@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import bisect
 import concurrent.futures
+import heapq
 import threading
 import time
 from dataclasses import dataclass, field
@@ -20,7 +21,15 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.block_cache import BlockCache
 from repro.cache.leaper import LeaperPrefetcher
-from repro.common.entry import Entry, EntryKind, GetResult
+from repro.common.entry import (
+    Entry,
+    EntryKind,
+    GetResult,
+    decode_merge_value,
+    decode_ttl_value,
+    encode_merge_value,
+    encode_ttl_value,
+)
 from repro.compaction.picker import make_picker
 from repro.compaction.trigger import (
     CompositeTrigger,
@@ -31,7 +40,7 @@ from repro.compaction.trigger import (
 )
 from repro.core.config import LSMConfig
 from repro.core.factories import AuxFactory
-from repro.core.iterator import merge_entries
+from repro.core.iterator import merge_entry_versions
 from repro.core.manifest import (
     ManifestData,
     find_manifest,
@@ -40,7 +49,13 @@ from repro.core.manifest import (
 )
 from repro.core.stats import CompactionEvent, LSMStats
 from repro.core.version import Version
-from repro.errors import ClosedError, ConfigError, StorageError
+from repro.errors import (
+    ClosedError,
+    ConfigError,
+    ConflictError,
+    MergeError,
+    StorageError,
+)
 from repro.filters.elastic import ElasticBloomFilter, ElasticFilterManager
 from repro.filters.hashing import hash64
 from repro.memtable import make_memtable
@@ -56,6 +71,7 @@ from repro.storage.sstable import (
 )
 from repro.storage.value_log import ValueLog, ValuePointer
 from repro.storage.wal import WriteAheadLog
+from repro.txn.merge import MergeOperator, MergeOperatorRegistry
 
 _INLINE_TAG = b"i"
 _POINTER_TAG = b"p"
@@ -149,6 +165,12 @@ class LSMTree:
         self.cache.subscribe_to_device(self.device)
         self._memtable = make_memtable(config.memtable)
         self._immutables: List[ImmutableMemtable] = []
+        # True while write_batch applies its records: defers the seal/flush
+        # trigger to the end of the batch so one WAL frame never straddles a
+        # memtable seal (the sealed segment is retired after its flush — any
+        # batch records applied *after* a mid-batch seal would lose their
+        # only durable copy). Guarded by the tree mutex.
+        self._in_batch = False
         self._mutex = threading.RLock()
         # Counters touched by lock-free read paths (get/scan/multi_get run
         # outside the tree mutex in service mode) are guarded by this
@@ -174,6 +196,7 @@ class LSMTree:
         self._seqno = 0
         self._closed = False
         self._opened_monotonic = time.monotonic()
+        self._merge_registry = MergeOperatorRegistry(config.merge_operators)
         self._value_log = (
             ValueLog(self.device, segment_blocks=config.vlog_segment_blocks)
             if config.kv_separation
@@ -210,8 +233,16 @@ class LSMTree:
 
     # ------------------------------------------------------------------ writes
 
-    def put(self, key: bytes, value: bytes) -> None:
-        """Insert or update a key (out-of-place: a new versioned entry)."""
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        """Insert or update a key (out-of-place: a new versioned entry).
+
+        Args:
+            ttl: optional time-to-live in *simulated* seconds. The entry is
+                stamped with the absolute deadline ``now + ttl`` on the
+                device clock; at or past the deadline the key reads as
+                deleted (shadowing older versions) and compaction reclaims
+                it. A later plain put clears the TTL.
+        """
         self._check_open()
         obs = self.observer
         if obs is not None:
@@ -220,14 +251,27 @@ class LSMTree:
             self._seqno += 1
             self.stats.puts += 1
             self.stats.user_bytes += len(key) + len(value)
+            if ttl is None:
+                wal_entry = Entry(key=key, seqno=self._seqno, value=value)
+                entry = Entry(
+                    key=key, seqno=self._seqno, kind=EntryKind.PUT,
+                    value=self._encode_value(key, value),
+                )
+            else:
+                deadline = self.device.stats.simulated_time + float(ttl)
+                self.stats.ttl_puts += 1
+                # The WAL logs the raw value behind the same deadline prefix
+                # so replay re-encodes against a fresh value log.
+                wal_entry = Entry(
+                    key=key, seqno=self._seqno, kind=EntryKind.PUT_TTL,
+                    value=encode_ttl_value(deadline, value),
+                )
+                entry = Entry(
+                    key=key, seqno=self._seqno, kind=EntryKind.PUT_TTL,
+                    value=encode_ttl_value(deadline, self._encode_value(key, value)),
+                )
             if self._wal is not None:
-                # Log the raw value (not the kv-separated pointer) so replay can
-                # re-run the encoding path against a fresh value log.
-                self._wal.append(Entry(key=key, seqno=self._seqno, value=value))
-            entry = Entry(
-                key=key, seqno=self._seqno, kind=EntryKind.PUT,
-                value=self._encode_value(key, value),
-            )
+                self._wal.append(wal_entry)
             if len(entry.key) + len(entry.value) + 12 > self.config.block_size:
                 raise ConfigError(
                     f"entry of {len(key) + len(value)} bytes cannot fit one "
@@ -237,6 +281,40 @@ class LSMTree:
             self._buffer_entry(entry)
         if obs is not None:
             obs.record_put(time.perf_counter() - wall0)
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> None:
+        """Write a merge operand (RocksDB's Merge): read-modify-write
+        without the read.
+
+        The operand is folded against the key's newest memtable-resident
+        version immediately when one exists (keeping the one-entry-per-key
+        memtable invariant); otherwise a typed MERGE entry is buffered and
+        resolved lazily at read time and during compaction.
+
+        Raises:
+            MergeError: unknown ``operator``, or the key's existing operand
+                chain uses a different operator.
+        """
+        self._check_open()
+        self._merge_registry.get(operator)  # fail fast on unknown names
+        with self._mutex:
+            self._seqno += 1
+            self.stats.merges += 1
+            self.stats.user_bytes += len(key) + len(operand)
+            if self._wal is not None:
+                self._wal.append(
+                    Entry(key=key, seqno=self._seqno, kind=EntryKind.MERGE,
+                          value=encode_merge_value(operator, operand))
+                )
+            self._buffer_merge_locked(key, self._seqno, operator, operand)
+
+    def register_merge_operator(self, operator: MergeOperator) -> None:
+        """Register a user merge operator (also see config.merge_operators)."""
+        self._merge_registry.register(operator)
+
+    def merge_operator(self, name: str) -> MergeOperator:
+        """Look up a registered merge operator by name."""
+        return self._merge_registry.get(name)
 
     def delete(self, key: bytes) -> None:
         """Delete a key by buffering a tombstone."""
@@ -254,13 +332,20 @@ class LSMTree:
         """Apply a group of writes as one atomic group commit.
 
         Args:
-            ops: iterable of ``(kind, key, value)`` triples where kind is
-                ``'put'`` or ``'delete'`` (value is ignored for deletes).
+            ops: iterable of ``(kind, key, value)`` triples or
+                ``(kind, key, value, meta)`` quadruples where kind is
+                ``'put'``, ``'delete'``, ``'merge'``, or ``'put_ttl'``.
+                ``meta`` carries the operator name for merges and the
+                relative TTL (simulated seconds) for ``put_ttl``; value is
+                ignored for deletes. :class:`repro.txn.WriteBatch` yields
+                exactly this shape.
 
         The whole batch becomes one WAL frame (one device append instead of
         one per record) followed by one memtable application pass — the
         leader's half of the leader/follower group-commit protocol that
-        :class:`repro.service.WriteBatcher` drives.
+        :class:`repro.service.WriteBatcher` drives. The single frame is
+        also the transactional atomicity unit: a crash either keeps the
+        whole frame or drops it whole.
 
         Returns:
             The number of records applied.
@@ -268,8 +353,10 @@ class LSMTree:
         self._check_open()
         with self._mutex:
             wal_entries: List[Entry] = []
-            staged: List[Entry] = []
-            for kind, key, value in ops:
+            staged: List = []  # Entry, or ("merge", key, seqno, op, operand)
+            for op in ops:
+                kind, key, value = op[0], op[1], op[2]
+                meta = op[3] if len(op) > 3 else None
                 self._seqno += 1
                 if kind == "put":
                     entry = Entry(
@@ -286,21 +373,112 @@ class LSMTree:
                     self.stats.user_bytes += len(key) + len(value)
                     if self._wal is not None:
                         wal_entries.append(Entry(key=key, seqno=self._seqno, value=value))
+                elif kind == "put_ttl":
+                    deadline = self.device.stats.simulated_time + float(meta)
+                    entry = Entry(
+                        key=key, seqno=self._seqno, kind=EntryKind.PUT_TTL,
+                        value=encode_ttl_value(deadline, self._encode_value(key, value)),
+                    )
+                    self.stats.puts += 1
+                    self.stats.ttl_puts += 1
+                    self.stats.user_bytes += len(key) + len(value)
+                    if self._wal is not None:
+                        wal_entries.append(
+                            Entry(key=key, seqno=self._seqno, kind=EntryKind.PUT_TTL,
+                                  value=encode_ttl_value(deadline, value))
+                        )
                 elif kind == "delete":
                     entry = Entry(key=key, seqno=self._seqno, kind=EntryKind.DELETE)
                     self.stats.deletes += 1
                     self.stats.user_bytes += len(key)
                     if self._wal is not None:
                         wal_entries.append(entry)
+                elif kind == "merge":
+                    operator = str(meta)
+                    self._merge_registry.get(operator)
+                    self.stats.merges += 1
+                    self.stats.user_bytes += len(key) + len(value)
+                    if self._wal is not None:
+                        wal_entries.append(
+                            Entry(key=key, seqno=self._seqno, kind=EntryKind.MERGE,
+                                  value=encode_merge_value(operator, value))
+                        )
+                    # Folding must happen at apply time (after the WAL sync)
+                    # so an earlier op in this batch is visible as the base.
+                    staged.append(("merge", key, self._seqno, operator, value))
+                    continue
                 else:
                     raise ValueError(f"unknown write kind {kind!r}")
                 staged.append(entry)
             if self._wal is not None and wal_entries:
                 self._wal.append_batch(wal_entries)
                 self._wal.sync()  # the batch's durability point: one frame
-            for entry in staged:
-                self._buffer_entry(entry)
+            # Apply with maintenance deferred: a seal rolls the WAL and its
+            # sealed segment is retired once flushed, so sealing mid-batch
+            # would strand the rest of this frame's records with no durable
+            # home. Seal/flush checks run once the whole frame is applied.
+            self._in_batch = True
+            try:
+                for item in staged:
+                    if isinstance(item, Entry):
+                        self._buffer_entry(item)
+                    else:
+                        _, key, seqno, operator, operand = item
+                        self._buffer_merge_locked(key, seqno, operator, operand)
+            finally:
+                self._in_batch = False
+            self._maybe_seal_or_flush()
+            if self.config.lazy_compaction and self._maintenance_cb is None:
+                self._paced_compaction()
             return len(staged)
+
+    def write(self, batch) -> None:
+        """Apply a :class:`repro.txn.WriteBatch` (or op-tuple iterable)
+        atomically — the KVStore-surface spelling of :meth:`write_batch`."""
+        ops = list(batch)
+        if ops:
+            self.write_batch(ops)
+
+    def commit_transaction(self, read_set: Dict[bytes, int], ops) -> int:
+        """Validate an optimistic transaction and apply it atomically.
+
+        Args:
+            read_set: key → the newest raw seqno the transaction observed
+                (0 for keys that did not exist). Validation compares each
+                against current state under the tree mutex.
+            ops: the transaction's writes in :meth:`write_batch` shape.
+
+        Returns:
+            The number of records applied.
+
+        Raises:
+            ConflictError: some footprint key changed; nothing was applied.
+        """
+        self._check_open()
+        with self._mutex:
+            self._validate_read_set(read_set)
+            count = self.write_batch(ops)
+            self.stats.txn_commits += 1
+            return count
+
+    def _validate_read_set(self, read_set: Dict[bytes, int]) -> None:
+        """Raise ConflictError unless every fingerprinted key is unchanged.
+
+        Must be called under the tree mutex. The check is seqno equality on
+        the newest raw version: any intervening put/delete/merge bumps the
+        key's newest seqno. (Compaction preserves newest seqnos, except that
+        a bottom-level purge can erase a tombstone entirely — that reads as
+        a spurious conflict, which is safe.)
+        """
+        for key, seqno in read_set.items():
+            current = self._find_entry(key)
+            current_seqno = current.seqno if current is not None else 0
+            if current_seqno != seqno:
+                self.stats.txn_conflicts += 1
+                raise ConflictError(
+                    f"key {key!r} moved from seqno {seqno} to {current_seqno} "
+                    f"since the transaction's snapshot"
+                )
 
     def seal_memtable(self) -> Optional[ImmutableMemtable]:
         """Seal the active memtable into the immutable queue (no run I/O).
@@ -461,7 +639,7 @@ class LSMTree:
 
         if span is not None:
             stage0 = time.perf_counter()
-        entry = self.probe_memory(key)
+        entry, operands = self._probe_memory_chain(key)
         if span is not None:
             span.add_stage("memtable_probe", time.perf_counter() - stage0)
         digest: Optional[int] = None
@@ -484,6 +662,12 @@ class LSMTree:
                         digest = hash64(key, self.config.seed)
                         hash_evals += 1
                     entry = run.get(key, stats=probe, cache=self.cache, digest=digest)
+                    if entry is not None and entry.is_merge:
+                        # An operand, not a value: collect it and keep
+                        # descending until a non-merge base terminates.
+                        operands.append(entry)
+                        entry = None
+                        continue
                     if entry is not None:
                         result.source_level = level_no
                         break
@@ -523,16 +707,24 @@ class LSMTree:
         result.blocks_read = probe.blocks_read
         result.filter_negatives = probe.filter_negatives
         result.false_positives = probe.false_positives
+        if operands:
+            result.seqno = operands[0].seqno  # operands are newest-first
+        elif entry is not None:
+            result.seqno = entry.seqno
         with self._stats_lock:
             self.stats.gets += 1
             self.stats.get_hash_evaluations += hash_evals
             self.stats.probe.merge(probe)
 
-        if entry is not None and not entry.is_tombstone:
-            result.found = True
+        if entry is not None or operands:
             if span is not None:
                 stage0 = time.perf_counter()
-            result.value = self._decode_value(entry.value)
+            value = self._resolve_chain(
+                entry, operands, self.device.stats.simulated_time
+            )
+            if value is not None:
+                result.found = True
+                result.value = value
             if span is not None:
                 span.add_stage("value_fetch", time.perf_counter() - stage0)
         if obs is not None:
@@ -557,23 +749,40 @@ class LSMTree:
     def scan(
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
-        """Range scan over a pinned snapshot; yields (key, value) in order.
+        """Range scan over a pinned version; yields (key, value) in order.
 
         Runs whose range filter proves the interval empty are skipped without
-        I/O (tutorial §II-B.3). The snapshot is released when the iterator is
+        I/O (tutorial §II-B.3). The version is released when the iterator is
         exhausted or closed.
         """
         self._check_open()
-        obs = self.observer
         with self._stats_lock:
             self.stats.scans += 1
-        snapshot = self.snapshot()
+        version = self.pin_version()
+        return self._scan_version(
+            version, start, end,
+            now=self.device.stats.simulated_time, close_version=True,
+        )
+
+    def _scan_version(
+        self,
+        version: Version,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        now: float,
+        close_version: bool,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """The scan engine: merge a pinned version's streams, fold merge
+        chains, mask tombstones and expired TTLs (``now`` is the TTL clock
+        for the whole scan), and yield decoded user values in key order.
+        """
+        obs = self.observer
         probe = ProbeStats()
         parallel = self.config.parallel
         readahead = parallel.scan_readahead_blocks if parallel is not None else 1
 
         def buffered() -> Iterator[Entry]:
-            for entry in snapshot.memtable_entries:
+            for entry in version.memtable_entries:
                 if start is not None and entry.key < start:
                     continue
                 if end is not None and entry.key > end:
@@ -585,7 +794,7 @@ class LSMTree:
             produced = 0
             try:
                 streams = [buffered()]
-                for run in snapshot.runs:
+                for run in version.runs:
                     if start is not None and end is not None:
                         if not run.overlaps(start, end):
                             continue
@@ -597,14 +806,26 @@ class LSMTree:
                             readahead=readahead,
                         )
                     )
-                for entry in merge_entries(streams, drop_tombstones=True):
+                for group in merge_entry_versions(streams):
+                    base: Optional[Entry] = None
+                    operands: List[Entry] = []
+                    for entry in group:  # newest-first versions of one key
+                        if entry.is_merge:
+                            operands.append(entry)
+                        else:
+                            base = entry
+                            break
+                    value = self._resolve_chain(base, operands, now)
+                    if value is None:
+                        continue
                     produced += 1
-                    yield entry.key, self._decode_value(entry.value)
+                    yield group[0].key, value
             finally:
                 with self._stats_lock:
                     self.stats.scan_entries += produced
                     self.stats.probe.merge(probe)
-                snapshot.close()
+                if close_version:
+                    version.close()
                 if obs is not None:
                     obs.record_scan(time.perf_counter() - wall0)
 
@@ -646,15 +867,17 @@ class LSMTree:
                     tracer.finish(span, op="multi_get", keys=len(unique))
 
         probe = ProbeStats()
-        entries: Dict[bytes, Entry] = {}
+        bases: Dict[bytes, Entry] = {}
+        chains: Dict[bytes, List[Entry]] = {}
         source_levels: Dict[bytes, int] = {}
         runs_probed: Dict[bytes, int] = {}
         pending: List[bytes] = []
         for key in unique:
             runs_probed[key] = 0
-            entry = self.probe_memory(key)
+            entry, operands = self._probe_memory_chain(key)
+            chains[key] = operands
             if entry is not None:
-                entries[key] = entry
+                bases[key] = entry
             else:
                 pending.append(key)
 
@@ -668,20 +891,36 @@ class LSMTree:
                     runs_probed[key] += 1
                 found = run.get_many(pending, stats=probe, cache=self.cache)
                 if found:
+                    resolved = set()
                     for key, entry in found.items():
-                        entries[key] = entry
+                        if entry.is_merge:
+                            # An operand: keep the key pending and descend
+                            # until a non-merge base terminates its chain.
+                            chains[key].append(entry)
+                            continue
+                        bases[key] = entry
                         source_levels[key] = level_no
-                    pending = [key for key in pending if key not in found]
+                        resolved.add(key)
+                    if resolved:
+                        pending = [key for key in pending if key not in resolved]
 
+        now = self.device.stats.simulated_time
         results: Dict[bytes, GetResult] = {}
         for key in unique:
             result = GetResult()
             result.runs_probed = runs_probed[key]
             result.source_level = source_levels.get(key)
-            entry = entries.get(key)
-            if entry is not None and not entry.is_tombstone:
-                result.found = True
-                result.value = self._decode_value(entry.value)
+            base = bases.get(key)
+            operands = chains[key]
+            if operands:
+                result.seqno = operands[0].seqno
+            elif base is not None:
+                result.seqno = base.seqno
+            if base is not None or operands:
+                value = self._resolve_chain(base, operands, now)
+                if value is not None:
+                    result.found = True
+                    result.value = value
             results[key] = result
 
         with self._stats_lock:
@@ -815,15 +1054,33 @@ class LSMTree:
                 return  # all-0xFF prefix: no finite upper bound exists
             yield key, value
 
-    def snapshot(self) -> Version:
-        """Pin the current file set (the tutorial's scan 'version')."""
+    def snapshot(self) -> "Snapshot":
+        """A consistent read-only view: get/multi_get/scan pinned in time.
+
+        The returned :class:`Snapshot` answers reads as of this instant —
+        later writes are invisible, and the TTL clock is frozen at the
+        snapshot's creation time. Close it (or use it as a context manager)
+        to release the pinned runs.
+        """
+        return Snapshot(self, self.pin_version())
+
+    def pin_version(self) -> Version:
+        """Pin the current file set (the tutorial's scan 'version').
+
+        The raw, entry-level view: buffered entries keep *every* in-memory
+        version of a key (merge-operand chains must survive into the
+        version so snapshot reads can fold them), and lookups return raw
+        entries. Most callers want :meth:`snapshot` instead.
+        """
         self._check_open()
         with self._mutex:
             if self._immutables:
                 streams = [iter(self._memtable.scan())] + [
                     iter(imm.entries) for imm in reversed(self._immutables)
                 ]
-                buffered = list(merge_entries(streams))
+                buffered = list(
+                    heapq.merge(*streams, key=lambda entry: entry.sort_key())
+                )
             else:
                 buffered = list(self._memtable.scan())
             runs = [run for level_runs in self._levels for run in level_runs]
@@ -844,6 +1101,31 @@ class LSMTree:
                 if entry is not None:
                     return entry
             return None
+
+    def _probe_memory_chain(
+        self, key: bytes
+    ) -> "Tuple[Optional[Entry], List[Entry]]":
+        """In-memory chain probe: ``(base, merge operands newest-first)``.
+
+        Like :meth:`probe_memory` but does not stop on MERGE entries —
+        operands are collected so the caller can continue the search on
+        storage when memory alone does not terminate the chain.
+        """
+        operands: List[Entry] = []
+        with self._mutex:
+            entry = self._memtable.get(key)
+            if entry is not None:
+                if not entry.is_merge:
+                    return entry, operands
+                operands.append(entry)
+            for imm in reversed(self._immutables):
+                entry = imm.get(key)
+                if entry is None:
+                    continue
+                if not entry.is_merge:
+                    return entry, operands
+                operands.append(entry)
+            return None, operands
 
     def pin_runs(self) -> Version:
         """Pin just the on-storage runs, newest level first.
@@ -1097,6 +1379,26 @@ class LSMTree:
         self._wal.append(entry)
         if entry.is_tombstone:
             self._buffer_entry(entry)
+        elif entry.kind is EntryKind.MERGE:
+            # Re-fold the operand as the original write did; the operator
+            # must be registered (config.merge_operators) for recovery.
+            name, operand = decode_merge_value(entry.value)
+            self._buffer_merge_locked(entry.key, entry.seqno, name, operand)
+        elif entry.kind is EntryKind.PUT_TTL:
+            # WAL records carry the raw value behind the deadline prefix;
+            # preserve the absolute deadline, re-encode against this tree's
+            # value log.
+            deadline, payload = decode_ttl_value(entry.value)
+            self._buffer_entry(
+                Entry(
+                    key=entry.key,
+                    seqno=entry.seqno,
+                    kind=EntryKind.PUT_TTL,
+                    value=encode_ttl_value(
+                        deadline, self._encode_value(entry.key, payload)
+                    ),
+                )
+            )
         else:
             self._buffer_entry(
                 Entry(
@@ -1298,8 +1600,90 @@ class LSMTree:
         if obs is not None:
             obs.record_event(event)
 
+    def _buffer_merge_locked(
+        self, key: bytes, seqno: int, operator: str, operand: bytes
+    ) -> None:
+        """Buffer one merge operand, folding eagerly against the active
+        memtable so every memtable (and hence every flushed run) keeps its
+        one-entry-per-key invariant. Must be called under the tree mutex.
+        """
+        op = self._merge_registry.get(operator)
+        existing = self._memtable.get(key)
+        if existing is None:
+            # No memtable-resident base: keep a typed operand entry and
+            # resolve lazily (read path / compaction fold).
+            self._buffer_entry(
+                Entry(key=key, seqno=seqno, kind=EntryKind.MERGE,
+                      value=encode_merge_value(operator, operand))
+            )
+            return
+        if existing.is_merge:
+            name, older = decode_merge_value(existing.value)
+            if name != operator:
+                raise MergeError(
+                    f"key {key!r} has pending {name!r} operands; cannot mix "
+                    f"with {operator!r}"
+                )
+            combined = op.combine(older, operand)
+            self._buffer_entry(
+                Entry(key=key, seqno=seqno, kind=EntryKind.MERGE,
+                      value=encode_merge_value(operator, combined))
+            )
+            return
+        base: Optional[bytes] = None
+        if existing.kind is EntryKind.PUT:
+            base = self._decode_value(existing.value)
+        elif existing.kind is EntryKind.PUT_TTL and not existing.expired(
+            self.device.stats.simulated_time
+        ):
+            base = self._decode_value(decode_ttl_value(existing.value)[1])
+        # DELETE or expired-TTL base folds from absent. The folded result is
+        # a plain PUT: merging onto a TTL'd value clears the TTL (documented).
+        result = op.apply(base, operand)
+        self._buffer_entry(
+            Entry(key=key, seqno=seqno, kind=EntryKind.PUT,
+                  value=self._encode_value(key, result))
+        )
+
+    def _resolve_chain(
+        self, base: Optional[Entry], operands: List[Entry], now: float
+    ) -> Optional[bytes]:
+        """Fold a merge chain (operand entries newest-first) over ``base``.
+
+        Returns the final user-visible value, or None when the key reads as
+        absent (no versions, tombstone, or expired TTL with no operands).
+        """
+        base_value: Optional[bytes] = None
+        if base is not None and not base.is_tombstone:
+            if base.kind is EntryKind.PUT_TTL:
+                if not base.expired(now):
+                    base_value = self._decode_value(decode_ttl_value(base.value)[1])
+            else:
+                base_value = self._decode_value(base.value)
+        if not operands:
+            return base_value
+        names = []
+        parts = []
+        for entry in operands:
+            name, operand = decode_merge_value(entry.value)
+            names.append(name)
+            parts.append(operand)
+        if any(name != names[0] for name in names):
+            raise MergeError(
+                f"key {operands[0].key!r} mixes merge operators {sorted(set(names))!r}"
+            )
+        op = self._merge_registry.get(names[0])
+        return op.fold(base_value, reversed(parts))  # oldest first
+
     def _buffer_entry(self, entry: Entry) -> None:
         self._memtable.put(entry)
+        if self._in_batch:
+            return  # write_batch runs maintenance once, after the frame
+        self._maybe_seal_or_flush()
+        if self.config.lazy_compaction and self._maintenance_cb is None:
+            self._paced_compaction()
+
+    def _maybe_seal_or_flush(self) -> None:
         if self._memtable.size_bytes >= self.config.buffer_bytes:
             if self._maintenance_cb is not None:
                 # Service mode: seal (cheap swap) and let the scheduler build
@@ -1308,8 +1692,6 @@ class LSMTree:
                 self._maintenance_cb()
             else:
                 self.flush()
-        if self.config.lazy_compaction and self._maintenance_cb is None:
-            self._paced_compaction()
 
     def _paced_compaction(self) -> None:
         """Bounded compaction work per write, plus debt-based throttling."""
@@ -1723,7 +2105,7 @@ class LSMTree:
         in_bytes = victim.size_bytes + sum(t.size_bytes for t in overlapping)
         in_tombstones = victim.tombstone_count + sum(t.tombstone_count for t in overlapping)
         new_tables = self._build_tables(
-            self._apply_compaction_filter(merge_entries(streams, drop_tombstones=purge)),
+            self._fold_entries(streams, purge, self.device.stats.simulated_time),
             level + 1,
         )
 
@@ -1748,38 +2130,133 @@ class LSMTree:
         if self._elastic is not None:
             self._elastic.rebalance()
 
-    def _apply_compaction_filter(self, entries: Iterator[Entry]) -> Iterator[Entry]:
-        """Drop live entries the configured compaction filter rejects."""
+    def _compaction_fold(
+        self, purge: bool, now: float
+    ) -> Callable[[List[Entry]], Optional[Entry]]:
+        """Build the per-key group fold every compaction output flows through.
+
+        The returned callable takes one key's versions newest-first (the
+        groups :func:`merge_entry_versions` yields) and returns the single
+        entry the output run keeps, or None to drop the key entirely. It
+        subsumes the old newest-wins + tombstone-policy pass and adds merge
+        folding, TTL reclamation, and the configured compaction filter.
+
+        ``now`` must be captured ONCE per compaction: the fold is then a
+        pure function of ``(group, purge, now)``, and key-range partitioning
+        never splits a group, so serial and parallel subcompaction
+        executions produce bit-identical entry sequences. Parallel workers
+        call it concurrently — shared-stats updates go through the stats
+        lock, and folded values are encoded inline (never appended to the
+        single-writer value log).
+        """
         keep = self.config.compaction_filter
-        if keep is None:
-            return entries
+        registry = self._merge_registry
+        inline = self._value_log is not None
 
-        def filtered() -> Iterator[Entry]:
-            for entry in entries:
-                if not entry.is_tombstone and not keep(entry.key, entry.value):
+        def fold(group: List[Entry]) -> Optional[Entry]:
+            base: Optional[Entry] = None
+            operands: List[Entry] = []
+            for entry in group:
+                if entry.is_merge:
+                    operands.append(entry)
+                else:
+                    base = entry
+                    break  # anything older is shadowed
+            if not operands:
+                entry = group[0]
+                if entry.is_tombstone:
+                    return None if purge else entry
+                if entry.kind is EntryKind.PUT_TTL and entry.expired(now):
+                    with self._stats_lock:
+                        self.stats.ttl_expired_dropped += 1
+                    if purge:
+                        return None
+                    # Older copies may live below this compaction's output:
+                    # leave a tombstone at the same seqno to shadow them.
+                    return Entry(
+                        key=entry.key, seqno=entry.seqno, kind=EntryKind.DELETE
+                    )
+                if keep is not None and not keep(entry.key, entry.value):
+                    with self._stats_lock:
+                        self.stats.filtered_by_compaction += 1
+                    return None
+                return entry
+            names: List[str] = []
+            parts: List[bytes] = []
+            for op_entry in operands:
+                name, operand = decode_merge_value(op_entry.value)
+                names.append(name)
+                parts.append(operand)
+            if any(name != names[0] for name in names):
+                raise MergeError(
+                    f"key {group[0].key!r} mixes merge operators "
+                    f"{sorted(set(names))!r}"
+                )
+            op = registry.get(names[0])
+            key = group[0].key
+            newest = group[0].seqno
+            if base is None and not purge:
+                # The chain's base may live below this compaction's inputs:
+                # partially combine the operands into one MERGE entry.
+                combined = parts[-1]
+                for part in reversed(parts[:-1]):  # older -> newer
+                    combined = op.combine(combined, part)
+                return Entry(
+                    key=key, seqno=newest, kind=EntryKind.MERGE,
+                    value=encode_merge_value(names[0], combined),
+                )
+            base_value: Optional[bytes] = None
+            if base is not None and not base.is_tombstone:
+                if base.kind is EntryKind.PUT_TTL:
+                    if base.expired(now):
+                        with self._stats_lock:
+                            self.stats.ttl_expired_dropped += 1
+                    else:
+                        base_value = self._decode_value(
+                            decode_ttl_value(base.value)[1]
+                        )
+                else:
+                    base_value = self._decode_value(base.value)
+            value = op.fold(base_value, reversed(parts))  # oldest first
+            stored = _INLINE_TAG + value if inline else value
+            if keep is not None and not keep(key, stored):
+                with self._stats_lock:
                     self.stats.filtered_by_compaction += 1
-                    continue
-                yield entry
+                return None
+            return Entry(key=key, seqno=newest, kind=EntryKind.PUT, value=stored)
 
-        return filtered()
+        return fold
+
+    def _fold_entries(
+        self, streams, purge: bool, now: float
+    ) -> Iterator[Entry]:
+        """Serial compaction pipeline: group versions per key, apply the fold."""
+        fold = self._compaction_fold(purge, now)
+        for group in merge_entry_versions(streams):
+            entry = fold(group)
+            if entry is not None:
+                yield entry
 
     def _merge_runs(self, inputs: List[Run], dest_level: int, purge: bool) -> Optional[Run]:
         parallel = self.config.parallel
         readahead = parallel.merge_readahead_blocks if parallel is not None else 1
+        # One TTL clock reading for the whole merge, serial or parallel: the
+        # fold's decisions must not depend on execution schedule.
+        now = self.device.stats.simulated_time
         if parallel is not None and parallel.max_subcompactions > 1:
             ranges = split_key_ranges(
                 inputs, parallel.max_subcompactions, parallel.min_subcompaction_blocks
             )
             if len(ranges) > 1:
                 return self._merge_runs_parallel(
-                    inputs, dest_level, purge, ranges, readahead
+                    inputs, dest_level, purge, ranges, readahead, now
                 )
         streams = [run.iter_entries(readahead=readahead) for run in inputs]
         with self._stats_lock:
             self.stats.compaction_bytes_in += sum(run.size_bytes for run in inputs)
         in_tombstones = sum(run.tombstone_count for run in inputs)
         merged = self._build_run(
-            self._apply_compaction_filter(merge_entries(streams, drop_tombstones=purge)),
+            self._fold_entries(streams, purge, now),
             dest_level,
         )
         self._note_merge_output(merged, in_tombstones)
@@ -1792,6 +2269,7 @@ class LSMTree:
         purge: bool,
         ranges,
         readahead: int,
+        now: float,
     ) -> Optional[Run]:
         """Execute one merge as key-range subcompactions on the worker pool.
 
@@ -1825,7 +2303,9 @@ class LSMTree:
             purge,
             builder_factory,
             self.config.file_bytes,
-            keep=self.config.compaction_filter,
+            # The fold subsumes the compaction filter (and counts drops
+            # under the stats lock itself), so keep stays None here.
+            fold=self._compaction_fold(purge, now),
             readahead=readahead,
             executor=self._subcompaction_executor(),
         )
@@ -1976,6 +2456,86 @@ class LSMTree:
     def _trim_empty_tail(self) -> None:
         while self._levels and not self._levels[-1]:
             self._levels.pop()
+
+
+class Snapshot:
+    """A consistent point-in-time read view of one :class:`LSMTree`.
+
+    Wraps a pinned :class:`~repro.core.version.Version` with the tree's
+    value resolution: merge chains fold, tombstones mask, and TTL expiry is
+    judged against the simulated clock *as of snapshot creation* — a key
+    that was live when the snapshot was taken stays visible through it even
+    if its deadline passes later.
+
+    The raw version surface (``runs``, ``memtable_entries``, ``closed``) is
+    delegated for callers that walk the file set directly.
+    """
+
+    def __init__(self, tree: "LSMTree", version: Version) -> None:
+        self._tree = tree
+        self._version = version
+        #: The TTL clock, frozen at creation.
+        self.created_at = tree.device.stats.simulated_time
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, key: bytes) -> GetResult:
+        """Point lookup as of the snapshot; returns a :class:`GetResult`."""
+        base, operands = self._version.get_chain(key, cache=self._tree.cache)
+        result = GetResult()
+        if operands:
+            result.seqno = operands[0].seqno
+        elif base is not None:
+            result.seqno = base.seqno
+        if base is not None or operands:
+            value = self._tree._resolve_chain(base, operands, self.created_at)
+            if value is not None:
+                result.found = True
+                result.value = value
+        return result
+
+    def multi_get(self, keys) -> "dict[bytes, GetResult]":
+        """Batched point lookups as of the snapshot (sorted, deduplicated)."""
+        return {key: self.get(key) for key in sorted(set(keys))}
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Range scan as of the snapshot; the snapshot stays open after."""
+        self._version.ensure_open()
+        with self._tree._stats_lock:
+            self._tree.stats.scans += 1
+        return self._tree._scan_version(
+            self._version, start, end, now=self.created_at, close_version=False
+        )
+
+    # -- lifecycle and raw-version delegation ----------------------------------
+
+    def version(self) -> Version:
+        """The underlying pinned :class:`Version` (entry-level access)."""
+        return self._version
+
+    def close(self) -> None:
+        """Release the pinned runs; idempotent."""
+        self._version.close()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def runs(self):
+        return self._version.runs
+
+    @property
+    def memtable_entries(self):
+        return self._version.memtable_entries
+
+    @property
+    def closed(self) -> bool:
+        return self._version.closed
 
 
 def _prefix_successor(prefix: bytes) -> Optional[bytes]:

@@ -72,6 +72,12 @@ class LSMStats:
     stall_time_wall: float = 0.0  # wall-clock seconds writers spent gated
     flush_jobs: int = 0  # background flushes executed by the scheduler
     compaction_jobs: int = 0  # background compactions executed by the scheduler
+    # -- transaction / merge / TTL counters (repro.txn) --
+    merges: int = 0  # merge-operand writes ingested
+    ttl_puts: int = 0  # puts carrying an expiry deadline
+    ttl_expired_dropped: int = 0  # expired PUT_TTL entries reclaimed by compaction
+    txn_commits: int = 0  # optimistic transactions committed
+    txn_conflicts: int = 0  # commits rejected by read-set validation
     # -- crash-recovery counters (repro.faults) --
     recoveries: int = 0  # times this tree was rebuilt via LSMTree.recover
     wal_replayed_records: int = 0  # entries re-applied from WALs at recovery
@@ -144,6 +150,11 @@ class LSMStats:
             "stall_time_wall": self.stall_time_wall,
             "flush_jobs": self.flush_jobs,
             "compaction_jobs": self.compaction_jobs,
+            "merges": self.merges,
+            "ttl_puts": self.ttl_puts,
+            "ttl_expired_dropped": self.ttl_expired_dropped,
+            "txn_commits": self.txn_commits,
+            "txn_conflicts": self.txn_conflicts,
             "recoveries": self.recoveries,
             "wal_replayed_records": self.wal_replayed_records,
             "wal_torn_frames": self.wal_torn_frames,

@@ -71,6 +71,41 @@ class Version:
                 return entry
         return None
 
+    def get_chain(self, key: bytes, cache=None) -> "tuple[Optional[Entry], List[Entry]]":
+        """Collect ``key``'s merge chain as of this snapshot.
+
+        Walks versions newest-first (buffered memory versions, then runs),
+        accumulating MERGE operand entries until the first non-merge *base*
+        version terminates the search.
+
+        Returns:
+            ``(base, operands)`` — the base entry (PUT/PUT_TTL/DELETE, or
+            None when the chain bottoms out on nothing) and the operand
+            entries newest-first. ``operands`` is empty for ordinary keys,
+            making this a strict generalization of :meth:`get`.
+        """
+        self.ensure_open()
+        operands: List[Entry] = []
+        if self._memtable_keys is None:
+            self._memtable_keys = [entry.key for entry in self.memtable_entries]
+        idx = bisect.bisect_left(self._memtable_keys, key)
+        while idx < len(self._memtable_keys) and self._memtable_keys[idx] == key:
+            entry = self.memtable_entries[idx]
+            if entry.is_merge:
+                operands.append(entry)
+                idx += 1
+                continue
+            return entry, operands
+        for run in self.runs:
+            entry = run.get(key, cache=cache)
+            if entry is None:
+                continue
+            if entry.is_merge:
+                operands.append(entry)
+                continue
+            return entry, operands
+        return None, operands
+
     def ensure_open(self) -> None:
         if self._closed:
             raise SnapshotError("version has been released")

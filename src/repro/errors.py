@@ -108,3 +108,21 @@ class ClosedError(ReproError):
 
 class SnapshotError(ReproError):
     """A scan referenced a snapshot that has been released."""
+
+
+class ConflictError(ReproError):
+    """An optimistic transaction failed validation at commit.
+
+    A key in the transaction's read/write footprint changed (new version,
+    delete, or merge operand) between the snapshot it read under and the
+    commit attempt. The transaction was not applied; retry against fresh
+    state.
+    """
+
+
+class MergeError(ReproError):
+    """A merge operand could not be applied.
+
+    Raised when an operand references an unregistered operator, or when two
+    operands for the same key name different operators (a key's merge
+    history must use one operator)."""

@@ -15,11 +15,16 @@ WAL replay), and checks the durability contract:
   affected key must read as either its previous acknowledged state or the
   in-flight one — never garbage, never a third value.
 
-Three modes exercise the three deployment shapes: ``tree`` (single-threaded
+Four modes exercise the deployment shapes: ``tree`` (single-threaded
 :class:`~repro.core.lsm_tree.LSMTree`), ``service`` (concurrent
 :class:`~repro.service.DBService` with group commit and background
-maintenance), and ``sharded`` (:class:`~repro.sharding.ShardedStore` over a
-shared device). Run it from the command line for the CI crash matrix::
+maintenance), ``sharded`` (:class:`~repro.sharding.ShardedStore` over a
+shared device), and ``txn`` (bank transfers through optimistic
+:class:`~repro.txn.Transaction` commits against a service — checking, on
+top of the durability contract, that no transaction is ever torn: a
+transfer's two account writes land together or not at all, and the total
+balance is conserved across every crash). Run it from the command line for
+the CI crash matrix::
 
     PYTHONPATH=src python -m repro.faults.harness --cycles 50 --seed 1
 
@@ -118,7 +123,7 @@ class CrashHarness:
         config: tree configuration (``wal_enabled`` is forced on).
         faults: fault probabilities; the harness drives ``crash_points``
             itself, so any passed in are ignored.
-        mode: ``tree``, ``service``, or ``sharded``.
+        mode: ``tree``, ``service``, ``sharded``, or ``txn``.
         seed: master seed; every random choice in the harness derives from
             it, so a failing run replays exactly.
         ops_per_cycle: workload operations attempted per cycle.
@@ -147,7 +152,7 @@ class CrashHarness:
         num_shards: int = 3,
         parallel: bool = False,
     ) -> None:
-        if mode not in ("tree", "service", "sharded"):
+        if mode not in ("tree", "service", "sharded", "txn"):
             raise ValueError(f"unknown harness mode {mode!r}")
         if config is None:
             config = LSMConfig(
@@ -185,6 +190,11 @@ class CrashHarness:
         # plus the keys whose last write was in flight when the crash hit.
         self.acked: Dict[bytes, Optional[bytes]] = {}
         self._op_counter = 0
+        # txn mode: committed balance per account, and the invariant total.
+        self.balances: Dict[bytes, int] = {}
+        self._txn_accounts = min(self.keyspace, 128)
+        self._txn_initial = 1_000
+        self._txn_total = self._txn_accounts * self._txn_initial
 
     # -- engine lifecycle ----------------------------------------------------
 
@@ -205,7 +215,7 @@ class CrashHarness:
             tree = LSMTree(self.config, device=self.device)
         else:
             tree = LSMTree.recover(self.config, self.device)
-        if self.mode == "service":
+        if self.mode in ("service", "txn"):
             from repro.service import DBService, ServiceConfig
 
             return DBService(
@@ -215,7 +225,7 @@ class CrashHarness:
 
     def _abandon(self, engine) -> None:
         """Fail-stop: drop the engine without any orderly shutdown."""
-        if self.mode == "service":
+        if self.mode in ("service", "txn"):
             # Stop the worker pool so no background job races recovery on
             # the shared device; in-flight jobs may finish (see module doc).
             engine.scheduler.close(drain=False)
@@ -238,7 +248,7 @@ class CrashHarness:
             engine.put(key, value)
 
     def _crashed_in_background(self, engine) -> bool:
-        return self.mode == "service" and isinstance(
+        return self.mode in ("service", "txn") and isinstance(
             engine.scheduler.last_job_error, SimulatedCrashError
         )
 
@@ -282,6 +292,120 @@ class CrashHarness:
                     f"key {key.hex()}: never-acked key read back garbage"
                 )
 
+    # -- transactional workload (txn mode) -----------------------------------
+
+    def _txn_key(self, index: int) -> bytes:
+        return b"acct:" + encode_uint_key(index)
+
+    def _txn_init(self, engine) -> None:
+        """Fund every account in one atomic batch (before any crash arms)."""
+        ops = []
+        for i in range(self._txn_accounts):
+            key = self._txn_key(i)
+            self.balances[key] = self._txn_initial
+            ops.append(("put", key, b"%d" % self._txn_initial))
+        engine.write(ops)
+
+    def _txn_cycle(self, engine, result: CycleResult) -> Dict[bytes, Tuple[int, int]]:
+        """Run transfers until the cycle ends or the crash fires.
+
+        Returns the in-flight transfer as ``{key: (old, new)}`` (empty when
+        the crash hit between commits or on a background worker).
+        """
+        from repro.errors import ConflictError
+        from repro.txn import Transaction
+
+        pending: Dict[bytes, Tuple[int, int]] = {}
+        try:
+            for _ in range(self.ops_per_cycle):
+                i = self.rng.randrange(self._txn_accounts)
+                j = self.rng.randrange(self._txn_accounts - 1)
+                if j >= i:
+                    j += 1
+                a, b = self._txn_key(i), self._txn_key(j)
+                amount = self.rng.randint(1, 25)
+                old_a, old_b = self.balances[a], self.balances[b]
+                new_a, new_b = old_a - amount, old_b + amount
+                pending = {a: (old_a, new_a), b: (old_b, new_b)}
+                txn = Transaction(engine)
+                try:
+                    read_a, read_b = txn.get(a), txn.get(b)
+                    if int(read_a.value) != old_a or int(read_b.value) != old_b:
+                        result.violations.append(
+                            f"txn read drift: {a.hex()}={read_a.value!r} "
+                            f"{b.hex()}={read_b.value!r} disagree with the "
+                            f"committed model"
+                        )
+                    txn.put(a, b"%d" % new_a)
+                    txn.put(b, b"%d" % new_b)
+                    txn.commit()
+                except ConflictError:
+                    # Benign under this single-writer harness (e.g. a purge
+                    # erased a fingerprinted tombstone); nothing applied.
+                    pending = {}
+                    continue
+                self.balances[a], self.balances[b] = new_a, new_b
+                pending = {}
+                result.ops_acked += 1
+                if self._crashed_in_background(engine):
+                    result.fired = True
+                    break
+        except SimulatedCrashError:
+            result.fired = True
+        return pending
+
+    def _verify_txn(
+        self,
+        engine,
+        pending: Dict[bytes, Tuple[int, int]],
+        result: CycleResult,
+    ) -> None:
+        """No lost commits, no torn transfers, total balance conserved."""
+        survived: Dict[bytes, int] = {}
+        for key in sorted(self.balances):
+            result.keys_checked += 1
+            got = engine.get(key)
+            if not got.found:
+                result.violations.append(
+                    f"account {key.hex()}: balance lost after recovery"
+                )
+                continue
+            survived[key] = int(got.value)
+        states = []
+        for key, (old, new) in sorted(pending.items()):
+            balance = survived.get(key)
+            if balance == old:
+                states.append("old")
+            elif balance == new:
+                states.append("new")
+            else:
+                states.append("garbage")
+                result.violations.append(
+                    f"account {key.hex()}: {balance!r} is neither the pre- "
+                    f"({old}) nor post-transfer ({new}) balance"
+                )
+        if "old" in states and "new" in states:
+            result.violations.append(
+                "torn transaction: one account of the in-flight transfer "
+                "committed without the other"
+            )
+        for key, balance in survived.items():
+            if key in pending:
+                continue
+            if balance != self.balances[key]:
+                result.violations.append(
+                    f"account {key.hex()}: committed balance "
+                    f"{self.balances[key]} read back as {balance}"
+                )
+        if survived and sum(survived.values()) != self._txn_total:
+            result.violations.append(
+                f"conservation violated: total {sum(survived.values())} != "
+                f"{self._txn_total}"
+            )
+        for key, (_, _) in pending.items():
+            if key in survived:
+                self.balances[key] = survived[key]
+
     # -- the cycle -----------------------------------------------------------
 
     def run_cycle(self, cycle_no: int, first: bool) -> CycleResult:
@@ -293,21 +417,27 @@ class CrashHarness:
         )
 
         engine = self._open(first)
+        if self.mode == "txn" and first:
+            self._txn_init(engine)
         self.device.schedule_crash(point, countdown)
         self.device.arm()
 
         pending: Dict[bytes, Optional[bytes]] = {}
+        txn_pending: Dict[bytes, Tuple[int, int]] = {}
         batch: Dict[bytes, Optional[bytes]] = {}
         try:
-            for _ in range(self.ops_per_cycle):
-                key, value = self._next_op()
-                batch = {key: value}
-                self._apply(engine, key, value)
-                self.acked[key] = value
-                result.ops_acked += 1
-                if self._crashed_in_background(engine):
-                    result.fired = True
-                    break
+            if self.mode == "txn":
+                txn_pending = self._txn_cycle(engine, result)
+            else:
+                for _ in range(self.ops_per_cycle):
+                    key, value = self._next_op()
+                    batch = {key: value}
+                    self._apply(engine, key, value)
+                    self.acked[key] = value
+                    result.ops_acked += 1
+                    if self._crashed_in_background(engine):
+                        result.fired = True
+                        break
         except SimulatedCrashError:
             result.fired = True
             pending = dict(batch)
@@ -316,15 +446,16 @@ class CrashHarness:
             self._abandon(engine)
 
         recovered = self._open(first=False)
-        self._verify(recovered, pending, result)
-        # Resolve in-flight keys to what actually survived, so the next
-        # cycle's model matches the device.
-        for key in pending:
-            got = recovered.get(key)
-            self.acked[key] = got.value if got.found else _TOMBSTONE
-        if self.mode == "service":
-            recovered.close()
-        elif self.mode == "sharded":
+        if self.mode == "txn":
+            self._verify_txn(recovered, txn_pending, result)
+        else:
+            self._verify(recovered, pending, result)
+            # Resolve in-flight keys to what actually survived, so the next
+            # cycle's model matches the device.
+            for key in pending:
+                got = recovered.get(key)
+                self.acked[key] = got.value if got.found else _TOMBSTONE
+        if self.mode in ("service", "sharded", "txn"):
             recovered.close()
         # tree mode: leave the tree's durable state; the object is dropped
         # and the next cycle recovers from the device again.
@@ -418,7 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, action="append", default=None,
                         help="seed(s) for the matrix (repeatable)")
     parser.add_argument("--mode", action="append", default=None,
-                        choices=["tree", "service", "sharded"])
+                        choices=["tree", "service", "sharded", "txn"])
     parser.add_argument("--layout", action="append", default=None,
                         choices=["leveling", "tiering", "lazy_leveling"])
     parser.add_argument("--latency", action="append", default=None,

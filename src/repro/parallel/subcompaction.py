@@ -26,7 +26,7 @@ import concurrent.futures
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.entry import Entry
-from repro.core.iterator import merge_entries
+from repro.core.iterator import merge_entries, merge_entry_versions
 from repro.errors import SimulatedCrashError
 from repro.storage.run import Run
 from repro.storage.sstable import SSTable, SSTableBuilder
@@ -89,20 +89,35 @@ def merge_range(
     hi: Optional[bytes],
     purge: bool,
     readahead: int = 1,
+    fold: Optional[Callable[[List[Entry]], Optional[Entry]]] = None,
 ) -> Iterator[Entry]:
     """Merge one half-open range ``[lo, hi)`` of every input run.
 
     ``hi`` is passed to the input iterators as an *inclusive* cap (fence
     pruning needs an inclusive bound), and entries whose key equals ``hi``
     are dropped here — they belong to the next range.
+
+    With ``fold`` (the tree's per-key group fold: merge-operand folding, TTL
+    reclamation, compaction filter) every key's versions are grouped and
+    folded to at most one output entry; groups never straddle a range
+    boundary, so per-range folding matches the serial fold exactly. Without
+    it the legacy newest-wins pass applies.
     """
     streams = [
         run.iter_entries(start=lo, end=hi, readahead=readahead) for run in inputs
     ]
-    for entry in merge_entries(streams, drop_tombstones=purge):
-        if hi is not None and entry.key >= hi:
+    if fold is None:
+        for entry in merge_entries(streams, drop_tombstones=purge):
+            if hi is not None and entry.key >= hi:
+                return
+            yield entry
+        return
+    for group in merge_entry_versions(streams):
+        if hi is not None and group[0].key >= hi:
             return
-        yield entry
+        entry = fold(group)
+        if entry is not None:
+            yield entry
 
 
 def _build_range(
@@ -113,12 +128,15 @@ def _build_range(
     file_limit: Optional[int],
     keep: Optional[Callable[[bytes, bytes], bool]],
     readahead: int,
+    fold: Optional[Callable[[List[Entry]], Optional[Entry]]] = None,
 ) -> "tuple[List[SSTable], int]":
     """One worker's job: merge a range into output files.
 
     Returns ``(tables, filtered_count)``. Mirrors the serial build loop
     (same file-size rollover) but keeps the compaction-filter count local —
-    the coordinator folds it into tree stats under the stats lock.
+    the coordinator folds it into tree stats under the stats lock. When
+    ``fold`` is provided it subsumes ``keep`` (pass keep=None) and counts
+    its own drops.
     """
     lo, hi = key_range
     tables: List[SSTable] = []
@@ -126,7 +144,7 @@ def _build_range(
     written = 0
     filtered = 0
     try:
-        for entry in merge_range(inputs, lo, hi, purge, readahead):
+        for entry in merge_range(inputs, lo, hi, purge, readahead, fold=fold):
             if keep is not None and not entry.is_tombstone and not keep(entry.key, entry.value):
                 filtered += 1
                 continue
@@ -163,6 +181,7 @@ def run_subcompactions(
     keep: Optional[Callable[[bytes, bytes], bool]] = None,
     readahead: int = 1,
     executor: Optional[concurrent.futures.Executor] = None,
+    fold: Optional[Callable[[List[Entry]], Optional[Entry]]] = None,
 ) -> "tuple[List[SSTable], int]":
     """Execute a compaction's merge as parallel key-range subcompactions.
 
@@ -183,6 +202,7 @@ def run_subcompactions(
         pool.submit(
             _build_range,
             inputs, key_range, purge, builder_factory, file_limit, keep, readahead,
+            fold,
         )
         for key_range in ranges
     ]

@@ -38,6 +38,7 @@ from repro.server.protocol import (
     FrameDecoder,
     GetRequest,
     GetResponse,
+    MergeRequest,
     Message,
     MultiGetRequest,
     MultiGetResponse,
@@ -53,6 +54,7 @@ from repro.server.protocol import (
     ScanResponse,
     StatsRequest,
     StatsResponse,
+    TxnCommitRequest,
     decode_frame,
     encode_frame,
 )
@@ -91,6 +93,8 @@ __all__ = [
     "MultiGetRequest",
     "ScanRequest",
     "BatchRequest",
+    "MergeRequest",
+    "TxnCommitRequest",
     "PongResponse",
     "StatsResponse",
     "GetResponse",

@@ -21,7 +21,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.entry import GetResult
-from repro.errors import ReproError
+from repro.errors import ConflictError, ReproError
 from repro.observe import TraceRecorder
 from repro.server.protocol import (
     BatchRequest,
@@ -30,6 +30,7 @@ from repro.server.protocol import (
     FrameDecoder,
     GetRequest,
     GetResponse,
+    MergeRequest,
     Message,
     MultiGetRequest,
     MultiGetResponse,
@@ -45,6 +46,7 @@ from repro.server.protocol import (
     StatsHistoryResponse,
     StatsRequest,
     StatsResponse,
+    TxnCommitRequest,
     recv_message,
     send_message,
 )
@@ -125,6 +127,11 @@ class LSMClient:
         if response is None:
             raise ProtocolError("server closed the connection")
         if isinstance(response, ErrorResponse):
+            if response.code == "conflict":
+                # Surface optimistic-concurrency losses as the same typed
+                # error every in-process handle raises, so retry loops are
+                # transport-agnostic.
+                raise ConflictError(response.message)
             raise RemoteError(response.code, response.message)
         if not isinstance(response, expect):
             raise ProtocolError(
@@ -165,21 +172,38 @@ class LSMClient:
     def get(self, key: bytes) -> GetResult:
         reply = self._call("get", GetRequest(tenant=self.tenant, key=key), GetResponse)
         result = GetResult()
+        result.seqno = reply.seqno
         if reply.found:
             result.found = True
             result.value = reply.value
         return result
 
-    def put(self, key: bytes, value: bytes) -> None:
-        self._call("put", PutRequest(tenant=self.tenant, key=key, value=value), OkResponse)
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        self._call(
+            "put",
+            PutRequest(tenant=self.tenant, key=key, value=value, ttl=ttl),
+            OkResponse,
+        )
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> None:
+        """Queue a merge operand for a server-registered operator."""
+        self._call(
+            "merge",
+            MergeRequest(
+                tenant=self.tenant, key=key, operand=operand, operator=operator
+            ),
+            OkResponse,
+        )
 
     def delete(self, key: bytes) -> None:
         self._call("delete", DeleteRequest(tenant=self.tenant, key=key), OkResponse)
 
     def multi_get(self, keys: Sequence[bytes]) -> Dict[bytes, GetResult]:
+        """Batched lookup over the distinct keys, in sorted key order (the
+        request is normalized client-side so every handle agrees)."""
         reply = self._call(
             "multi_get",
-            MultiGetRequest(tenant=self.tenant, keys=tuple(keys)),
+            MultiGetRequest(tenant=self.tenant, keys=tuple(sorted(set(keys)))),
             MultiGetResponse,
         )
         out: Dict[bytes, GetResult] = {}
@@ -210,12 +234,64 @@ class LSMClient:
         self.last_scan_truncated = reply.truncated
         return list(reply.items)
 
-    def batch(self, ops: Sequence[Tuple[str, bytes, bytes]]) -> int:
-        """Apply ``(kind, key, value)`` writes in order; returns the count."""
+    def batch(self, ops: Sequence[tuple]) -> int:
+        """Apply ``(kind, key, value[, extra])`` writes atomically in order
+        (one group-commit WAL frame server-side); returns the count."""
         reply = self._call(
             "batch", BatchRequest(tenant=self.tenant, ops=tuple(ops)), OkResponse
         )
         return reply.count
+
+    def write(self, batch) -> None:
+        """Apply a :class:`repro.txn.WriteBatch` (or op-tuple iterable)
+        atomically — the KVStore-surface spelling of :meth:`batch`."""
+        ops = list(batch)
+        if ops:
+            self.batch(ops)
+
+    def commit_transaction(self, read_set: Dict[bytes, int], ops) -> int:
+        """Commit an optimistic transaction over the wire.
+
+        ``read_set`` maps keys to the ``GetResult.seqno`` fingerprints this
+        client observed. Raises :class:`~repro.errors.ConflictError` when
+        server-side validation fails (nothing applied).
+        """
+        reply = self._call(
+            "txn_commit",
+            TxnCommitRequest(
+                tenant=self.tenant,
+                read_set=tuple(dict(read_set).items()),
+                ops=tuple(ops),
+            ),
+            OkResponse,
+        )
+        return reply.count
+
+    def snapshot(self):
+        """Not supported over the wire.
+
+        A snapshot pins server-side state; the stateless request/response
+        protocol has no snapshot leases. Remote transactions therefore run
+        with ``snapshot_reads=False`` (see :meth:`transaction`).
+        """
+        raise NotImplementedError(
+            "LSMClient cannot pin a server-side snapshot; use transaction() "
+            "(live reads + commit validation) or an in-process handle"
+        )
+
+    def transaction(self) -> "Transaction":
+        """Begin an optimistic transaction over this connection.
+
+        Remote transactions read *live committed state* rather than a pinned
+        snapshot (``snapshot_reads=False``): each read records the
+        server-reported seqno, so commit validation still catches every
+        concurrent writer, but two reads inside one transaction may observe
+        different commit points — weaker than the snapshot isolation the
+        in-process handles provide.
+        """
+        from repro.txn import Transaction
+
+        return Transaction(self, snapshot_reads=False)
 
     # -- lifecycle -------------------------------------------------------------
 

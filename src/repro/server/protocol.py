@@ -239,10 +239,15 @@ class GetRequest(Message):
 @_register
 @dataclass(frozen=True)
 class PutRequest(Message):
+    """Single durable write; ``ttl`` (simulated seconds) is an optional
+    expiry — a presence flag plus fixed f64, encoded before the trace
+    block."""
+
     TYPE = 0x04
     tenant: str
     key: bytes
     value: bytes
+    ttl: Optional[float] = None
     trace: Optional[TraceContext] = None
 
     def encode_payload(self) -> bytes:
@@ -250,6 +255,9 @@ class PutRequest(Message):
         _put_str(out, self.tenant)
         put_length_prefixed(out, self.key)
         put_length_prefixed(out, self.value)
+        _put_bool(out, self.ttl is not None)
+        if self.ttl is not None:
+            out.extend(_F64.pack(self.ttl))
         _put_trace(out, self.trace)
         return bytes(out)
 
@@ -258,9 +266,20 @@ class PutRequest(Message):
         tenant, offset = _get_str(buf, 0)
         key, offset = get_length_prefixed(buf, offset)
         value, offset = get_length_prefixed(buf, offset)
+        ttl: Optional[float] = None
+        if offset < len(buf):
+            present, offset = _get_bool(buf, offset)
+            if present:
+                if offset + _F64.size > len(buf):
+                    raise ProtocolError("truncated ttl field")
+                ttl = _F64.unpack_from(buf, offset)[0]
+                offset += _F64.size
         trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, key=bytes(key), value=bytes(value), trace=trace)
+        return cls(
+            tenant=tenant, key=bytes(key), value=bytes(value), ttl=ttl,
+            trace=trace,
+        )
 
 
 @_register
@@ -354,56 +373,195 @@ class ScanRequest(Message):
         return cls(tenant=tenant, start=start, end=end, limit=limit, trace=trace)
 
 
+def _normalize_wire_ops(ops) -> "Tuple[tuple, ...]":
+    """Validate/normalize wire batch ops (shared by Batch and TxnCommit).
+
+    Accepted shapes: ``("put", key, value)``, ``("delete", key, b"")``
+    (value ignored), ``("merge", key, operand, operator)``, and
+    ``("put_ttl", key, value, ttl_seconds)``. 3-tuples for put/delete are
+    normalized to carry their implicit extra (None).
+    """
+    normalized = []
+    for op in ops:
+        kind, key, value = op[0], op[1], op[2]
+        extra = op[3] if len(op) > 3 else None
+        if kind not in _WIRE_OP_KINDS:
+            raise ValueError(
+                f"batch op kind must be one of {_WIRE_OP_KINDS}, got {kind!r}"
+            )
+        if kind == "merge":
+            extra = str(extra if extra is not None else "counter")
+        elif kind == "put_ttl":
+            if extra is None:
+                raise ValueError("put_ttl op requires a ttl seconds extra")
+            extra = float(extra)
+        else:
+            extra = None
+        normalized.append((kind, bytes(key), bytes(value or b""), extra))
+    return tuple(normalized)
+
+
+_WIRE_OP_KINDS = ("put", "delete", "merge", "put_ttl")
+
+
+def _put_wire_ops(out: bytearray, ops) -> None:
+    out.extend(encode_varint(len(ops)))
+    for kind, key, value, extra in ops:
+        out.append(_WIRE_OP_KINDS.index(kind))
+        put_length_prefixed(out, key)
+        put_length_prefixed(out, value)
+        if kind == "merge":
+            _put_str(out, extra)
+        elif kind == "put_ttl":
+            out.extend(_F64.pack(extra))
+
+
+def _get_wire_ops(buf: bytes, offset: int) -> "Tuple[List[tuple], int]":
+    count, offset = decode_varint(buf, offset)
+    ops: List[tuple] = []
+    for _ in range(count):
+        if offset >= len(buf):
+            raise ProtocolError("truncated batch op")
+        kind_byte = buf[offset]
+        offset += 1
+        if kind_byte >= len(_WIRE_OP_KINDS):
+            raise ProtocolError(f"unknown batch op kind {kind_byte}")
+        kind = _WIRE_OP_KINDS[kind_byte]
+        key, offset = get_length_prefixed(buf, offset)
+        value, offset = get_length_prefixed(buf, offset)
+        extra: Optional[object] = None
+        if kind == "merge":
+            extra, offset = _get_str(buf, offset)
+        elif kind == "put_ttl":
+            if offset + _F64.size > len(buf):
+                raise ProtocolError("truncated put_ttl op")
+            extra = _F64.unpack_from(buf, offset)[0]
+            offset += _F64.size
+        ops.append((kind, bytes(key), bytes(value), extra))
+    return ops, offset
+
+
 @_register
 @dataclass(frozen=True)
 class BatchRequest(Message):
-    """Atomically ordered writes: ``ops`` is ``(kind, key, value)`` triples
-    with kind ``"put"`` or ``"delete"`` (value ignored for deletes)."""
+    """Atomically ordered writes: ``ops`` are ``(kind, key, value[, extra])``
+    tuples with kind ``put`` / ``delete`` / ``merge`` / ``put_ttl`` —
+    ``extra`` is the operator name (merge) or the TTL in simulated seconds
+    (put_ttl). Normalized ops always carry the 4th element."""
 
     TYPE = 0x08
     tenant: str
-    ops: Tuple[Tuple[str, bytes, bytes], ...] = ()
+    ops: Tuple[tuple, ...] = ()
     trace: Optional[TraceContext] = None
 
-    _KINDS = ("put", "delete")
+    _KINDS = _WIRE_OP_KINDS
 
     def __post_init__(self) -> None:
-        normalized = []
-        for kind, key, value in self.ops:
-            if kind not in self._KINDS:
-                raise ValueError(f"batch op kind must be put|delete, got {kind!r}")
-            normalized.append((kind, bytes(key), bytes(value)))
-        object.__setattr__(self, "ops", tuple(normalized))
+        object.__setattr__(self, "ops", _normalize_wire_ops(self.ops))
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
-        out.extend(encode_varint(len(self.ops)))
-        for kind, key, value in self.ops:
-            out.append(self._KINDS.index(kind))
-            put_length_prefixed(out, key)
-            put_length_prefixed(out, value)
+        _put_wire_ops(out, self.ops)
         _put_trace(out, self.trace)
         return bytes(out)
 
     @classmethod
     def decode_payload(cls, buf: bytes) -> "BatchRequest":
         tenant, offset = _get_str(buf, 0)
-        count, offset = decode_varint(buf, offset)
-        ops = []
-        for _ in range(count):
-            if offset >= len(buf):
-                raise ProtocolError("truncated batch op")
-            kind_byte = buf[offset]
-            offset += 1
-            if kind_byte >= len(cls._KINDS):
-                raise ProtocolError(f"unknown batch op kind {kind_byte}")
-            key, offset = get_length_prefixed(buf, offset)
-            value, offset = get_length_prefixed(buf, offset)
-            ops.append((cls._KINDS[kind_byte], bytes(key), bytes(value)))
+        ops, offset = _get_wire_ops(buf, offset)
         trace, offset = _get_trace(buf, offset)
         _expect_end(buf, offset)
         return cls(tenant=tenant, ops=tuple(ops), trace=trace)
+
+
+@_register
+@dataclass(frozen=True)
+class MergeRequest(Message):
+    """A single merge-operand write for a named (pre-registered) operator."""
+
+    TYPE = 0x0A
+    tenant: str
+    key: bytes
+    operand: bytes
+    operator: str = "counter"
+    trace: Optional[TraceContext] = None
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        put_length_prefixed(out, self.key)
+        put_length_prefixed(out, self.operand)
+        _put_str(out, self.operator)
+        _put_trace(out, self.trace)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "MergeRequest":
+        tenant, offset = _get_str(buf, 0)
+        key, offset = get_length_prefixed(buf, offset)
+        operand, offset = get_length_prefixed(buf, offset)
+        operator, offset = _get_str(buf, offset)
+        trace, offset = _get_trace(buf, offset)
+        _expect_end(buf, offset)
+        return cls(
+            tenant=tenant, key=bytes(key), operand=bytes(operand),
+            operator=operator, trace=trace,
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class TxnCommitRequest(Message):
+    """An optimistic-transaction commit: read-set fingerprints + write ops.
+
+    ``read_set`` maps each footprint key to the seqno the client observed
+    (the ``GetResult.seqno`` the server reported; 0 = absent). The server
+    validates under the engine mutex and answers ``OkResponse`` or an
+    ``ErrorResponse`` with code ``conflict``.
+    """
+
+    TYPE = 0x0B
+    tenant: str
+    read_set: Tuple[Tuple[bytes, int], ...] = ()
+    ops: Tuple[tuple, ...] = ()
+    trace: Optional[TraceContext] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "read_set",
+            tuple(sorted((bytes(k), int(s)) for k, s in dict(self.read_set).items())),
+        )
+        object.__setattr__(self, "ops", _normalize_wire_ops(self.ops))
+
+    def encode_payload(self) -> bytes:
+        out = bytearray()
+        _put_str(out, self.tenant)
+        out.extend(encode_varint(len(self.read_set)))
+        for key, seqno in self.read_set:
+            put_length_prefixed(out, key)
+            out.extend(encode_varint(seqno))
+        _put_wire_ops(out, self.ops)
+        _put_trace(out, self.trace)
+        return bytes(out)
+
+    @classmethod
+    def decode_payload(cls, buf: bytes) -> "TxnCommitRequest":
+        tenant, offset = _get_str(buf, 0)
+        count, offset = decode_varint(buf, offset)
+        read_set = []
+        for _ in range(count):
+            key, offset = get_length_prefixed(buf, offset)
+            seqno, offset = decode_varint(buf, offset)
+            read_set.append((bytes(key), seqno))
+        ops, offset = _get_wire_ops(buf, offset)
+        trace, offset = _get_trace(buf, offset)
+        _expect_end(buf, offset)
+        return cls(
+            tenant=tenant, read_set=tuple(read_set), ops=tuple(ops),
+            trace=trace,
+        )
 
 
 @_register
@@ -479,22 +637,32 @@ class StatsResponse(Message):
 @_register
 @dataclass(frozen=True)
 class GetResponse(Message):
+    """Point-lookup reply. ``seqno`` is the newest observed version of the
+    key (0 when absent) — the fingerprint optimistic transactions validate
+    against; encoded as a trailing varint (absent in pre-txn frames, which
+    decode as seqno 0)."""
+
     TYPE = 0x83
     found: bool = False
     value: bytes = b""
+    seqno: int = 0
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_bool(out, self.found)
         put_length_prefixed(out, self.value)
+        out.extend(encode_varint(self.seqno))
         return bytes(out)
 
     @classmethod
     def decode_payload(cls, buf: bytes) -> "GetResponse":
         found, offset = _get_bool(buf, 0)
         value, offset = get_length_prefixed(buf, offset)
+        seqno = 0
+        if offset < len(buf):
+            seqno, offset = decode_varint(buf, offset)
         _expect_end(buf, offset)
-        return cls(found=found, value=bytes(value))
+        return cls(found=found, value=bytes(value), seqno=seqno)
 
 
 @_register
@@ -640,7 +808,7 @@ class StatsHistoryResponse(Message):
 REQUEST_TYPES = (
     PingRequest, StatsRequest, GetRequest, PutRequest,
     DeleteRequest, MultiGetRequest, ScanRequest, BatchRequest,
-    StatsHistoryRequest,
+    StatsHistoryRequest, MergeRequest, TxnCommitRequest,
 )
 RESPONSE_TYPES = (
     PongResponse, StatsResponse, GetResponse, OkResponse,

@@ -28,7 +28,7 @@ import time
 from typing import Optional, Set
 
 from repro.common.entry import GetResult
-from repro.errors import ReproError
+from repro.errors import ConflictError, ReproError
 from repro.observe import (
     EventJournal,
     MetricsRegistry,
@@ -46,6 +46,7 @@ from repro.server.protocol import (
     FrameDecoder,
     GetRequest,
     GetResponse,
+    MergeRequest,
     Message,
     MultiGetRequest,
     MultiGetResponse,
@@ -60,6 +61,7 @@ from repro.server.protocol import (
     StatsHistoryResponse,
     StatsRequest,
     StatsResponse,
+    TxnCommitRequest,
     encode_frame,
     send_message,
 )
@@ -174,7 +176,8 @@ class LSMServer:
                 labels={"op": op},
             )
             for op in ("ping", "stats", "stats_history", "get", "put",
-                       "delete", "multi_get", "scan", "batch")
+                       "delete", "multi_get", "scan", "batch", "merge",
+                       "txn_commit")
         }
         self._admission_wait = registry.histogram(
             "server_admission_wait_seconds",
@@ -367,6 +370,8 @@ class LSMServer:
         MultiGetRequest: "multi_get",
         ScanRequest: "scan",
         BatchRequest: "batch",
+        MergeRequest: "merge",
+        TxnCommitRequest: "txn_commit",
     }
 
     def _serve_request(
@@ -415,6 +420,14 @@ class LSMServer:
         except ProtocolError as exc:
             self._request_errors.inc()
             response = ErrorResponse(code="bad_request", message=str(exc))
+        except ConflictError as exc:
+            # An expected optimistic-concurrency outcome, not a server
+            # failure: counted separately, excluded from request_errors.
+            self.registry.counter(
+                "server_txn_conflicts_total",
+                "transaction commits rejected by read-set validation",
+            ).inc()
+            response = ErrorResponse(code="conflict", message=str(exc))
         except ReproError as exc:
             self._request_errors.inc()
             response = ErrorResponse(
@@ -503,10 +516,23 @@ class LSMServer:
         if op == "get":
             self._admit(tenant, 1, stages)
             result = service.get(namespaced_key(tenant, request.key))
-            return GetResponse(found=result.found, value=result.value or b"")
+            return GetResponse(
+                found=result.found, value=result.value or b"",
+                seqno=result.seqno,
+            )
         if op == "put":
             self._admit(tenant, 1, stages)
-            service.put(namespaced_key(tenant, request.key), request.value)
+            service.put(
+                namespaced_key(tenant, request.key), request.value,
+                ttl=request.ttl,
+            )
+            return OkResponse(count=1)
+        if op == "merge":
+            self._admit(tenant, 1, stages)
+            service.merge(
+                namespaced_key(tenant, request.key), request.operand,
+                operator=request.operator,
+            )
             return OkResponse(count=1)
         if op == "delete":
             self._admit(tenant, 1, stages)
@@ -535,14 +561,27 @@ class LSMServer:
             return ScanResponse(items=tuple(items), truncated=truncated)
         if op == "batch":
             self._admit(tenant, len(request.ops), stages)
-            for kind, key, value in request.ops:
-                stored = namespaced_key(tenant, key)
-                if kind == "put":
-                    service.put(stored, value)
-                else:
-                    service.delete(stored)
+            service.write(self._namespace_ops(tenant, request.ops))
             return OkResponse(count=len(request.ops))
+        if op == "txn_commit":
+            self._admit(tenant, max(1, len(request.ops)), stages)
+            read_set = {
+                namespaced_key(tenant, key): seqno
+                for key, seqno in request.read_set
+            }
+            count = service.commit_transaction(
+                read_set, self._namespace_ops(tenant, request.ops)
+            )
+            return OkResponse(count=count)
         raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _namespace_ops(tenant: str, ops) -> list:
+        """Rewrite wire op keys into the tenant's namespace."""
+        return [
+            (kind, namespaced_key(tenant, key), value, extra)
+            for kind, key, value, extra in ops
+        ]
 
     # -- stats -----------------------------------------------------------------
 

@@ -19,11 +19,20 @@ from repro.errors import ClosedError
 
 
 class WriteOp(NamedTuple):
-    """One queued write: ``kind`` is 'put' or 'delete' (value unused)."""
+    """One queued write.
+
+    ``kind`` is 'put', 'put_ttl', 'delete', 'merge', 'write' (an atomic
+    multi-op batch), or 'txn' (an optimistic-transaction commit). ``meta``
+    carries the kind-specific extra: the TTL in simulated seconds
+    (put_ttl), the operator name (merge), the op list (write), or the
+    ``(read_set, ops)`` pair (txn). Value is unused for deletes and
+    composite kinds.
+    """
 
     kind: str
     key: bytes
     value: Optional[bytes]
+    meta: Optional[object] = None
 
 
 class _Request:
@@ -56,6 +65,12 @@ class WriteBatcher:
             (a list of :class:`WriteOp`); must be thread-safe — two leaders
             can exist back-to-back (a follower that arrives after a drain
             becomes the next leader while the previous batch still commits).
+            May return a list of per-op exceptions (None = that op
+            succeeded), parallel to the batch: an op-level failure — e.g. a
+            transaction losing validation — is delivered to *its* submitter
+            only, while the rest of the group commits normally. Returning
+            None means the whole batch succeeded; raising fails the whole
+            batch.
         max_batch: drain at most this many requests per commit.
         max_wait_s: leader linger time waiting for followers.
     """
@@ -101,8 +116,8 @@ class WriteBatcher:
             self._lead()
         else:
             request.done.wait()
-            if request.error is not None:
-                raise request.error
+        if request.error is not None:
+            raise request.error
 
     def _lead(self) -> None:
         """Linger for followers, drain the queue, commit the batch."""
@@ -115,7 +130,7 @@ class WriteBatcher:
                 self._cond.wait(remaining)
             batch, self._queue = self._queue, []
         try:
-            self._apply([request.op for request in batch])
+            errors = self._apply([request.op for request in batch])
             self.stats.batches += 1
             self.stats.records += len(batch)
             self.stats.max_batch = max(self.stats.max_batch, len(batch))
@@ -124,6 +139,9 @@ class WriteBatcher:
                 request.error = exc
                 request.done.set()
             raise
+        if errors is not None:
+            for request, error in zip(batch, errors):
+                request.error = error
         for request in batch:
             request.done.set()
 

@@ -17,12 +17,13 @@ write path. This facade restores the shape production stores actually have:
 from __future__ import annotations
 
 import time
-from typing import Iterator, Optional, Tuple
+import warnings
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.entry import GetResult
 from repro.core.config import LSMConfig
-from repro.core.lsm_tree import LSMTree
-from repro.errors import ClosedError
+from repro.core.lsm_tree import LSMTree, Snapshot
+from repro.errors import ClosedError, ConflictError
 from repro.observe.tracing import TraceContext
 from repro.service.backpressure import BackpressureController
 from repro.service.batcher import WriteBatcher, WriteOp
@@ -54,6 +55,12 @@ class DBService:
         close_tree: bool = False,
     ) -> None:
         if isinstance(tree, LSMConfig):
+            warnings.warn(
+                "constructing DBService from an LSMConfig is deprecated; "
+                "use repro.open(config, service=True)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             tree = LSMTree(tree)
         self.tree: LSMTree = tree
         self.config = config or ServiceConfig()
@@ -165,13 +172,58 @@ class DBService:
 
     # -- writes -------------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
-        """Durable insert/update; blocks until its group commit lands."""
-        self._submit(WriteOp("put", key, value))
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        """Durable insert/update; blocks until its group commit lands.
+
+        ``ttl`` (simulated seconds) stamps the entry with an expiry
+        deadline; see :meth:`LSMTree.put`.
+        """
+        if ttl is None:
+            self._submit(WriteOp("put", key, value))
+        else:
+            self._submit(WriteOp("put_ttl", key, value, float(ttl)))
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> None:
+        """Durable merge-operand write (see :meth:`LSMTree.merge`)."""
+        self.tree.merge_operator(operator)  # fail fast before queueing
+        self._submit(WriteOp("merge", key, operand, operator))
 
     def delete(self, key: bytes) -> None:
         """Durable delete; blocks until its group commit lands."""
         self._submit(WriteOp("delete", key, None))
+
+    def write(self, batch) -> None:
+        """Apply a :class:`repro.txn.WriteBatch` (or op-tuple iterable)
+        atomically: its records are contiguous within one group commit —
+        one WAL frame holds them all, so a crash keeps or drops the batch
+        whole."""
+        ops = list(batch)
+        if not ops:
+            return
+        self._submit(WriteOp("write", b"", None, ops))
+
+    def commit_transaction(self, read_set: Dict[bytes, int], ops) -> int:
+        """Validate and apply an optimistic transaction through group commit.
+
+        Validation runs in the commit leader under the tree mutex — the
+        transaction's read-set fingerprint is compared against current
+        seqnos (and against keys written earlier in the same group), then
+        its writes land in the group's single WAL frame.
+
+        Raises:
+            ConflictError: validation failed; nothing was applied.
+        """
+        ops = list(ops)
+        self._submit(WriteOp("txn", b"", None, (dict(read_set), ops)))
+        return len(ops)
+
+    def register_merge_operator(self, operator) -> None:
+        """Register a user merge operator on the underlying tree."""
+        self.tree.register_merge_operator(operator)
+
+    def merge_operator(self, name: str):
+        """Look up a registered merge operator by name."""
+        return self.tree.merge_operator(name)
 
     def _submit(self, op: WriteOp) -> None:
         self._check_open()
@@ -191,12 +243,56 @@ class DBService:
         if histogram is not None:
             histogram.record(time.perf_counter() - wall0)
 
-    def _apply_batch(self, ops) -> None:
-        self.tree.write_batch(ops)
-        self.tree.stats.batches_committed += 1
-        self.tree.stats.batched_records += len(ops)
+    def _apply_batch(self, ops) -> Optional[List[Optional[BaseException]]]:
+        """Commit one drained group: validate transactions, apply the rest.
+
+        Returns per-op errors (transactions that lose validation get a
+        :class:`ConflictError`; everything else in the group still
+        commits). Expansion and validation happen together under the tree
+        mutex so no write can slip between a transaction's validation and
+        its apply.
+        """
+        tree = self.tree
+        errors: List[Optional[BaseException]] = [None] * len(ops)
+        with tree.mutex:
+            flat: List[tuple] = []
+            written: set = set()
+            for index, op in enumerate(ops):
+                if op.kind == "txn":
+                    read_set, txn_ops = op.meta
+                    try:
+                        # A key written earlier in this very group is as
+                        # much a conflict as one already committed.
+                        overlap = [k for k in read_set if k in written]
+                        if overlap:
+                            tree.stats.txn_conflicts += 1
+                            raise ConflictError(
+                                f"key {overlap[0]!r} written by an earlier "
+                                f"commit in the same group"
+                            )
+                        tree._validate_read_set(read_set)
+                    except ConflictError as exc:
+                        errors[index] = exc
+                        continue
+                    flat.extend(txn_ops)
+                    written.update(txn_op[1] for txn_op in txn_ops)
+                    tree.stats.txn_commits += 1
+                elif op.kind == "write":
+                    flat.extend(op.meta)
+                    written.update(batch_op[1] for batch_op in op.meta)
+                elif op.meta is not None:
+                    flat.append((op.kind, op.key, op.value, op.meta))
+                    written.add(op.key)
+                else:
+                    flat.append((op.kind, op.key, op.value))
+                    written.add(op.key)
+            if flat:
+                tree.write_batch(flat)
+        tree.stats.batches_committed += 1
+        tree.stats.batched_records += len(ops)
         if self._batch_hist is not None:
             self._batch_hist.record(len(ops))
+        return errors
 
     # -- reads --------------------------------------------------------------
 
@@ -217,23 +313,35 @@ class DBService:
         tree = self.tree
         with tree.mutex:
             tree.stats.gets += 1
-            entry = tree.probe_memory(key)
+            entry, operands = tree._probe_memory_chain(key)
             version = tree.pin_runs() if entry is None else None
         if span is not None:
             probed = time.perf_counter()
             span.add_stage("memtable_probe", probed - wall0)
         if version is not None:
+            # Memory did not terminate the chain: continue on the pinned
+            # runs. Memory operands are strictly newer than anything on
+            # storage, so extending keeps newest-first order.
             try:
-                entry = version.get(key, cache=tree.cache)
+                entry, run_operands = version.get_chain(key, cache=tree.cache)
+                operands.extend(run_operands)
             finally:
                 version.close()
             if span is not None:
                 walked = time.perf_counter()
                 span.add_stage("storage_probe", walked - probed)
         result = GetResult()
-        if entry is not None and not entry.is_tombstone:
-            result.found = True
-            result.value = tree._decode_value(entry.value)
+        if operands:
+            result.seqno = operands[0].seqno
+        elif entry is not None:
+            result.seqno = entry.seqno
+        if entry is not None or operands:
+            value = tree._resolve_chain(
+                entry, operands, tree.device.stats.simulated_time
+            )
+            if value is not None:
+                result.found = True
+                result.value = value
         if span is not None:
             recorder.finish(span, op="get", found=result.found,
                             from_memtable=version is None)
@@ -268,6 +376,15 @@ class DBService:
             recorder.deactivate(token)
             if span is not None:
                 recorder.finish(span, op="multi_get", keys=len(set(keys)))
+
+    def snapshot(self) -> Snapshot:
+        """A consistent read view of the tree (see :meth:`LSMTree.snapshot`).
+
+        Writes queued but not yet group-committed are invisible — the
+        snapshot captures committed state only.
+        """
+        self._check_open()
+        return self.tree.snapshot()
 
     # -- maintenance --------------------------------------------------------
 

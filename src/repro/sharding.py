@@ -110,8 +110,12 @@ class ShardedStore:
 
     # -- operations -----------------------------------------------------------
 
-    def put(self, key: bytes, value: bytes) -> None:
-        self.shard_for(key).put(key, value)
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        self.shard_for(key).put(key, value, ttl=ttl)
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> None:
+        """Route a merge-operand write to ``key``'s shard."""
+        self.shard_for(key).merge(key, operand, operator=operator)
 
     def get(self, key: bytes):
         return self.shard_for(key).get(key)
@@ -119,21 +123,78 @@ class ShardedStore:
     def multi_get(self, keys: Sequence[bytes]):
         """Batched lookup: route keys to shards, one ``multi_get`` per shard.
 
-        Returns ``{key: GetResult}`` over the distinct requested keys. Each
-        shard sees its keys as one batch, so coalesced point reads (see
-        :class:`repro.parallel.ParallelConfig`) apply per shard.
+        Returns ``{key: GetResult}`` over the distinct requested keys, in
+        globally sorted key order (shards hold contiguous ranges, so visiting
+        shards in index order with sorted per-shard batches concatenates to
+        the sorted whole). Each shard sees its keys as one batch, so
+        coalesced point reads (see :class:`repro.parallel.ParallelConfig`)
+        apply per shard.
         """
         grouped: dict = {}
         for key in set(keys):
             index = bisect.bisect_right(self._boundaries, key)
             grouped.setdefault(index, []).append(key)
         results: dict = {}
-        for index, shard_keys in grouped.items():
-            results.update(self.shards[index].multi_get(shard_keys))
+        for index in sorted(grouped):
+            results.update(self.shards[index].multi_get(grouped[index]))
         return results
 
     def delete(self, key: bytes) -> None:
         self.shard_for(key).delete(key)
+
+    def write(self, batch) -> None:
+        """Apply a write batch, grouped per shard.
+
+        Atomicity holds *within* each shard (one WAL frame per shard's
+        sub-batch); a batch spanning shards is not a single atomic unit —
+        a crash can land between shard applies. Use single-shard batches
+        (or :meth:`commit_transaction`) when that matters.
+        """
+        ops = list(batch)
+        grouped: dict = {}
+        for op in ops:
+            index = bisect.bisect_right(self._boundaries, op[1])
+            grouped.setdefault(index, []).append(op)
+        for index in sorted(grouped):
+            self.shards[index].write_batch(grouped[index])
+
+    def commit_transaction(self, read_set, ops) -> int:
+        """Commit an optimistic transaction whose footprint fits one shard.
+
+        Cross-shard transactions would need two-phase commit across WALs,
+        which this store does not implement — every key in the read set and
+        the write ops must route to the same shard.
+
+        Raises:
+            ConfigError: the footprint spans more than one shard.
+            ConflictError: validation failed; nothing was applied.
+        """
+        ops = list(ops)
+        indexes = {
+            bisect.bisect_right(self._boundaries, key) for key in read_set
+        } | {bisect.bisect_right(self._boundaries, op[1]) for op in ops}
+        if len(indexes) > 1:
+            raise ConfigError(
+                "transaction footprint spans shards "
+                f"{sorted(indexes)}; sharded transactions must be single-shard"
+            )
+        if not indexes:
+            return 0
+        return self.shards[indexes.pop()].commit_transaction(read_set, ops)
+
+    def register_merge_operator(self, operator) -> None:
+        """Register a user merge operator on every shard."""
+        for shard in self.shards:
+            shard.register_merge_operator(operator)
+
+    def snapshot(self) -> "ShardedSnapshot":
+        """A consistent-per-shard read view across all shards.
+
+        Each shard's snapshot is taken in sequence; the composite is not a
+        single atomic point across shards (a write can land on shard B
+        between pinning A and B), matching the store's per-shard atomicity.
+        """
+        return ShardedSnapshot(self)
 
     def scan(
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
@@ -234,6 +295,50 @@ class ShardedStore:
             }
             for index, shard in enumerate(self.shards)
         ]
+
+
+class ShardedSnapshot:
+    """Per-shard snapshots composed behind the store's routing table.
+
+    Provides the read half of the KVStore surface (get / multi_get / scan)
+    against the state each shard held when :meth:`ShardedStore.snapshot`
+    pinned it. Close releases every shard's pinned version.
+    """
+
+    def __init__(self, store: ShardedStore) -> None:
+        self._boundaries = store._boundaries
+        self._snapshots = [shard.snapshot() for shard in store.shards]
+
+    def get(self, key: bytes):
+        index = bisect.bisect_right(self._boundaries, key)
+        return self._snapshots[index].get(key)
+
+    def multi_get(self, keys: Sequence[bytes]):
+        """Per-key routed lookups, returned in sorted key order."""
+        return {key: self.get(key) for key in sorted(set(keys))}
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Ordered scan across the pinned shard snapshots."""
+        for index, snapshot in enumerate(self._snapshots):
+            lo = self._boundaries[index - 1] if index > 0 else None
+            if end is not None and lo is not None and lo > end:
+                return
+            hi = self._boundaries[index] if index < len(self._boundaries) else None
+            if start is not None and hi is not None and hi <= start:
+                continue
+            yield from snapshot.scan(start, end)
+
+    def close(self) -> None:
+        for snapshot in self._snapshots:
+            snapshot.close()
+
+    def __enter__(self) -> "ShardedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _shard_config(config: LSMConfig, index: int) -> LSMConfig:

@@ -131,7 +131,7 @@ def parse_block(payload: bytes) -> List[Entry]:
         key, pos = get_length_prefixed(body, pos)
         seqno, pos = decode_varint(body, pos)
         kind_byte = body[pos]
-        if kind_byte not in (0, 1):
+        if kind_byte > 3:  # PUT, DELETE, MERGE, PUT_TTL
             raise CorruptionError(f"invalid entry kind {kind_byte}")
         kind = EntryKind(kind_byte)
         pos += 1

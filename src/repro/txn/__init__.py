@@ -1,0 +1,40 @@
+"""repro.txn — optimistic transactions, merge operators, and TTL.
+
+Three workload enablers layered on machinery the engine already had:
+
+* **Transactions** (:class:`Transaction`, :class:`WriteBatch`): snapshot
+  reads via pinned versions, a seqno-fingerprint read set validated under
+  the tree mutex at commit, atomic apply through the group-commit WAL frame.
+* **Merge operators** (:class:`MergeOperator`, built-in :class:`Counter` and
+  :class:`AppendSet`): typed operand entries folded lazily at read time and
+  during compaction.
+* **TTL**: ``put(key, value, ttl=...)`` stamps an absolute expiry deadline
+  on the simulated clock; expired keys read as deleted and are reclaimed by
+  the compaction filter hook.
+
+This module stays import-light (no engine imports) so the core can import
+operator machinery without cycles.
+"""
+
+from repro.errors import ConflictError, MergeError
+from repro.txn.batch import WriteBatch
+from repro.txn.merge import (
+    BUILTIN_OPERATORS,
+    AppendSet,
+    Counter,
+    MergeOperator,
+    MergeOperatorRegistry,
+)
+from repro.txn.transaction import Transaction
+
+__all__ = [
+    "Transaction",
+    "WriteBatch",
+    "MergeOperator",
+    "MergeOperatorRegistry",
+    "Counter",
+    "AppendSet",
+    "BUILTIN_OPERATORS",
+    "ConflictError",
+    "MergeError",
+]

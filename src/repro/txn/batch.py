@@ -1,0 +1,59 @@
+"""WriteBatch: an ordered group of writes applied atomically.
+
+The batch is the unit every handle's ``write()`` accepts and the payload an
+optimistic :class:`~repro.txn.Transaction` commits. Ops are stored in
+insertion order as ``(kind, key, value, meta)`` tuples — the same shape
+:meth:`repro.core.lsm_tree.LSMTree.write_batch` consumes — where ``meta``
+carries the operator name for merges and the relative TTL (seconds of
+simulated time) for ``put_ttl``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+WriteBatchOp = Tuple[str, bytes, Optional[bytes], Optional[object]]
+
+
+class WriteBatch:
+    """An ordered, atomic group of put/delete/merge/put-with-TTL writes."""
+
+    __slots__ = ("_ops",)
+
+    def __init__(self) -> None:
+        self._ops: List[WriteBatchOp] = []
+
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> "WriteBatch":
+        if ttl is None:
+            self._ops.append(("put", key, value, None))
+        else:
+            self._ops.append(("put_ttl", key, value, float(ttl)))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        self._ops.append(("delete", key, None, None))
+        return self
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> "WriteBatch":
+        self._ops.append(("merge", key, operand, operator))
+        return self
+
+    def clear(self) -> None:
+        self._ops.clear()
+
+    @property
+    def ops(self) -> List[WriteBatchOp]:
+        """The batch contents in insertion order (do not mutate)."""
+        return self._ops
+
+    def keys(self) -> "set[bytes]":
+        return {op[1] for op in self._ops}
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def __iter__(self) -> Iterator[WriteBatchOp]:
+        return iter(self._ops)

@@ -1,0 +1,170 @@
+"""Optimistic transactions with snapshot-isolation reads.
+
+A :class:`Transaction` buffers its writes in a :class:`~repro.txn.WriteBatch`
+and pins its reads to a snapshot taken at begin. Every key the transaction
+reads *or writes* is fingerprinted with the newest raw sequence number the
+snapshot observed (0 when the key has never existed); at commit the store
+re-checks each fingerprint against current state under the tree mutex and
+applies the batch atomically through the group-commit path only if nothing
+moved — otherwise it raises :class:`~repro.errors.ConflictError` and applies
+nothing. First-committer-wins optimistic concurrency control: no locks are
+held between begin and commit.
+
+Handles differ only in where the snapshot reads come from:
+
+* ``LSMTree`` / ``DBService`` / ``ShardedStore`` transactions read through a
+  pinned :meth:`snapshot` — true snapshot isolation.
+* ``LSMClient`` transactions read live committed state over the wire
+  (``snapshot_reads=False``): each read still records the server-reported
+  seqno, so validation catches any concurrent writer, but two reads inside
+  one transaction may observe different commit points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.entry import GetResult
+from repro.errors import ReproError
+from repro.txn.batch import WriteBatch
+
+
+class Transaction:
+    """One optimistic transaction against any :class:`~repro.api.KVStore`.
+
+    Use as a context manager: ``commit()`` explicitly, or the ``with`` block
+    aborts on exit if neither commit nor abort happened. Reads see the
+    transaction's own pending writes first (read-your-writes), then the
+    snapshot.
+    """
+
+    def __init__(self, store, snapshot_reads: bool = True) -> None:
+        self._store = store
+        self._snapshot = store.snapshot() if snapshot_reads else None
+        self._batch = WriteBatch()
+        # key -> newest raw seqno observed at first touch (the read set).
+        self._footprint: Dict[bytes, int] = {}
+        self._done = False
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, key: bytes) -> GetResult:
+        """Snapshot read with read-your-writes over the pending batch."""
+        self._check_active()
+        pending = self._pending_result(key)
+        if pending is not None:
+            self._record(key)
+            return pending
+        result = self._base_get(key)
+        self._footprint.setdefault(key, result.seqno)
+        return result
+
+    def _base_get(self, key: bytes) -> GetResult:
+        source = self._snapshot if self._snapshot is not None else self._store
+        return source.get(key)
+
+    def _pending_result(self, key: bytes) -> Optional[GetResult]:
+        """Resolve ``key`` from the pending batch alone, if it decides it."""
+        value: Optional[bytes] = None
+        decided = False
+        for kind, op_key, op_value, meta in self._batch:
+            if op_key != key:
+                continue
+            if kind in ("put", "put_ttl"):
+                value, decided = op_value, True
+            elif kind == "delete":
+                value, decided = None, True
+            elif kind == "merge":
+                base = value
+                if not decided:
+                    base_result = self._base_get(key)
+                    base = base_result.value if base_result.found else None
+                    self._footprint.setdefault(key, base_result.seqno)
+                operator = self._merge_operator(str(meta))
+                value, decided = operator.apply(base, op_value), True
+        if not decided:
+            return None
+        return GetResult(value=value, found=value is not None)
+
+    def _merge_operator(self, name: str):
+        resolver = getattr(self._store, "merge_operator", None)
+        if resolver is not None:
+            return resolver(name)
+        from repro.txn.merge import MergeOperatorRegistry
+
+        return MergeOperatorRegistry().get(name)
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, ttl: Optional[float] = None) -> None:
+        self._check_active()
+        self._record(key)
+        self._batch.put(key, value, ttl=ttl)
+
+    def delete(self, key: bytes) -> None:
+        self._check_active()
+        self._record(key)
+        self._batch.delete(key)
+
+    def merge(self, key: bytes, operand: bytes, operator: str = "counter") -> None:
+        self._check_active()
+        self._record(key)
+        self._batch.merge(key, operand, operator=operator)
+
+    def _record(self, key: bytes) -> None:
+        """Fingerprint a written key so write-write races fail validation."""
+        if key not in self._footprint:
+            self._footprint[key] = self._base_get(key).seqno
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def footprint(self) -> Dict[bytes, int]:
+        """The validated read/write set: key → snapshot-observed seqno."""
+        return dict(self._footprint)
+
+    def commit(self) -> int:
+        """Validate the footprint and apply the batch atomically.
+
+        Returns the number of records applied (0 for a read-only
+        transaction). Raises :class:`~repro.errors.ConflictError` when any
+        footprint key changed since the snapshot; nothing is applied then
+        and the transaction is finished either way.
+        """
+        self._check_active()
+        try:
+            if not self._batch:
+                count = 0
+                if self._footprint:
+                    # Read-only transactions still validate: a clean commit
+                    # certifies the reads were of one consistent point.
+                    count = self._store.commit_transaction(
+                        self._footprint, []
+                    )
+                return count
+            return self._store.commit_transaction(
+                self._footprint, list(self._batch)
+            )
+        finally:
+            self._finish()
+
+    def abort(self) -> None:
+        """Drop the pending batch and release the snapshot."""
+        if not self._done:
+            self._finish()
+
+    def _finish(self) -> None:
+        self._done = True
+        if self._snapshot is not None:
+            self._snapshot.close()
+            self._snapshot = None
+
+    def _check_active(self) -> None:
+        if self._done:
+            raise ReproError("operation on a finished Transaction")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.abort()

@@ -21,6 +21,14 @@ from repro.workloads.spec import (
     preload,
     uniform_spec,
 )
+from repro.workloads.txn import (
+    TxnWorkloadResult,
+    counter_totals,
+    run_bank_transfers,
+    run_counter_increments,
+    setup_accounts,
+    total_balance,
+)
 from repro.workloads.ycsb import YCSB_PRESETS, ycsb
 
 __all__ = [
@@ -38,4 +46,10 @@ __all__ = [
     "generate_operations",
     "YCSB_PRESETS",
     "ycsb",
+    "TxnWorkloadResult",
+    "setup_accounts",
+    "total_balance",
+    "run_bank_transfers",
+    "run_counter_increments",
+    "counter_totals",
 ]

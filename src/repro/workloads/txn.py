@@ -1,0 +1,238 @@
+"""Transactional workloads: contended counters and bank transfers.
+
+Two canonical OCC stress shapes, used by the E25 benchmark and the
+transactional crash harness:
+
+* **counter** — N worker threads all ``merge`` a small hot set of counter
+  keys. Merges never conflict (operands are commutative and fold at read
+  or compaction time), so this measures the *write path cost* of typed
+  MERGE entries under the group-commit batcher.
+* **bank transfer** — N worker threads move amounts between accounts
+  inside optimistic :class:`repro.txn.Transaction` commits. Transfers on
+  overlapping accounts race: losers observe :class:`ConflictError`,
+  retry, and the workload reports the conflict rate and the latency tax
+  of retries. The invariant — total balance is conserved — doubles as a
+  correctness check on every run.
+
+Both workloads are deterministic per worker given its seed, and both run
+against any :class:`repro.api.KVStore` handle (tree, service, shards, or
+wire client), which is the point of the shared protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConflictError
+from repro.txn import Transaction
+
+
+@dataclass
+class TxnWorkloadResult:
+    """Per-worker tallies, mergeable across threads."""
+
+    operations: int = 0  # committed workload units (transfers / merges)
+    commits: int = 0
+    conflicts: int = 0  # ConflictError observations (before retry)
+    aborts: int = 0  # transfers abandoned after exhausting retries
+    wall_seconds: float = 0.0
+    commit_latencies: List[float] = field(default_factory=list)
+
+    def merge(self, other: "TxnWorkloadResult") -> None:
+        self.operations += other.operations
+        self.commits += other.commits
+        self.conflicts += other.conflicts
+        self.aborts += other.aborts
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        self.commit_latencies.extend(other.commit_latencies)
+
+    @property
+    def conflict_rate(self) -> float:
+        """Conflicts per commit *attempt* (commits + conflicts)."""
+        attempts = self.commits + self.conflicts
+        return self.conflicts / attempts if attempts else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Commit latency at quantile ``q`` in [0, 1] (0.0 when empty)."""
+        if not self.commit_latencies:
+            return 0.0
+        ordered = sorted(self.commit_latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+def _account_key(index: int) -> bytes:
+    return b"acct:%08d" % index
+
+
+def setup_accounts(store, accounts: int, initial_balance: int = 1_000) -> int:
+    """Fund ``accounts`` accounts atomically; returns the invariant total."""
+    ops = [
+        ("put", _account_key(i), b"%d" % initial_balance, None)
+        for i in range(accounts)
+    ]
+    store.write(ops)
+    return accounts * initial_balance
+
+
+def total_balance(store, accounts: int) -> int:
+    """Sum every account's balance (the conservation invariant)."""
+    results = store.multi_get([_account_key(i) for i in range(accounts)])
+    return sum(int(r.value) for r in results.values() if r.found)
+
+
+def run_bank_transfers(
+    store,
+    accounts: int = 64,
+    workers: int = 4,
+    transfers_per_worker: int = 200,
+    max_retries: int = 8,
+    seed: int = 0,
+    think_time_s: float = 0.0,
+    client_factory=None,
+) -> TxnWorkloadResult:
+    """Drive concurrent bank transfers through optimistic transactions.
+
+    Args:
+        store: any KVStore handle; workers share it unless
+            ``client_factory`` is given.
+        client_factory: zero-arg callable returning a fresh per-worker
+            handle (required for :class:`~repro.server.LSMClient`, whose
+            socket is one-request-at-a-time). Handles it creates are
+            closed by this function.
+        max_retries: per-transfer retry budget; a transfer still losing
+            after this many conflicts counts as an abort.
+        think_time_s: sleep between the reads and the writes of each
+            attempt — models application work inside the transaction and
+            widens the window in which a concurrent commit invalidates
+            the read set (the knob that drives the conflict rate).
+
+    Returns:
+        The merged :class:`TxnWorkloadResult`; ``operations`` counts
+        completed transfers.
+    """
+    import random
+
+    results = [TxnWorkloadResult() for _ in range(workers)]
+    barrier = threading.Barrier(workers)
+
+    def worker(wid: int) -> None:
+        rng = random.Random(seed * 7919 + wid)
+        handle = client_factory() if client_factory is not None else store
+        out = results[wid]
+        try:
+            barrier.wait()
+            wall0 = time.perf_counter()
+            for _ in range(transfers_per_worker):
+                i = rng.randrange(accounts)
+                j = rng.randrange(accounts - 1)
+                if j >= i:
+                    j += 1
+                amount = rng.randint(1, 10)
+                committed = False
+                for _attempt in range(max_retries + 1):
+                    commit0 = time.perf_counter()
+                    txn = Transaction(handle)
+                    try:
+                        src = txn.get(_account_key(i))
+                        dst = txn.get(_account_key(j))
+                        if think_time_s > 0.0:
+                            time.sleep(think_time_s)
+                        txn.put(_account_key(i), b"%d" % (int(src.value) - amount))
+                        txn.put(_account_key(j), b"%d" % (int(dst.value) + amount))
+                        txn.commit()
+                    except ConflictError:
+                        out.conflicts += 1
+                        continue
+                    finally:
+                        txn.abort()  # releases the snapshot; no-op once done
+                    out.commits += 1
+                    out.commit_latencies.append(time.perf_counter() - commit0)
+                    committed = True
+                    break
+                if committed:
+                    out.operations += 1
+                else:
+                    out.aborts += 1
+            out.wall_seconds = time.perf_counter() - wall0
+        finally:
+            if client_factory is not None:
+                handle.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(wid,), name=f"bank-{wid}")
+        for wid in range(workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    merged = TxnWorkloadResult()
+    for r in results:
+        merged.merge(r)
+    return merged
+
+
+def run_counter_increments(
+    store,
+    counters: int = 8,
+    workers: int = 4,
+    increments_per_worker: int = 500,
+    seed: int = 0,
+    client_factory=None,
+) -> TxnWorkloadResult:
+    """Hammer a hot set of counter keys with ``merge`` increments.
+
+    Merges are conflict-free by construction; the interesting numbers are
+    throughput (wall_seconds) and that the folded totals come out exact —
+    which the caller should verify with :func:`expected_counter_total`.
+    """
+    import random
+
+    results = [TxnWorkloadResult() for _ in range(workers)]
+    barrier = threading.Barrier(workers)
+
+    def worker(wid: int) -> None:
+        rng = random.Random(seed * 104729 + wid)
+        handle = client_factory() if client_factory is not None else store
+        out = results[wid]
+        try:
+            barrier.wait()
+            wall0 = time.perf_counter()
+            for _ in range(increments_per_worker):
+                key = b"ctr:%04d" % rng.randrange(counters)
+                handle.merge(key, b"1", operator="counter")
+                out.operations += 1
+                out.commits += 1
+            out.wall_seconds = time.perf_counter() - wall0
+        finally:
+            if client_factory is not None:
+                handle.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(wid,), name=f"counter-{wid}")
+        for wid in range(workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    merged = TxnWorkloadResult()
+    for r in results:
+        merged.merge(r)
+    return merged
+
+
+def counter_totals(store, counters: int) -> dict:
+    """Read back every counter's folded value as ``{key: int}``."""
+    out = {}
+    for i in range(counters):
+        key = b"ctr:%04d" % i
+        got = store.get(key)
+        out[key] = int(got.value) if got.found else 0
+    return out

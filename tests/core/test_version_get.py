@@ -13,7 +13,7 @@ class TestVersionGet:
         tree.put(b"flushed", b"on-disk")
         tree.flush()
         tree.put(b"buffered", b"in-memory")
-        with tree.snapshot() as snapshot:
+        with tree.pin_version() as snapshot:
             assert snapshot.get(b"buffered").value == b"in-memory"
             assert snapshot.get(b"flushed").value == b"on-disk"
             assert snapshot.get(b"missing") is None
@@ -22,7 +22,7 @@ class TestVersionGet:
         tree = make_tree()
         tree.put(b"k", b"v1")
         tree.flush()
-        with tree.snapshot() as snapshot:
+        with tree.pin_version() as snapshot:
             tree.put(b"k", b"v2")
             tree.compact_all()
             assert snapshot.get(b"k").value == b"v1"
@@ -32,7 +32,7 @@ class TestVersionGet:
         tree = make_tree()
         tree.put(b"k", b"v")
         tree.delete(b"k")
-        with tree.snapshot() as snapshot:
+        with tree.pin_version() as snapshot:
             entry = snapshot.get(b"k")
             assert entry is not None and entry.is_tombstone
 
@@ -41,13 +41,13 @@ class TestVersionGet:
         for value in (b"old", b"mid", b"new"):
             tree.put(b"k", value)
             tree.flush()
-        with tree.snapshot() as snapshot:
+        with tree.pin_version() as snapshot:
             assert snapshot.get(b"k").value == b"new"
 
     def test_closed_snapshot_raises(self):
         tree = make_tree()
         tree.put(b"k", b"v")
-        snapshot = tree.snapshot()
+        snapshot = tree.pin_version()
         snapshot.close()
         with pytest.raises(SnapshotError):
             snapshot.get(b"k")
@@ -56,7 +56,7 @@ class TestVersionGet:
         tree = make_tree()
         for i in range(800):
             tree.put(encode_uint_key((i * 733) % 300), b"v%d" % i)
-        with tree.snapshot() as snapshot:
+        with tree.pin_version() as snapshot:
             for i in range(300):
                 key = encode_uint_key(i)
                 live = tree.get(key)

@@ -19,6 +19,7 @@ from repro.server.protocol import (
     FrameDecoder,
     GetRequest,
     GetResponse,
+    MergeRequest,
     MultiGetRequest,
     MultiGetResponse,
     OkResponse,
@@ -35,6 +36,7 @@ from repro.server.protocol import (
     StatsRequest,
     StatsResponse,
     TraceContext,
+    TxnCommitRequest,
     decode_frame,
     encode_frame,
     try_decode_frame,
@@ -52,11 +54,29 @@ _trace = st.none() | st.builds(
     TraceContext, trace_id=_text, span_id=_text, sampled=st.booleans()
 )
 
+# Mixed-kind write ops: puts/deletes as legacy triples, merges and TTL'd
+# puts with their kind-specific extras.
+_wire_ops = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from(["put", "delete"]), _key, _value),
+        st.tuples(st.just("merge"), _key, _value, st.text(min_size=1, max_size=12)),
+        st.tuples(st.just("put_ttl"), _key, _value, _floats),
+    ),
+    max_size=6,
+).map(tuple)
+
 _requests = st.one_of(
     st.builds(PingRequest, tenant=_text, trace=_trace),
     st.builds(StatsRequest, tenant=_text, trace=_trace),
     st.builds(GetRequest, tenant=_text, key=_key, trace=_trace),
-    st.builds(PutRequest, tenant=_text, key=_key, value=_value, trace=_trace),
+    st.builds(
+        PutRequest,
+        tenant=_text,
+        key=_key,
+        value=_value,
+        ttl=st.none() | _floats,
+        trace=_trace,
+    ),
     st.builds(DeleteRequest, tenant=_text, key=_key, trace=_trace),
     st.builds(
         MultiGetRequest,
@@ -75,10 +95,26 @@ _requests = st.one_of(
     st.builds(
         BatchRequest,
         tenant=_text,
-        ops=st.lists(
-            st.tuples(st.sampled_from(["put", "delete"]), _key, _value),
+        ops=_wire_ops,
+        trace=_trace,
+    ),
+    st.builds(
+        MergeRequest,
+        tenant=_text,
+        key=_key,
+        operand=_value,
+        operator=_text,
+        trace=_trace,
+    ),
+    st.builds(
+        TxnCommitRequest,
+        tenant=_text,
+        read_set=st.lists(
+            st.tuples(_key, st.integers(min_value=0, max_value=2**40)),
             max_size=6,
+            unique_by=lambda pair: pair[0],
         ).map(tuple),
+        ops=_wire_ops,
         trace=_trace,
     ),
     st.builds(
@@ -92,7 +128,12 @@ _requests = st.one_of(
 _responses = st.one_of(
     st.builds(PongResponse, server_uptime_s=_floats, engine_uptime_s=_floats),
     st.builds(StatsResponse, payload_json=_text),
-    st.builds(GetResponse, found=st.booleans(), value=_value),
+    st.builds(
+        GetResponse,
+        found=st.booleans(),
+        value=_value,
+        seqno=st.integers(min_value=0, max_value=2**40),
+    ),
     st.builds(OkResponse, count=st.integers(min_value=0, max_value=2**40)),
     st.builds(
         MultiGetResponse,
@@ -148,10 +189,10 @@ class TestRoundTrip:
 
     def test_all_registered_types_covered(self):
         # The strategies above must exercise every type the protocol exports.
-        assert len(REQUEST_TYPES) == 9
+        assert len(REQUEST_TYPES) == 11
         assert len(RESPONSE_TYPES) == 8
         types = {cls.TYPE for cls in REQUEST_TYPES + RESPONSE_TYPES}
-        assert len(types) == 17
+        assert len(types) == 19
 
 
 # -- truncation ----------------------------------------------------------------

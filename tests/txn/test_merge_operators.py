@@ -1,0 +1,155 @@
+"""Merge operators: lazy read-time folding, compaction folding, registry."""
+
+import pytest
+
+from repro import LSMConfig, LSMTree
+from repro.errors import MergeError
+from repro.txn import AppendSet, Counter, MergeOperator
+
+from tests.conftest import make_config, make_tree
+
+
+def test_counter_folds_on_read():
+    tree = make_tree()
+    tree.merge(b"hits", b"1")
+    tree.merge(b"hits", b"2")
+    tree.merge(b"hits", b"3")
+    got = tree.get(b"hits")
+    assert got.found and got.value == b"6"
+    tree.close()
+
+
+def test_counter_folds_over_put_base():
+    tree = make_tree()
+    tree.put(b"hits", b"100")
+    tree.merge(b"hits", b"5")
+    assert tree.get(b"hits").value == b"105"
+    tree.close()
+
+
+def test_counter_after_delete_restarts_from_zero():
+    tree = make_tree()
+    tree.put(b"hits", b"100")
+    tree.delete(b"hits")
+    tree.merge(b"hits", b"7")
+    assert tree.get(b"hits").value == b"7"
+    tree.close()
+
+
+def test_appendset_deduplicates_and_sorts():
+    tree = make_tree()
+    tree.merge(b"tags", b"b", operator="append_set")
+    tree.merge(b"tags", b"a,c", operator="append_set")
+    tree.merge(b"tags", b"b,a", operator="append_set")
+    assert tree.get(b"tags").value == b"a,b,c"
+    tree.close()
+
+
+def test_merge_survives_flush_and_compaction():
+    tree = make_tree(buffer_bytes=512)
+    for i in range(40):
+        tree.merge(b"ctr", b"1")
+        tree.put(b"pad%03d" % i, b"x" * 40)  # force flushes around the merges
+    tree.flush()
+    tree.compact_all()
+    assert tree.get(b"ctr").value == b"40"
+    assert tree.stats.merges == 40
+    tree.close()
+
+
+def test_merge_chain_recovers_from_wal(device):
+    config = make_config(wal_enabled=True, wal_sync_interval=1)
+    tree = LSMTree(config, device=device)
+    tree.merge(b"ctr", b"1")
+    tree.merge(b"ctr", b"2")
+    # fail-stop: no close, recover from the device
+    recovered = LSMTree.recover(config, device)
+    assert recovered.get(b"ctr").value == b"3"
+    recovered.close()
+
+
+def test_mixed_operators_on_one_key_raise():
+    tree = make_tree()
+    tree.merge(b"k", b"1", operator="counter")
+    with pytest.raises(MergeError):
+        tree.merge(b"k", b"x", operator="append_set")
+    tree.close()
+
+
+def test_unknown_operator_rejected_at_write():
+    tree = make_tree()
+    with pytest.raises(Exception):
+        tree.merge(b"k", b"1", operator="nope")
+    tree.close()
+
+
+class _Max(MergeOperator):
+    name = "max"
+
+    def fold(self, base, operands):
+        values = [int(base)] if base is not None else []
+        values.extend(int(op) for op in operands)
+        return b"%d" % max(values)
+
+    def combine(self, older, newer):
+        return b"%d" % max(int(older), int(newer))
+
+
+def test_user_registered_operator():
+    tree = make_tree()
+    tree.register_merge_operator(_Max())
+    tree.merge(b"peak", b"3", operator="max")
+    tree.merge(b"peak", b"9", operator="max")
+    tree.merge(b"peak", b"5", operator="max")
+    assert tree.get(b"peak").value == b"9"
+    tree.close()
+
+
+def test_operator_via_config():
+    config = make_config(merge_operators=(_Max(),))
+    tree = LSMTree(config)
+    tree.merge(b"peak", b"4", operator="max")
+    assert tree.get(b"peak").value == b"4"
+    tree.close()
+
+
+def _fill_with_merges(tree, n=60):
+    for i in range(n):
+        tree.merge(b"ctr%02d" % (i % 8), b"1")
+        tree.put(b"pad%04d" % i, b"y" * 30)
+    tree.flush()
+
+
+def test_serial_vs_parallel_compaction_identical():
+    """Subcompactions must fold merge chains exactly like the serial path."""
+    from repro.parallel.config import ParallelConfig
+
+    serial = LSMTree(make_config(seed=7))
+    parallel = LSMTree(
+        make_config(
+            seed=7,
+            parallel=ParallelConfig(
+                max_subcompactions=4, min_subcompaction_blocks=1
+            ),
+        )
+    )
+    for tree in (serial, parallel):
+        _fill_with_merges(tree)
+        tree.compact_all()
+    for i in range(8):
+        key = b"ctr%02d" % i
+        assert serial.get(key).value == parallel.get(key).value
+    # Identical logical content, level by level, entry by entry.
+    def dump(tree):
+        out = []
+        for runs in tree._levels:
+            for run in runs:
+                for table in run.tables:
+                    out.extend(
+                        (e.key, e.kind, e.value) for e in table.iter_entries()
+                    )
+        return sorted(out)
+
+    assert dump(serial) == dump(parallel)
+    serial.close()
+    parallel.close()

@@ -1,0 +1,196 @@
+"""Optimistic transactions: snapshot isolation, conflicts, atomicity."""
+
+import pytest
+
+from repro import LSMConfig, LSMTree
+from repro.errors import ConflictError
+from repro.service import DBService
+from repro.txn import Transaction, WriteBatch
+
+from tests.conftest import make_config, make_tree
+
+
+@pytest.fixture
+def tree():
+    t = make_tree()
+    yield t
+    t.close()
+
+
+def test_commit_applies_all_writes(tree):
+    txn = Transaction(tree)
+    txn.put(b"a", b"1")
+    txn.put(b"b", b"2")
+    txn.delete(b"c")
+    assert txn.commit() == 3
+    assert tree.get(b"a").value == b"1"
+    assert tree.get(b"b").value == b"2"
+    assert not tree.get(b"c").found
+
+
+def test_read_your_writes(tree):
+    tree.put(b"k", b"old")
+    txn = Transaction(tree)
+    txn.put(b"k", b"new")
+    assert txn.get(b"k").value == b"new"
+    txn.delete(b"k")
+    assert not txn.get(b"k").found
+    txn.abort()
+    assert tree.get(b"k").value == b"old"
+
+
+def test_snapshot_isolation_reads_pinned(tree):
+    tree.put(b"k", b"v1")
+    txn = Transaction(tree)
+    assert txn.get(b"k").value == b"v1"
+    tree.put(b"k", b"v2")  # concurrent write after the snapshot
+    assert txn.get(b"k").value == b"v1"  # still the snapshot's view
+    txn.abort()
+
+
+def test_conflict_on_intervening_write(tree):
+    tree.put(b"k", b"v1")
+    txn = Transaction(tree)
+    txn.get(b"k")
+    tree.put(b"k", b"v2")
+    txn.put(b"k", b"v3")
+    with pytest.raises(ConflictError):
+        txn.commit()
+    assert tree.get(b"k").value == b"v2"  # nothing applied
+    assert tree.stats.txn_conflicts == 1
+
+
+def test_conflict_on_key_that_appeared(tree):
+    txn = Transaction(tree)
+    assert not txn.get(b"k").found  # absent: fingerprint seqno 0
+    tree.put(b"k", b"surprise")
+    txn.put(b"k", b"mine")
+    with pytest.raises(ConflictError):
+        txn.commit()
+
+
+def test_no_conflict_on_untouched_keys(tree):
+    tree.put(b"a", b"1")
+    tree.put(b"b", b"2")
+    txn = Transaction(tree)
+    txn.get(b"a")
+    txn.put(b"a", b"10")
+    tree.put(b"b", b"20")  # unrelated key changed — no conflict
+    assert txn.commit() == 1
+    assert tree.get(b"a").value == b"10"
+    assert tree.stats.txn_commits == 1
+
+
+def test_read_only_transaction_still_validates(tree):
+    tree.put(b"k", b"v1")
+    txn = Transaction(tree)
+    txn.get(b"k")
+    tree.put(b"k", b"v2")
+    with pytest.raises(ConflictError):
+        txn.commit()
+
+
+def test_blind_writes_also_validate(tree):
+    """Writes fingerprint their key too: write-write races abort (the
+    lost-update prevention snapshot isolation requires)."""
+    tree.put(b"k", b"v1")
+    txn = Transaction(tree)
+    txn.put(b"k", b"blind")  # fingerprints k at its pre-write seqno
+    tree.put(b"k", b"v2")
+    with pytest.raises(ConflictError):
+        txn.commit()
+    assert tree.get(b"k").value == b"v2"
+
+
+def test_context_manager_aborts_without_commit(tree):
+    tree.put(b"k", b"old")
+    with Transaction(tree) as txn:
+        txn.put(b"k", b"uncommitted")
+    assert tree.get(b"k").value == b"old"
+
+
+def test_transaction_is_finished_after_commit(tree):
+    txn = Transaction(tree)
+    txn.put(b"a", b"1")
+    txn.commit()
+    with pytest.raises(Exception):
+        txn.put(b"b", b"2")
+
+
+def test_merge_inside_transaction(tree):
+    tree.merge(b"ctr", b"10")
+    txn = Transaction(tree)
+    txn.merge(b"ctr", b"5")
+    assert txn.get(b"ctr").value == b"15"  # pending merge folds into reads
+    txn.commit()
+    assert tree.get(b"ctr").value == b"15"
+
+
+def test_write_batch_is_atomic_in_order(tree):
+    batch = WriteBatch()
+    batch.put(b"a", b"1")
+    batch.delete(b"a")
+    batch.put(b"a", b"2")
+    batch.merge(b"ctr", b"3")
+    batch.put(b"t", b"x", ttl=1e9)
+    tree.write(batch)
+    assert tree.get(b"a").value == b"2"
+    assert tree.get(b"ctr").value == b"3"
+    assert tree.get(b"t").value == b"x"
+
+
+def test_service_concurrent_conflict():
+    """Two service-side transactions racing on one key: exactly one wins."""
+    service = DBService(LSMTree(make_config()), close_tree=True)
+    try:
+        service.put(b"k", b"0")
+        t1, t2 = Transaction(service), Transaction(service)
+        t1.get(b"k")
+        t2.get(b"k")
+        t1.put(b"k", b"t1")
+        t2.put(b"k", b"t2")
+        t1.commit()
+        with pytest.raises(ConflictError):
+            t2.commit()
+        assert service.get(b"k").value == b"t1"
+    finally:
+        service.close()
+
+
+def test_transaction_over_sharded_store_single_shard():
+    from repro.errors import ConfigError
+    from repro.sharding import ShardedStore
+
+    store = ShardedStore(make_config(), [b"m"])
+    try:
+        store.put(b"a1", b"1")
+        txn = Transaction(store)
+        txn.get(b"a1")
+        txn.put(b"a2", b"2")
+        txn.commit()  # footprint entirely in shard 0
+        assert store.get(b"a2").value == b"2"
+
+        cross = Transaction(store)
+        cross.put(b"a9", b"x")
+        cross.put(b"z9", b"y")  # other shard
+        with pytest.raises(ConfigError):
+            cross.commit()
+    finally:
+        store.close()
+
+
+def test_wal_crash_during_commit_is_atomic(device):
+    """A recovered store never exposes half a transaction."""
+    config = make_config(wal_enabled=True, wal_sync_interval=1)
+    tree = LSMTree(config, device=device)
+    tree.put(b"a", b"old_a")
+    tree.put(b"b", b"old_b")
+    txn = Transaction(tree)
+    txn.put(b"a", b"new_a")
+    txn.put(b"b", b"new_b")
+    txn.commit()
+    # fail-stop without close; both writes shared one WAL frame
+    recovered = LSMTree.recover(config, device)
+    a, b = recovered.get(b"a").value, recovered.get(b"b").value
+    assert (a, b) == (b"new_a", b"new_b")
+    recovered.close()

@@ -1,0 +1,128 @@
+"""Per-key TTL: read-path masking, the exact-deadline boundary, compaction GC."""
+
+from repro import LSMConfig, LSMTree
+
+from tests.conftest import make_config, make_tree
+
+
+def advance(tree, seconds):
+    tree.device.stats.simulated_time += seconds
+
+
+def test_ttl_visible_before_deadline():
+    tree = make_tree()
+    tree.put(b"s", b"v", ttl=10.0)
+    advance(tree, 9.999)
+    assert tree.get(b"s").found
+    tree.close()
+
+
+def test_ttl_invisible_at_exact_deadline():
+    """Expiry is inclusive: now >= deadline means dead."""
+    tree = make_tree()
+    tree.put(b"s", b"v", ttl=10.0)
+    advance(tree, 10.0)
+    assert not tree.get(b"s").found
+    tree.close()
+
+
+def test_ttl_invisible_after_deadline_everywhere():
+    tree = make_tree()
+    tree.put(b"s", b"v", ttl=5.0)
+    tree.put(b"t", b"w")  # no TTL: stays
+    advance(tree, 6.0)
+    assert not tree.get(b"s").found
+    assert tree.get(b"t").found
+    assert b"s" not in dict(tree.scan())
+    assert not tree.multi_get([b"s", b"t"])[b"s"].found
+    tree.close()
+
+
+def test_ttl_deadline_fixed_at_write_time():
+    """The deadline derives from the clock at put time, not at read time."""
+    tree = make_tree()
+    advance(tree, 100.0)
+    tree.put(b"s", b"v", ttl=10.0)
+    advance(tree, 9.0)  # now = 109 < 110
+    assert tree.get(b"s").found
+    advance(tree, 1.0)  # now = 110 = deadline
+    assert not tree.get(b"s").found
+    tree.close()
+
+
+def test_ttl_overwrite_refreshes():
+    tree = make_tree()
+    tree.put(b"s", b"v1", ttl=5.0)
+    advance(tree, 4.0)
+    tree.put(b"s", b"v2", ttl=5.0)  # new deadline: now+5 = 9
+    advance(tree, 4.0)  # now = 8 < 9
+    assert tree.get(b"s").value == b"v2"
+    tree.close()
+
+
+def test_ttl_overwrite_with_plain_put_clears_expiry():
+    tree = make_tree()
+    tree.put(b"s", b"v1", ttl=5.0)
+    tree.put(b"s", b"v2")
+    advance(tree, 100.0)
+    assert tree.get(b"s").value == b"v2"
+    tree.close()
+
+
+def test_ttl_survives_flush_and_expires_from_runs():
+    tree = make_tree()
+    tree.put(b"s", b"v", ttl=10.0)
+    tree.flush()
+    assert tree.get(b"s").found
+    advance(tree, 10.0)
+    assert not tree.get(b"s").found
+    tree.close()
+
+
+def test_compaction_drops_expired_entries():
+    tree = make_tree()
+    tree.put(b"dead", b"v", ttl=100.0)
+    tree.put(b"live", b"v", ttl=1e9)
+    tree.flush()
+    advance(tree, 101.0)  # dead expires while sitting in its L1 run
+    before = tree.stats.ttl_expired_dropped
+    # a second overlapping run so the next compaction runs a real merge (a
+    # trivial move would never invoke the fold that drops expired entries)
+    tree.put(b"live", b"v2", ttl=1e9)
+    tree.flush()
+    tree.compact_all()
+    assert tree.stats.ttl_expired_dropped > before
+    assert not tree.get(b"dead").found
+    assert tree.get(b"live").found
+    # the expired entry is physically gone from every run
+    keys = set()
+    for runs in tree._levels:
+        for run in runs:
+            for table in run.tables:
+                keys.update(e.key for e in table.iter_entries())
+    assert b"dead" not in keys
+    tree.close()
+
+
+def test_ttl_recovers_from_wal_with_deadline(device):
+    """Recovery replays the absolute deadline, not a restarted countdown."""
+    config = make_config(wal_enabled=True, wal_sync_interval=1)
+    tree = LSMTree(config, device=device)
+    advance(tree, 50.0)
+    # TTL wide enough that the recovery replay's own simulated I/O cannot
+    # cross the deadline (every device op advances the shared clock).
+    tree.put(b"s", b"v", ttl=1000.0)
+    deadline = device.stats.simulated_time + 1000.0
+    recovered = LSMTree.recover(config, device)
+    assert recovered.get(b"s").found
+    recovered.device.stats.simulated_time = deadline
+    assert not recovered.get(b"s").found
+    recovered.close()
+
+
+def test_ttl_put_counts_in_stats():
+    tree = make_tree()
+    tree.put(b"s", b"v", ttl=3.0)
+    assert tree.stats.ttl_puts == 1
+    assert tree.stats.as_dict()["ttl_puts"] == 1
+    tree.close()
