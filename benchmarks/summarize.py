@@ -21,8 +21,8 @@ RESULTS = pathlib.Path(__file__).parent / "results"
 ORDER = [
     "e1_", "e2_", "e3_", "e4_", "e5_", "e6_cache", "e6_leaper", "e7_partial.",
     "e7_partial_vs", "e8_", "e9_", "e10_", "e11_", "e12_", "e13_", "e14_",
-    "e15_", "e16_", "e17_", "e18_", "e22_", "e23_", "e24_", "e25_", "a1_",
-    "a2_", "a3_",
+    "e15_", "e16_", "e17_", "e18_", "e22_", "e23_", "e24_", "e25_", "e26_",
+    "a1_", "a2_", "a3_",
 ]
 
 #: Candidate locations of the perf-smoke JSON (CI writes to the repo root).
@@ -36,9 +36,11 @@ def render_perf_json() -> str:
     """Flatten the newest BENCH_perf.json into a report section.
 
     The perf smokes (``bench_e22_parallel.py``, ``bench_e23_server.py``,
-    ``bench_e24_tracing.py``, ``bench_e25_txn.py``)
-    emit nested JSON rather than a table; merge every candidate file (newest
-    wins) and render the leaf metrics as ``section.key = value`` lines.
+    ``bench_e24_tracing.py``, ``bench_e25_txn.py``,
+    ``bench_e26_compression.py``) emit nested JSON rather than a table;
+    merge every candidate file (newest wins) and render the leaf metrics as
+    ``section.sub.key = value`` lines (sections nest arbitrarily deep —
+    E26's ``compression.codecs.zlib.*`` for one).
     """
     merged: dict = {}
     for path in sorted(
@@ -52,12 +54,15 @@ def render_perf_json() -> str:
     if not merged:
         return ""
     lines = ["== perf smoke (BENCH_perf.json) =="]
-    for section, values in merged.items():
+
+    def flatten(prefix: str, values) -> None:
         if isinstance(values, dict):
             for key, value in values.items():
-                lines.append(f"{section}.{key} = {value}")
+                flatten(f"{prefix}.{key}" if prefix else key, value)
         else:
-            lines.append(f"{section} = {values}")
+            lines.append(f"{prefix} = {values}")
+
+    flatten("", merged)
     return "\n".join(lines)
 
 

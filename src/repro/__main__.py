@@ -498,7 +498,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command")
 
-    sub.add_parser("demo", help="the 30-second guided tour (the default)")
+    demo_parser = sub.add_parser(
+        "demo", help="the 30-second guided tour (the default)"
+    )
+    demo_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the tour under cProfile and print the hot spots",
+    )
+    demo_parser.add_argument(
+        "--profile-top", type=int, default=20,
+        help="profile rows to print (with --profile)",
+    )
 
     stats = sub.add_parser("stats", help="per-level stats and latency percentiles")
     stats.add_argument(
@@ -631,6 +642,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return trace_command(args)
         if args.command == "serve":
             return serve_command(args)
+        if args.command == "demo" and args.profile:
+            from repro.bench.harness import run_profiled
+
+            code, _ = run_profiled(demo, top=args.profile_top)
+            return code
         return demo()
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

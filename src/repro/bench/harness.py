@@ -3,6 +3,12 @@
 Every experiment in benchmarks/ has the same skeleton: build a tree from an
 LSMConfig, preload it, run an operation stream, and report I/O-per-operation
 metrics from device/cache/filter counters. This module owns that skeleton.
+
+It is also runnable — ``python -m repro.bench.harness --profile`` drives a
+mixed workload under :mod:`cProfile` and prints the top cumulative hot spots,
+the quick check that a CPU-path change actually moved the profile::
+
+    PYTHONPATH=src python -m repro.bench.harness --profile --ops 20000
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.common.encoding import encode_uint_key
 from repro.core.lsm_tree import LSMTree
@@ -153,6 +159,87 @@ def _drive_operations(
             metrics.deletes += 1
         else:
             raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+# -- profiling ----------------------------------------------------------------
+
+
+def run_profiled(fn: Callable[[], object], top: int = 20, sort: str = "cumulative"):
+    """Run ``fn`` under :mod:`cProfile`; print the ``top`` hot spots.
+
+    Returns ``(result, stats)`` — whatever ``fn`` returned plus the
+    :class:`pstats.Stats` for callers that want to dig further. Used by the
+    ``--profile`` flags on this module's CLI and ``python -m repro demo``.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(sort)
+    print(f"\n-- cProfile: top {top} by {sort} time " + "-" * 30)
+    stats.print_stats(top)
+    return result, stats
+
+
+def _profile_workload(args) -> RunMetrics:
+    """The CLI's measured phase: preload then drive a mixed read-heavy stream."""
+    from repro.core.config import LSMConfig
+    from repro.workloads.spec import OperationMix, uniform_spec
+
+    tree = LSMTree(
+        LSMConfig(
+            buffer_bytes=8 << 10,
+            block_size=512,
+            size_ratio=4,
+            layout="leveling",
+            bits_per_key=10.0,
+            cache_bytes=64 << 10,
+            compression=args.compression,
+            compressed_cache_bytes=args.compressed_cache_bytes,
+            seed=1,
+        )
+    )
+    preload_tree(tree, args.keys, value_size=64)
+    spec = uniform_spec(
+        args.keys,
+        OperationMix(put=0.25, get=0.60, scan=0.15),
+        value_size=64,
+        seed=2,
+        scan_length=32,
+    )
+    return run_operations(tree, spec.operations(args.ops))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="bench harness CLI: drive a mixed workload, optionally profiled"
+    )
+    parser.add_argument("--ops", type=int, default=10_000, help="operations to drive")
+    parser.add_argument("--keys", type=int, default=4_000, help="keyspace size")
+    parser.add_argument("--compression", default="none",
+                        help="block codec for the tree (none/zlib/rle)")
+    parser.add_argument("--compressed-cache-bytes", type=int, default=0,
+                        help="compressed cache tier capacity (0 disables)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the hot spots")
+    parser.add_argument("--top", type=int, default=20,
+                        help="profile rows to print (with --profile)")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        metrics, _ = run_profiled(lambda: _profile_workload(args), top=args.top)
+    else:
+        metrics = _profile_workload(args)
+    print(
+        f"{metrics.operations} ops: {metrics.gets} gets "
+        f"({metrics.reads_per_get:.3f} blocks/get), {metrics.scans} scans, "
+        f"{metrics.puts} puts; cache hit rate {metrics.cache_hit_rate:.3f}"
+    )
+    return 0
 
 
 # -- concurrent driving (the service layer's workloads) ------------------------
@@ -299,3 +386,7 @@ def run_server_workload(
     finally:
         server.shutdown()
     return results, snapshot
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,14 @@ Keys are ``(file_id, block_no)`` pairs (plus tagged variants like value-log
 blocks). The cache exposes the ``get_or_load`` contract the SSTable read path
 uses, and ``invalidate_file`` so compactions can drop blocks of deleted files
 — the event the Leaper prefetcher reacts to.
+
+With block compression enabled the cache is **two-tier**, RocksDB-style: the
+uncompressed tier holds decoded :class:`~repro.storage.sstable.DataBlock`
+objects charged at their *decoded* size, and an optional compressed tier
+holds raw on-device frames charged at their on-disk size. A read drains
+uncompressed hit → compressed hit (decode, CPU only — no device I/O) →
+device read (which feeds both tiers). Each tier has its own byte budget,
+eviction policy, and :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.cache.policies import EvictionPolicy, LRUPolicy, make_policy
+from repro.storage.compression import is_compressed_frame
 
 
 @dataclass
@@ -60,26 +69,40 @@ class BlockCache:
     """A byte-budgeted object cache for parsed blocks.
 
     Args:
-        capacity_bytes: total charge budget; 0 disables caching entirely
-            (every lookup is a miss and nothing is retained).
+        capacity_bytes: uncompressed-tier charge budget; 0 disables that
+            tier entirely (every lookup is a miss and nothing is retained).
         policy: eviction policy instance or registry name ('lru', 'lfu',
             'clock'); defaults to LRU like RocksDB's default block cache.
+        compressed_capacity_bytes: compressed-tier budget; 0 (the default)
+            disables the tier, reducing the cache to the classic single-tier
+            behavior.
+        compressed_policy: eviction policy for the compressed tier (name or
+            instance); defaults to LRU. Must be a distinct instance from the
+            uncompressed tier's (policies are stateful).
     """
 
-    def __init__(self, capacity_bytes: int, policy=None) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy=None,
+        compressed_capacity_bytes: int = 0,
+        compressed_policy=None,
+    ) -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
+        if compressed_capacity_bytes < 0:
+            raise ValueError("compressed_capacity_bytes must be non-negative")
         self.capacity_bytes = capacity_bytes
-        if policy is None:
-            self._policy: EvictionPolicy = LRUPolicy()
-        elif isinstance(policy, str):
-            self._policy = make_policy(policy)
-        else:
-            self._policy = policy
+        self.compressed_capacity_bytes = compressed_capacity_bytes
+        self._policy = _resolve_policy(policy)
+        self._compressed_policy = _resolve_policy(compressed_policy)
         self._entries: Dict[Hashable, Tuple[object, int]] = {}
+        self._compressed: Dict[Hashable, Tuple[object, int]] = {}
         self._loading: Dict[Hashable, threading.Event] = {}
         self._used = 0
+        self._compressed_used = 0
         self.stats = CacheStats()
+        self.compressed_stats = CacheStats()
         self.access_counts: Dict[Hashable, int] = {}
         # Concurrent readers share the cache (repro.service); policy state
         # (LRU order, clock hands) is not safe to mutate concurrently.
@@ -132,6 +155,66 @@ class BlockCache:
         event.set()
         return value
 
+    def get_or_load_block(
+        self,
+        key: Hashable,
+        load_frame: Callable[[], bytes],
+        decode: Callable[[bytes], Tuple[object, int]],
+    ):
+        """The two-tier read: uncompressed hit → compressed hit → device.
+
+        ``load_frame`` reads the raw on-device payload (the expensive step:
+        one device block read); ``decode`` turns a payload into
+        ``(block, decoded_charge)`` (pure CPU). A compressed-tier hit pays
+        only the decode; a full miss pays both and feeds both tiers —
+        the raw frame is retained only when it is actually compressed
+        (caching a legacy payload raw buys nothing over the decoded block).
+        Loads are single-flight per key, sharing the leader/waiter protocol
+        of :meth:`get_or_load`.
+        """
+        first_touch = True
+        while True:
+            with self._lock:
+                if first_touch:
+                    self.access_counts[key] = self.access_counts.get(key, 0) + 1
+                    first_touch = False
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self.stats.hits += 1
+                    self._policy.on_access(key)
+                    return cached[0]
+                leader = self._loading.get(key)
+                if leader is None:
+                    self.stats.misses += 1
+                    event = threading.Event()
+                    self._loading[key] = event
+                    break
+                self.stats.single_flight_waits += 1
+            leader.wait()
+        try:
+            frame = self.get_compressed(key) if self.compressed_capacity_bytes else None
+            from_device = frame is None
+            if from_device:
+                frame = load_frame()
+            value, charge = decode(frame)
+        except BaseException:
+            with self._lock:
+                self._loading.pop(key, None)
+            event.set()
+            raise
+        with self._lock:
+            if (
+                from_device
+                and self.compressed_capacity_bytes
+                and is_compressed_frame(frame)
+            ):
+                self._insert_compressed(key, frame, len(frame))
+            if key not in self._entries:
+                self._insert(key, value, charge)
+            self._loading.pop(key, None)
+        event.set()
+        return value
+
     def get(self, key: Hashable):
         """Return the cached object or None, with full hit/miss accounting.
 
@@ -159,6 +242,39 @@ class BlockCache:
                 return
             self._insert(key, value, charge)
 
+    # -- the compressed tier ---------------------------------------------------
+
+    def get_compressed(self, key: Hashable):
+        """Return the cached raw frame or None (compressed-tier lookup).
+
+        A no-op returning None when the tier is disabled, so callers probe
+        unconditionally without skewing the tier's hit/miss accounting.
+        """
+        if self.compressed_capacity_bytes == 0:
+            return None
+        with self._lock:
+            cached = self._compressed.get(key)
+            if cached is not None:
+                self.compressed_stats.hits += 1
+                self._compressed_policy.on_access(key)
+                return cached[0]
+            self.compressed_stats.misses += 1
+            return None
+
+    def put_compressed(self, key: Hashable, payload) -> None:
+        """Retain a raw on-device frame in the compressed tier.
+
+        Only actually-compressed frames are kept (the coalescing reader and
+        prefetchers call this for every payload they touch); charge is the
+        frame's on-disk size.
+        """
+        if self.compressed_capacity_bytes == 0 or not is_compressed_frame(payload):
+            return
+        with self._lock:
+            if key in self._compressed:
+                return
+            self._insert_compressed(key, payload, len(payload))
+
     # -- invalidation ----------------------------------------------------------
 
     def invalidate_block(self, file_id: int, block_no: int) -> None:
@@ -174,6 +290,9 @@ class BlockCache:
                 if key in self._entries:
                     self._remove(key)
                     self.stats.invalidations += 1
+                if key in self._compressed:
+                    self._remove_compressed(key)
+                    self.compressed_stats.invalidations += 1
 
     def subscribe_to_device(self, device) -> None:
         """Register this cache's block invalidation on a device's corruption events."""
@@ -191,6 +310,9 @@ class BlockCache:
             for key in victims:
                 self._remove(key)
                 self.stats.invalidations += 1
+            for key in [k for k in self._compressed if _file_of(k) == file_id]:
+                self._remove_compressed(key)
+                self.compressed_stats.invalidations += 1
             return victims
 
     # -- introspection -----------------------------------------------------------
@@ -198,6 +320,10 @@ class BlockCache:
     @property
     def used_bytes(self) -> int:
         return self._used
+
+    @property
+    def compressed_used_bytes(self) -> int:
+        return self._compressed_used
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -231,6 +357,34 @@ class BlockCache:
         if value_charge is not None:
             self._used -= value_charge[1]
             self._policy.on_remove(key)
+
+    def _insert_compressed(self, key: Hashable, payload, charge: int) -> None:
+        if charge > self.compressed_capacity_bytes:
+            return  # uncacheable: larger than the whole tier
+        while self._compressed_used + charge > self.compressed_capacity_bytes:
+            victim = self._compressed_policy.victim()
+            if victim is None:
+                break
+            self._remove_compressed(victim)
+            self.compressed_stats.evictions += 1
+        self._compressed[key] = (payload, charge)
+        self._compressed_used += charge
+        self._compressed_policy.on_insert(key)
+        self.compressed_stats.insertions += 1
+
+    def _remove_compressed(self, key: Hashable) -> None:
+        value_charge = self._compressed.pop(key, None)
+        if value_charge is not None:
+            self._compressed_used -= value_charge[1]
+            self._compressed_policy.on_remove(key)
+
+
+def _resolve_policy(policy) -> EvictionPolicy:
+    if policy is None:
+        return LRUPolicy()
+    if isinstance(policy, str):
+        return make_policy(policy)
+    return policy
 
 
 def _file_of(key: Hashable) -> Optional[int]:

@@ -66,8 +66,16 @@ def encode_str_key(value: str) -> bytes:
     return value.encode("utf-8")
 
 
+# Single-byte varints (values < 128) dominate block encoding — entry counts,
+# key/value lengths, small seqnos — so they are interned once instead of
+# allocated per call.
+_VARINT_SINGLE = tuple(bytes((i,)) for i in range(0x80))
+
+
 def encode_varint(value: int) -> bytes:
     """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if 0 <= value < 0x80:
+        return _VARINT_SINGLE[value]
     if value < 0:
         raise ValueError("varints are unsigned")
     out = bytearray()
@@ -81,8 +89,11 @@ def encode_varint(value: int) -> bytes:
             return bytes(out)
 
 
-def decode_varint(buf: bytes, offset: int = 0) -> "tuple[int, int]":
+def decode_varint(buf, offset: int = 0) -> "tuple[int, int]":
     """Decode an unsigned varint from ``buf`` at ``offset``.
+
+    ``buf`` is any bytes-like object; a :class:`memoryview` works without
+    copying (indexing a view yields ints, same as ``bytes``).
 
     Returns:
         ``(value, next_offset)``.
@@ -90,11 +101,17 @@ def decode_varint(buf: bytes, offset: int = 0) -> "tuple[int, int]":
     Raises:
         ValueError: on truncated input.
     """
+    n = len(buf)
+    if offset < n:
+        # Fast path: the one-byte varints that dominate block bodies.
+        byte = buf[offset]
+        if not byte & 0x80:
+            return byte, offset + 1
     result = 0
     shift = 0
     pos = offset
     while True:
-        if pos >= len(buf):
+        if pos >= n:
             raise ValueError("truncated varint")
         byte = buf[pos]
         pos += 1
@@ -106,12 +123,18 @@ def decode_varint(buf: bytes, offset: int = 0) -> "tuple[int, int]":
 
 def put_length_prefixed(out: bytearray, data: bytes) -> None:
     """Append ``data`` to ``out`` with a varint length prefix."""
-    out.extend(encode_varint(len(data)))
-    out.extend(data)
+    out += encode_varint(len(data))
+    out += data
 
 
-def get_length_prefixed(buf: bytes, offset: int) -> "tuple[bytes, int]":
-    """Read a varint-length-prefixed byte string; returns ``(data, next_offset)``."""
+def get_length_prefixed(buf, offset: int) -> "tuple[bytes, int]":
+    """Read a varint-length-prefixed byte string; returns ``(data, next_offset)``.
+
+    ``buf`` is any bytes-like object. Passing a :class:`memoryview` makes the
+    returned field a zero-copy sub-view; callers that need to retain the data
+    independently of the backing buffer must ``bytes()`` it themselves (the
+    block decoder does so exactly once per field).
+    """
     length, pos = decode_varint(buf, offset)
     end = pos + length
     if end > len(buf):

@@ -14,6 +14,7 @@ from repro.common.config_base import kwonly_dataclass
 from repro.compaction.layout import LayoutPolicy
 from repro.errors import ConfigError
 from repro.parallel.config import ParallelConfig
+from repro.storage.compression import available_codecs
 
 _FILTER_KINDS = {
     "none", "bloom", "blocked_bloom", "partitioned", "elastic", "cuckoo", "xor", "quotient",
@@ -24,6 +25,7 @@ _MEMTABLE_KINDS = {"skiplist", "vector", "flodb"}
 _CACHE_POLICIES = {"lru", "lfu", "clock"}
 _PICKERS = {"round_robin", "least_overlap", "coldest", "most_tombstones", "oldest"}
 _LAYOUTS = {"leveling", "tiering", "lazy_leveling", "bush"}
+_COMPRESSION_KINDS = frozenset(available_codecs())
 
 
 @kwonly_dataclass
@@ -105,6 +107,16 @@ class LSMConfig:
         merge_operators: extra :class:`~repro.txn.MergeOperator` instances to
             register on the tree (the built-in ``counter`` and
             ``append_set`` are always available).
+        compression: per-block codec for SSTable data blocks ('none',
+            'zlib', 'rle' — see :mod:`repro.storage.compression`). Trades
+            flush/compaction/read CPU for device bytes; files written under
+            any setting stay readable under any other (the block format is
+            self-describing per block). WAL and value-log blocks never
+            compress.
+        compressed_cache_bytes: budget for the block cache's compressed
+            tier, which retains raw on-device frames so a miss in the
+            (decoded) ``cache_bytes`` tier costs a decompression instead of
+            a device read. 0 disables the tier.
         seed: base seed for hashes, skiplists, and any randomized choice.
     """
 
@@ -148,6 +160,8 @@ class LSMConfig:
     # original field order.
     merge_operators: Sequence = ()
     name: str = "db"
+    compression: str = "none"
+    compressed_cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -180,6 +194,10 @@ class LSMConfig:
             raise ConfigError(f"unknown layout {self.layout!r}")
         if self.cache_bytes < 0:
             raise ConfigError("cache_bytes must be non-negative")
+        if self.compression not in _COMPRESSION_KINDS:
+            raise ConfigError(f"unknown compression {self.compression!r}")
+        if self.compressed_cache_bytes < 0:
+            raise ConfigError("compressed_cache_bytes must be non-negative")
         if self.saturation_threshold <= 0:
             raise ConfigError("saturation_threshold must be positive")
         if self.file_bytes is not None and self.file_bytes < self.block_size:

@@ -37,6 +37,18 @@ def merge_entries(
     Yields:
         One entry per distinct key, newest (highest seqno) version.
     """
+    streams = list(streams)
+    if len(streams) == 1:
+        # Single-stream fast path: one input has one entry per key already,
+        # so the heap and the duplicate-key pass are pure overhead. Scans of
+        # a freshly-compacted tree and single-input compactions land here.
+        if drop_tombstones:
+            for entry in streams[0]:
+                if not entry.is_tombstone:
+                    yield entry
+        else:
+            yield from streams[0]
+        return
     previous_key = None
     if drop_tombstones:
         for entry in heapq.merge(*streams, key=_sort_key):
@@ -64,8 +76,12 @@ def merge_entry_versions(
     in hand. Used by the scan read path and by compactions once merge
     entries exist (a plain newest-wins pass would discard operands).
     """
+    streams = list(streams)
+    # Fused single pass; with one input the heap is skipped entirely (the
+    # grouping stays — a lone stream may still carry version chains).
+    merged = streams[0] if len(streams) == 1 else heapq.merge(*streams, key=_sort_key)
     group: "list[Entry]" = []
-    for entry in heapq.merge(*streams, key=_sort_key):
+    for entry in merged:
         if group and entry.key != group[0].key:
             yield group
             group = []

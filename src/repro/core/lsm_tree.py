@@ -61,6 +61,7 @@ from repro.filters.hashing import hash64
 from repro.memtable import make_memtable
 from repro.parallel.subcompaction import run_subcompactions, split_key_ranges
 from repro.storage.block_device import BlockDevice
+from repro.storage.compression import get_codec
 from repro.storage.run import Run
 from repro.storage.sstable import (
     ProbeStats,
@@ -159,7 +160,16 @@ class LSMTree:
         # check; attach via repro.observe.observe_tree().
         self.observer = None
         self.tracer = None
-        self.cache = BlockCache(config.cache_bytes, policy=config.cache_policy)
+        self.cache = BlockCache(
+            config.cache_bytes,
+            policy=config.cache_policy,
+            compressed_capacity_bytes=config.compressed_cache_bytes,
+        )
+        # The block codec flushes and compactions write with; None keeps the
+        # legacy layout. Reads never consult it (blocks self-describe).
+        self._codec = (
+            get_codec(config.compression) if config.compression != "none" else None
+        )
         # In-place corruption (corrupt_block / injected bit rot) must evict
         # any warm clean copy, or the damage would never be observed.
         self.cache.subscribe_to_device(self.device)
@@ -1503,6 +1513,10 @@ class LSMTree:
         snap = self.stats.as_dict()
         for name, value in self.cache.stats.as_dict().items():
             snap[f"cache_{name}"] = value
+        for name, value in self.cache.compressed_stats.as_dict().items():
+            snap[f"cache_compressed_{name}"] = value
+        snap["cache_used_bytes"] = self.cache.used_bytes
+        snap["cache_compressed_used_bytes"] = self.cache.compressed_used_bytes
         guard = getattr(self.device, "guard", None)
         if guard is not None:
             snap.update(guard.as_dict())
@@ -1750,7 +1764,7 @@ class LSMTree:
             if pointer.block_no == blocks and pointer.slot < len(pending):
                 return pending[pointer.slot].key
         payload = self.device.read_payload(pointer.file_id, pointer.block_no, pointer.span)
-        records = parse_block(payload)
+        records = parse_block(payload, detect_frames=False)  # vlog: never framed
         return records[pointer.slot].key if pointer.slot < len(records) else None
 
     # -- run construction --
@@ -1776,6 +1790,7 @@ class LSMTree:
                     range_filter_factory=range_factory,
                     hash_index=self.config.hash_index_blocks,
                     write_buffer_blocks=write_buffer,
+                    codec=self._codec,
                 )
                 written = 0
             builder.add(entry)
@@ -1797,6 +1812,10 @@ class LSMTree:
 
     def _register_table(self, table: SSTable) -> None:
         table.born_at = self.stats.flushes  # staleness clock, in flush ticks
+        with self._stats_lock:
+            self.stats.blocks_written += table.num_data_blocks
+            self.stats.block_bytes_uncompressed += table.uncompressed_data_bytes
+            self.stats.block_bytes_stored += table.compressed_data_bytes
         if self._elastic is not None and isinstance(table.point_filter, ElasticBloomFilter):
             self._elastic.register(table.point_filter)
 
@@ -2293,6 +2312,7 @@ class LSMTree:
                 range_filter_factory=range_factory,
                 hash_index=self.config.hash_index_blocks,
                 write_buffer_blocks=self.config.parallel.write_buffer_blocks,
+                codec=self._codec,
             )
 
         in_bytes = sum(run.size_bytes for run in inputs)

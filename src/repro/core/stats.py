@@ -62,6 +62,10 @@ class LSMStats:
     # -- parallel execution counters (repro.parallel) --
     parallel_compactions: int = 0  # merges executed as key-range subcompactions
     subcompactions: int = 0  # total subcompaction worker jobs run
+    # -- block-compression counters (repro.storage.compression) --
+    blocks_written: int = 0  # data blocks emitted by flushes and compactions
+    block_bytes_uncompressed: int = 0  # what those blocks would occupy raw
+    block_bytes_stored: int = 0  # what they actually occupy on the device
     probe: ProbeStats = field(default_factory=ProbeStats)
     get_hash_evaluations: int = 0  # digests computed on the get path
     # -- service-layer counters (repro.service) --
@@ -118,6 +122,14 @@ class LSMStats:
         """Average live entries produced per range scan."""
         return self.scan_entries / self.scans if self.scans else 0.0
 
+    @property
+    def compression_ratio(self) -> float:
+        """Stored/raw byte ratio over all data blocks ever written (1.0 = no
+        compression; 0.25 = blocks occupy a quarter of their raw size)."""
+        if self.block_bytes_uncompressed <= 0:
+            return 1.0
+        return self.block_bytes_stored / self.block_bytes_uncompressed
+
     def as_dict(self) -> dict:
         """Flat metrics snapshot (for dashboards and experiment logs)."""
         return {
@@ -142,6 +154,10 @@ class LSMStats:
             "multi_get_keys": self.multi_get_keys,
             "parallel_compactions": self.parallel_compactions,
             "subcompactions": self.subcompactions,
+            "blocks_written": self.blocks_written,
+            "block_bytes_uncompressed": self.block_bytes_uncompressed,
+            "block_bytes_stored": self.block_bytes_stored,
+            "compression_ratio": self.compression_ratio,
             "entries_per_scan": self.entries_per_scan,
             "batches_committed": self.batches_committed,
             "batched_records": self.batched_records,

@@ -51,6 +51,7 @@ from repro.faults.config import CRASH_POINTS, FaultConfig
 from repro.faults.device import FaultyBlockDevice
 from repro.faults.guard import ReadGuard
 from repro.storage.block_device import LatencyModel
+from repro.storage.compression import available_codecs
 
 #: How many times each hook may fire before the scheduled crash triggers.
 #: Frequent hooks get a wide window so the crash lands at a varied depth;
@@ -485,6 +486,7 @@ def run_matrix(
     latencies: List[str],
     crash_points: Optional[List[str]] = None,
     parallel: bool = False,
+    compression: str = "none",
     verbose: bool = False,
 ) -> Tuple[bool, List[dict]]:
     """The CI crash matrix: seed × mode × layout × latency model.
@@ -509,6 +511,7 @@ def run_matrix(
                         layout=layout,
                         wal_enabled=True,
                         wal_sync_interval=1,
+                        compression=compression,
                         seed=seed,
                     )
                     harness = CrashHarness(
@@ -535,6 +538,7 @@ def run_matrix(
                                 "layout": layout,
                                 "latency": latency_name,
                                 "parallel": parallel,
+                                "compression": compression,
                                 "violations": report.violations,
                             }
                         )
@@ -558,6 +562,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=list(CRASH_POINTS))
     parser.add_argument("--parallel", action="store_true",
                         help="run compactions as key-range subcompactions")
+    parser.add_argument("--compression", default="none",
+                        choices=sorted(available_codecs()),
+                        help="block codec the matrix builds tables with")
     parser.add_argument("--failures-file", default=None,
                         help="write failing configurations here as JSON")
     parser.add_argument("--quiet", action="store_true")
@@ -571,6 +578,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         latencies=args.latency or ["flat"],
         crash_points=args.crash_point,
         parallel=args.parallel,
+        compression=args.compression,
         verbose=not args.quiet,
     )
     if args.failures_file and failures:
@@ -583,7 +591,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         for failure in failures:
             print(f"  replay: --seed {failure['seed']} --mode {failure['mode']} "
-                  f"--layout {failure['layout']} --latency {failure['latency']}",
+                  f"--layout {failure['layout']} --latency {failure['latency']} "
+                  f"--compression {failure['compression']}",
                   file=sys.stderr)
         return 1
     return 0

@@ -82,6 +82,11 @@ class CoalescingReader:
                     yield cached
                     block_no += 1
                     continue
+                block = self._from_compressed_tier(block_no)
+                if block is not None:
+                    yield block
+                    block_no += 1
+                    continue
             end = min(block_no + self._span - 1, last_block)
             if cache is not None:
                 probe = block_no + 1
@@ -110,6 +115,10 @@ class CoalescingReader:
                     self._note(from_cache=True)
                     out[block_no] = cached
                     continue
+                block = self._from_compressed_tier(block_no)
+                if block is not None:
+                    out[block_no] = block
+                    continue
             if pending and (
                 block_no != pending[-1] + 1 or len(pending) >= self._span
             ):
@@ -127,14 +136,39 @@ class CoalescingReader:
             out[first + offset] = block
         pending.clear()
 
+    def _from_compressed_tier(self, block_no: int) -> Optional[DataBlock]:
+        """Decode a block from the cache's compressed tier, if it is there.
+
+        A hit costs CPU only — no device request — and promotes the decoded
+        block into the uncompressed tier so the next touch is free.
+        """
+        cache = self._cache
+        get_compressed = getattr(cache, "get_compressed", None)
+        if get_compressed is None:
+            return None
+        frame = get_compressed((self._file_id, block_no))
+        if frame is None:
+            return None
+        block = DataBlock(parse_block(frame), self._hash_index)
+        cache.put((self._file_id, block_no), block, block.charge_bytes)
+        self._note(from_cache=True)
+        return block
+
     def _load_span(self, first_block: int, count: int) -> List[DataBlock]:
         payloads = self._device.read_blocks(self._file_id, first_block, count)
         blocks: List[DataBlock] = []
+        cache = self._cache
+        put_compressed = getattr(cache, "put_compressed", None)
         for offset, payload in enumerate(payloads):
             block = DataBlock(parse_block(payload), self._hash_index)
             self._note(from_cache=False)
-            if self._cache is not None:
-                self._cache.put((self._file_id, first_block + offset), block, len(payload))
+            if cache is not None:
+                key = (self._file_id, first_block + offset)
+                # Charge the decoded size, not the on-disk size: the budget
+                # bounds resident memory (see DataBlock.charge_bytes).
+                cache.put(key, block, block.charge_bytes)
+                if put_compressed is not None:
+                    put_compressed(key, payload)
             blocks.append(block)
         return blocks
 

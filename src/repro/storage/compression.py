@@ -1,0 +1,254 @@
+"""Pluggable per-block compression codecs.
+
+The block format in :mod:`repro.storage.sstable` frames each data block as
+``magic | codec_id | varint uncompressed_size | compressed_data | crc32``
+(the SegmentDB layout: compressed size is implicit in the payload length, and
+the checksum covers the *compressed* bytes so corruption is caught before the
+codec ever runs). This module owns the codecs themselves:
+
+* ``none`` — identity; the engine skips framing entirely and writes the
+  legacy ``crc32 | body`` layout, bit-identical to pre-compression files;
+* ``zlib`` — the stdlib DEFLATE codec, the high-ratio option;
+* ``rle`` — a cheap LZ4-style byte run-length codec with no dependencies,
+  the fast option for the suite and for latency-sensitive configs.
+
+Codecs are registered by name and by a stable one-byte wire id; the id is
+written into every frame, so **ids are a persistent format contract** — never
+renumber one. Decompression failures raise
+:class:`~repro.errors.CorruptionError`, so they flow through the same
+retry/quarantine machinery (:mod:`repro.faults`) as checksum mismatches.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable
+
+from repro.errors import CorruptionError
+
+
+class Codec:
+    """One compression algorithm with a stable wire identity.
+
+    Subclasses implement :meth:`compress` / :meth:`decompress` over raw block
+    bodies. ``decompress`` receives the size the frame header promised and
+    must verify its output against it — a wrong size after a valid checksum
+    means the frame was mis-framed, and callers rely on the typed error.
+    """
+
+    name: str = "abstract"
+    codec_id: int = -1
+
+    def compress(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def decompress(self, data: bytes, uncompressed_size: int) -> bytes:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Codec {self.name} id={self.codec_id}>"
+
+
+class NoneCodec(Codec):
+    """Identity codec (wire id 0). The engine never frames with it — config
+    ``compression='none'`` keeps the legacy block layout — but it anchors the
+    registry so every config name resolves to a codec object."""
+
+    name = "none"
+    codec_id = 0
+
+    def compress(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress(self, data: bytes, uncompressed_size: int) -> bytes:
+        out = bytes(data)
+        if len(out) != uncompressed_size:
+            raise CorruptionError(
+                f"stored block size {len(out)} != declared {uncompressed_size}"
+            )
+        return out
+
+
+class ZlibCodec(Codec):
+    """DEFLATE via the stdlib (wire id 1): best ratio, highest CPU."""
+
+    name = "zlib"
+    codec_id = 1
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(bytes(data), self.level)
+
+    def decompress(self, data: bytes, uncompressed_size: int) -> bytes:
+        try:
+            out = zlib.decompress(bytes(data))
+        except zlib.error as exc:
+            raise CorruptionError(f"zlib decompression failed: {exc}") from exc
+        if len(out) != uncompressed_size:
+            raise CorruptionError(
+                f"decompressed {len(out)} bytes, frame declared {uncompressed_size}"
+            )
+        return out
+
+
+class RleCodec(Codec):
+    """Byte run-length codec (wire id 2): the cheap LZ4-style fallback.
+
+    Wire format is a stream of control bytes: ``c < 0x80`` starts a literal
+    run of ``c + 1`` verbatim bytes; ``c >= 0x80`` repeats the following byte
+    ``(c - 0x80) + 4`` times (runs shorter than 4 never win, so run lengths
+    encode 4..131). Serialized blocks are full of zero padding, repeated
+    value bytes, and shared key prefixes' tails, which this catches at a
+    fraction of DEFLATE's CPU cost.
+    """
+
+    name = "rle"
+    codec_id = 2
+
+    _MAX_RUN = 131  # (0xFF - 0x80) + 4
+    _MAX_LITERAL = 128
+
+    def compress(self, data: bytes) -> bytes:
+        data = bytes(data)
+        out = bytearray()
+        i, n = 0, len(data)
+        while i < n:
+            byte = data[i]
+            run = 1
+            while run < self._MAX_RUN and i + run < n and data[i + run] == byte:
+                run += 1
+            if run >= 4:
+                out.append(0x80 | (run - 4))
+                out.append(byte)
+                i += run
+                continue
+            # Literal stretch: consume until a profitable (>=4) run begins.
+            start = i
+            i += run
+            while i < n and i - start < self._MAX_LITERAL:
+                if i + 3 < n and data[i] == data[i + 1] == data[i + 2] == data[i + 3]:
+                    break
+                i += 1
+            chunk = data[start:i]
+            out.append(len(chunk) - 1)
+            out.extend(chunk)
+        return bytes(out)
+
+    def decompress(self, data: bytes, uncompressed_size: int) -> bytes:
+        data = bytes(data)
+        out = bytearray()
+        i, n = 0, len(data)
+        while i < n:
+            control = data[i]
+            i += 1
+            if control < 0x80:
+                length = control + 1
+                if i + length > n:
+                    raise CorruptionError("truncated RLE literal run")
+                out += data[i : i + length]
+                i += length
+            else:
+                if i >= n:
+                    raise CorruptionError("truncated RLE repeat run")
+                out += data[i : i + 1] * ((control - 0x80) + 4)
+                i += 1
+            if len(out) > uncompressed_size:
+                raise CorruptionError(
+                    f"RLE output exceeds declared size {uncompressed_size}"
+                )
+        if len(out) != uncompressed_size:
+            raise CorruptionError(
+                f"RLE produced {len(out)} bytes, frame declared {uncompressed_size}"
+            )
+        return bytes(out)
+
+
+# -- the frame header --------------------------------------------------------
+
+# First byte of every compressed frame; legacy blocks open with an arbitrary
+# CRC byte, so the magic plus a known codec id narrows misdetection to
+# ~1/20000 blocks — and the frame's own trailing CRC settles those (see
+# ``parse_block``'s fallback). A persistent format constant: never change.
+FRAME_MAGIC = 0xC7
+FRAME_MIN_LEN = 7  # magic + codec_id + 1-byte varint + empty data + crc32
+
+
+def is_compressed_frame(payload) -> bool:
+    """Cheap header test: does this payload carry a compressed frame?
+
+    Used by the cache layers to decide whether a raw payload is worth
+    retaining in the compressed tier (legacy/uncompressed payloads are not —
+    caching them raw buys nothing over the decoded block). Accepts any
+    bytes-like payload, including :class:`memoryview`.
+    """
+    return (
+        len(payload) >= FRAME_MIN_LEN
+        and payload[0] == FRAME_MAGIC
+        and payload[1] in _COMPRESSED_ID_SET
+    )
+
+
+# -- registry ----------------------------------------------------------------
+
+_BY_NAME: Dict[str, Codec] = {}
+_BY_ID: Dict[int, Codec] = {}
+_COMPRESSED_ID_SET: "set[int]" = set()
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Add a codec to the registry; name and wire id must both be unique."""
+    if codec.codec_id < 0 or codec.codec_id > 0xFF:
+        raise ValueError(f"codec id {codec.codec_id} must fit in one byte")
+    existing = _BY_ID.get(codec.codec_id)
+    if existing is not None and existing.name != codec.name:
+        raise ValueError(
+            f"codec id {codec.codec_id} already taken by {existing.name!r}"
+        )
+    _BY_NAME[codec.name] = codec
+    _BY_ID[codec.codec_id] = codec
+    if codec.codec_id != 0:
+        _COMPRESSED_ID_SET.add(codec.codec_id)
+    return codec
+
+
+register_codec(NoneCodec())
+register_codec(ZlibCodec())
+register_codec(RleCodec())
+
+
+def get_codec(name: str) -> Codec:
+    """Resolve a codec by config name.
+
+    Raises:
+        ValueError: for an unregistered name (config validation catches this
+            earlier with a friendlier :class:`~repro.errors.ConfigError`).
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown compression codec {name!r}") from None
+
+
+def codec_by_id(codec_id: int) -> Codec:
+    """Resolve a codec by its wire id (frame decoding path).
+
+    Raises:
+        CorruptionError: for an unknown id — the frame promised a codec this
+            build cannot decode, indistinguishable from a mangled header.
+    """
+    try:
+        return _BY_ID[codec_id]
+    except KeyError:
+        raise CorruptionError(f"unknown codec id {codec_id} in block frame") from None
+
+
+def available_codecs() -> Iterable[str]:
+    """Registered codec names (config validation + CLI choices)."""
+    return sorted(_BY_NAME)
+
+
+def compressed_codec_ids() -> "frozenset[int]":
+    """Wire ids that appear in framed blocks (everything but ``none``)."""
+    return frozenset(cid for cid in _BY_ID if cid != 0)

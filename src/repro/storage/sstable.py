@@ -22,17 +22,37 @@ from __future__ import annotations
 import bisect
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence, Union
 
 from repro.common.encoding import (
     decode_varint,
     encode_varint,
     get_length_prefixed,
-    put_length_prefixed,
 )
 from repro.common.entry import Entry, EntryKind
 from repro.errors import CorruptionError, ReproError
 from repro.storage.block_device import BlockDevice
+from repro.storage.compression import (
+    FRAME_MAGIC as _FRAME_MAGIC,
+    Codec,
+    codec_by_id,
+    get_codec,
+    is_compressed_frame,
+)
+
+# Compressed-frame layout (SegmentDB-style: sizes + data + checksum; the
+# compressed size is implicit in the payload length):
+#
+#   +-------+----------+---------------------+-----------------+-----------+
+#   | magic | codec_id | varint uncompressed | compressed data | crc32 (4) |
+#   +-------+----------+---------------------+-----------------+-----------+
+#
+# The trailing CRC covers every preceding byte, i.e. the *compressed* payload
+# plus its header, so bit rot is detected before the codec runs. Legacy
+# blocks (and every block written with compression='none') keep the seed
+# layout ``crc32 | body``; parse_block() accepts both, so files written
+# before this format — and WAL/value-log blocks, which never compress —
+# keep working unchanged.
 
 
 @dataclass
@@ -55,10 +75,16 @@ class ProbeStats:
         self.cache_hits += other.cache_hits
 
 
+# Estimated resident cost of one decoded Entry beyond its key/value bytes:
+# the Entry object (four __slots__) plus two bytes-object headers. Used for
+# cache charge accounting, where the budget must bound *decoded* memory.
+_ENTRY_RESIDENT_OVERHEAD = 72
+
+
 class DataBlock:
     """A parsed data block: sorted entries plus an optional hash index."""
 
-    __slots__ = ("entries", "hash_index", "_keys")
+    __slots__ = ("entries", "hash_index", "_keys", "_charge")
 
     def __init__(self, entries: List[Entry], build_hash_index: bool = False) -> None:
         self.entries = entries
@@ -66,24 +92,46 @@ class DataBlock:
             {entry.key: i for i, entry in enumerate(entries)} if build_hash_index else None
         )
         self._keys: Optional[List[bytes]] = None  # built on first binary search
+        self._charge: Optional[int] = None  # decoded resident size, computed once
 
-    def find(self, key: bytes) -> Optional[Entry]:
-        """Locate ``key`` via the hash index when present, else binary search.
+    def keys_list(self) -> List[bytes]:
+        """The block's sorted key list, decoded once and cached.
 
-        The key list the search bisects is decoded once per block (cached
-        blocks are probed many times; rebuilding it per lookup dominated the
-        point-read profile).
+        Cached blocks are probed and window-sliced many times; rebuilding
+        this list per access dominated the point-read profile.
         """
-        if self.hash_index is not None:
-            idx = self.hash_index.get(key)
-            return self.entries[idx] if idx is not None else None
         keys = self._keys
         if keys is None:
             keys = self._keys = [entry.key for entry in self.entries]
+        return keys
+
+    def find(self, key: bytes) -> Optional[Entry]:
+        """Locate ``key`` via the hash index when present, else binary search."""
+        if self.hash_index is not None:
+            idx = self.hash_index.get(key)
+            return self.entries[idx] if idx is not None else None
+        keys = self.keys_list()
         idx = bisect.bisect_left(keys, key)
         if idx < len(self.entries) and self.entries[idx].key == key:
             return self.entries[idx]
         return None
+
+    @property
+    def charge_bytes(self) -> int:
+        """Resident (decoded) size for cache accounting.
+
+        This is what the block costs while cached — key and value bytes plus
+        per-entry object overhead — **not** its on-device size. Compressed
+        files would otherwise let the uncompressed cache tier hold several
+        times its configured budget in decoded memory.
+        """
+        charge = self._charge
+        if charge is None:
+            charge = 56  # the DataBlock itself + entries list header
+            for entry in self.entries:
+                charge += len(entry.key) + len(entry.value) + _ENTRY_RESIDENT_OVERHEAD
+            self._charge = charge
+        return charge
 
     @property
     def first_key(self) -> bytes:
@@ -94,52 +142,175 @@ class DataBlock:
         return self.entries[-1].key
 
 
-def serialize_block(entries: Sequence[Entry]) -> bytes:
-    """Serialize entries into the on-device block payload.
+def _encode_body(entries: Sequence[Entry]) -> bytearray:
+    """Pack entries into the (uncompressed) block body.
 
-    The body is prefixed with its CRC32, so every consumer of
-    :func:`parse_block` — data blocks, value-log blocks, WAL frames —
-    detects bit rot (verified by the fault-injection tests and the
-    integrity scrubber).
+    One flat loop with bound locals: `bytearray.__iadd__` and the interned
+    single-byte varints keep per-entry allocation to the unavoidable minimum
+    (this runs once per block per flush/compaction, inside the write path).
     """
     body = bytearray(encode_varint(len(entries)))
+    varint = encode_varint
+    append = body.append
     for entry in entries:
-        put_length_prefixed(body, entry.key)
-        body.extend(encode_varint(entry.seqno))
-        body.append(int(entry.kind))
-        put_length_prefixed(body, entry.value)
-    return zlib.crc32(body).to_bytes(4, "big") + bytes(body)
+        key = entry.key
+        value = entry.value
+        body += varint(len(key))
+        body += key
+        body += varint(entry.seqno)
+        append(int(entry.kind))
+        body += varint(len(value))
+        body += value
+    return body
 
 
-def parse_block(payload: bytes) -> List[Entry]:
-    """Inverse of :func:`serialize_block`.
+def encode_block(
+    entries: Sequence[Entry], codec: Optional[Codec] = None
+) -> "tuple[bytes, int, int]":
+    """Serialize entries into an on-device payload, optionally compressed.
 
-    Raises:
-        CorruptionError: when the checksum does not match the body.
-        ValueError: on truncated input (spanning consumers retry with more
-            blocks; see the value log's jumbo scan).
+    With no codec (or the ``none`` codec) the legacy ``crc32 | body`` layout
+    is emitted, bit-identical to pre-compression files. Otherwise the block
+    is compressed and framed (see ``_FRAME_MAGIC``); blocks the codec cannot
+    shrink below their legacy size are stored in the legacy layout instead —
+    a per-block decision :func:`parse_block` resolves transparently — so a
+    compressed table is never larger than an uncompressed one.
+
+    Returns:
+        ``(payload, uncompressed_size, stored_size)`` where the sizes are the
+        legacy payload size and ``len(payload)`` — the compression-ratio
+        counters' inputs.
     """
-    if not payload:
-        return []
-    if len(payload) < 4:
-        raise CorruptionError(f"block of {len(payload)} bytes is too short")
-    stored_crc = int.from_bytes(payload[:4], "big")
-    body = payload[4:]
+    body = _encode_body(entries)
+    uncompressed_size = 4 + len(body)
+    if codec is not None and codec.codec_id != 0:
+        compressed = codec.compress(bytes(body))
+        frame = bytearray((_FRAME_MAGIC, codec.codec_id))
+        frame += encode_varint(len(body))
+        frame += compressed
+        if len(frame) + 4 < uncompressed_size:
+            frame += zlib.crc32(frame).to_bytes(4, "big")
+            return bytes(frame), uncompressed_size, len(frame)
+    payload = zlib.crc32(body).to_bytes(4, "big") + bytes(body)
+    return payload, uncompressed_size, uncompressed_size
+
+
+def serialize_block(entries: Sequence[Entry], codec: Optional[Codec] = None) -> bytes:
+    """Serialize entries into the on-device block payload.
+
+    The payload is checksummed, so every consumer of :func:`parse_block` —
+    data blocks, value-log blocks, WAL frames — detects bit rot (verified by
+    the fault-injection tests and the integrity scrubber). Pass a
+    :class:`~repro.storage.compression.Codec` to emit a compressed frame.
+    """
+    return encode_block(entries, codec)[0]
+
+
+def _decode_entries(body, stored_crc: Optional[int]) -> List[Entry]:
+    """Decode a block body (``varint count`` + packed entries) into entries.
+
+    ``body`` is any bytes-like object; the hot path hands a ``memoryview`` so
+    field slicing never copies — the single ``bytes()`` per key/value below
+    is the only copy made (and a no-op when the backing buffer is ``bytes``).
+    When ``stored_crc`` is given it is verified *after* decoding, preserving
+    the legacy contract that truncation surfaces as ``ValueError`` (spanning
+    consumers like the value log's jumbo scan retry with more blocks).
+    """
     count, pos = decode_varint(body, 0)
     entries: List[Entry] = []
+    append = entries.append
+    kinds = _ENTRY_KINDS
     for _ in range(count):
         key, pos = get_length_prefixed(body, pos)
         seqno, pos = decode_varint(body, pos)
         kind_byte = body[pos]
         if kind_byte > 3:  # PUT, DELETE, MERGE, PUT_TTL
             raise CorruptionError(f"invalid entry kind {kind_byte}")
-        kind = EntryKind(kind_byte)
         pos += 1
         value, pos = get_length_prefixed(body, pos)
-        entries.append(Entry(key=key, seqno=seqno, kind=kind, value=value))
-    if zlib.crc32(body) != stored_crc:
+        append(Entry(key=bytes(key), seqno=seqno, kind=kinds[kind_byte], value=bytes(value)))
+    if stored_crc is not None and zlib.crc32(body) != stored_crc:
         raise CorruptionError("block checksum mismatch")
     return entries
+
+
+_ENTRY_KINDS = tuple(EntryKind(i) for i in range(4))
+
+
+def _parse_framed(view: memoryview) -> List[Entry]:
+    """Decode a compressed frame; raises only CorruptionError on any damage."""
+    n = len(view)
+    stored_crc = int.from_bytes(view[n - 4 :], "big")
+    if zlib.crc32(view[: n - 4]) != stored_crc:
+        raise CorruptionError("compressed block checksum mismatch")
+    codec = codec_by_id(view[1])
+    try:
+        uncompressed_size, pos = decode_varint(view, 2)
+        if pos > n - 4:
+            raise ValueError("frame header overruns payload")
+        body = codec.decompress(view[pos : n - 4], uncompressed_size)
+        return _decode_entries(memoryview(body), None)
+    except CorruptionError:
+        raise
+    except ValueError as exc:
+        # The checksum passed but the content is unusable: either a one-in-
+        # 2^32 legacy-block collision (the caller falls back) or mis-framed
+        # data. Both are corruption from this layer's point of view.
+        raise CorruptionError(f"invalid compressed frame: {exc}") from exc
+
+
+def parse_block(payload, detect_frames: bool = True) -> List[Entry]:
+    """Inverse of :func:`serialize_block`; accepts legacy and framed blocks.
+
+    A payload that *looks* framed (magic byte + known codec id) is decoded
+    through its codec; its trailing CRC disambiguates the one-in-2^32 legacy
+    block whose leading checksum happens to mimic a frame header — on frame
+    corruption the intact-legacy interpretation is tried before giving up.
+    Accepts any bytes-like payload; a ``memoryview`` is decoded without
+    copying the body.
+
+    Args:
+        payload: the on-device bytes.
+        detect_frames: consumers that never write compressed frames *and*
+            parse partial payloads (the value log's jumbo spans) pass False,
+            both skipping the header probe and keeping truncation errors
+            typed as ``ValueError`` — a frame-looking prefix must extend,
+            not quarantine.
+
+    Raises:
+        CorruptionError: when the checksum does not match under either
+            layout, or decompression fails.
+        ValueError: on truncated legacy input (spanning consumers retry with
+            more blocks; see the value log's jumbo scan).
+    """
+    if not payload:
+        return []
+    n = len(payload)
+    if n < 4:
+        raise CorruptionError(f"block of {n} bytes is too short")
+    view = payload if isinstance(payload, memoryview) else memoryview(payload)
+    if detect_frames and is_compressed_frame(view):
+        try:
+            return _parse_framed(view)
+        except CorruptionError as framed_err:
+            # Frame-detecting consumers hand in whole payloads, so a valid
+            # legacy block parses fully here; any failure — including
+            # truncation — means the payload is a damaged frame.
+            try:
+                return _decode_entries(view[4:], int.from_bytes(view[:4], "big"))
+            except (CorruptionError, ValueError, IndexError, OverflowError):
+                raise framed_err from None
+    return _decode_entries(view[4:], int.from_bytes(view[:4], "big"))
+
+
+def _decode_payload(payload, hash_index: bool) -> "tuple[DataBlock, int]":
+    """Decode a raw payload into a block plus its cache charge.
+
+    The two-tier cache's decode callback: runs on compressed-tier hits (no
+    device involved) and on device misses alike.
+    """
+    block = DataBlock(parse_block(payload), hash_index)
+    return block, block.charge_bytes
 
 
 def _entry_encoded_size(entry: Entry) -> int:
@@ -167,9 +338,16 @@ class SSTable:
         range_filter,
         hash_index: bool,
         aux_blocks: int,
+        uncompressed_data_bytes: int = 0,
+        compressed_data_bytes: int = 0,
     ) -> None:
         self._device = device
         self.file_id = file_id
+        # Per-table compression accounting (equal when uncompressed): the
+        # legacy payload bytes the data region *would* occupy vs. what it
+        # actually does. The tree folds these into its ratio counters.
+        self.uncompressed_data_bytes = uncompressed_data_bytes
+        self.compressed_data_bytes = compressed_data_bytes
         self.num_data_blocks = num_data_blocks
         self._block_first_keys = block_first_keys
         self._block_last_keys = block_last_keys
@@ -325,13 +503,23 @@ class SSTable:
                 self._load_block(block_no, cache, stats)
                 for block_no in range(first_block, last_block + 1)
             )
+        # Fused emission: instead of re-testing the range per entry, bisect
+        # the (cached) key list once per boundary block and hand interior
+        # blocks to ``yield from`` whole — the per-entry dispatch this
+        # removes dominated long-scan and merge profiles.
         for block in blocks:
-            for entry in block.entries:
-                if start is not None and entry.key < start:
-                    continue
-                if end is not None and entry.key > end:
-                    return
-                yield entry
+            entries = block.entries
+            lo = 0
+            if start is not None and entries[0].key < start:
+                lo = bisect.bisect_left(block.keys_list(), start)
+            if end is not None and entries[-1].key > end:
+                hi = bisect.bisect_right(block.keys_list(), end, lo)
+                yield from entries[lo:hi]
+                return
+            if lo:
+                yield from entries[lo:]
+            else:
+                yield from entries
 
     def get_many(
         self,
@@ -452,6 +640,7 @@ class SSTable:
         if stats is not None:
             stats.blocks_read += 1
         guard = self._device.guard
+        hash_index = self._hash_index
 
         def loader() -> "tuple[DataBlock, int]":
             if guard is not None:
@@ -461,12 +650,23 @@ class SSTable:
             else:
                 payload = self._device.read_block(self.file_id, block_no)
                 entries = parse_block(payload)
-            return DataBlock(entries, self._hash_index), len(payload)
+            block = DataBlock(entries, hash_index)
+            return block, block.charge_bytes
 
         if cache is not None:
             key = (self.file_id, block_no)
             if stats is not None and cache.contains(key):
                 stats.cache_hits += 1
+            if guard is None and hasattr(cache, "get_or_load_block"):
+                # Two-tier path: a compressed-tier hit decodes in memory
+                # (CPU only); a full miss reads the device once and feeds
+                # both tiers. With a guard installed the per-block guarded
+                # loader below keeps retry/quarantine semantics.
+                return cache.get_or_load_block(
+                    key,
+                    lambda: self._device.read_block(self.file_id, block_no),
+                    lambda payload: _decode_payload(payload, hash_index),
+                )
             return cache.get_or_load(key, loader)
         return loader()[0]
 
@@ -502,6 +702,8 @@ def rebuild_sstable(
     block_of_key: List[int] = []
     entry_count = 0
     tombstones = 0
+    uncompressed_bytes = 0
+    compressed_bytes = 0
     total_blocks = device.num_blocks(file_id)
     data_blocks = 0
     for block_no in range(total_blocks):
@@ -511,6 +713,13 @@ def rebuild_sstable(
         entries = parse_block(payload)
         if not entries:
             break
+        compressed_bytes += len(payload)
+        if is_compressed_frame(payload):
+            # The frame header declares the body's decoded size; +4 restores
+            # the legacy payload size the ratio counters compare against.
+            uncompressed_bytes += 4 + decode_varint(payload, 2)[0]
+        else:
+            uncompressed_bytes += len(payload)
         data_blocks += 1
         first_keys.append(entries[0].key)
         last_keys.append(entries[-1].key)
@@ -535,6 +744,8 @@ def rebuild_sstable(
         range_filter=range_filter_factory(keys) if range_filter_factory else None,
         hash_index=hash_index,
         aux_blocks=total_blocks - data_blocks,
+        uncompressed_data_bytes=uncompressed_bytes,
+        compressed_data_bytes=compressed_bytes,
     )
 
 
@@ -554,6 +765,10 @@ class SSTableBuilder:
             default) appends each block immediately. Parallel subcompaction
             workers buffer so their interleaved appends to one shared
             device stay sequential instead of paying a head switch each.
+        codec: block compression codec (a :class:`Codec` instance or a
+            registry name); None or ``'none'`` writes the legacy layout.
+            Blocks the codec cannot shrink are stored uncompressed, so the
+            per-table ratio counters reflect what actually hit the device.
     """
 
     def __init__(
@@ -565,6 +780,7 @@ class SSTableBuilder:
         range_filter_factory: Optional[FilterFactory] = None,
         hash_index: bool = False,
         write_buffer_blocks: int = 1,
+        codec: "Optional[Union[Codec, str]]" = None,
     ) -> None:
         self._device = device
         self._block_size = block_size or device.block_size
@@ -574,6 +790,11 @@ class SSTableBuilder:
         self._filter_factory = filter_factory
         self._range_filter_factory = range_filter_factory
         self._hash_index = hash_index
+        if isinstance(codec, str):
+            codec = get_codec(codec)
+        self._codec = codec if codec is not None and codec.codec_id != 0 else None
+        self._uncompressed_bytes = 0
+        self._stored_bytes = 0
         if write_buffer_blocks < 1:
             raise ValueError("write_buffer_blocks must be at least 1")
         self._write_buffer_blocks = write_buffer_blocks
@@ -668,6 +889,8 @@ class SSTableBuilder:
             range_filter=range_filter,
             hash_index=self._hash_index,
             aux_blocks=aux_blocks,
+            uncompressed_data_bytes=self._uncompressed_bytes,
+            compressed_data_bytes=self._stored_bytes,
         )
 
     def abandon(self) -> None:
@@ -679,7 +902,9 @@ class SSTableBuilder:
     # -- internals -----------------------------------------------------------
 
     def _flush_block(self) -> None:
-        payload = serialize_block(self._pending)
+        payload, uncompressed, stored = encode_block(self._pending, self._codec)
+        self._uncompressed_bytes += uncompressed
+        self._stored_bytes += stored
         if self._write_buffer_blocks > 1:
             self._write_buffer.append(payload)
             if len(self._write_buffer) >= self._write_buffer_blocks:

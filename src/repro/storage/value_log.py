@@ -107,7 +107,9 @@ class ValueLog:
             payload = self._device.read_payload(
                 pointer.file_id, pointer.block_no, pointer.span
             )
-            return parse_block(payload), len(payload)
+            # Value-log payloads are never compressed and may span blocks:
+            # skip frame detection so truncation stays typed as ValueError.
+            return parse_block(payload, detect_frames=False), len(payload)
 
         if cache is not None:
             entries = cache.get_or_load(("vlog", pointer.file_id, pointer.block_no), loader)
@@ -156,7 +158,7 @@ class ValueLog:
             span = 1
             while True:
                 try:
-                    records = parse_block(payload)
+                    records = parse_block(payload, detect_frames=False)
                     break
                 except ValueError:
                     if block_no + span >= total:
