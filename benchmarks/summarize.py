@@ -22,7 +22,7 @@ ORDER = [
     "e1_", "e2_", "e3_", "e4_", "e5_", "e6_cache", "e6_leaper", "e7_partial.",
     "e7_partial_vs", "e8_", "e9_", "e10_", "e11_", "e12_", "e13_", "e14_",
     "e15_", "e16_", "e17_", "e18_", "e22_", "e23_", "e24_", "e25_", "e26_",
-    "a1_", "a2_", "a3_",
+    "e27_", "a1_", "a2_", "a3_",
 ]
 
 #: Candidate locations of the perf-smoke JSON (CI writes to the repo root).
@@ -37,7 +37,8 @@ def render_perf_json() -> str:
 
     The perf smokes (``bench_e22_parallel.py``, ``bench_e23_server.py``,
     ``bench_e24_tracing.py``, ``bench_e25_txn.py``,
-    ``bench_e26_compression.py``) emit nested JSON rather than a table;
+    ``bench_e26_compression.py``, ``bench_e27_chaos.py``) emit nested JSON
+    rather than a table;
     merge every candidate file (newest wins) and render the leaf metrics as
     ``section.sub.key = value`` lines (sections nest arbitrarily deep —
     E26's ``compression.codecs.zlib.*`` for one).

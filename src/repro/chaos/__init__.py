@@ -1,0 +1,52 @@
+"""repro.chaos — network fault injection and exactly-once verification.
+
+The wire-level sibling of :mod:`repro.faults`: where that package crashes
+the storage stack under a recovering engine, this one breaks the *network*
+under a retrying client and asserts the end-to-end contract still holds —
+every acknowledged write durable and applied exactly once, every failure a
+typed error before the deadline, never a hang and never a double-applied
+retry.
+
+* :class:`NetworkFaultConfig` / :data:`NETWORK_CRASH_POINTS` — the seeded
+  fault model: reset/truncate/duplicate/delay probabilities plus named
+  crash points (``after_send_before_reply``, ``mid_reply``, …) that fire
+  deterministically on a countdown;
+* :class:`FaultyTransport` / :class:`ChaosSocket` — wrap real sockets on
+  either side of the wire and perturb their byte streams, presenting
+  faults as genuine ``ConnectionResetError`` / ``BrokenPipeError`` / EOF;
+* :class:`ChaosHarness` — randomized workloads (including non-idempotent
+  counter merges and atomic bank transfers) through randomized network
+  faults, optionally with simultaneous storage crash points, verified
+  over a clean connection each cycle. ``python -m repro.chaos.harness``
+  runs the CI chaos matrix.
+
+Quickstart::
+
+    from repro.chaos import FaultyTransport, NetworkFaultConfig
+    from repro.server import LSMClient, RetryPolicy
+
+    transport = FaultyTransport(NetworkFaultConfig(seed=7, drop_reply_prob=0.05))
+    transport.arm()
+    client = LSMClient(host, port, retry=RetryPolicy(), transport=transport)
+    client.put(b"k", b"v")   # retried + deduped under injected faults
+"""
+
+from repro.chaos.config import NETWORK_CRASH_POINTS, NetworkFaultConfig
+from repro.chaos.harness import (
+    ChaosHarness,
+    CycleResult,
+    HarnessReport,
+    run_matrix,
+)
+from repro.chaos.transport import ChaosSocket, FaultyTransport
+
+__all__ = [
+    "NETWORK_CRASH_POINTS",
+    "NetworkFaultConfig",
+    "FaultyTransport",
+    "ChaosSocket",
+    "ChaosHarness",
+    "CycleResult",
+    "HarnessReport",
+    "run_matrix",
+]

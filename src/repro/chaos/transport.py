@@ -1,0 +1,239 @@
+"""FaultyTransport / ChaosSocket: seeded fault injection for the wire.
+
+The network analogue of :class:`repro.faults.FaultyBlockDevice`: a
+transport wraps real sockets (client-side after the dial, server-side
+after the accept) and perturbs their byte streams — resets, mid-frame
+truncation, duplicated delivery, added latency — from one seeded RNG, plus
+named crash points that fire deterministically on a countdown
+(:data:`~repro.chaos.config.NETWORK_CRASH_POINTS`).
+
+Faults present themselves to the application exactly as real network
+failures do: builtin ``ConnectionResetError`` / ``BrokenPipeError`` from
+socket calls, short reads, and clean EOFs at the wrong moment — never a
+library-specific exception — so the code under test exercises its real
+error paths. A faulted connection is *poisoned*: once the injector has
+killed it, every further use fails the same way, exactly like a closed TCP
+peer. The poison style is itself randomized (reset vs. silent EOF) because
+the two surface differently to a reader: a reset raises mid-call while an
+EOF inside a buffered frame is a short-read decode error.
+
+The transport is thread-safe (server handler threads share it) and keeps
+per-fault counters so a harness can assert that the schedule it asked for
+actually happened.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.chaos.config import NETWORK_CRASH_POINTS, NetworkFaultConfig
+
+_POISON_RESET = "reset"
+_POISON_EOF = "eof"
+
+
+class ChaosSocket:
+    """One wrapped connection; all fault decisions come from the transport.
+
+    Only the byte-stream surface (``sendall``/``recv``/``close``) is
+    intercepted; everything else (``settimeout``, ``setsockopt``,
+    ``getsockname``, …) delegates to the real socket, so the wrapper drops
+    into any code written against a blocking socket.
+    """
+
+    def __init__(self, transport: "FaultyTransport", sock) -> None:
+        self._transport = transport
+        self._sock = sock
+        self._poison: Optional[str] = None
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+    # -- fault plumbing --------------------------------------------------------
+
+    def _poison_now(self, style: Optional[str] = None) -> None:
+        self._poison = style or self._transport._pick_poison_style()
+
+    def _check_poison(self, *, sending: bool) -> Optional[bytes]:
+        """Raise/return the poisoned outcome, or None when healthy."""
+        if self._poison is None:
+            return None
+        if sending or self._poison == _POISON_RESET:
+            # A dead peer answers writes with a reset/broken pipe either way.
+            exc = ConnectionResetError if not sending else BrokenPipeError
+            raise exc("injected: connection is dead")
+        return b""  # EOF-style poison: reads see a clean close
+
+    # -- the intercepted surface -----------------------------------------------
+
+    def sendall(self, data) -> None:
+        eof = self._check_poison(sending=True)
+        assert eof is None  # poison on the send path always raises
+        t = self._transport
+        t._maybe_delay()
+        data = bytes(data)
+        if t._fire("before_send", "reset_prob"):
+            self._poison_now()
+            t._note("reset")
+            raise ConnectionResetError("injected reset before send")
+        if len(data) > 1 and t._fire("mid_send", "send_truncate_prob"):
+            prefix = t._rand_prefix_len(len(data))
+            try:
+                self._sock.sendall(data[:prefix])
+            except OSError:
+                pass
+            self._poison_now()
+            t._note("send_truncated")
+            raise ConnectionResetError(
+                f"injected reset mid-send ({prefix}/{len(data)} bytes delivered)"
+            )
+        if t._fire("duplicate_send", "duplicate_prob"):
+            self._sock.sendall(data)
+            self._sock.sendall(data)
+            # The sender believes the connection then died: it never reads
+            # the (two) replies, reconnects, and retries — the server-side
+            # dedup table has to absorb all three copies.
+            self._poison_now()
+            t._note("duplicated")
+            return
+        if t._fire("after_send_before_reply", "drop_reply_prob"):
+            self._sock.sendall(data)
+            self._poison_now()
+            t._note("reply_dropped")
+            return
+        self._sock.sendall(data)
+
+    def recv(self, bufsize: int) -> bytes:
+        eof = self._check_poison(sending=False)
+        if eof is not None:
+            return eof
+        t = self._transport
+        t._maybe_delay()
+        data = self._sock.recv(bufsize)
+        if not data:
+            return data
+        if t._fire("mid_reply", "recv_truncate_prob"):
+            self._poison_now()
+            t._note("recv_truncated")
+            if len(data) > 1:
+                return data[: t._rand_prefix_len(len(data))]
+            return data
+        return data
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class FaultyTransport:
+    """A seeded network-fault injector; ``wrap`` sockets, then ``arm`` it.
+
+    Mirrors the :class:`~repro.faults.FaultyBlockDevice` control surface:
+    disarmed by default (wrapped sockets behave perfectly), ``arm()`` /
+    ``disarm()`` toggle injection, and :meth:`schedule_crash` pins a named
+    point to fire on its Nth crossing. Crash-point countdowns are shared
+    across every socket the transport wrapped — like storage crash points
+    share the device — so "the 3rd request loses its reply" means the 3rd
+    overall, wherever it lands.
+    """
+
+    def __init__(self, faults: Optional[NetworkFaultConfig] = None) -> None:
+        self.faults = faults or NetworkFaultConfig()
+        self._rng = random.Random(self.faults.seed)
+        self._lock = threading.Lock()
+        self._armed = False
+        self._crash_points: Dict[str, int] = dict(self.faults.crash_points)
+        self._counts: Dict[str, int] = {}
+
+    # -- control ---------------------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def arm(self) -> None:
+        self._armed = True
+
+    def disarm(self) -> None:
+        self._armed = False
+
+    def schedule_crash(self, point: str, countdown: int = 1) -> None:
+        """Fire ``point`` on its Nth crossing (replaces any pending one)."""
+        if point not in NETWORK_CRASH_POINTS:
+            raise ValueError(
+                f"unknown network crash point {point!r}; "
+                f"valid: {', '.join(NETWORK_CRASH_POINTS)}"
+            )
+        if countdown < 1:
+            raise ValueError("countdown must be >= 1")
+        with self._lock:
+            self._crash_points[point] = countdown
+
+    def pending_crashes(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._crash_points)
+
+    def stats(self) -> Dict[str, int]:
+        """Faults actually injected, by kind (plus sockets wrapped)."""
+        with self._lock:
+            return dict(self._counts)
+
+    # -- wrapping --------------------------------------------------------------
+
+    def wrap(self, sock) -> ChaosSocket:
+        """Wrap a connected socket; never raises (a ``connect`` fault
+        returns a pre-poisoned socket whose first use fails, which is how a
+        refused dial looks to code that already holds the object)."""
+        wrapped = ChaosSocket(self, sock)
+        self._note("wrapped")
+        if self._fire("connect", "connect_fail_prob"):
+            wrapped._poison_now(_POISON_RESET)
+            self._note("connect_failed")
+        return wrapped
+
+    # -- decisions (internal; ChaosSocket calls these) -------------------------
+
+    def _fire(self, point: str, prob_field: str) -> bool:
+        """One boundary crossing: countdown first, then the probabilistic
+        mirror. Disarmed transports never fire."""
+        if not self._armed:
+            return False
+        with self._lock:
+            remaining = self._crash_points.get(point)
+            if remaining is not None:
+                if remaining <= 1:
+                    del self._crash_points[point]
+                    self._counts[f"crash:{point}"] = (
+                        self._counts.get(f"crash:{point}", 0) + 1
+                    )
+                    return True
+                self._crash_points[point] = remaining - 1
+            prob = getattr(self.faults, prob_field)
+            return prob > 0 and self._rng.random() < prob
+
+    def _pick_poison_style(self) -> str:
+        with self._lock:
+            return _POISON_RESET if self._rng.random() < 0.5 else _POISON_EOF
+
+    def _rand_prefix_len(self, total: int) -> int:
+        """A strict prefix length in ``[1, total)``."""
+        with self._lock:
+            return self._rng.randint(1, total - 1)
+
+    def _maybe_delay(self) -> None:
+        if not self._armed or self.faults.delay_prob <= 0:
+            return
+        with self._lock:
+            stall = self._rng.random() < self.faults.delay_prob
+        if stall:
+            self._note("delayed")
+            time.sleep(self.faults.delay_s)
+
+    def _note(self, kind: str) -> None:
+        with self._lock:
+            self._counts[kind] = self._counts.get(kind, 0) + 1

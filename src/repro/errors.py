@@ -82,6 +82,30 @@ class SimulatedCrashError(ReproError):
         self.point = point
 
 
+class ConnectionLostError(ReproError):
+    """The network peer died mid-conversation (reset, half-close, or a frame
+    cut short by the disconnect).
+
+    Raised by :class:`repro.server.client.LSMClient` whenever the transport
+    fails under a request — whatever the raw symptom (``ConnectionResetError``,
+    ``BrokenPipeError``, a clean EOF inside a frame, a socket timeout, or a
+    short-read decode error), the client surfaces this one typed error so
+    retry loops have a single thing to catch. When the loss struck *after*
+    the request was sent, the operation may or may not have been applied;
+    idempotency tokens (see :class:`repro.server.dedup.DedupTable`) make the
+    retry safe.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A client operation ran out of its per-request deadline budget.
+
+    The retrying client raises this instead of sleeping past the deadline;
+    for a mutating request the outcome is *unknown* (the final attempt may
+    have been applied server-side after its reply was lost).
+    """
+
+
 class FilterError(ReproError):
     """Base class for filter construction/probe errors."""
 

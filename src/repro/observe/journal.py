@@ -34,6 +34,9 @@ EVENT_KINDS = frozenset({
     "quarantine",            # a file failed reads persistently and was fenced
     "tenant_throttle",       # fair-share admission delayed a tenant's op
     "recovery",              # crash recovery replayed the WAL
+    "client_retry",          # server saw a retried idempotency token
+    "request_shed",          # overload guard refused a request (overloaded)
+    "dedup_hit",             # dedup table replayed a cached reply
     "note",                  # free-form (tests, tooling)
 })
 

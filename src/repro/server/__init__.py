@@ -28,9 +28,11 @@ Quickstart::
             assert db.get(b"k").value == b"v"
 """
 
-from repro.server.client import LSMClient
+from repro.server.client import LSMClient, RetryPolicy, RETRYABLE_CODES
 from repro.server.config import ServerConfig
+from repro.server.dedup import DedupTable
 from repro.server.loadgen import TenantLoad, TenantRunResult, run_load
+from repro.server.overload import OverloadGuard
 from repro.server.protocol import (
     BatchRequest,
     DeleteRequest,
@@ -72,6 +74,10 @@ from repro.server.tenancy import (
 __all__ = [
     "LSMServer",
     "LSMClient",
+    "RetryPolicy",
+    "RETRYABLE_CODES",
+    "DedupTable",
+    "OverloadGuard",
     "ServerConfig",
     "FairShareAdmission",
     "TenantLoad",

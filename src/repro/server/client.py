@@ -1,4 +1,4 @@
-"""LSMClient: a blocking client for the framed protocol.
+"""LSMClient: a blocking, fault-tolerant client for the framed protocol.
 
 One socket, one request in flight at a time (responses carry no ids; the
 protocol is strictly request/response per connection — open more clients
@@ -6,22 +6,51 @@ for parallelism, which is exactly what the load generator does). The
 client mirrors the :class:`~repro.service.service.DBService` surface so
 code can swap an in-process handle for a network one.
 
+Failure handling is layered:
+
+* Every transport failure under a request — reset, half-close, a frame cut
+  short, a socket timeout, a short-read decode error — surfaces as one
+  typed :class:`~repro.errors.ConnectionLostError`, and the connection is
+  dropped (a desynchronized request/response stream must never be reused).
+* With a :class:`RetryPolicy`, the client retries transport losses and
+  explicitly-retryable server refusals (``overloaded``/``busy``/
+  ``shutting_down``) with capped exponential backoff + jitter, reconnecting
+  as needed, all under one per-request deadline. When the budget runs out
+  it raises :class:`~repro.errors.DeadlineExceededError` rather than
+  sleeping past the deadline.
+* Mutating requests (put/delete/merge/batch/txn-commit) carry an
+  idempotency pair ``(client_id, token)``; the server's dedup table replays
+  the original reply for a retried token instead of re-executing, so a
+  retry after an ambiguous loss ("did my write land before the connection
+  died?") is applied at most once.
+
 Pass a :class:`~repro.observe.MetricsRegistry` to record client-observed
-latency — the full round trip including admission delay, which is the
-number a tenant actually experiences — into ``client_op_wall_seconds``
-histograms labelled by op and tenant.
+latency — the full round trip including admission delay and every retry,
+which is the number a tenant actually experiences — into
+``client_op_wall_seconds`` histograms labelled by op and tenant, plus
+``client_retries_total`` / ``client_reconnects_total`` counters.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
+import os
+import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.entry import GetResult
-from repro.errors import ConflictError, ReproError
+from repro.errors import (
+    ConfigError,
+    ConflictError,
+    ConnectionLostError,
+    DeadlineExceededError,
+    ReproError,
+)
 from repro.observe import TraceRecorder
 from repro.server.protocol import (
     BatchRequest,
@@ -51,6 +80,68 @@ from repro.server.protocol import (
     send_message,
 )
 
+#: Error codes the server sends when retrying (after backoff) is the right
+#: response: the request was refused *before* execution, nothing was applied.
+RETRYABLE_CODES = ("overloaded", "busy", "shutting_down", "throttled")
+
+#: Request types whose execution changes state — the ones that carry
+#: idempotency tokens when a retry policy is active.
+_MUTATING_TYPES = (
+    PutRequest, DeleteRequest, MergeRequest, BatchRequest, TxnCommitRequest,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard an :class:`LSMClient` fights for each request.
+
+    Attributes:
+        max_attempts: total tries per operation (1 = no retries).
+        backoff_base_s: first retry delay; attempt ``k`` waits up to
+            ``min(backoff_cap_s, backoff_base_s * 2**k)``.
+        backoff_cap_s: ceiling on a single backoff sleep. This is also the
+            worst-case overshoot past the deadline a caller can observe:
+            the client never *sleeps* past the deadline, but the attempt in
+            flight when it expires is bounded by the per-attempt timeout.
+        jitter: fraction of each sleep randomized away (0 = deterministic
+            full backoff, 1 = anywhere in ``(0, step]``). Jitter only ever
+            *shortens* the sleep, keeping the deadline arithmetic honest.
+        deadline_s: per-operation wall budget across all attempts, sleeps
+            included. Exhausting it raises
+            :class:`~repro.errors.DeadlineExceededError`.
+        retry_codes: server refusal codes worth retrying (refused before
+            execution). ``conflict`` is deliberately not here: it reports
+            a *validation outcome* the caller must handle.
+        reconnect: re-dial after a lost connection (off = a lost
+            connection fails all remaining attempts).
+        seed: seeds the jitter RNG for reproducible schedules (chaos
+            harness); None draws from the process RNG.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 0.5
+    jitter: float = 0.5
+    deadline_s: float = 5.0
+    retry_codes: Tuple[str, ...] = RETRYABLE_CODES
+    reconnect: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigError("backoff values must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+        if self.deadline_s <= 0:
+            raise ConfigError("deadline_s must be positive")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        step = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        return step * (1.0 - self.jitter * rng.random())
+
 
 class LSMClient:
     """A blocking connection to an :class:`~repro.server.server.LSMServer`.
@@ -58,7 +149,8 @@ class LSMClient:
     Args:
         host, port: the server's address (from ``server.address``).
         tenant: namespace every request is issued under.
-        timeout_s: socket timeout for connect/send/recv.
+        timeout_s: socket timeout for connect/send/recv (per attempt; a
+            retry policy further clamps it to the remaining deadline).
         registry: optional metrics registry for client-observed latency.
         max_payload_bytes: frame decode limit (mirror the server's).
         trace_sampling: fraction of requests to trace end to end. A sampled
@@ -67,6 +159,14 @@ class LSMClient:
             one trace id.
         trace_recorder: record spans here instead of a private recorder
             (share one across clients to read the whole fleet's traces).
+        retry: a :class:`RetryPolicy`; None keeps the zero-retry behavior
+            (one attempt, typed errors, no idempotency tokens).
+        client_id: stable identity for idempotency keys; defaults to a
+            random id per client object. Reuse one id across reconnects of
+            the same logical client — never across concurrent clients.
+        transport: optional socket wrapper (e.g.
+            :class:`repro.chaos.FaultyTransport`) applied to every dialed
+            connection — the client-side injection point for network chaos.
     """
 
     def __init__(
@@ -79,27 +179,85 @@ class LSMClient:
         max_payload_bytes: Optional[int] = None,
         trace_sampling: float = 0.0,
         trace_recorder: Optional[TraceRecorder] = None,
+        retry: Optional[RetryPolicy] = None,
+        client_id: Optional[str] = None,
+        transport=None,
     ) -> None:
+        # Every attribute is set before the first connect so close() (and
+        # __exit__ after a failed construction) can never AttributeError.
         self.tenant = tenant
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        kwargs = {}
-        if max_payload_bytes is not None:
-            kwargs["max_payload"] = max_payload_bytes
-        self._decoder = FrameDecoder(**kwargs)
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retry = retry
+        self.transport = transport
+        self.client_id = client_id or os.urandom(8).hex()
+        self._token_counter = itertools.count(1)
+        self._max_payload_bytes = max_payload_bytes
         self._registry = registry
+        self._rng = random.Random(retry.seed if retry is not None else None)
+        self._sock: Optional[socket.socket] = None
+        self._decoder: Optional[FrameDecoder] = None
+        self._closed = False
+        self.stats_retries = 0
+        self.stats_reconnects = 0
+        self.stats_attempts = 0
         self.recorder = trace_recorder
         if self.recorder is None and trace_sampling > 0.0:
             self.recorder = TraceRecorder(sampling=trace_sampling)
         elif self.recorder is not None and trace_sampling > 0.0:
             self.recorder.sampling = trace_sampling
-        self._closed = False
+        self._connect()
 
-    # -- plumbing --------------------------------------------------------------
+    # -- connection plumbing ---------------------------------------------------
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self.transport is not None:
+            sock = self.transport.wrap(sock)
+        kwargs = {}
+        if self._max_payload_bytes is not None:
+            kwargs["max_payload"] = self._max_payload_bytes
+        # A fresh decoder per connection: buffered bytes from a dead
+        # connection must never leak into the new stream.
+        self._decoder = FrameDecoder(**kwargs)
+        self._sock = sock
+
+    def _drop_connection(self) -> None:
+        sock, self._sock, self._decoder = self._sock, None, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def disconnect(self) -> None:
+        """Drop the current connection without closing the client.
+
+        The next call re-dials automatically (when a retry policy with
+        ``reconnect`` is set, any call does; otherwise the reconnect
+        happens eagerly inside the next ``_attempt``). Chaos harnesses use
+        this to force a clean re-dial after a fault cycle."""
+        self._drop_connection()
+
+    def _counter(self, name: str, help_text: str):
+        if self._registry is None:
+            return None
+        return self._registry.counter(name, help_text)
+
+    # -- request plumbing ------------------------------------------------------
 
     def _call(self, op: str, request: Message, expect: type) -> Message:
         if self._closed:
             raise ReproError("operation on a closed LSMClient")
+        policy = self.retry
+        if policy is not None and isinstance(request, _MUTATING_TYPES):
+            # One token for the whole operation: every retry re-sends the
+            # same pair, which is what lets the server dedup them.
+            request = dataclasses.replace(
+                request, idem=(self.client_id, next(self._token_counter))
+            )
         recorder = self.recorder
         span = None
         if recorder is not None and recorder.should_sample():
@@ -108,35 +266,130 @@ class LSMClient:
             # back here via parent_id.
             span = recorder.start(f"client:{op}")
             request = dataclasses.replace(request, trace=span.context())
+        deadline = (
+            time.monotonic() + policy.deadline_s if policy is not None else None
+        )
+        max_attempts = policy.max_attempts if policy is not None else 1
         wall0 = time.perf_counter()
-        send_message(self._sock, request)
-        if span is not None:
-            span.add_stage("send", time.perf_counter() - wall0)
-        response = recv_message(self._sock, self._decoder)
-        total = time.perf_counter() - wall0
-        if span is not None:
-            span.add_stage("await_reply", total - span.stage_dict()["send"])
-            recorder.finish(span, op=op, tenant=self.tenant or "default")
-        if self._registry is not None:
-            self._registry.histogram(
-                "client_op_wall_seconds",
-                "client-observed round-trip latency",
-                min_value=1e-6,
-                labels={"op": op, "tenant": self.tenant or "default"},
-            ).record(total)
-        if response is None:
-            raise ProtocolError("server closed the connection")
-        if isinstance(response, ErrorResponse):
-            if response.code == "conflict":
-                # Surface optimistic-concurrency losses as the same typed
-                # error every in-process handle raises, so retry loops are
-                # transport-agnostic.
-                raise ConflictError(response.message)
-            raise RemoteError(response.code, response.message)
-        if not isinstance(response, expect):
-            raise ProtocolError(
-                f"expected {expect.__name__}, got {type(response).__name__}"
+        attempts = 0
+        last_error: Optional[Exception] = None
+        try:
+            while True:
+                attempts += 1
+                self.stats_attempts += 1
+                try:
+                    response = self._attempt(request, deadline, span)
+                except ConnectionLostError as exc:
+                    last_error = exc
+                    if (
+                        policy is None
+                        or not policy.reconnect
+                        or attempts >= max_attempts
+                    ):
+                        raise
+                else:
+                    if isinstance(response, ErrorResponse):
+                        if response.code == "conflict":
+                            # Surface optimistic-concurrency losses as the
+                            # same typed error every in-process handle
+                            # raises, so retry loops are transport-agnostic.
+                            raise ConflictError(response.message)
+                        remote = RemoteError(response.code, response.message)
+                        if (
+                            policy is None
+                            or response.code not in policy.retry_codes
+                            or attempts >= max_attempts
+                        ):
+                            raise remote
+                        last_error = remote
+                    elif not isinstance(response, expect):
+                        raise ProtocolError(
+                            f"expected {expect.__name__}, "
+                            f"got {type(response).__name__}"
+                        )
+                    else:
+                        return response
+                # A retry is due: back off (never past the deadline).
+                self.stats_retries += 1
+                counter = self._counter(
+                    "client_retries_total", "client-side retried attempts"
+                )
+                if counter is not None:
+                    counter.inc()
+                sleep_s = policy.backoff_s(attempts, self._rng)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        f"{op} deadline exhausted after {attempts} attempt(s)"
+                    ) from last_error
+                if sleep_s > 0:
+                    time.sleep(min(sleep_s, remaining))
+        finally:
+            total = time.perf_counter() - wall0
+            if span is not None:
+                recorder.finish(span, op=op, tenant=self.tenant or "default")
+            if self._registry is not None:
+                self._registry.histogram(
+                    "client_op_wall_seconds",
+                    "client-observed round-trip latency (includes retries)",
+                    min_value=1e-6,
+                    labels={"op": op, "tenant": self.tenant or "default"},
+                ).record(total)
+
+    def _attempt(
+        self, request: Message, deadline: Optional[float], span=None
+    ) -> Message:
+        """One send/recv round trip; every transport symptom becomes a
+        :class:`ConnectionLostError` and drops the connection."""
+        if self._sock is None:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceededError("deadline exhausted before reconnect")
+            try:
+                self._connect()
+            except OSError as exc:
+                raise ConnectionLostError(f"reconnect failed: {exc}") from None
+            self.stats_reconnects += 1
+            counter = self._counter(
+                "client_reconnects_total", "connections re-dialed after a loss"
             )
+            if counter is not None:
+                counter.inc()
+        timeout = self.timeout_s
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError("deadline exhausted before send")
+            timeout = min(timeout, remaining)
+        try:
+            self._sock.settimeout(timeout)
+            send0 = time.perf_counter()
+            send_message(self._sock, request)
+            sent = time.perf_counter()
+            if span is not None:
+                span.add_stage("send", sent - send0)
+            response = recv_message(self._sock, self._decoder)
+            if span is not None:
+                span.add_stage("await_reply", time.perf_counter() - sent)
+        except socket.timeout:
+            # The reply may still arrive later and desynchronize the
+            # request/response pairing — the connection is unusable.
+            self._drop_connection()
+            raise ConnectionLostError("request timed out awaiting reply") from None
+        except ProtocolError as exc:
+            self._drop_connection()
+            raise ConnectionLostError(f"reply stream corrupted: {exc}") from None
+        except OSError as exc:
+            self._drop_connection()
+            raise ConnectionLostError(f"connection failed: {exc}") from None
+        if response is None:
+            self._drop_connection()
+            raise ConnectionLostError("server closed the connection")
+        if self._decoder.next_message() is not None:
+            # A stray extra frame (e.g. duplicated delivery) would pair the
+            # wrong reply with the next request on this strictly
+            # request/response stream. The reply in hand is still the right
+            # one for *this* request; the connection is not reusable.
+            self._drop_connection()
         return response
 
     # -- the API ---------------------------------------------------------------
@@ -295,14 +548,21 @@ class LSMClient:
 
     # -- lifecycle -------------------------------------------------------------
 
+    def retry_stats(self) -> Dict[str, int]:
+        """Cumulative attempt/retry/reconnect counts for this client."""
+        return {
+            "attempts": self.stats_attempts,
+            "retries": self.stats_retries,
+            "reconnects": self.stats_reconnects,
+        }
+
     def close(self) -> None:
+        """Idempotent: safe to call twice, from ``__exit__`` after an error,
+        and even when construction failed before the socket existed."""
         if self._closed:
             return
         self._closed = True
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_connection()
 
     def __enter__(self) -> "LSMClient":
         return self

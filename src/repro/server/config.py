@@ -58,6 +58,21 @@ class ServerConfig:
             whatever on-demand scrapes produced).
         history_capacity: ring capacity (points per series) of the
             time-series sampler.
+        dedup_capacity: completed idempotency-token entries retained by the
+            request-dedup table (LRU); 0 disables dedup entirely — retried
+            mutations then re-execute, so only idempotent workloads are
+            safe to retry.
+        overload_in_flight: in-flight request count at which data-plane
+            requests are refused with ``overloaded``; None disables
+            shedding (health/stats requests are always served).
+        brownout_in_flight: in-flight count at which the server enters
+            brownout — trace sampling is suppressed and scan limits are
+            clamped — before it starts refusing work; None disables.
+        brownout_scan_limit: per-scan entry clamp applied during brownout.
+        shed_on_backpressure_stop: refuse mutating requests with
+            ``overloaded`` while the engine's backpressure controller
+            reports ``stop``, instead of blocking handler threads on the
+            write gate past client deadlines.
     """
 
     host: str = "127.0.0.1"
@@ -78,6 +93,11 @@ class ServerConfig:
     slow_op_capacity: int = 128
     stats_interval_s: float = 1.0
     history_capacity: int = 240
+    dedup_capacity: int = 4096
+    overload_in_flight: Optional[int] = None
+    brownout_in_flight: Optional[int] = None
+    brownout_scan_limit: int = 256
+    shed_on_backpressure_stop: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -118,3 +138,19 @@ class ServerConfig:
             raise ConfigError("stats_interval_s must be non-negative")
         if self.history_capacity < 1:
             raise ConfigError("history_capacity must be at least 1")
+        if self.dedup_capacity < 0:
+            raise ConfigError("dedup_capacity must be non-negative")
+        if self.overload_in_flight is not None and self.overload_in_flight < 1:
+            raise ConfigError("overload_in_flight must be at least 1")
+        if self.brownout_in_flight is not None and self.brownout_in_flight < 1:
+            raise ConfigError("brownout_in_flight must be at least 1")
+        if (
+            self.overload_in_flight is not None
+            and self.brownout_in_flight is not None
+            and self.brownout_in_flight > self.overload_in_flight
+        ):
+            raise ConfigError(
+                "brownout_in_flight must not exceed overload_in_flight"
+            )
+        if self.brownout_scan_limit < 1:
+            raise ConfigError("brownout_scan_limit must be at least 1")

@@ -1,0 +1,165 @@
+"""Bounded request-dedup table: exactly-once application of retried writes.
+
+A retrying client (:class:`repro.server.client.LSMClient` with a
+``RetryPolicy``) cannot know, after a connection dies mid-request, whether
+the server applied the operation before the reply was lost. Re-sending is
+the only way to make progress — so every mutating request carries an
+``idem`` pair ``(client_id, token)`` and the server consults this table
+before executing. Keys are ``(tenant, client_id, token)``: tenants cannot
+collide with each other, and tokens are scoped to the client that minted
+them.
+
+The protocol per request:
+
+1. ``begin(key)`` — exactly one caller per key wins ``("execute", None)``
+   and must later call ``finish``. A retry that arrives *after* the
+   original completed gets ``("replay", cached_reply)`` without touching
+   the engine. A retry that arrives *while* the original is still
+   executing blocks (bounded by ``wait_timeout_s``) until the original
+   finishes, then replays — this closes the race where a duplicate frame
+   lands concurrently and both copies would otherwise execute.
+2. ``finish(key, reply)`` — records the reply for future replays and wakes
+   any waiting duplicates. ``finish(key, None)`` (the request *failed*
+   before it was applied: throttled, shed, validation error) removes the
+   entry so a retry executes for real.
+
+Only successful replies are cached: an error reply means nothing was
+applied, so re-execution is the correct retry semantics.
+
+The table is LRU-bounded. Eviction only removes *completed* entries — an
+in-flight entry is pinned until its ``finish``. Evicting a completed entry
+re-opens a tiny at-most-once window (a retry arriving after eviction
+re-executes), which is why the capacity default is generous relative to a
+client's in-flight window; real stores (e.g. RocksDB-backed RPC tiers)
+make the same trade.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+DedupKey = Tuple[str, str, int]  # (tenant, client_id, token)
+
+
+class _Pending:
+    """In-flight marker: duplicates park on ``done`` until ``finish``."""
+
+    __slots__ = ("done", "reply")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.reply: Optional[object] = None
+
+
+class DedupTable:
+    """Thread-safe bounded map of idempotency keys to cached replies.
+
+    Args:
+        capacity: completed entries retained (LRU eviction; in-flight
+            entries never evicted). Must be >= 1.
+        wait_timeout_s: how long a concurrent duplicate waits for the
+            original execution before giving up and reporting
+            ``("busy", None)`` (the caller should answer with a
+            retryable error rather than execute a second time).
+    """
+
+    def __init__(self, capacity: int = 4096, wait_timeout_s: float = 30.0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.wait_timeout_s = wait_timeout_s
+        self._lock = threading.Lock()
+        self._done: "OrderedDict[DedupKey, object]" = OrderedDict()
+        self._inflight: Dict[DedupKey, _Pending] = {}
+        # Highest token finished per (tenant, client_id): lets the server
+        # distinguish a retry (token already seen) from fresh work for the
+        # server_retries_total metric without an unbounded token set.
+        self._last_token: Dict[Tuple[str, str], int] = {}
+        self.hits = 0          # replays served from cache (or after a wait)
+        self.misses = 0        # fresh executions admitted
+        self.evictions = 0
+        self.waits = 0         # duplicates that had to park on an in-flight op
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._done) + len(self._inflight)
+
+    def begin(self, key: DedupKey) -> Tuple[str, Optional[object]]:
+        """Admit, replay, or wait. Returns ``(decision, cached_reply)``.
+
+        Decisions: ``"execute"`` (caller runs the op and MUST call
+        :meth:`finish`), ``"replay"`` (cached reply returned, do not
+        execute), ``"busy"`` (an in-flight original outlived the wait
+        budget; answer retryable, do not execute).
+        """
+        while True:
+            with self._lock:
+                cached = self._done.get(key)
+                if cached is not None:
+                    self._done.move_to_end(key)
+                    self.hits += 1
+                    return "replay", cached
+                pending = self._inflight.get(key)
+                if pending is None:
+                    self._inflight[key] = _Pending()
+                    self.misses += 1
+                    return "execute", None
+                self.waits += 1
+            # A duplicate of an op that is executing right now: wait outside
+            # the lock for the original to finish, then replay its reply.
+            if not pending.done.wait(self.wait_timeout_s):
+                return "busy", None
+            if pending.reply is not None:
+                with self._lock:
+                    self.hits += 1
+                return "replay", pending.reply
+            # Original failed and was forgotten — loop so the retry executes.
+
+    def finish(self, key: DedupKey, reply: Optional[object]) -> None:
+        """Complete an execution admitted by :meth:`begin`.
+
+        ``reply`` is cached for replays; None forgets the key (the op was
+        not applied, so a retry should execute).
+        """
+        with self._lock:
+            pending = self._inflight.pop(key, None)
+            if reply is not None:
+                self._done[key] = reply
+                self._done.move_to_end(key)
+                tenant, client_id, token = key
+                ident = (tenant, client_id)
+                if token > self._last_token.get(ident, -1):
+                    self._last_token[ident] = token
+                while len(self._done) > self.capacity:
+                    self._done.popitem(last=False)
+                    self.evictions += 1
+        if pending is not None:
+            pending.reply = reply
+            pending.done.set()
+
+    def is_retry(self, key: DedupKey) -> bool:
+        """True when this token was already finished by this client.
+
+        Used for the ``server_retries_total`` metric / ``client_retry``
+        journal events; approximate after eviction (monotonic-token
+        heuristic), never used for correctness decisions.
+        """
+        tenant, client_id, token = key
+        with self._lock:
+            if key in self._done or key in self._inflight:
+                return True
+            return token <= self._last_token.get((tenant, client_id), -1)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._done),
+                "inflight": len(self._inflight),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "waits": self.waits,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,131 @@
+"""Server overload shedding: brownout first, refuse (``overloaded``) last.
+
+The server already has *per-tenant* fairness (token buckets answering
+``throttled``) and an engine-side :class:`~repro.service.BackpressureController`
+that slows and eventually stops writers when compaction debt piles up. What
+neither covers is aggregate overload of the wire tier itself: more in-flight
+requests than handler threads can serve within client deadlines. Blocking is
+the worst answer under a deadline regime — the client times out, retries,
+and the queue grows (the classic retry storm). Shedding early converts that
+into fast, explicitly-retryable ``overloaded`` refusals.
+
+Degradation ladder (evaluated per request, cheapest signal first —
+in-flight request count, which the server already tracks):
+
+1. **ok** — below ``brownout_in_flight``: serve everything normally.
+2. **brownout** — at/above ``brownout_in_flight``: keep serving, but shed
+   optional work: trace sampling is suppressed and scan limits are clamped
+   to ``brownout_scan_limit`` so one expensive range read cannot occupy a
+   handler for long.
+3. **shed** — at/above ``overload_in_flight``: refuse data-plane work with
+   ``overloaded``. Health probes (ping) and stats are always served — an
+   operator must be able to see *why* the server is refusing.
+
+Independently, when ``shed_on_backpressure_stop`` is set and the engine's
+backpressure controller reports ``stop``, *mutating* requests are shed
+instead of parking handler threads on the write gate past every client's
+deadline. Reads still flow — the engine can serve them.
+
+State transitions are journaled (kind ``backpressure``, ``layer:
+"server"``), every shed emits ``request_shed``, and ``server_shed_total``
+counts refusals for the exporters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+STATE_OK = "ok"
+STATE_BROWNOUT = "brownout"
+STATE_SHED = "shed"
+
+
+class OverloadGuard:
+    """Queue-depth-aware admission for the wire tier.
+
+    Args:
+        brownout_in_flight: in-flight request count at which optional work
+            (tracing, large scans) is shed; None disables brownout.
+        overload_in_flight: in-flight count at which data-plane requests
+            are refused with ``overloaded``; None disables shedding.
+        brownout_scan_limit: scan-limit clamp applied during brownout.
+        shed_on_backpressure_stop: refuse mutations (``overloaded``) while
+            the engine backpressure state is ``stop`` instead of blocking
+            the handler thread on the write gate.
+    """
+
+    def __init__(
+        self,
+        brownout_in_flight: Optional[int] = None,
+        overload_in_flight: Optional[int] = None,
+        brownout_scan_limit: int = 256,
+        shed_on_backpressure_stop: bool = True,
+        journal=None,
+    ) -> None:
+        self.brownout_in_flight = brownout_in_flight
+        self.overload_in_flight = overload_in_flight
+        self.brownout_scan_limit = brownout_scan_limit
+        self.shed_on_backpressure_stop = shed_on_backpressure_stop
+        self.journal = journal
+        self._lock = threading.Lock()
+        self._state = STATE_OK
+        self.shed_total = 0
+        self.brownout_entries = 0
+
+    def state(self, in_flight: int) -> str:
+        """Classify the current depth and journal state transitions."""
+        if (
+            self.overload_in_flight is not None
+            and in_flight >= self.overload_in_flight
+        ):
+            new = STATE_SHED
+        elif (
+            self.brownout_in_flight is not None
+            and in_flight >= self.brownout_in_flight
+        ):
+            new = STATE_BROWNOUT
+        else:
+            new = STATE_OK
+        with self._lock:
+            old = self._state
+            if new != old:
+                self._state = new
+                if new == STATE_BROWNOUT:
+                    self.brownout_entries += 1
+        if new != old and self.journal is not None:
+            self.journal.emit(
+                "backpressure",
+                layer="server", state=new, previous=old,
+                in_flight=in_flight,
+            )
+        return new
+
+    def record_shed(self, op: str, tenant: str, reason: str) -> None:
+        """Count one refusal and journal it (kind ``request_shed``)."""
+        with self._lock:
+            self.shed_total += 1
+        if self.journal is not None:
+            self.journal.emit("request_shed", op=op, tenant=tenant, reason=reason)
+
+    def clamp_scan_limit(self, limit: int, state: str) -> int:
+        """Brownout clamps scan sizes; other states leave them alone."""
+        if state == STATE_BROWNOUT:
+            return min(limit, self.brownout_scan_limit)
+        return limit
+
+    def suppress_tracing(self, state: str) -> bool:
+        """During brownout (and shed) new trace spans are not sampled."""
+        return state != STATE_OK
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "brownout_in_flight": self.brownout_in_flight,
+                "overload_in_flight": self.overload_in_flight,
+                "brownout_scan_limit": self.brownout_scan_limit,
+                "shed_on_backpressure_stop": self.shed_on_backpressure_stop,
+                "shed_total": self.shed_total,
+                "brownout_entries": self.brownout_entries,
+            }

@@ -121,6 +121,49 @@ def _put_trace(out: bytearray, trace: Optional[TraceContext]) -> None:
     _put_bool(out, trace.sampled)
 
 
+def _put_trailers(
+    out: bytearray,
+    trace: Optional[TraceContext],
+    idem: Optional[Tuple[str, int]] = None,
+) -> None:
+    """Encode the optional trailing blocks of a mutating request.
+
+    Order on the wire is ``[trace block][idempotency block]``. The trace
+    block keeps its original "strictly trailing" encoding — when neither
+    block is present nothing is written, so every pre-trace frame stays
+    byte-identical — but an idempotency block forces an explicit absent
+    flag for the trace so the two flag-prefixed blocks never alias.
+    """
+    if trace is None and idem is None:
+        return
+    _put_trace(out, trace)
+    if trace is None:
+        _put_bool(out, False)  # explicit "no trace" so the idem flag is next
+    if idem is not None:
+        _put_bool(out, True)
+        client_id, token = idem
+        _put_str(out, client_id)
+        out.extend(encode_varint(int(token)))
+
+
+def _get_idem(buf: bytes, offset: int) -> Tuple[Optional[Tuple[str, int]], int]:
+    """Decode the optional idempotency block after the trace block.
+
+    The block is ``flag 0x01 + client_id string + token varint``; a payload
+    that ends (or carries an explicit absent flag) decodes as no token.
+    Together with ``(tenant,)`` the pair keys the server's request-dedup
+    table, so a retried mutation is applied at most once.
+    """
+    if offset == len(buf):
+        return None, offset
+    present, offset = _get_bool(buf, offset)
+    if not present:
+        return None, offset
+    client_id, offset = _get_str(buf, offset)
+    token, offset = decode_varint(buf, offset)
+    return (client_id, token), offset
+
+
 def _get_trace(buf: bytes, offset: int) -> Tuple[Optional[TraceContext], int]:
     """Decode the optional trace context at the end of a request payload.
 
@@ -241,7 +284,8 @@ class GetRequest(Message):
 class PutRequest(Message):
     """Single durable write; ``ttl`` (simulated seconds) is an optional
     expiry — a presence flag plus fixed f64, encoded before the trace
-    block."""
+    block. ``idem`` is an optional trailing ``(client_id, token)``
+    idempotency pair (see :func:`_get_idem`)."""
 
     TYPE = 0x04
     tenant: str
@@ -249,6 +293,7 @@ class PutRequest(Message):
     value: bytes
     ttl: Optional[float] = None
     trace: Optional[TraceContext] = None
+    idem: Optional[Tuple[str, int]] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
@@ -258,7 +303,7 @@ class PutRequest(Message):
         _put_bool(out, self.ttl is not None)
         if self.ttl is not None:
             out.extend(_F64.pack(self.ttl))
-        _put_trace(out, self.trace)
+        _put_trailers(out, self.trace, self.idem)
         return bytes(out)
 
     @classmethod
@@ -275,10 +320,11 @@ class PutRequest(Message):
                 ttl = _F64.unpack_from(buf, offset)[0]
                 offset += _F64.size
         trace, offset = _get_trace(buf, offset)
+        idem, offset = _get_idem(buf, offset)
         _expect_end(buf, offset)
         return cls(
             tenant=tenant, key=bytes(key), value=bytes(value), ttl=ttl,
-            trace=trace,
+            trace=trace, idem=idem,
         )
 
 
@@ -289,12 +335,13 @@ class DeleteRequest(Message):
     tenant: str
     key: bytes
     trace: Optional[TraceContext] = None
+    idem: Optional[Tuple[str, int]] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
         _put_str(out, self.tenant)
         put_length_prefixed(out, self.key)
-        _put_trace(out, self.trace)
+        _put_trailers(out, self.trace, self.idem)
         return bytes(out)
 
     @classmethod
@@ -302,8 +349,9 @@ class DeleteRequest(Message):
         tenant, offset = _get_str(buf, 0)
         key, offset = get_length_prefixed(buf, offset)
         trace, offset = _get_trace(buf, offset)
+        idem, offset = _get_idem(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, key=bytes(key), trace=trace)
+        return cls(tenant=tenant, key=bytes(key), trace=trace, idem=idem)
 
 
 @_register
@@ -453,6 +501,7 @@ class BatchRequest(Message):
     tenant: str
     ops: Tuple[tuple, ...] = ()
     trace: Optional[TraceContext] = None
+    idem: Optional[Tuple[str, int]] = None
 
     _KINDS = _WIRE_OP_KINDS
 
@@ -463,7 +512,7 @@ class BatchRequest(Message):
         out = bytearray()
         _put_str(out, self.tenant)
         _put_wire_ops(out, self.ops)
-        _put_trace(out, self.trace)
+        _put_trailers(out, self.trace, self.idem)
         return bytes(out)
 
     @classmethod
@@ -471,8 +520,9 @@ class BatchRequest(Message):
         tenant, offset = _get_str(buf, 0)
         ops, offset = _get_wire_ops(buf, offset)
         trace, offset = _get_trace(buf, offset)
+        idem, offset = _get_idem(buf, offset)
         _expect_end(buf, offset)
-        return cls(tenant=tenant, ops=tuple(ops), trace=trace)
+        return cls(tenant=tenant, ops=tuple(ops), trace=trace, idem=idem)
 
 
 @_register
@@ -486,6 +536,7 @@ class MergeRequest(Message):
     operand: bytes
     operator: str = "counter"
     trace: Optional[TraceContext] = None
+    idem: Optional[Tuple[str, int]] = None
 
     def encode_payload(self) -> bytes:
         out = bytearray()
@@ -493,7 +544,7 @@ class MergeRequest(Message):
         put_length_prefixed(out, self.key)
         put_length_prefixed(out, self.operand)
         _put_str(out, self.operator)
-        _put_trace(out, self.trace)
+        _put_trailers(out, self.trace, self.idem)
         return bytes(out)
 
     @classmethod
@@ -503,10 +554,11 @@ class MergeRequest(Message):
         operand, offset = get_length_prefixed(buf, offset)
         operator, offset = _get_str(buf, offset)
         trace, offset = _get_trace(buf, offset)
+        idem, offset = _get_idem(buf, offset)
         _expect_end(buf, offset)
         return cls(
             tenant=tenant, key=bytes(key), operand=bytes(operand),
-            operator=operator, trace=trace,
+            operator=operator, trace=trace, idem=idem,
         )
 
 
@@ -526,6 +578,7 @@ class TxnCommitRequest(Message):
     read_set: Tuple[Tuple[bytes, int], ...] = ()
     ops: Tuple[tuple, ...] = ()
     trace: Optional[TraceContext] = None
+    idem: Optional[Tuple[str, int]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -543,7 +596,7 @@ class TxnCommitRequest(Message):
             put_length_prefixed(out, key)
             out.extend(encode_varint(seqno))
         _put_wire_ops(out, self.ops)
-        _put_trace(out, self.trace)
+        _put_trailers(out, self.trace, self.idem)
         return bytes(out)
 
     @classmethod
@@ -557,10 +610,11 @@ class TxnCommitRequest(Message):
             read_set.append((bytes(key), seqno))
         ops, offset = _get_wire_ops(buf, offset)
         trace, offset = _get_trace(buf, offset)
+        idem, offset = _get_idem(buf, offset)
         _expect_end(buf, offset)
         return cls(
             tenant=tenant, read_set=tuple(read_set), ops=tuple(ops),
-            trace=trace,
+            trace=trace, idem=idem,
         )
 
 
@@ -760,7 +814,8 @@ class ScanResponse(Message):
 @dataclass(frozen=True)
 class ErrorResponse(Message):
     """A failed request. ``code`` is machine-readable (``bad_request``,
-    ``throttled``, ``engine``, ``internal``, ``shutting_down``, ``busy``)."""
+    ``throttled``, ``engine``, ``internal``, ``shutting_down``, ``busy``,
+    ``overloaded``)."""
 
     TYPE = 0x8F
     code: str = "internal"

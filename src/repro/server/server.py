@@ -39,6 +39,8 @@ from repro.observe import (
 )
 from repro.observe.tracing import TraceContext, new_trace_id
 from repro.server.config import ServerConfig
+from repro.server.dedup import DedupTable
+from repro.server.overload import STATE_OK, STATE_SHED, OverloadGuard
 from repro.server.protocol import (
     BatchRequest,
     DeleteRequest,
@@ -88,6 +90,9 @@ class LSMServer:
         registry: report ``server_*`` metrics here (a fresh registry by
             default; pass the service's registry for one merged export).
         close_service: also close the backend on :meth:`shutdown`.
+        transport: optional socket wrapper (e.g.
+            :class:`repro.chaos.FaultyTransport`) applied to every accepted
+            connection — the server-side injection point for network chaos.
     """
 
     def __init__(
@@ -96,11 +101,13 @@ class LSMServer:
         config: Optional[ServerConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         close_service: bool = False,
+        transport=None,
     ) -> None:
         self.service = service
         self.config = config or ServerConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._close_service = close_service
+        self.transport = transport
         self.admission: Optional[FairShareAdmission] = None
         if self.config.tenant_ops_per_second is not None:
             self.admission = FairShareAdmission(
@@ -139,6 +146,19 @@ class LSMServer:
         self.sampler = TimeSeriesSampler(self.registry, capacity=cfg.history_capacity)
         if hasattr(service, "metrics_snapshot"):
             attach_engine_source(self.sampler, service)
+
+        self.dedup: Optional[DedupTable] = (
+            DedupTable(capacity=cfg.dedup_capacity)
+            if cfg.dedup_capacity > 0
+            else None
+        )
+        self.overload = OverloadGuard(
+            brownout_in_flight=cfg.brownout_in_flight,
+            overload_in_flight=cfg.overload_in_flight,
+            brownout_scan_limit=cfg.brownout_scan_limit,
+            shed_on_backpressure_stop=cfg.shed_on_backpressure_stop,
+            journal=self.journal,
+        )
 
         registry = self.registry
         self._connections_total = registry.counter(
@@ -183,6 +203,18 @@ class LSMServer:
             "server_admission_wait_seconds",
             "delay injected by fair-share admission",
             min_value=1e-6,
+        )
+        self._retries_total = registry.counter(
+            "server_retries_total",
+            "mutating requests recognized as client retries (idempotency token seen before)",
+        )
+        self._dedup_hits = registry.counter(
+            "server_dedup_hits",
+            "retried mutations answered from the dedup table without re-executing",
+        )
+        self._shed_total = registry.counter(
+            "server_shed_total",
+            "requests refused with an overloaded error (load shedding)",
         )
 
     # -- lifecycle ------------------------------------------------------------
@@ -273,6 +305,8 @@ class LSMServer:
                 continue
             except OSError:
                 return  # listener closed by shutdown()
+            if self.transport is not None:
+                conn = self.transport.wrap(conn)
             if self._stop.is_set():
                 self._refuse(conn, "shutting_down", "server is draining")
                 continue
@@ -322,7 +356,26 @@ class LSMServer:
                     decode_s = 0.0
                     continue
                 if self._stop.is_set():
-                    return  # drained: no buffered request, none in flight
+                    # Drained: nothing buffered, nothing in flight. One last
+                    # short read so a request racing the shutdown gets an
+                    # explicit shutting_down refusal instead of a silent
+                    # close (its client would otherwise only see a
+                    # ConnectionLostError).
+                    try:
+                        chunk = conn.recv(self.config.recv_bytes)
+                        if chunk:
+                            decoder.feed(chunk)
+                    except (ProtocolError, OSError):
+                        return
+                    if decoder.next_message() is not None:
+                        self._try_send(
+                            conn,
+                            ErrorResponse(
+                                code="shutting_down",
+                                message="server is draining",
+                            ),
+                        )
+                    return
                 try:
                     chunk = conn.recv(self.config.recv_bytes)
                 except socket.timeout:
@@ -390,6 +443,9 @@ class LSMServer:
             return
         self._requests_total.inc()
         self._in_flight.add(1.0)
+        # Classify load *after* this request is counted: at the brink,
+        # the request that crosses the threshold is the one shed.
+        load_state = self.overload.state(int(self._in_flight.value))
         wall0 = time.perf_counter()
         stages: dict = {}
         if wire_decode_s > 0.0:
@@ -402,7 +458,13 @@ class LSMServer:
             if ctx is None:
                 # No client context — this request's outermost span is here,
                 # so the server makes the root sampling decision, once.
-                ctx = TraceContext(new_trace_id(), "", recorder.should_sample())
+                # Brownout sheds optional work first: no new root samples.
+                sampled = (
+                    recorder.should_sample()
+                    if not self.overload.suppress_tracing(load_state)
+                    else False
+                )
+                ctx = TraceContext(new_trace_id(), "", sampled)
             if ctx.sampled:
                 span = recorder.start(f"server:{op}", parent=ctx)
             # Activate the decision — positive or negative — so every
@@ -416,7 +478,7 @@ class LSMServer:
             token = recorder.activate(active)
         exec0 = time.perf_counter()
         try:
-            response = self._execute(op, request, stages)
+            response = self._execute(op, request, stages, load_state)
         except ProtocolError as exc:
             self._request_errors.inc()
             response = ErrorResponse(code="bad_request", message=str(exc))
@@ -498,8 +560,85 @@ class LSMServer:
                 "tenant_throttle", tenant=tenant, waited_s=waited, cost=cost
             )
 
-    def _execute(self, op: str, request: Message, stages: dict) -> Message:
+    #: Ops that change state — the ones idempotency tokens and the
+    #: backpressure-stop shed apply to.
+    _MUTATING_OPS = frozenset({"put", "delete", "merge", "batch", "txn_commit"})
+    #: Ops served even while shedding: an operator must be able to see why.
+    _ALWAYS_SERVED = frozenset({"ping", "stats", "stats_history"})
+
+    def _execute(
+        self, op: str, request: Message, stages: dict, load_state: str = STATE_OK
+    ) -> Message:
         tenant = self._resolve_tenant(request)
+        if op not in self._ALWAYS_SERVED:
+            if load_state == STATE_SHED:
+                self._shed_total.inc()
+                self.overload.record_shed(op, tenant, "in_flight")
+                return ErrorResponse(
+                    code="overloaded",
+                    message="server is shedding load; retry with backoff",
+                )
+            if (
+                op in self._MUTATING_OPS
+                and self.overload.shed_on_backpressure_stop
+                and self._backpressure_stopped()
+            ):
+                self._shed_total.inc()
+                self.overload.record_shed(op, tenant, "backpressure_stop")
+                return ErrorResponse(
+                    code="overloaded",
+                    message="engine backpressure is in stop; retry with backoff",
+                )
+        idem = getattr(request, "idem", None)
+        if idem is None or self.dedup is None or op not in self._MUTATING_OPS:
+            return self._execute_op(op, request, tenant, stages, load_state)
+        # Exactly-once: admit, replay, or park behind an in-flight original.
+        client_id, idem_token = idem
+        key = (tenant, client_id, idem_token)
+        if self.dedup.is_retry(key):
+            self._retries_total.inc()
+            self.journal.emit(
+                "client_retry", op=op, tenant=tenant,
+                client_id=client_id, token=idem_token,
+            )
+        decision, cached = self.dedup.begin(key)
+        if decision == "replay":
+            self._dedup_hits.inc()
+            self.journal.emit(
+                "dedup_hit", op=op, tenant=tenant,
+                client_id=client_id, token=idem_token,
+            )
+            return cached
+        if decision == "busy":
+            # The original execution outlived the wait budget; answering
+            # retryable is safer than risking a second application.
+            return ErrorResponse(
+                code="overloaded",
+                message="duplicate request still executing; retry",
+            )
+        response: Optional[Message] = None
+        try:
+            response = self._execute_op(op, request, tenant, stages, load_state)
+            return response
+        finally:
+            # Only a success is cached for replay: an error frame means the
+            # op was not applied, so a retry must execute for real.
+            applied = response if isinstance(response, OkResponse) else None
+            self.dedup.finish(key, applied)
+
+    def _backpressure_stopped(self) -> bool:
+        controller = getattr(self.service, "backpressure", None)
+        if controller is None:
+            return False
+        try:
+            return controller.state() == "stop"
+        except Exception:  # noqa: BLE001 - shedding must never break serving
+            return False
+
+    def _execute_op(
+        self, op: str, request: Message, tenant: str, stages: dict,
+        load_state: str = STATE_OK,
+    ) -> Message:
         service = self.service
         if op == "ping":
             info = service.ping() if hasattr(service, "ping") else {}
@@ -550,6 +689,7 @@ class LSMServer:
         if op == "scan":
             self._admit(tenant, 1, stages)
             limit = min(max(1, request.limit), self.config.scan_limit_max)
+            limit = self.overload.clamp_scan_limit(limit, load_state)
             lo, hi = tenant_range(tenant, request.start, request.end)
             items = []
             truncated = False
@@ -617,6 +757,9 @@ class LSMServer:
         }
         if self.slow_ops is not None:
             payload["slow_ops"] = self.slow_ops.snapshot()
+        if self.dedup is not None:
+            payload["dedup"] = self.dedup.stats()
+        payload["overload"] = self.overload.stats()
         payload["history"] = {
             "samples": self.sampler.samples,
             "series": len(self.sampler.names()),

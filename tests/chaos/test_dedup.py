@@ -1,0 +1,134 @@
+"""DedupTable unit tests: the exactly-once core, including the races."""
+
+import threading
+
+import pytest
+
+from repro.server import DedupTable
+
+KEY = ("tenant", "client", 1)
+
+
+class TestBasicProtocol:
+    def test_first_begin_executes_then_replays(self):
+        table = DedupTable(capacity=8)
+        decision, cached = table.begin(KEY)
+        assert decision == "execute" and cached is None
+        table.finish(KEY, "reply-1")
+        decision, cached = table.begin(KEY)
+        assert decision == "replay" and cached == "reply-1"
+        stats = table.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_failed_execution_is_forgotten(self):
+        table = DedupTable(capacity=8)
+        assert table.begin(KEY)[0] == "execute"
+        table.finish(KEY, None)  # op failed: nothing was applied
+        # The retry must execute for real, not replay a non-answer.
+        assert table.begin(KEY)[0] == "execute"
+
+    def test_keys_are_scoped_by_tenant_and_client(self):
+        table = DedupTable(capacity=8)
+        table.begin(("a", "c1", 7))
+        table.finish(("a", "c1", 7), "alice")
+        assert table.begin(("b", "c1", 7))[0] == "execute"  # other tenant
+        assert table.begin(("a", "c2", 7))[0] == "execute"  # other client
+        assert table.begin(("a", "c1", 7)) == ("replay", "alice")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DedupTable(capacity=0)
+
+
+class TestConcurrentDuplicates:
+    def test_duplicate_waits_for_inflight_original_then_replays(self):
+        table = DedupTable(capacity=8)
+        assert table.begin(KEY)[0] == "execute"
+        results = []
+        started = threading.Event()
+
+        def duplicate():
+            started.set()
+            results.append(table.begin(KEY))
+
+        worker = threading.Thread(target=duplicate)
+        worker.start()
+        started.wait()
+        # The duplicate is parked on the in-flight original; finishing
+        # releases it with the cached reply -- it never executes.
+        table.finish(KEY, "the-reply")
+        worker.join(timeout=5)
+        assert results == [("replay", "the-reply")]
+        assert table.stats()["waits"] == 1
+
+    def test_duplicate_of_failed_original_executes(self):
+        table = DedupTable(capacity=8)
+        assert table.begin(KEY)[0] == "execute"
+        results = []
+        started = threading.Event()
+
+        def duplicate():
+            started.set()
+            results.append(table.begin(KEY))
+
+        worker = threading.Thread(target=duplicate)
+        worker.start()
+        started.wait()
+        table.finish(KEY, None)  # original failed before applying
+        worker.join(timeout=5)
+        assert results[0][0] == "execute"
+
+    def test_outliving_the_wait_budget_reports_busy(self):
+        table = DedupTable(capacity=8, wait_timeout_s=0.05)
+        assert table.begin(KEY)[0] == "execute"
+        assert table.begin(KEY) == ("busy", None)  # original never finishes
+
+    def test_hammered_key_applies_exactly_once(self):
+        table = DedupTable(capacity=64)
+        executions = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            decision, cached = table.begin(KEY)
+            if decision == "execute":
+                executions.append(1)
+                table.finish(KEY, "done")
+            else:
+                assert decision == "replay" and cached == "done"
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(executions) == 1
+
+
+class TestEvictionAndRetryHeuristic:
+    def test_lru_evicts_completed_entries_only(self):
+        table = DedupTable(capacity=2)
+        for token in (1, 2):
+            key = ("t", "c", token)
+            table.begin(key)
+            table.finish(key, f"r{token}")
+        pinned = ("t", "c", 3)
+        table.begin(pinned)  # in-flight: never evicted
+        for token in (4, 5, 6):
+            key = ("t", "c", token)
+            table.begin(key)
+            table.finish(key, f"r{token}")
+        stats = table.stats()
+        assert stats["entries"] == 2 and stats["inflight"] == 1
+        assert stats["evictions"] == 3
+        table.finish(pinned, "r3")
+
+    def test_is_retry_survives_eviction_via_monotonic_tokens(self):
+        table = DedupTable(capacity=1)
+        for token in (1, 2, 3):
+            key = ("t", "c", token)
+            table.begin(key)
+            table.finish(key, "ok")
+        assert table.is_retry(("t", "c", 2))   # evicted, but token <= last
+        assert not table.is_retry(("t", "c", 9))
+        assert not table.is_retry(("t", "other", 1))

@@ -1,0 +1,75 @@
+"""ChaosHarness smoke tests: short randomized runs must verify clean."""
+
+import pytest
+
+from repro.chaos import ChaosHarness, run_matrix
+from repro.chaos.harness import PROFILES, main
+
+
+def run_harness(**kwargs):
+    cycles = kwargs.pop("cycles", 3)
+    harness = ChaosHarness(ops_per_cycle=20, **kwargs)
+    try:
+        return harness.run(cycles)
+    finally:
+        harness.close()
+
+
+class TestCycles:
+    def test_named_points_only(self):
+        report = run_harness(seed=101, profile="points")
+        assert report.ok, report.violations
+        assert report.crashes_fired >= 1
+        assert sum(c.ops_acked for c in report.cycles) > 0
+        assert sum(c.keys_checked for c in report.cycles) > 0
+
+    def test_probabilistic_noise(self):
+        report = run_harness(seed=102, profile="mixed")
+        assert report.ok, report.violations
+
+    def test_storm_profile(self):
+        report = run_harness(seed=103, profile="storm")
+        assert report.ok, report.violations
+        assert sum(c.retries for c in report.cycles) >= 1
+
+    def test_combined_network_and_storage_crashes(self):
+        report = run_harness(
+            seed=104, profile="mixed", storage_crash=True, cycles=4
+        )
+        assert report.ok, report.violations
+
+    def test_summary_is_informative(self):
+        report = run_harness(seed=105, profile="points", cycles=2)
+        text = report.summary()
+        assert "cycles" in text and "violations" in text
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosHarness(profile="hurricane")
+
+    def test_profiles_cover_the_documented_tiers(self):
+        assert set(PROFILES) == {"points", "mixed", "storm"}
+
+
+class TestMatrixCLI:
+    def test_run_matrix_reports_configs(self):
+        ok, failures = run_matrix(
+            seeds=[7], cycles=2, profiles=["points"], ops_per_cycle=15
+        )
+        assert ok and failures == []
+
+    def test_cli_green_run_exits_zero(self, capsys):
+        assert main([
+            "--cycles", "2", "--seed", "9", "--profile", "points",
+            "--ops", "15",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matrix total" in out
+
+    def test_cli_writes_no_failures_file_when_green(self, tmp_path, capsys):
+        failures_file = tmp_path / "failures.json"
+        assert main([
+            "--cycles", "1", "--seed", "9", "--profile", "points",
+            "--ops", "10", "--quiet", "--failures-file", str(failures_file),
+        ]) == 0
+        assert not failures_file.exists()

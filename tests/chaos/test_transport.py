@@ -1,0 +1,216 @@
+"""FaultyTransport / ChaosSocket unit tests over real socketpairs."""
+
+import socket
+
+import pytest
+
+from repro.chaos import (
+    ChaosSocket,
+    FaultyTransport,
+    NETWORK_CRASH_POINTS,
+    NetworkFaultConfig,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    a.settimeout(2.0)
+    b.settimeout(2.0)
+    yield a, b
+    a.close()
+    b.close()
+
+
+def recv_exact(sock, n):
+    chunks = b""
+    while len(chunks) < n:
+        data = sock.recv(n - len(chunks))
+        if not data:
+            break
+        chunks += data
+    return chunks
+
+
+class TestConfig:
+    def test_probabilities_are_range_checked(self):
+        with pytest.raises(ConfigError):
+            NetworkFaultConfig(reset_prob=1.5)
+        with pytest.raises(ConfigError):
+            NetworkFaultConfig(delay_s=-1)
+
+    def test_unknown_crash_point_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkFaultConfig(crash_points={"bogus": 1})
+        with pytest.raises(ConfigError):
+            NetworkFaultConfig(crash_points={"mid_reply": 0})
+
+    def test_replace_and_fault_rate(self):
+        cfg = NetworkFaultConfig(reset_prob=0.1).replace(drop_reply_prob=0.2)
+        assert cfg.reset_prob == 0.1 and cfg.drop_reply_prob == pytest.approx(0.2)
+        assert cfg.fault_rate == pytest.approx(0.3)
+
+    def test_crash_point_vocabulary(self):
+        assert "after_send_before_reply" in NETWORK_CRASH_POINTS
+        assert "mid_reply" in NETWORK_CRASH_POINTS
+
+
+class TestDisarmed:
+    def test_wrapped_socket_is_transparent_until_armed(self, pair):
+        a, b = pair
+        # Every fault maxed out -- but the transport is not armed.
+        transport = FaultyTransport(NetworkFaultConfig(
+            reset_prob=1.0, send_truncate_prob=1.0, drop_reply_prob=1.0,
+            duplicate_prob=1.0, recv_truncate_prob=1.0, connect_fail_prob=1.0,
+        ))
+        wrapped = transport.wrap(a)
+        wrapped.sendall(b"hello")
+        assert recv_exact(b, 5) == b"hello"
+        b.sendall(b"world")
+        assert wrapped.recv(5) == b"world"
+
+    def test_delegates_to_the_real_socket(self, pair):
+        a, _ = pair
+        wrapped = FaultyTransport().wrap(a)
+        assert isinstance(wrapped, ChaosSocket)
+        wrapped.settimeout(0.5)  # must not raise: delegated attribute
+        assert a.gettimeout() == 0.5
+
+
+class TestNamedCrashPoints:
+    def test_before_send_resets_and_poisons(self, pair):
+        a, b = pair
+        transport = FaultyTransport()
+        transport.schedule_crash("before_send", countdown=2)
+        transport.arm()
+        wrapped = transport.wrap(a)
+        wrapped.sendall(b"first")  # crossing 1: survives
+        assert recv_exact(b, 5) == b"first"
+        with pytest.raises(ConnectionResetError):
+            wrapped.sendall(b"second")  # crossing 2: fires
+        # Poisoned: the connection stays dead for every further send.
+        with pytest.raises((ConnectionResetError, BrokenPipeError)):
+            wrapped.sendall(b"third")
+        assert transport.stats()["crash:before_send"] == 1
+        assert transport.pending_crashes() == {}
+
+    def test_mid_send_delivers_a_strict_prefix(self, pair):
+        a, b = pair
+        transport = FaultyTransport()
+        transport.schedule_crash("mid_send", countdown=1)
+        transport.arm()
+        wrapped = transport.wrap(a)
+        payload = bytes(range(100))
+        with pytest.raises(ConnectionResetError):
+            wrapped.sendall(payload)
+        a.close()  # let the peer read to EOF
+        delivered = recv_exact(b, 100)
+        assert 0 < len(delivered) < 100
+        assert payload.startswith(delivered)
+
+    def test_duplicate_send_delivers_twice_then_poisons(self, pair):
+        a, b = pair
+        transport = FaultyTransport()
+        transport.schedule_crash("duplicate_send", countdown=1)
+        transport.arm()
+        wrapped = transport.wrap(a)
+        wrapped.sendall(b"frame")  # reported as success to the sender
+        assert recv_exact(b, 10) == b"frameframe"
+        with pytest.raises((ConnectionResetError, BrokenPipeError)):
+            wrapped.sendall(b"next")
+
+    def test_after_send_before_reply_loses_the_reply(self, pair):
+        a, b = pair
+        transport = FaultyTransport()
+        transport.schedule_crash("after_send_before_reply", countdown=1)
+        transport.arm()
+        wrapped = transport.wrap(a)
+        wrapped.sendall(b"request")
+        assert recv_exact(b, 7) == b"request"  # the request DID land
+        b.sendall(b"reply")
+        # ...but the sender never sees it: reset or clean EOF, never data.
+        try:
+            assert wrapped.recv(1024) == b""
+        except ConnectionResetError:
+            pass
+
+    def test_mid_reply_truncates_the_read(self, pair):
+        a, b = pair
+        transport = FaultyTransport()
+        transport.schedule_crash("mid_reply", countdown=1)
+        transport.arm()
+        wrapped = transport.wrap(a)
+        b.sendall(bytes(range(50)))
+        first = wrapped.recv(50)
+        assert 0 < len(first) < 50
+        # Poisoned afterwards: EOF or reset, never the remaining bytes.
+        try:
+            assert wrapped.recv(50) == b""
+        except ConnectionResetError:
+            pass
+
+    def test_connect_fault_never_raises_at_wrap_time(self, pair):
+        a, _ = pair
+        transport = FaultyTransport(NetworkFaultConfig(connect_fail_prob=1.0))
+        transport.arm()
+        wrapped = transport.wrap(a)  # must not raise
+        with pytest.raises((ConnectionResetError, BrokenPipeError)):
+            wrapped.sendall(b"x")
+        assert transport.stats()["connect_failed"] == 1
+
+    def test_schedule_validates_points(self):
+        transport = FaultyTransport()
+        with pytest.raises(ValueError):
+            transport.schedule_crash("bogus")
+        with pytest.raises(ValueError):
+            transport.schedule_crash("mid_reply", countdown=0)
+
+
+class TestSharedCountdowns:
+    def test_countdown_spans_multiple_sockets(self):
+        # Mirrors storage crash points sharing one device: the Nth crossing
+        # fires wherever it lands, across every socket the transport wrapped.
+        a1, b1 = socket.socketpair()
+        a2, b2 = socket.socketpair()
+        try:
+            transport = FaultyTransport()
+            transport.schedule_crash("before_send", countdown=3)
+            transport.arm()
+            w1, w2 = transport.wrap(a1), transport.wrap(a2)
+            w1.sendall(b"1")   # crossing 1
+            w2.sendall(b"2")   # crossing 2
+            with pytest.raises(ConnectionResetError):
+                w1.sendall(b"3")  # crossing 3 fires on the other socket
+            w2.sendall(b"4")   # socket 2 was never poisoned
+        finally:
+            for s in (a1, b1, a2, b2):
+                s.close()
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_schedule(self):
+        def run(seed):
+            outcomes = []
+            transport = FaultyTransport(
+                NetworkFaultConfig(seed=seed, reset_prob=0.5)
+            )
+            transport.arm()
+            for _ in range(40):
+                a, b = socket.socketpair()
+                try:
+                    wrapped = transport.wrap(a)
+                    try:
+                        wrapped.sendall(b"x")
+                        outcomes.append("ok")
+                    except (ConnectionResetError, BrokenPipeError):
+                        outcomes.append("reset")
+                finally:
+                    a.close()
+                    b.close()
+            return outcomes
+
+        first, second = run(1234), run(1234)
+        assert first == second
+        assert "reset" in first and "ok" in first  # both paths exercised
+        assert run(99) != first  # and the seed actually matters

@@ -1,0 +1,153 @@
+"""Mid-request shutdown: clients get a typed outcome fast — never a hang."""
+
+import threading
+import time
+
+import pytest
+
+import repro
+from repro import LSMConfig
+from repro.errors import ConnectionLostError
+from repro.server import LSMClient, LSMServer, RemoteError, ServerConfig
+from repro.service import DBService
+
+
+DRAIN_BUDGET_S = 1.0
+
+
+def make_server(**config_overrides):
+    service = repro.open(
+        config=LSMConfig(buffer_bytes=4 << 10, block_size=512, wal_enabled=True),
+        service=True,
+    )
+    overrides = dict(drain_timeout_s=DRAIN_BUDGET_S, idle_poll_s=0.02)
+    overrides.update(config_overrides)
+    srv = LSMServer(service, ServerConfig(**overrides), close_service=True)
+    srv.start()
+    return srv
+
+
+class TestInFlightClients:
+    def test_active_client_resolves_within_the_drain_budget(self):
+        """The satellite contract: a client mid-conversation observes
+        either a ``shutting_down`` refusal or a typed connection loss
+        within the drain budget — and is never left hanging."""
+        srv = make_server()
+        host, port = srv.address
+        outcome = {}
+
+        def churn():
+            try:
+                with LSMClient(host, port, tenant="t", timeout_s=5.0) as db:
+                    started.set()
+                    n = 0
+                    while True:
+                        db.put(b"k%06d" % n, b"v")
+                        n += 1
+            except RemoteError as exc:
+                outcome["kind"] = "remote"
+                outcome["code"] = exc.code
+            except ConnectionLostError:
+                outcome["kind"] = "lost"
+            outcome["at"] = time.monotonic()
+
+        started = threading.Event()
+        worker = threading.Thread(target=churn)
+        worker.start()
+        started.wait()
+        time.sleep(0.05)  # let a few requests flow
+        t0 = time.monotonic()
+        srv.shutdown()
+        worker.join(timeout=DRAIN_BUDGET_S + 5.0)
+        assert not worker.is_alive(), "client hung through server shutdown"
+        # Typed outcome only: shutting_down or a connection-loss error.
+        assert outcome["kind"] in ("remote", "lost")
+        if outcome["kind"] == "remote":
+            assert outcome["code"] == "shutting_down"
+        # ...and it arrived within the drain budget (plus slack), measured
+        # from the moment shutdown began.
+        assert outcome["at"] - t0 < DRAIN_BUDGET_S + 2.0
+
+    def test_many_concurrent_clients_all_resolve(self):
+        srv = make_server()
+        host, port = srv.address
+        outcomes = []
+        lock = threading.Lock()
+        go = threading.Event()
+
+        def churn(i):
+            result = "hang"
+            try:
+                with LSMClient(host, port, tenant="t", timeout_s=5.0) as db:
+                    go.wait()
+                    n = 0
+                    while True:
+                        db.put(b"c%d-%06d" % (i, n), b"v")
+                        n += 1
+            except RemoteError as exc:
+                result = exc.code
+            except ConnectionLostError:
+                result = "lost"
+            with lock:
+                outcomes.append(result)
+
+        workers = [threading.Thread(target=churn, args=(i,)) for i in range(6)]
+        for w in workers:
+            w.start()
+        go.set()
+        time.sleep(0.05)
+        srv.shutdown()
+        for w in workers:
+            w.join(timeout=DRAIN_BUDGET_S + 5.0)
+        assert len(outcomes) == 6
+        assert all(o in ("shutting_down", "lost") for o in outcomes), outcomes
+
+    def test_request_racing_the_stop_flag_gets_a_drain_reply(self):
+        """A frame that arrives in the stop->close window is answered
+        ``shutting_down`` when the handler can still decode it (the final
+        courtesy recv added for draining), or the socket closes — the
+        client must see one or the other promptly."""
+        srv = make_server()
+        host, port = srv.address
+        with LSMClient(host, port, tenant="t", timeout_s=3.0) as db:
+            db.put(b"k", b"v")  # connection is live and idle
+            shutdown = threading.Thread(target=srv.shutdown)
+            shutdown.start()
+            t0 = time.monotonic()
+            try:
+                db.get(b"k")  # may even succeed if it wins the race
+            except (RemoteError, ConnectionLostError) as exc:
+                if isinstance(exc, RemoteError):
+                    assert exc.code == "shutting_down"
+            assert time.monotonic() - t0 < DRAIN_BUDGET_S + 2.0
+            shutdown.join(timeout=5.0)
+
+    def test_new_connections_after_shutdown_are_refused(self):
+        srv = make_server()
+        host, port = srv.address
+        srv.shutdown()
+        with pytest.raises(OSError):
+            LSMClient(host, port, tenant="t", timeout_s=0.5)
+
+
+class TestClientCloseSafety:
+    def test_close_is_idempotent_even_after_connection_loss(self):
+        srv = make_server()
+        host, port = srv.address
+        db = LSMClient(host, port, tenant="t", timeout_s=1.0)
+        db.put(b"k", b"v")
+        srv.shutdown()
+        with pytest.raises((RemoteError, ConnectionLostError)):
+            db.get(b"k")
+        db.close()
+        db.close()  # second close must be a no-op, not an error
+
+    def test_context_exit_after_error_is_clean(self):
+        srv = make_server()
+        host, port = srv.address
+        with pytest.raises((RemoteError, ConnectionLostError)):
+            with LSMClient(host, port, tenant="t", timeout_s=1.0) as db:
+                db.put(b"k", b"v")
+                srv.shutdown()
+                while True:  # __exit__ must cope with the broken state
+                    db.get(b"k")
